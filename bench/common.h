@@ -1,0 +1,55 @@
+// Shared setup for the benchmark harness: the paper-scale scenario (§7.1 —
+// 321 switches, >1000 base stations, 8 candidate egress points, 4 balanced
+// leaf regions, 48 h of per-minute traces) and small reusable helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "softmow/softmow.h"
+
+namespace softmow::bench {
+
+/// Paper-scale parameters (§7.1). Deterministic under `seed`.
+inline topo::ScenarioParams paper_scale_params(std::uint64_t seed = 1,
+                                               std::size_t regions = 4,
+                                               bool originate = true) {
+  topo::ScenarioParams p;
+  p.wan.switches = 321;          // §7.1
+  p.trace.base_stations = 1000;  // §7.1 "more than 1000 base stations"
+  p.trace.duration_minutes = 48 * 60;  // Fig. 12 window
+  p.iplane.prefixes = 11590;     // §7.2 destinations
+  p.regions = regions;
+  p.egress_points = 8;           // Fig. 8 sweep max
+  p.originate_interdomain = originate;
+  p.seed = seed;
+  p.wan.seed = seed * 13 + 7;
+  p.trace.seed = seed * 29 + 11;
+  p.iplane.seed = seed * 41 + 23;
+  return p;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Best internal (hops, latency) from every BS group to every egress port,
+/// computed the way the hierarchy computes it: leaf-level reachability from
+/// the group's radio port to the leaf's exposed ports, continued through the
+/// root's logical port graph. Entry [group][egress-index] may be missing
+/// (unreachable), flagged with hops < 0.
+struct InternalCostTable {
+  std::vector<BsGroupId> groups;
+  std::vector<EgressId> egresses;
+  /// [group index][egress index] -> metrics of the best internal path.
+  std::vector<std::vector<EdgeMetrics>> cost;
+  static constexpr double kUnreachable = -1;
+};
+
+InternalCostTable compute_internal_costs(topo::Scenario& scenario);
+
+}  // namespace softmow::bench

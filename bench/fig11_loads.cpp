@@ -1,0 +1,88 @@
+// Figure 11: CDFs of cellular control loads on the (balanced) leaf
+// regions — per-minute bearer arrivals (a), UE arrivals (b) and handover
+// requests (c) — over the 48 h trace (§7.4).
+//
+// Paper magnitudes (4 regions): bearer arrivals up to ~1e5/min per leaf;
+// UE arrivals 1000-3000/min; handovers 1000-4000/min.
+#include "bench/common.h"
+
+namespace softmow::bench {
+namespace {
+
+void print_cdf(const std::string& title, const std::vector<SampleSet>& per_leaf,
+               const std::vector<std::string>& names) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> header{"percentile"};
+  for (const auto& n : names) header.push_back(n);
+  TextTable table(header);
+  for (double p : {5.0, 25.0, 50.0, 75.0, 95.0, 100.0}) {
+    std::vector<std::string> row{TextTable::num(p, 0) + "th"};
+    for (const SampleSet& s : per_leaf) row.push_back(TextTable::num(s.percentile(p), 0));
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+void run() {
+  print_header("Figure 11 — cellular loads on balanced regions (per minute, 48 h)",
+               "per leaf: bearers up to ~1e5/min, UE arrivals 1000-3000/min, "
+               "handovers 1000-4000/min");
+
+  auto scenario = topo::build_scenario(paper_scale_params(1, 4, /*originate=*/false));
+  auto& mp = *scenario->mgmt;
+  const topo::LteTrace& trace = scenario->trace;
+
+  std::vector<std::string> names;
+  for (reca::Controller* leaf : mp.leaves()) names.push_back(leaf->name());
+  std::size_t regions = names.size();
+
+  // group index -> leaf region index under the (static) bootstrap partition.
+  std::vector<std::size_t> region_of(trace.groups.size());
+  for (std::size_t g = 0; g < trace.groups.size(); ++g)
+    region_of[g] = mp.leaf_index_of_group(trace.groups[g]);
+
+  std::vector<SampleSet> bearers(regions), ue(regions), handovers(regions);
+  for (const topo::TraceBin& bin : trace.bins) {
+    std::vector<double> b(regions, 0), u(regions, 0), h(regions, 0);
+    for (std::size_t g = 0; g < trace.groups.size(); ++g) {
+      b[region_of[g]] += bin.bearer_arrivals[g];
+      u[region_of[g]] += bin.ue_arrivals[g];
+    }
+    for (const auto& [ga, gb, count] : bin.handovers) {
+      // A handover request loads every leaf that owns an endpoint (§7.4
+      // counts aggregate intra + inter region requests per leaf).
+      h[region_of[ga]] += count;
+      if (region_of[gb] != region_of[ga]) h[region_of[gb]] += count;
+    }
+    for (std::size_t r = 0; r < regions; ++r) {
+      bearers[r].add(b[r]);
+      ue[r].add(u[r]);
+      handovers[r].add(h[r]);
+    }
+  }
+
+  print_cdf("(a) bearer arrivals per minute", bearers, names);
+  print_cdf("(b) UE arrivals per minute", ue, names);
+  print_cdf("(c) handover requests per minute", handovers, names);
+
+  auto peak_range = [](const std::vector<SampleSet>& sets) {
+    double lo = 1e18, hi = 0;
+    for (const SampleSet& s : sets) {
+      lo = std::min(lo, s.max());
+      hi = std::max(hi, s.max());
+    }
+    return std::make_pair(lo, hi);
+  };
+  auto [b_lo, b_hi] = peak_range(bearers);
+  auto [u_lo, u_hi] = peak_range(ue);
+  auto [h_lo, h_hi] = peak_range(handovers);
+  std::printf("\nmeasured peaks per leaf: bearers %.0f-%.0f/min (paper: up to ~1e5), "
+              "UE arrivals %.0f-%.0f/min (paper: 1000-3000), handovers %.0f-%.0f/min "
+              "(paper: 1000-4000)\n",
+              b_lo, b_hi, u_lo, u_hi, h_lo, h_hi);
+}
+
+}  // namespace
+}  // namespace softmow::bench
+
+int main() { softmow::bench::run(); }

@@ -1,0 +1,134 @@
+// Figure 12: inter-region handovers handled by the root over 48 hours, for
+// 4 and 8 leaf regions (G-switches), with and without the periodic greedy
+// region optimization (§5.3, §7.4).
+//
+// Paper: the root reconfigures every 3 hours from collected handover
+// graphs; each leaf's cellular load must stay within ±30% of its initial
+// load; the optimization cuts root-mediated inter-region handovers by
+// 38.08%-44.61%; load peaks with the diurnal cycle and roughly doubles
+// when going from 4 to 8 regions.
+#include "bench/common.h"
+
+namespace softmow::bench {
+namespace {
+
+constexpr std::size_t kReconfigEveryMinutes = 3 * 60;  // §7.4
+
+struct SeriesResult {
+  std::vector<double> hourly;  ///< root-mediated handovers per hour
+  double total = 0;
+};
+
+/// Trace-driven simulation (§7.4): replays the 48 h bins against a
+/// group->region assignment; optionally re-runs the §5.3.1 greedy every 3 h
+/// on the previous window's handover graph under ±30% load constraints.
+SeriesResult simulate(const topo::LteTrace& trace,
+                      const std::vector<std::size_t>& initial_region, std::size_t /*regions*/,
+                      bool optimize) {
+  SeriesResult result;
+  std::map<GBsId, SwitchId> attach;  // region encoded as a pseudo G-switch ID
+  for (std::size_t g = 0; g < trace.groups.size(); ++g)
+    attach[mgmt::gbs_id_for_group(trace.groups[g])] = SwitchId{initial_region[g]};
+
+  // Region adjacency + movable set derive from the full-trace adjacency:
+  // moves are allowed between regions that exchange handovers (those
+  // G-switch pairs have discovered inter-G-switch links).
+  std::set<std::pair<SwitchId, SwitchId>> region_links;
+  std::set<GBsId> movable;
+  for (const auto& [key, weight] : trace.group_adjacency.edges()) {
+    std::size_t ra = initial_region[trace.group_index.at(key.first)];
+    std::size_t rb = initial_region[trace.group_index.at(key.second)];
+    if (ra == rb) continue;
+    region_links.insert({SwitchId{std::min(ra, rb)}, SwitchId{std::max(ra, rb)}});
+    movable.insert(mgmt::gbs_id_for_group(key.first));
+    movable.insert(mgmt::gbs_id_for_group(key.second));
+  }
+
+  WeightedAdjacency<GBsId> window_graph;
+  std::map<GBsId, double> window_load;
+  double hour_count = 0;
+
+  for (std::size_t minute = 0; minute < trace.bins.size(); ++minute) {
+    const topo::TraceBin& bin = trace.bins[minute];
+    for (const auto& [ga, gb, count] : bin.handovers) {
+      GBsId a = mgmt::gbs_id_for_group(trace.groups[ga]);
+      GBsId b = mgmt::gbs_id_for_group(trace.groups[gb]);
+      if (attach.at(a) != attach.at(b)) hour_count += count;
+      window_graph.add(a, b, count);
+      window_load[a] += count;
+      window_load[b] += count;
+    }
+    for (std::size_t g = 0; g < trace.groups.size(); ++g) {
+      GBsId id = mgmt::gbs_id_for_group(trace.groups[g]);
+      window_load[id] += static_cast<double>(bin.bearer_arrivals[g]) + bin.ue_arrivals[g];
+    }
+
+    if ((minute + 1) % 60 == 0) {
+      result.hourly.push_back(hour_count);
+      result.total += hour_count;
+      hour_count = 0;
+    }
+    if (optimize && (minute + 1) % kReconfigEveryMinutes == 0) {
+      apps::RegionOptInput input;
+      input.graph = window_graph;
+      input.attach = attach;
+      input.movable = movable;
+      input.gswitch_links = region_links;
+      input.load = window_load;
+      apps::RegionOptConstraints constraints;  // ±30% defaults (§7.4)
+      auto opt = apps::greedy_region_optimization(std::move(input), constraints);
+      attach = opt.final_attach;
+      window_graph.clear();
+      window_load.clear();
+    } else if (!optimize && (minute + 1) % kReconfigEveryMinutes == 0) {
+      window_graph.clear();
+      window_load.clear();
+    }
+  }
+  return result;
+}
+
+void run() {
+  print_header("Figure 12 — inter-region handovers at the root over 48 h",
+               "greedy reconfiguration every 3 h cuts the load by 38.08%-44.61%");
+
+  TextTable table({"hour", "4GS", "4GS,Opt", "8GS", "8GS,Opt"});
+  double cut4 = 0, cut8 = 0;
+
+  std::vector<SeriesResult> series;
+  for (std::size_t regions : {std::size_t{4}, std::size_t{8}}) {
+    auto scenario = topo::build_scenario(paper_scale_params(1, regions, /*originate=*/false));
+    const topo::LteTrace& trace = scenario->trace;
+    std::vector<std::size_t> region_of(trace.groups.size());
+    for (std::size_t g = 0; g < trace.groups.size(); ++g)
+      region_of[g] = scenario->mgmt->leaf_index_of_group(trace.groups[g]);
+
+    series.push_back(simulate(trace, region_of, regions, /*optimize=*/false));
+    series.push_back(simulate(trace, region_of, regions, /*optimize=*/true));
+  }
+
+  for (std::size_t h = 0; h < series[0].hourly.size(); ++h) {
+    table.add_row({std::to_string(h + 1), TextTable::num(series[0].hourly[h], 0),
+                   TextTable::num(series[1].hourly[h], 0),
+                   TextTable::num(series[2].hourly[h], 0),
+                   TextTable::num(series[3].hourly[h], 0)});
+  }
+  table.print();
+
+  cut4 = 100.0 * (series[0].total - series[1].total) / series[0].total;
+  cut8 = 100.0 * (series[2].total - series[3].total) / series[2].total;
+  std::printf("\nmeasured: optimization reduces root-mediated inter-region handovers by "
+              "%.2f%% (4GS) and %.2f%% (8GS); paper: 38.08%%-44.61%%\n",
+              cut4, cut8);
+  std::printf("measured: doubling regions raises the unoptimized load by %.1fx "
+              "(paper: increases)\n",
+              series[2].total / std::max(series[0].total, 1.0));
+  std::printf("headline (§1): inter-region handovers reduced by up to %.0f%% "
+              "(paper: up to 44%%)\n",
+              std::max(cut4, cut8));
+}
+
+}  // namespace
+}  // namespace softmow::bench
+
+int main() { softmow::bench::run(); }

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the controller —
+// flow-table lookup, port-graph Dijkstra, route computation, path setup —
+// and the RecA abstraction recompute.
+#include <benchmark/benchmark.h>
+
+#include "softmow/softmow.h"
+
+namespace softmow {
+namespace {
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  dataplane::FlowTable table;
+  const std::int64_t rules = state.range(0);
+  for (std::int64_t i = 0; i < rules; ++i) {
+    dataplane::FlowRule rule;
+    rule.cookie = static_cast<std::uint64_t>(i) + 1;
+    rule.priority = 100;
+    rule.match.label = static_cast<std::uint32_t>(i);
+    rule.match.in_port = PortId{static_cast<std::uint64_t>(i % 8) + 1};
+    rule.actions = {dataplane::output(PortId{2})};
+    table.install(rule);
+  }
+  Packet pkt;
+  pkt.labels.push_back(Label{static_cast<std::uint32_t>(rules - 1), 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.lookup(pkt, PortId{static_cast<std::uint64_t>((rules - 1) % 8) + 1}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+struct GraphFixture {
+  Graph graph;
+  NodeKey last = 0;
+  explicit GraphFixture(std::size_t nodes) {
+    Rng rng(3);
+    for (NodeKey n = 0; n < nodes; ++n) graph.add_node(n);
+    for (std::size_t e = 0; e < nodes * 3; ++e) {
+      NodeKey a = rng.uniform_u64(0, nodes - 1), b = rng.uniform_u64(0, nodes - 1);
+      if (a == b) continue;
+      graph.add_bidirectional(a, b, EdgeMetrics{rng.uniform(1, 10), 1, 1e6});
+    }
+    last = nodes - 1;
+  }
+};
+
+void BM_Dijkstra(benchmark::State& state) {
+  GraphFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.graph.shortest_path(0, fx.last, Metric::kLatency));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ShortestTree(benchmark::State& state) {
+  GraphFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.graph.shortest_tree(0, Metric::kHops));
+  }
+}
+BENCHMARK(BM_ShortestTree)->Arg(100)->Arg(1000);
+
+struct ScenarioFixture {
+  std::unique_ptr<topo::Scenario> scenario;
+  ScenarioFixture() { scenario = topo::build_scenario(topo::small_scenario_params(7)); }
+  static ScenarioFixture& get() {
+    static ScenarioFixture fx;
+    return fx;
+  }
+};
+
+void BM_RootRouteComputation(benchmark::State& state) {
+  auto& fx = ScenarioFixture::get();
+  auto& root = fx.scenario->mgmt->root();
+  GBsId gbs = root.nib().gbs_list().front();
+  const auto* rec = root.nib().gbs(gbs);
+  nos::RoutingRequest req;
+  req.source = Endpoint{rec->attached_switch, rec->attached_port};
+  req.dst_prefix = PrefixId{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(root.compute_route(req));
+  }
+}
+BENCHMARK(BM_RootRouteComputation);
+
+void BM_LeafBearerSetupTeardown(benchmark::State& state) {
+  auto& fx = ScenarioFixture::get();
+  auto& mp = *fx.scenario->mgmt;
+  BsGroupId group = fx.scenario->partition.group_regions[0].front();
+  BsId bs = fx.scenario->net.bs_group(group)->members.front();
+  auto& mobility = fx.scenario->apps->mobility(*mp.leaf_of_group(group));
+  UeId ue{424242};
+  (void)mobility.ue_attach(ue, bs);
+  apps::BearerRequest request;
+  request.ue = ue;
+  request.bs = bs;
+  request.dst_prefix = PrefixId{3};
+  for (auto _ : state) {
+    auto bearer = mobility.request_bearer(request);
+    if (bearer.ok()) (void)mobility.deactivate_bearer(ue, *bearer);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LeafBearerSetupTeardown);
+
+void BM_AbstractionRecompute(benchmark::State& state) {
+  auto& fx = ScenarioFixture::get();
+  auto& leaf = fx.scenario->mgmt->leaf(0);
+  for (auto _ : state) {
+    leaf.abstraction().mark_dirty();
+    leaf.abstraction().recompute();
+  }
+}
+BENCHMARK(BM_AbstractionRecompute);
+
+}  // namespace
+}  // namespace softmow
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+#include "apps/subscriber.h"
+
+namespace softmow::apps {
+
+const char* to_string(SubscriberClass c) {
+  switch (c) {
+    case SubscriberClass::kBasic: return "basic";
+    case SubscriberClass::kPremium: return "premium";
+    case SubscriberClass::kIot: return "iot";
+    case SubscriberClass::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+const char* to_string(ApplicationClass c) {
+  switch (c) {
+    case ApplicationClass::kDefault: return "default";
+    case ApplicationClass::kVoip: return "voip";
+    case ApplicationClass::kVideo: return "video";
+    case ApplicationClass::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+void HssApp::provision(SubscriberProfile profile) { profiles_[profile.ue] = std::move(profile); }
+
+Result<void> HssApp::deprovision(UeId ue) {
+  if (profiles_.erase(ue) == 0) return {ErrorCode::kNotFound, "unknown subscriber"};
+  return Ok();
+}
+
+const SubscriberProfile* HssApp::lookup(UeId ue) const {
+  auto it = profiles_.find(ue);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+Result<SubscriberClass> HssApp::authorize_attach(UeId ue) const {
+  const SubscriberProfile* profile = lookup(ue);
+  if (profile == nullptr) {
+    count_rejection();
+    return Error{ErrorCode::kPermission, "subscriber not provisioned"};
+  }
+  if (profile->tier == SubscriberClass::kBlocked) {
+    count_rejection();
+    return Error{ErrorCode::kPermission, "subscriber blocked"};
+  }
+  return profile->tier;
+}
+
+PcrfApp::PcrfApp() {
+  // Operator defaults (§2.1's motivating policies):
+  //  * VoIP is delay-sensitive: latency-optimized with a latency ceiling.
+  //  * Video runs through a transcoder; premium video also gets bandwidth.
+  //  * Everything passes the firewall; bulk is best-effort hop-optimized.
+  Policy voip;
+  voip.objective = Metric::kLatency;
+  voip.qos.max_latency_us = 150000;  // 150 ms one-way budget
+  for (SubscriberClass tier :
+       {SubscriberClass::kBasic, SubscriberClass::kPremium, SubscriberClass::kIot})
+    set_rule(tier, ApplicationClass::kVoip, voip);
+
+  Policy video;
+  video.service.chain = {dataplane::MiddleboxType::kVideoTranscoder};
+  set_rule(SubscriberClass::kBasic, ApplicationClass::kVideo, video);
+  Policy premium_video = video;
+  premium_video.qos.min_bandwidth_kbps = 5000;
+  set_rule(SubscriberClass::kPremium, ApplicationClass::kVideo, premium_video);
+
+  Policy secured;
+  secured.service.chain = {dataplane::MiddleboxType::kFirewall};
+  set_rule(SubscriberClass::kIot, ApplicationClass::kDefault, secured);
+}
+
+void PcrfApp::set_rule(SubscriberClass tier, ApplicationClass app, Policy policy) {
+  rules_[{tier, app}] = std::move(policy);
+}
+
+PcrfApp::Policy PcrfApp::policy_for(SubscriberClass tier, ApplicationClass app) const {
+  auto it = rules_.find({tier, app});
+  if (it != rules_.end()) return it->second;
+  return Policy{};  // best-effort default
+}
+
+BearerRequest PcrfApp::make_request(const SubscriberProfile& profile, BsId bs, PrefixId dst,
+                                    ApplicationClass app) const {
+  Policy policy = policy_for(profile.tier, app);
+  BearerRequest request;
+  request.ue = profile.ue;
+  request.bs = bs;
+  request.dst_prefix = dst;
+  request.qos = policy.qos;
+  request.policy = policy.service;
+  request.objective = policy.objective;
+  return request;
+}
+
+void PcrfApp::meter(UeId ue, ApplicationClass app, std::uint64_t bytes) {
+  records_.push_back(ChargingRecord{ue, app, bytes});
+  usage_[ue] += bytes;
+}
+
+std::uint64_t PcrfApp::usage_bytes(UeId ue) const {
+  auto it = usage_.find(ue);
+  return it == usage_.end() ? 0 : it->second;
+}
+
+Result<SubscriberClass> SubscriberFrontend::attach(UeId ue, BsId bs) {
+  auto authorized = hss_->authorize_attach(ue);
+  if (!authorized.ok()) return authorized;
+  auto attached = mobility_->ue_attach(ue, bs);
+  if (!attached.ok()) return attached.error();
+  return authorized;
+}
+
+Result<BearerId> SubscriberFrontend::open_bearer(UeId ue, PrefixId dst,
+                                                 ApplicationClass app) {
+  const SubscriberProfile* profile = hss_->lookup(ue);
+  if (profile == nullptr) return Error{ErrorCode::kPermission, "subscriber not provisioned"};
+  const UeRecord* record = mobility_->ue(ue);
+  if (record == nullptr) return Error{ErrorCode::kNotFound, "UE not attached"};
+  return mobility_->request_bearer(pcrf_->make_request(*profile, record->bs, dst, app));
+}
+
+}  // namespace softmow::apps

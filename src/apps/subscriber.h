@@ -1,0 +1,123 @@
+// Subscriber-facing operator applications (paper §3.3: "operator specific
+// functions (e.g. mobility management) are implemented as applications on
+// top of NOS ... functions similar to LTE such as home subscriber server
+// (HSS), policy charging and rule functions (PCRF)").
+//
+//   * HssApp — the home subscriber server: the subscription registry that
+//     admits or rejects UE attachments and knows each subscriber's class.
+//   * PcrfApp — policy and charging rules: maps a subscriber class and an
+//     application type onto the QoS constraints and middlebox service chain
+//     a bearer must get (§2.1 service policies), and meters usage for
+//     charging.
+//
+// Both run at leaf controllers (subscriber state is anchored where the UE
+// attaches) and are consulted by the mobility application.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/mobility.h"
+#include "core/ids.h"
+#include "core/result.h"
+
+namespace softmow::apps {
+
+/// Subscription tiers with different default policies.
+enum class SubscriberClass : std::uint8_t { kBasic, kPremium, kIot, kBlocked };
+const char* to_string(SubscriberClass c);
+
+/// Traffic classes a bearer can be requested for (the paper's §2.1 examples:
+/// delay-sensitive VoIP, video needing transcoding, bulk data).
+enum class ApplicationClass : std::uint8_t { kDefault, kVoip, kVideo, kBulk };
+const char* to_string(ApplicationClass c);
+
+struct SubscriberProfile {
+  UeId ue;
+  SubscriberClass tier = SubscriberClass::kBasic;
+  std::string imsi;  ///< opaque subscriber identity, for operator tooling
+};
+
+/// Home subscriber server: the system of record for who may attach.
+class HssApp {
+ public:
+  void provision(SubscriberProfile profile);
+  Result<void> deprovision(UeId ue);
+  [[nodiscard]] const SubscriberProfile* lookup(UeId ue) const;
+
+  /// Attachment admission (LTE attach authentication, simplified): known
+  /// and not blocked.
+  [[nodiscard]] Result<SubscriberClass> authorize_attach(UeId ue) const;
+
+  [[nodiscard]] std::size_t subscriber_count() const { return profiles_.size(); }
+  [[nodiscard]] std::uint64_t rejected_attaches() const { return rejected_; }
+  /// Counter hook used by authorize_attach (const-friendly telemetry).
+  void count_rejection() const { ++rejected_; }
+
+ private:
+  std::map<UeId, SubscriberProfile> profiles_;
+  mutable std::uint64_t rejected_ = 0;
+};
+
+/// One chargeable usage record (simplified CDR).
+struct ChargingRecord {
+  UeId ue;
+  ApplicationClass app = ApplicationClass::kDefault;
+  std::uint64_t bytes = 0;
+};
+
+/// Policy and charging rules function.
+class PcrfApp {
+ public:
+  /// The QoS + middlebox poset a bearer of this (tier, app) pair receives
+  /// (§2.1: "a service policy is then met by directing traffic through a
+  /// partially ordered set of middlebox types").
+  struct Policy {
+    PathConstraints qos;
+    nos::ServicePolicy service;
+    Metric objective = Metric::kHops;
+  };
+
+  PcrfApp();
+
+  /// Installs/overrides the rule for a (tier, app) pair.
+  void set_rule(SubscriberClass tier, ApplicationClass app, Policy policy);
+  [[nodiscard]] Policy policy_for(SubscriberClass tier, ApplicationClass app) const;
+
+  /// Fills a bearer request from the policy tables.
+  [[nodiscard]] BearerRequest make_request(const SubscriberProfile& profile, BsId bs,
+                                           PrefixId dst, ApplicationClass app) const;
+
+  // --- charging (the "C" in PCRF) -------------------------------------------
+  void meter(UeId ue, ApplicationClass app, std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t usage_bytes(UeId ue) const;
+  [[nodiscard]] const std::vector<ChargingRecord>& records() const { return records_; }
+
+ private:
+  std::map<std::pair<SubscriberClass, ApplicationClass>, Policy> rules_;
+  std::vector<ChargingRecord> records_;
+  std::map<UeId, std::uint64_t> usage_;
+};
+
+/// Convenience front desk tying HSS + PCRF + mobility together: the
+/// operator-side attach/bearer flow of §5.1 with authentication and policy
+/// lookup in the loop.
+class SubscriberFrontend {
+ public:
+  SubscriberFrontend(HssApp* hss, PcrfApp* pcrf, MobilityApp* mobility)
+      : hss_(hss), pcrf_(pcrf), mobility_(mobility) {}
+
+  /// Attach with HSS authorization.
+  Result<SubscriberClass> attach(UeId ue, BsId bs);
+  /// Bearer with PCRF-derived QoS and service chain.
+  Result<BearerId> open_bearer(UeId ue, PrefixId dst, ApplicationClass app);
+
+ private:
+  HssApp* hss_;
+  PcrfApp* pcrf_;
+  MobilityApp* mobility_;
+};
+
+}  // namespace softmow::apps

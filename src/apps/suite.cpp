@@ -1,0 +1,44 @@
+#include "apps/suite.h"
+
+namespace softmow::apps {
+
+AppSuite::AppSuite(mgmt::ManagementPlane& mgmt) : mgmt_(mgmt) {
+  for (reca::Controller* c : mgmt_.all_controllers()) {
+    mobility_[c->id()] = std::make_unique<MobilityApp>(c, &mgmt_.net());
+    interdomain_[c->id()] = std::make_unique<InterdomainApp>(c);
+    if (!c->is_leaf()) {
+      region_opt_[c->id()] =
+          std::make_unique<RegionOptApp>(c, mobility_[c->id()].get(), &mgmt_);
+    }
+  }
+  // §5.3.2: the management plane coordinates UE state transfer during region
+  // reconfiguration; the actual state lives in the leaf mobility apps.
+  mgmt_.set_ue_transfer_hook(
+      [this](BsGroupId group, reca::Controller& from, reca::Controller& to) {
+        mobility_.at(to.id())->absorb_group_state(
+            mobility_.at(from.id())->extract_group_state(group));
+      });
+}
+
+RegionOptApp* AppSuite::region_opt(reca::Controller& c) {
+  auto it = region_opt_.find(c.id());
+  return it == region_opt_.end() ? nullptr : it->second.get();
+}
+
+std::map<ControllerId, RegionOptApp*> AppSuite::region_opt_map() {
+  std::map<ControllerId, RegionOptApp*> out;
+  for (auto& [id, app] : region_opt_) out[id] = app.get();
+  return out;
+}
+
+void AppSuite::originate_interdomain(const ExternalPathProvider& provider) {
+  for (reca::Controller* leaf : mgmt_.leaves()) {
+    interdomain_.at(leaf->id())->originate(provider);
+  }
+}
+
+MobilityApp& AppSuite::leaf_mobility_of_group(BsGroupId group) {
+  return *mobility_.at(mgmt_.leaf_of_group(group)->id());
+}
+
+}  // namespace softmow::apps

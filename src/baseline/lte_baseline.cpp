@@ -1,0 +1,46 @@
+#include "baseline/lte_baseline.h"
+
+namespace softmow::baseline {
+
+LteBaseline::LteBaseline(const dataplane::PhysicalNetwork& net, EgressId pgw_egress)
+    : net_(&net), pgw_egress_(pgw_egress) {
+  const dataplane::EgressPoint* egress = net.egress(pgw_egress);
+  if (egress == nullptr) return;
+  Graph core = net.build_core_graph();
+  from_pgw_ = core.shortest_tree(egress->attach.sw.value, Metric::kHops);
+}
+
+Result<EndToEndSample> LteBaseline::sample(BsGroupId group, PrefixId prefix,
+                                           const apps::ExternalPathProvider& external) const {
+  const dataplane::BsGroup* g = net_->bs_group(group);
+  if (g == nullptr) return Error{ErrorCode::kNotFound, "no such BS group"};
+  auto it = from_pgw_.find(g->core_attach.sw.value);
+  if (it == from_pgw_.end())
+    return Error{ErrorCode::kNotFound, "PGW unreachable from the group's switch"};
+  auto ext = external.cost(pgw_egress_, prefix);
+  if (!ext) return Error{ErrorCode::kNotFound, "PGW has no route for the prefix"};
+
+  const dataplane::Link* uplink = net_->link_at(g->core_attach);
+  double uplink_latency = uplink != nullptr ? uplink->latency.to_micros() : 0.0;
+
+  EndToEndSample sample;
+  sample.hops = it->second.hop_count + 1.0 /* access uplink */ + ext->hops;
+  sample.latency_us = it->second.latency_us + uplink_latency + ext->latency_us;
+  return sample;
+}
+
+std::uint64_t flat_discovery_message_count(const dataplane::PhysicalNetwork& net) {
+  std::uint64_t switches = 0, switch_ports = 0;
+  for (SwitchId sw : net.all_switches()) {
+    ++switches;
+    for (const auto& [pid, port] : net.sw(sw)->ports()) {
+      if (port.peer == dataplane::PeerKind::kSwitch) ++switch_ports;
+    }
+  }
+  // Hello + FeaturesRequest + FeaturesReply per switch, one LLDP probe sent
+  // per switch-facing port, one Packet-In per received probe (every such
+  // port also receives its peer's probe).
+  return 3 * switches + 2 * switch_ports;
+}
+
+}  // namespace softmow::baseline

@@ -1,0 +1,49 @@
+// Rigid-LTE baseline (paper §1, §7.2): the architecture SoftMoW is compared
+// against in Fig. 8/9. One very large region whose Internet edge is a single
+// centralized PGW complex — every flow must traverse the WAN to the PGW
+// location and exit there, regardless of destination; there is no
+// inter-region transit and no egress diversity.
+#pragma once
+
+#include <unordered_map>
+
+#include "apps/interdomain.h"
+#include "core/ids.h"
+#include "core/result.h"
+#include "dataplane/network.h"
+
+namespace softmow::baseline {
+
+struct EndToEndSample {
+  double hops = 0;
+  double latency_us = 0;
+};
+
+class LteBaseline {
+ public:
+  /// `pgw_egress` is the single egress point acting as the PGW's SGi
+  /// interface. Internal distances are precomputed from its switch.
+  LteBaseline(const dataplane::PhysicalNetwork& net, EgressId pgw_egress);
+
+  /// End-to-end cost for traffic of `group` to `prefix`: internal shortest
+  /// path (access uplink + core hops to the PGW switch) plus the external
+  /// route from the PGW.
+  [[nodiscard]] Result<EndToEndSample> sample(BsGroupId group, PrefixId prefix,
+                                              const apps::ExternalPathProvider& external) const;
+
+  [[nodiscard]] EgressId pgw_egress() const { return pgw_egress_; }
+
+ private:
+  const dataplane::PhysicalNetwork* net_;
+  EgressId pgw_egress_;
+  /// Core-graph best metrics from the PGW switch (hops primary).
+  std::unordered_map<NodeKey, EdgeMetrics> from_pgw_;
+};
+
+/// Control-plane messages a flat single controller processes to discover the
+/// whole physical topology with standard LLDP (Fig. 10 baseline): features
+/// exchange per switch, one probe per switch-facing port, one report per
+/// link direction.
+[[nodiscard]] std::uint64_t flat_discovery_message_count(const dataplane::PhysicalNetwork& net);
+
+}  // namespace softmow::baseline

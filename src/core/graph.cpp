@@ -1,0 +1,346 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace softmow {
+
+void Graph::add_node(NodeKey node) { adjacency_.try_emplace(node); }
+
+bool Graph::has_node(NodeKey node) const { return adjacency_.contains(node); }
+
+std::vector<NodeKey> Graph::nodes() const {
+  std::vector<NodeKey> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [node, edges] : adjacency_) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+EdgeKey Graph::add_edge(NodeKey from, NodeKey to, EdgeMetrics metrics) {
+  add_node(from);
+  add_node(to);
+  EdgeKey id = next_edge_++;
+  edges_.emplace(id, GraphEdge{id, from, to, metrics, /*up=*/true});
+  adjacency_[from].push_back(id);
+  return id;
+}
+
+std::pair<EdgeKey, EdgeKey> Graph::add_bidirectional(NodeKey a, NodeKey b,
+                                                     EdgeMetrics metrics) {
+  return {add_edge(a, b, metrics), add_edge(b, a, metrics)};
+}
+
+void Graph::remove_edge(EdgeKey edge) {
+  auto it = edges_.find(edge);
+  if (it == edges_.end()) return;
+  auto& list = adjacency_[it->second.from];
+  list.erase(std::remove(list.begin(), list.end(), edge), list.end());
+  edges_.erase(it);
+}
+
+void Graph::remove_node(NodeKey node) {
+  auto it = adjacency_.find(node);
+  if (it == adjacency_.end()) return;
+  // Collect every edge that touches `node` (out-edges are in its adjacency
+  // list; in-edges require a scan).
+  std::vector<EdgeKey> doomed = it->second;
+  for (const auto& [id, e] : edges_) {
+    if (e.to == node) doomed.push_back(id);
+  }
+  for (EdgeKey e : doomed) remove_edge(e);
+  adjacency_.erase(node);
+}
+
+Result<void> Graph::set_edge_up(EdgeKey edge, bool up) {
+  auto it = edges_.find(edge);
+  if (it == edges_.end()) return {ErrorCode::kNotFound, "no such edge"};
+  it->second.up = up;
+  return Ok();
+}
+
+Result<void> Graph::set_edge_metrics(EdgeKey edge, EdgeMetrics metrics) {
+  auto it = edges_.find(edge);
+  if (it == edges_.end()) return {ErrorCode::kNotFound, "no such edge"};
+  it->second.metrics = metrics;
+  return Ok();
+}
+
+const GraphEdge* Graph::edge(EdgeKey edge) const {
+  auto it = edges_.find(edge);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+std::vector<const GraphEdge*> Graph::out_edges(NodeKey node) const {
+  std::vector<const GraphEdge*> out;
+  auto it = adjacency_.find(node);
+  if (it == adjacency_.end()) return out;
+  out.reserve(it->second.size());
+  for (EdgeKey e : it->second) out.push_back(&edges_.at(e));
+  return out;
+}
+
+std::vector<const GraphEdge*> Graph::all_edges() const {
+  std::vector<const GraphEdge*> out;
+  out.reserve(edges_.size());
+  for (const auto& [id, e] : edges_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const GraphEdge* a, const GraphEdge* b) { return a->id < b->id; });
+  return out;
+}
+
+namespace {
+
+struct QueueItem {
+  double primary;
+  double secondary;
+  NodeKey node;
+
+  bool operator>(const QueueItem& o) const {
+    if (primary != o.primary) return primary > o.primary;
+    return secondary > o.secondary;
+  }
+};
+
+double primary_of(const EdgeMetrics& m, Metric metric) {
+  return metric == Metric::kLatency ? m.latency_us : m.hop_count;
+}
+double secondary_of(const EdgeMetrics& m, Metric metric) {
+  return metric == Metric::kLatency ? m.hop_count : m.latency_us;
+}
+
+}  // namespace
+
+Result<GraphPath> Graph::dijkstra(
+    NodeKey src, NodeKey dst, Metric metric, const PathConstraints& constraints,
+    const std::unordered_set<NodeKey>& banned_nodes,
+    const std::unordered_set<EdgeKey>& banned_edges) const {
+  if (!has_node(src) || !has_node(dst))
+    return Error{ErrorCode::kNotFound, "src or dst not in graph"};
+  if (banned_nodes.contains(src) || banned_nodes.contains(dst))
+    return Error{ErrorCode::kNotFound, "endpoint banned"};
+
+  struct NodeState {
+    double primary = std::numeric_limits<double>::infinity();
+    double secondary = std::numeric_limits<double>::infinity();
+    EdgeKey via_edge = 0;
+    bool settled = false;
+  };
+  std::unordered_map<NodeKey, NodeState> state;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+
+  state[src] = NodeState{0.0, 0.0, 0, false};
+  queue.push({0.0, 0.0, src});
+
+  while (!queue.empty()) {
+    auto [primary, secondary, node] = queue.top();
+    queue.pop();
+    auto& ns = state[node];
+    if (ns.settled) continue;
+    ns.settled = true;
+    if (node == dst) break;
+
+    auto adj = adjacency_.find(node);
+    if (adj == adjacency_.end()) continue;
+    for (EdgeKey ek : adj->second) {
+      if (banned_edges.contains(ek)) continue;
+      const GraphEdge& e = edges_.at(ek);
+      if (!e.up) continue;
+      if (e.metrics.bandwidth_kbps + 1e-9 < constraints.min_bandwidth_kbps) continue;
+      if (banned_nodes.contains(e.to)) continue;
+      double np = primary + primary_of(e.metrics, metric);
+      double nsnd = secondary + secondary_of(e.metrics, metric);
+      auto& ts = state[e.to];
+      if (ts.settled) continue;
+      if (np < ts.primary || (np == ts.primary && nsnd < ts.secondary)) {
+        ts.primary = np;
+        ts.secondary = nsnd;
+        ts.via_edge = ek;
+        queue.push({np, nsnd, e.to});
+      }
+    }
+  }
+
+  auto dit = state.find(dst);
+  if (dit == state.end() || !dit->second.settled)
+    return Error{ErrorCode::kNotFound, "no path"};
+
+  GraphPath path;
+  NodeKey cur = dst;
+  while (cur != src) {
+    EdgeKey via = state.at(cur).via_edge;
+    const GraphEdge& e = edges_.at(via);
+    path.edges.push_back(via);
+    path.nodes.push_back(cur);
+    cur = e.from;
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  path.metrics = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
+  for (EdgeKey ek : path.edges) path.metrics = path.metrics.then(edges_.at(ek).metrics);
+  return path;
+}
+
+Result<GraphPath> Graph::shortest_path(NodeKey src, NodeKey dst, Metric metric,
+                                       const PathConstraints& constraints) const {
+  if (src == dst && has_node(src)) {
+    GraphPath trivial;
+    trivial.nodes = {src};
+    trivial.metrics = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
+    return trivial;
+  }
+  auto best = dijkstra(src, dst, metric, constraints, {}, {});
+  if (!best.ok()) return best;
+  if (constraints.satisfied_by(best->metrics)) return best;
+
+  // The path optimal in `metric` violates a constraint on the other metric:
+  // retry optimizing the other metric (exact when only one bound is active),
+  // then a small sweep of weighted combinations as a heuristic fallback.
+  Metric other = metric == Metric::kLatency ? Metric::kHops : Metric::kLatency;
+  auto alt = dijkstra(src, dst, other, constraints, {}, {});
+  if (alt.ok() && constraints.satisfied_by(alt->metrics)) return alt;
+
+  for (const GraphPath& candidate :
+       k_shortest_paths(src, dst, 16, metric,
+                        PathConstraints{.min_bandwidth_kbps = constraints.min_bandwidth_kbps})) {
+    if (constraints.satisfied_by(candidate.metrics)) return candidate;
+  }
+  return Error{ErrorCode::kUnsatisfiable, "no path within constraints"};
+}
+
+std::unordered_map<NodeKey, EdgeMetrics> Graph::shortest_tree(
+    NodeKey src, Metric metric, double min_bandwidth_kbps) const {
+  std::unordered_map<NodeKey, EdgeMetrics> best;
+  if (!has_node(src)) return best;
+
+  // Dijkstra keyed on the primary metric; bandwidth is the bottleneck along
+  // the chosen (primary-optimal) path, matching vFabric semantics.
+  struct NodeState {
+    double primary = std::numeric_limits<double>::infinity();
+    EdgeMetrics metrics;
+    bool settled = false;
+  };
+  std::unordered_map<NodeKey, NodeState> state;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  state[src] =
+      NodeState{0.0, EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()}, false};
+  queue.push({0.0, 0.0, src});
+
+  while (!queue.empty()) {
+    auto [primary, secondary, node] = queue.top();
+    queue.pop();
+    auto& ns = state[node];
+    if (ns.settled) continue;
+    ns.settled = true;
+
+    auto adj = adjacency_.find(node);
+    if (adj == adjacency_.end()) continue;
+    for (EdgeKey ek : adj->second) {
+      const GraphEdge& e = edges_.at(ek);
+      if (!e.up) continue;
+      if (e.metrics.bandwidth_kbps + 1e-9 < min_bandwidth_kbps) continue;
+      EdgeMetrics nm = ns.metrics.then(e.metrics);
+      double np = primary_of(nm, metric);
+      auto& ts = state[e.to];
+      if (ts.settled) continue;
+      if (np < ts.primary) {
+        ts.primary = np;
+        ts.metrics = nm;
+        queue.push({np, secondary_of(nm, metric), e.to});
+      }
+    }
+  }
+
+  for (const auto& [node, ns] : state) {
+    if (ns.settled) best.emplace(node, ns.metrics);
+  }
+  return best;
+}
+
+std::vector<GraphPath> Graph::k_shortest_paths(NodeKey src, NodeKey dst, std::size_t k,
+                                               Metric metric,
+                                               const PathConstraints& constraints) const {
+  std::vector<GraphPath> result;
+  if (k == 0) return result;
+  PathConstraints bw_only{.min_bandwidth_kbps = constraints.min_bandwidth_kbps};
+  auto first = dijkstra(src, dst, metric, bw_only, {}, {});
+  if (!first.ok()) return result;
+  result.push_back(std::move(first).value());
+
+  auto path_less = [metric](const GraphPath& a, const GraphPath& b) {
+    if (a.cost(metric) != b.cost(metric)) return a.cost(metric) < b.cost(metric);
+    return a.edges < b.edges;
+  };
+  std::vector<GraphPath> candidates;
+
+  while (result.size() < k) {
+    const GraphPath& prev = result.back();
+    // Spur from every node of the previous path (Yen).
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      NodeKey spur_node = prev.nodes[i];
+      std::unordered_set<EdgeKey> banned_edges;
+      std::unordered_set<NodeKey> banned_nodes;
+      // Ban edges that would recreate an already-found path sharing this root.
+      for (const GraphPath& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(p.nodes.begin(), p.nodes.begin() + static_cast<long>(i) + 1,
+                       prev.nodes.begin())) {
+          if (p.edges.size() > i) banned_edges.insert(p.edges[i]);
+        }
+      }
+      // Ban root-path nodes (loop-free paths).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes.insert(prev.nodes[j]);
+
+      auto spur = dijkstra(spur_node, dst, metric, bw_only, banned_nodes, banned_edges);
+      if (!spur.ok()) continue;
+
+      GraphPath total;
+      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i));
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + static_cast<long>(i));
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(), spur->nodes.end());
+      total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
+      total.metrics = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
+      for (EdgeKey ek : total.edges) total.metrics = total.metrics.then(edges_.at(ek).metrics);
+
+      bool duplicate =
+          std::any_of(result.begin(), result.end(),
+                      [&](const GraphPath& p) { return p.edges == total.edges; }) ||
+          std::any_of(candidates.begin(), candidates.end(),
+                      [&](const GraphPath& p) { return p.edges == total.edges; });
+      if (!duplicate) candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(), path_less);
+    result.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+
+  // Apply latency/hop constraints at the end so near-optimal alternates
+  // remain available to constrained callers.
+  if (constraints.max_latency_us || constraints.max_hops) {
+    std::erase_if(result, [&](const GraphPath& p) {
+      return !constraints.satisfied_by(p.metrics);
+    });
+  }
+  return result;
+}
+
+bool Graph::connected_from(NodeKey src) const {
+  if (!has_node(src)) return adjacency_.empty();
+  std::unordered_set<NodeKey> seen{src};
+  std::vector<NodeKey> stack{src};
+  while (!stack.empty()) {
+    NodeKey node = stack.back();
+    stack.pop_back();
+    auto adj = adjacency_.find(node);
+    if (adj == adjacency_.end()) continue;
+    for (EdgeKey ek : adj->second) {
+      const GraphEdge& e = edges_.at(ek);
+      if (e.up && seen.insert(e.to).second) stack.push_back(e.to);
+    }
+  }
+  return seen.size() == adjacency_.size();
+}
+
+}  // namespace softmow

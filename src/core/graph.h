@@ -1,0 +1,132 @@
+// Multi-metric weighted directed graph used for every topology in SoftMoW:
+// physical data planes, logical (G-switch) data planes, vFabrics, and
+// handover graphs all reduce to this structure.
+//
+// Edges carry the three vFabric metrics of paper §3.2 — latency, hop count,
+// and available bandwidth. Hop count is a double because a single logical
+// edge (a vFabric port pair) may summarize a multi-hop physical segment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/result.h"
+
+namespace softmow {
+
+using NodeKey = std::uint64_t;
+using EdgeKey = std::uint64_t;
+
+/// The three per-edge metrics exposed in a G-switch virtual fabric (§3.2).
+struct EdgeMetrics {
+  double latency_us = 0.0;
+  double hop_count = 1.0;
+  double bandwidth_kbps = std::numeric_limits<double>::infinity();
+
+  /// Series composition of two path segments.
+  [[nodiscard]] EdgeMetrics then(const EdgeMetrics& next) const {
+    return EdgeMetrics{latency_us + next.latency_us, hop_count + next.hop_count,
+                       bandwidth_kbps < next.bandwidth_kbps ? bandwidth_kbps
+                                                            : next.bandwidth_kbps};
+  }
+};
+
+/// Which metric a shortest-path computation minimizes.
+enum class Metric { kLatency, kHops };
+
+/// QoS constraints attached to a routing request (§4.2).
+struct PathConstraints {
+  std::optional<double> max_latency_us;
+  std::optional<double> max_hops;
+  double min_bandwidth_kbps = 0.0;
+
+  [[nodiscard]] bool satisfied_by(const EdgeMetrics& m) const {
+    if (max_latency_us && m.latency_us > *max_latency_us + 1e-9) return false;
+    if (max_hops && m.hop_count > *max_hops + 1e-9) return false;
+    return m.bandwidth_kbps + 1e-9 >= min_bandwidth_kbps;
+  }
+};
+
+struct GraphEdge {
+  EdgeKey id = 0;
+  NodeKey from = 0;
+  NodeKey to = 0;
+  EdgeMetrics metrics;
+  bool up = true;
+};
+
+/// A computed path: node sequence, edge sequence, and aggregate metrics.
+struct GraphPath {
+  std::vector<NodeKey> nodes;  ///< size = edges.size() + 1 (or empty)
+  std::vector<EdgeKey> edges;
+  EdgeMetrics metrics;         ///< series composition over all edges
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+  [[nodiscard]] double cost(Metric m) const {
+    return m == Metric::kLatency ? metrics.latency_us : metrics.hop_count;
+  }
+};
+
+/// Directed multigraph with stable edge IDs and O(1) node/edge lookup.
+class Graph {
+ public:
+  /// Adds `node` if absent; idempotent.
+  void add_node(NodeKey node);
+  [[nodiscard]] bool has_node(NodeKey node) const;
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::vector<NodeKey> nodes() const;
+
+  /// Adds a directed edge and returns its key.
+  EdgeKey add_edge(NodeKey from, NodeKey to, EdgeMetrics metrics);
+  /// Adds `from -> to` and `to -> from` with identical metrics; returns both keys.
+  std::pair<EdgeKey, EdgeKey> add_bidirectional(NodeKey a, NodeKey b, EdgeMetrics metrics);
+
+  void remove_edge(EdgeKey edge);
+  void remove_node(NodeKey node);  ///< removes the node and all incident edges
+
+  /// Marks an edge usable / unusable without forgetting it (link failure, §6).
+  Result<void> set_edge_up(EdgeKey edge, bool up);
+  Result<void> set_edge_metrics(EdgeKey edge, EdgeMetrics metrics);
+
+  [[nodiscard]] const GraphEdge* edge(EdgeKey edge) const;
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] std::vector<const GraphEdge*> out_edges(NodeKey node) const;
+  [[nodiscard]] std::vector<const GraphEdge*> all_edges() const;
+
+  /// Single-metric Dijkstra restricted to up-edges meeting the bandwidth floor.
+  /// Ties on the primary metric are broken by the secondary metric, so e.g.
+  /// the min-latency path is also the min-hop path among min-latency paths.
+  [[nodiscard]] Result<GraphPath> shortest_path(
+      NodeKey src, NodeKey dst, Metric metric,
+      const PathConstraints& constraints = {}) const;
+
+  /// Shortest-path tree from `src`: returns per-node best metrics (for
+  /// vFabric computation, which needs all border-port pairs at once).
+  [[nodiscard]] std::unordered_map<NodeKey, EdgeMetrics> shortest_tree(
+      NodeKey src, Metric metric, double min_bandwidth_kbps = 0.0) const;
+
+  /// Yen's algorithm: up to k loop-free shortest paths, best first (§3.2
+  /// "multiple shortest paths for each port pair").
+  [[nodiscard]] std::vector<GraphPath> k_shortest_paths(
+      NodeKey src, NodeKey dst, std::size_t k, Metric metric,
+      const PathConstraints& constraints = {}) const;
+
+  /// True iff every node is reachable from `src` over up-edges.
+  [[nodiscard]] bool connected_from(NodeKey src) const;
+
+ private:
+  [[nodiscard]] Result<GraphPath> dijkstra(
+      NodeKey src, NodeKey dst, Metric metric, const PathConstraints& constraints,
+      const std::unordered_set<NodeKey>& banned_nodes,
+      const std::unordered_set<EdgeKey>& banned_edges) const;
+
+  std::unordered_map<NodeKey, std::vector<EdgeKey>> adjacency_;
+  std::unordered_map<EdgeKey, GraphEdge> edges_;
+  EdgeKey next_edge_ = 1;
+};
+
+}  // namespace softmow

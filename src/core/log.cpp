@@ -1,0 +1,32 @@
+#include "core/log.h"
+
+#include <atomic>
+
+namespace softmow {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  std::clog << "[" << level_name(level) << "][" << component << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace softmow

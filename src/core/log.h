@@ -1,0 +1,51 @@
+// Tiny leveled logger. Most of the codebase runs inside tight simulation
+// loops, so logging defaults to kWarn and formatting cost is avoided when a
+// level is disabled.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace softmow {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log threshold.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+}
+
+/// Streams a log line when `level` is enabled:
+///   SOFTMOW_LOG(LogLevel::kInfo, "nos") << "discovered " << n << " links";
+#define SOFTMOW_LOG(level, component)                                       \
+  for (bool softmow_log_once = (level) >= ::softmow::log_level();           \
+       softmow_log_once; softmow_log_once = false)                          \
+  ::softmow::detail::LogStream(level, component)
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace softmow

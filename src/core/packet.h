@@ -1,0 +1,71 @@
+// Data-plane packet model.
+//
+// SoftMoW's headline data-plane mechanism is recursive label swapping
+// (paper §4.3): flows are aggregated onto label-switched path segments, and
+// the invariant is that a packet on any *physical* link carries at most one
+// label. The strawman it is compared against — label stacking — carries up
+// to `level` labels. Packets therefore model an explicit label stack plus a
+// per-hop trace so tests and benches can audit both schemes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace softmow {
+
+/// An MPLS-like label. `owner_level` records which hierarchy level assigned
+/// it (1 = leaf, higher = ancestor); it exists purely for auditing and is not
+/// matched on by switches.
+struct Label {
+  std::uint32_t value = 0;
+  std::uint8_t owner_level = 0;
+
+  friend constexpr auto operator<=>(const Label&, const Label&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Label& l) {
+    return os << "L" << l.value << "@" << static_cast<int>(l.owner_level);
+  }
+};
+
+/// Bytes added per label on the wire (MPLS shim header size, §4.3 overhead).
+inline constexpr std::uint32_t kLabelHeaderBytes = 4;
+
+struct Packet {
+  UeId ue;                  ///< originating subscriber (invalid for downlink)
+  BsId origin_bs;           ///< base station the packet entered through
+  PrefixId dst_prefix;      ///< Internet destination prefix
+  std::uint32_t payload_bytes = 1400;
+  std::uint32_t version = 0;  ///< consistent-update version (§6)
+
+  /// Label stack; back() is the top (outermost) label.
+  std::vector<Label> labels;
+
+  /// One record per switch traversal, appended by the data plane. Used by
+  /// tests to verify the single-label invariant and by benches to measure
+  /// header overhead.
+  struct HopRecord {
+    SwitchId sw;
+    PortId in_port;
+    PortId out_port;
+    std::size_t label_depth_on_entry = 0;
+  };
+  std::vector<HopRecord> trace;
+
+  [[nodiscard]] std::size_t label_depth() const { return labels.size(); }
+  [[nodiscard]] std::uint32_t header_bytes() const {
+    return static_cast<std::uint32_t>(labels.size()) * kLabelHeaderBytes;
+  }
+  [[nodiscard]] std::uint32_t wire_bytes() const { return payload_bytes + header_bytes(); }
+
+  /// Largest label depth seen at any hop (stacking overhead metric).
+  [[nodiscard]] std::size_t max_depth_seen() const {
+    std::size_t depth = labels.size();
+    for (const HopRecord& h : trace)
+      if (h.label_depth_on_entry > depth) depth = h.label_depth_on_entry;
+    return depth;
+  }
+};
+
+}  // namespace softmow

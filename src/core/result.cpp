@@ -1,0 +1,20 @@
+#include "core/result.h"
+
+namespace softmow {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:         return "unknown";
+    case ErrorCode::kNotFound:        return "not-found";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kUnsatisfiable:   return "unsatisfiable";
+    case ErrorCode::kConflict:        return "conflict";
+    case ErrorCode::kUnavailable:     return "unavailable";
+    case ErrorCode::kExhausted:       return "exhausted";
+    case ErrorCode::kDelegated:       return "delegated";
+    case ErrorCode::kPermission:      return "permission";
+  }
+  return "?";
+}
+
+}  // namespace softmow

@@ -1,0 +1,91 @@
+// Minimal expected-style error handling (C++20 has no std::expected yet).
+//
+// Functions that can fail return Result<T>; callers either check ok() or use
+// value_or / map. Errors carry a code and a human-readable message.
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace softmow {
+
+enum class ErrorCode {
+  kUnknown,
+  kNotFound,        ///< entity / route / path does not exist
+  kInvalidArgument, ///< malformed request
+  kUnsatisfiable,   ///< constraints cannot be met (e.g. no path within QoS)
+  kConflict,        ///< duplicate / inconsistent state
+  kUnavailable,     ///< device or controller down
+  kExhausted,       ///< resource pool empty (labels, capacity)
+  kDelegated,       ///< request forwarded to the parent controller
+  kPermission,      ///< caller lacks the required controller role
+};
+
+const char* to_string(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+
+  friend std::ostream& operator<<(std::ostream& os, const Error& e) {
+    return os << to_string(e.code) << ": " << e.message;
+  }
+};
+
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message) : v_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& { assert(ok()); return std::get<T>(v_); }
+  [[nodiscard]] T& value() & { assert(ok()); return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { assert(ok()); return std::get<T>(std::move(v_)); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const Error& error() const { assert(!ok()); return std::get<Error>(v_); }
+  [[nodiscard]] ErrorCode code() const {
+    return ok() ? ErrorCode::kUnknown : error().code;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void>: success carries no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : v_(std::monostate{}) {}
+  Result(Error error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message) : v_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<std::monostate>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const { assert(!ok()); return std::get<Error>(v_); }
+  [[nodiscard]] ErrorCode code() const {
+    return ok() ? ErrorCode::kUnknown : error().code;
+  }
+
+ private:
+  std::variant<std::monostate, Error> v_;
+};
+
+inline Result<void> Ok() { return {}; }
+
+}  // namespace softmow

@@ -1,0 +1,70 @@
+// Descriptive statistics and table/CDF printers shared by the benchmark
+// harness. Every figure in the paper is a distribution (box stats, CDF, or a
+// time series), so the benches funnel samples through these helpers and
+// print uniform, diff-able rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace softmow {
+
+/// Accumulates samples; computes order statistics on demand.
+class SampleSet {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Empirical CDF evaluated at `x`: P[X <= x].
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// (value, cumulative fraction) pairs at `points` evenly spaced quantiles —
+  /// the series a CDF figure plots.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(std::size_t points = 20) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width text table with a header row; prints markdown-ish rows so
+/// bench output can be pasted straight into EXPERIMENTS.md.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string str() const;
+  void print() const;  ///< writes to stdout
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Summary line used by box-plot style figures (Fig. 8).
+struct BoxStats {
+  double min, p25, median, p75, max, mean;
+};
+BoxStats box_stats(const SampleSet& s);
+
+}  // namespace softmow

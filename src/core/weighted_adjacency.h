@@ -1,0 +1,100 @@
+// Undirected weighted adjacency — the "handover graph" structure used at
+// every granularity in SoftMoW: base-station level (trace), BS-group level
+// (leaf controllers), and G-BS level (ancestor controllers, §5.3.1).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace softmow {
+
+template <class IdT>
+class WeightedAdjacency {
+ public:
+  using Edge = std::pair<std::pair<IdT, IdT>, double>;
+
+  void add_node(IdT node) { nodes_.insert(node); }
+
+  /// Accumulates `weight` onto the undirected edge {a, b}.
+  void add(IdT a, IdT b, double weight) {
+    if (a == b) return;
+    nodes_.insert(a);
+    nodes_.insert(b);
+    edges_[ordered(a, b)] += weight;
+  }
+
+  void set(IdT a, IdT b, double weight) {
+    if (a == b) return;
+    nodes_.insert(a);
+    nodes_.insert(b);
+    edges_[ordered(a, b)] = weight;
+  }
+
+  void remove_edge(IdT a, IdT b) { edges_.erase(ordered(a, b)); }
+
+  void remove_node(IdT node) {
+    nodes_.erase(node);
+    std::erase_if(edges_, [&](const auto& kv) {
+      return kv.first.first == node || kv.first.second == node;
+    });
+  }
+
+  [[nodiscard]] double weight(IdT a, IdT b) const {
+    auto it = edges_.find(ordered(a, b));
+    return it == edges_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::set<IdT>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] std::vector<Edge> edges() const {
+    return std::vector<Edge>(edges_.begin(), edges_.end());
+  }
+
+  [[nodiscard]] std::vector<std::pair<IdT, double>> neighbors(IdT node) const {
+    std::vector<std::pair<IdT, double>> out;
+    for (const auto& [key, w] : edges_) {
+      if (key.first == node) out.emplace_back(key.second, w);
+      else if (key.second == node) out.emplace_back(key.first, w);
+    }
+    return out;
+  }
+
+  /// Sum of weights of edges incident to `node`.
+  [[nodiscard]] double degree_weight(IdT node) const {
+    double total = 0;
+    for (const auto& [n, w] : neighbors(node)) total += w;
+    return total;
+  }
+
+  [[nodiscard]] double total_weight() const {
+    double total = 0;
+    for (const auto& [key, w] : edges_) total += w;
+    return total;
+  }
+
+  void clear() {
+    nodes_.clear();
+    edges_.clear();
+  }
+
+  /// Merges another graph into this one (weight accumulation) — used when an
+  /// ancestor aggregates child handover histories (§5.3.1).
+  void merge(const WeightedAdjacency& other) {
+    for (IdT n : other.nodes_) nodes_.insert(n);
+    for (const auto& [key, w] : other.edges_) edges_[key] += w;
+  }
+
+ private:
+  static std::pair<IdT, IdT> ordered(IdT a, IdT b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::set<IdT> nodes_;
+  std::map<std::pair<IdT, IdT>, double> edges_;
+};
+
+}  // namespace softmow

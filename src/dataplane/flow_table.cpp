@@ -1,0 +1,118 @@
+#include "dataplane/flow_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace softmow::dataplane {
+
+bool Match::matches(const Packet& pkt, PortId arrival_port, BsGroupId origin_group) const {
+  if (in_port && *in_port != arrival_port) return false;
+  if (label) {
+    if (pkt.labels.empty() || pkt.labels.back().value != *label) return false;
+  }
+  if (ue && pkt.ue != *ue) return false;
+  if (bs_group && origin_group != *bs_group) return false;
+  if (dst_prefix && pkt.dst_prefix != *dst_prefix) return false;
+  if (version && pkt.version != *version) return false;
+  return true;
+}
+
+int Match::specificity() const {
+  int n = 0;
+  if (in_port) ++n;
+  if (label) ++n;
+  if (ue) ++n;
+  if (bs_group) ++n;
+  if (dst_prefix) ++n;
+  if (version) ++n;
+  return n;
+}
+
+std::string Match::str() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto sep = [&] { if (!first) os << ","; first = false; };
+  if (in_port) { sep(); os << "in=" << *in_port; }
+  if (label) { sep(); os << "label=" << *label; }
+  if (ue) { sep(); os << "ue=" << *ue; }
+  if (bs_group) { sep(); os << "grp=" << *bs_group; }
+  if (dst_prefix) { sep(); os << "dst=" << *dst_prefix; }
+  if (version) { sep(); os << "ver=" << *version; }
+  os << "}";
+  return os.str();
+}
+
+Action push_label(Label l) { return Action{ActionType::kPushLabel, l, {}, 0}; }
+Action pop_label() { return Action{ActionType::kPopLabel, {}, {}, 0}; }
+Action swap_label(Label l) { return Action{ActionType::kSwapLabel, l, {}, 0}; }
+Action output(PortId port) { return Action{ActionType::kOutput, {}, port, 0}; }
+Action to_controller() { return Action{ActionType::kToController, {}, {}, 0}; }
+Action set_version(std::uint32_t version) { return Action{ActionType::kSetVersion, {}, {}, version}; }
+Action drop() { return Action{ActionType::kDrop, {}, {}, 0}; }
+
+std::string Action::str() const {
+  std::ostringstream os;
+  switch (type) {
+    case ActionType::kPushLabel: os << "push(" << label << ")"; break;
+    case ActionType::kPopLabel: os << "pop"; break;
+    case ActionType::kSwapLabel: os << "swap(" << label << ")"; break;
+    case ActionType::kOutput: os << "out(" << port << ")"; break;
+    case ActionType::kToController: os << "to-ctrl"; break;
+    case ActionType::kSetVersion: os << "set-ver(" << version << ")"; break;
+    case ActionType::kDrop: os << "drop"; break;
+  }
+  return os.str();
+}
+
+std::string FlowRule::str() const {
+  std::ostringstream os;
+  os << "rule[cookie=" << cookie << ",prio=" << priority << "] " << match.str() << " -> ";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i) os << ";";
+    os << actions[i].str();
+  }
+  return os.str();
+}
+
+void FlowTable::install(FlowRule rule) {
+  remove_by_cookie(rule.cookie);
+  rules_.push_back(std::move(rule));
+  sort_rules();
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  std::size_t before = rules_.size();
+  std::erase_if(rules_, [cookie](const FlowRule& r) { return r.cookie == cookie; });
+  return before - rules_.size();
+}
+
+std::size_t FlowTable::remove_by_match(const Match& match) {
+  std::size_t before = rules_.size();
+  std::erase_if(rules_, [&match](const FlowRule& r) { return r.match == match; });
+  return before - rules_.size();
+}
+
+void FlowTable::clear() { rules_.clear(); }
+
+void FlowTable::sort_rules() {
+  std::stable_sort(rules_.begin(), rules_.end(), [](const FlowRule& a, const FlowRule& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    int sa = a.match.specificity(), sb = b.match.specificity();
+    if (sa != sb) return sa > sb;
+    return a.cookie < b.cookie;
+  });
+}
+
+FlowRule* FlowTable::lookup(const Packet& pkt, PortId arrival_port, BsGroupId origin_group) {
+  for (FlowRule& r : rules_) {
+    if (r.match.matches(pkt, arrival_port, origin_group)) {
+      ++r.packet_count;
+      r.byte_count += pkt.wire_bytes();
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace softmow::dataplane

@@ -1,0 +1,105 @@
+// OpenFlow-style match/action flow tables.
+//
+// SoftMoW needs only a narrow rule language (paper §4.3): access switches
+// classify packets on fine-grained fields (UE, destination prefix) and push
+// a label; transit switches match on the single top label (plus optionally
+// the in-port) and forward; border switches pop/push labels. Rules carry a
+// version number for the consistent-update scheme of §6.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/packet.h"
+#include "core/result.h"
+
+namespace softmow::dataplane {
+
+struct Match {
+  std::optional<PortId> in_port;
+  std::optional<std::uint32_t> label;      ///< matches the packet's top label
+  std::optional<UeId> ue;                  ///< fine-grained classification
+  std::optional<BsGroupId> bs_group;       ///< classification by origin group
+  std::optional<PrefixId> dst_prefix;
+  std::optional<std::uint32_t> version;    ///< consistent updates (§6)
+
+  [[nodiscard]] bool matches(const Packet& pkt, PortId arrival_port,
+                             BsGroupId origin_group) const;
+
+  /// Number of fields constrained; used to break priority ties so the most
+  /// specific rule wins deterministically.
+  [[nodiscard]] int specificity() const;
+
+  friend bool operator==(const Match&, const Match&) = default;
+  [[nodiscard]] std::string str() const;
+};
+
+enum class ActionType : std::uint8_t {
+  kPushLabel,   ///< push `label` onto the stack
+  kPopLabel,    ///< pop the top label (no-op match guard should prevent underflow)
+  kSwapLabel,   ///< replace the top label with `label`
+  kOutput,      ///< emit on `port`
+  kToController,///< punt to the controller (Packet-In)
+  kSetVersion,  ///< stamp the packet's consistency version
+  kDrop,
+};
+
+struct Action {
+  ActionType type;
+  Label label{};      ///< for push/swap
+  PortId port{};      ///< for output
+  std::uint32_t version = 0;  ///< for set-version
+
+  [[nodiscard]] std::string str() const;
+};
+
+Action push_label(Label l);
+Action pop_label();
+Action swap_label(Label l);
+Action output(PortId port);
+Action to_controller();
+Action set_version(std::uint32_t version);
+Action drop();
+
+struct FlowRule {
+  std::uint64_t cookie = 0;   ///< installer-chosen identifier
+  int priority = 0;           ///< higher wins
+  Match match;
+  std::vector<Action> actions;
+
+  // Counters maintained by the switch.
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Priority-ordered rule table with exact-duplicate rejection.
+class FlowTable {
+ public:
+  /// Installs a rule. Replaces an existing rule with the same cookie.
+  void install(FlowRule rule);
+  /// Removes all rules with this cookie; returns how many were removed.
+  std::size_t remove_by_cookie(std::uint64_t cookie);
+  /// Removes rules whose match equals `match` exactly.
+  std::size_t remove_by_match(const Match& match);
+  void clear();
+
+  /// Highest-priority matching rule (ties: higher specificity, then lower
+  /// cookie). Returns nullptr on table miss. Increments rule counters.
+  FlowRule* lookup(const Packet& pkt, PortId arrival_port,
+                   BsGroupId origin_group = BsGroupId{});
+
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] const std::vector<FlowRule>& rules() const { return rules_; }
+
+ private:
+  void sort_rules();
+  std::vector<FlowRule> rules_;  ///< kept sorted by (priority desc, specificity desc, cookie)
+};
+
+}  // namespace softmow::dataplane

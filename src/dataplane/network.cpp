@@ -1,0 +1,394 @@
+#include "dataplane/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.h"
+
+namespace softmow::dataplane {
+
+double distance(GeoPoint p, GeoPoint q) {
+  double dx = p.x - q.x, dy = p.y - q.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+const char* to_string(BsGroupTopology t) {
+  switch (t) {
+    case BsGroupTopology::kRing: return "ring";
+    case BsGroupTopology::kMesh: return "mesh";
+    case BsGroupTopology::kSpokeHub: return "spoke-hub";
+  }
+  return "?";
+}
+
+const char* to_string(MiddleboxType t) {
+  switch (t) {
+    case MiddleboxType::kFirewall: return "firewall";
+    case MiddleboxType::kIds: return "ids";
+    case MiddleboxType::kLightweightDpi: return "dpi";
+    case MiddleboxType::kVideoTranscoder: return "transcoder";
+    case MiddleboxType::kNoiseCancellation: return "noise-cancel";
+    case MiddleboxType::kChargingBilling: return "charging";
+    case MiddleboxType::kNat: return "nat";
+    case MiddleboxType::kRateLimiter: return "rate-limiter";
+  }
+  return "?";
+}
+
+SwitchId PhysicalNetwork::add_switch(GeoPoint location) {
+  SwitchId id = switch_ids_.allocate();
+  switches_.emplace(id, std::make_unique<Switch>(id));
+  locations_[id] = location;
+  access_flag_[id] = false;
+  return id;
+}
+
+Endpoint PhysicalNetwork::attach_port(SwitchId sw_id, PeerKind kind) {
+  Switch* s = sw(sw_id);
+  PortId p = s->add_port(kind);
+  return Endpoint{sw_id, p};
+}
+
+LinkId PhysicalNetwork::connect(SwitchId a, SwitchId b, sim::Duration latency,
+                                double bandwidth_kbps) {
+  Endpoint ea = attach_port(a, PeerKind::kSwitch);
+  Endpoint eb = attach_port(b, PeerKind::kSwitch);
+  LinkId id = link_ids_.allocate();
+  links_.emplace(id, Link{id, ea, eb, latency, bandwidth_kbps, 0.0, true});
+  link_by_endpoint_[ea] = id;
+  link_by_endpoint_[eb] = id;
+  sw(a)->port(ea.port)->link = id;
+  sw(b)->port(eb.port)->link = id;
+  return id;
+}
+
+EgressId PhysicalNetwork::add_egress(SwitchId sw_id, GeoPoint location, std::string peer_name) {
+  Endpoint e = attach_port(sw_id, PeerKind::kExternal);
+  EgressId id = egress_ids_.allocate();
+  sw(sw_id)->port(e.port)->egress = id;
+  if (peer_name.empty()) peer_name = "peer-" + std::to_string(id.value);
+  egresses_.emplace(id, EgressPoint{id, e, location, std::move(peer_name)});
+  return id;
+}
+
+BsGroupId PhysicalNetwork::add_bs_group(SwitchId core_sw, BsGroupTopology topology,
+                                        GeoPoint centroid) {
+  BsGroupId gid = group_ids_.allocate();
+  SwitchId access = add_switch(centroid);
+  access_flag_[access] = true;
+  // Radio-side port first so uplink packets enter at port 1.
+  Endpoint radio = attach_port(access, PeerKind::kBsGroup);
+  sw(access)->port(radio.port)->bs_group = gid;
+  LinkId uplink = connect(access, core_sw, sim::Duration::millis(1), 1e6);
+  Endpoint core_attach = links_.at(uplink).b;  // the core switch's end
+
+  BsGroup g;
+  g.id = gid;
+  g.topology = topology;
+  g.access_switch = access;
+  g.core_attach = core_attach;
+  g.centroid = centroid;
+  groups_.emplace(gid, std::move(g));
+  return gid;
+}
+
+BsId PhysicalNetwork::add_base_station(BsGroupId group, GeoPoint location) {
+  BsId id = bs_ids_.allocate();
+  stations_.emplace(id, BaseStation{id, group, location, 1.0});
+  groups_.at(group).members.push_back(id);
+  return id;
+}
+
+MiddleboxId PhysicalNetwork::add_middlebox(SwitchId sw_id, MiddleboxType type,
+                                           double capacity_kbps) {
+  Endpoint e = attach_port(sw_id, PeerKind::kMiddlebox);
+  MiddleboxId id = middlebox_ids_.allocate();
+  sw(sw_id)->port(e.port)->middlebox = id;
+  middleboxes_.emplace(id, Middlebox{id, type, capacity_kbps, 0.0, e, 0});
+  return id;
+}
+
+Result<void> PhysicalNetwork::rehome_bs_group(BsGroupId group, SwitchId new_core_sw) {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return {ErrorCode::kNotFound, "no such BS group"};
+  if (sw(new_core_sw) == nullptr) return {ErrorCode::kNotFound, "no such switch"};
+  BsGroup& g = git->second;
+
+  // Tear down the old access uplink.
+  const Link* old = link_at(g.core_attach);
+  if (old != nullptr) {
+    LinkId old_id = old->id;
+    link_by_endpoint_.erase(old->a);
+    link_by_endpoint_.erase(old->b);
+    links_.erase(old_id);
+  }
+  LinkId uplink = connect(g.access_switch, new_core_sw, sim::Duration::millis(1), 1e6);
+  g.core_attach = links_.at(uplink).b;
+  return Ok();
+}
+
+Switch* PhysicalNetwork::sw(SwitchId id) {
+  auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : it->second.get();
+}
+
+const Switch* PhysicalNetwork::sw(SwitchId id) const {
+  auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : it->second.get();
+}
+
+bool PhysicalNetwork::is_access_switch(SwitchId id) const {
+  auto it = access_flag_.find(id);
+  return it != access_flag_.end() && it->second;
+}
+
+std::vector<SwitchId> PhysicalNetwork::core_switches() const {
+  std::vector<SwitchId> out;
+  for (const auto& [id, s] : switches_) {
+    if (!is_access_switch(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<SwitchId> PhysicalNetwork::all_switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(switches_.size());
+  for (const auto& [id, s] : switches_) out.push_back(id);
+  return out;
+}
+
+GeoPoint PhysicalNetwork::switch_location(SwitchId id) const {
+  auto it = locations_.find(id);
+  return it == locations_.end() ? GeoPoint{} : it->second;
+}
+
+Link* PhysicalNetwork::link(LinkId id) {
+  auto it = links_.find(id);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const Link* PhysicalNetwork::link(LinkId id) const {
+  auto it = links_.find(id);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+std::vector<LinkId> PhysicalNetwork::links() const {
+  std::vector<LinkId> out;
+  out.reserve(links_.size());
+  for (const auto& [id, l] : links_) out.push_back(id);
+  return out;
+}
+
+const Link* PhysicalNetwork::link_at(Endpoint e) const {
+  auto it = link_by_endpoint_.find(e);
+  if (it == link_by_endpoint_.end()) return nullptr;
+  return link(it->second);
+}
+
+std::optional<Endpoint> PhysicalNetwork::peer_of(Endpoint e) const {
+  const Link* l = link_at(e);
+  if (l == nullptr || !l->up) return std::nullopt;
+  return l->other(e);
+}
+
+Result<void> PhysicalNetwork::set_link_up(LinkId id, bool up) {
+  Link* l = link(id);
+  if (l == nullptr) return {ErrorCode::kNotFound, "no such link"};
+  bool changed = l->up != up;
+  l->up = up;
+  auto set_port = [&](Endpoint e) {
+    if (Switch* s = sw(e.sw)) {
+      if (Port* p = s->port(e.port)) p->up = up;
+    }
+  };
+  set_port(l->a);
+  set_port(l->b);
+  if (changed && link_observer_) link_observer_(*l, up);
+  return Ok();
+}
+
+const BsGroup* PhysicalNetwork::bs_group(BsGroupId id) const {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+BsGroup* PhysicalNetwork::bs_group(BsGroupId id) {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<BsGroupId> PhysicalNetwork::bs_groups() const {
+  std::vector<BsGroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& [id, g] : groups_) out.push_back(id);
+  return out;
+}
+
+const BaseStation* PhysicalNetwork::base_station(BsId id) const {
+  auto it = stations_.find(id);
+  return it == stations_.end() ? nullptr : &it->second;
+}
+
+std::vector<BsId> PhysicalNetwork::base_stations() const {
+  std::vector<BsId> out;
+  out.reserve(stations_.size());
+  for (const auto& [id, s] : stations_) out.push_back(id);
+  return out;
+}
+
+Middlebox* PhysicalNetwork::middlebox(MiddleboxId id) {
+  auto it = middleboxes_.find(id);
+  return it == middleboxes_.end() ? nullptr : &it->second;
+}
+
+const Middlebox* PhysicalNetwork::middlebox(MiddleboxId id) const {
+  auto it = middleboxes_.find(id);
+  return it == middleboxes_.end() ? nullptr : &it->second;
+}
+
+std::vector<MiddleboxId> PhysicalNetwork::middleboxes() const {
+  std::vector<MiddleboxId> out;
+  out.reserve(middleboxes_.size());
+  for (const auto& [id, m] : middleboxes_) out.push_back(id);
+  return out;
+}
+
+const EgressPoint* PhysicalNetwork::egress(EgressId id) const {
+  auto it = egresses_.find(id);
+  return it == egresses_.end() ? nullptr : &it->second;
+}
+
+std::vector<EgressId> PhysicalNetwork::egress_points() const {
+  std::vector<EgressId> out;
+  out.reserve(egresses_.size());
+  for (const auto& [id, e] : egresses_) out.push_back(id);
+  return out;
+}
+
+Result<void> PhysicalNetwork::reserve_bandwidth(LinkId id, double kbps) {
+  Link* l = link(id);
+  if (l == nullptr) return {ErrorCode::kNotFound, "no such link"};
+  if (l->available_kbps() + 1e-9 < kbps)
+    return {ErrorCode::kExhausted, "insufficient bandwidth on " + std::to_string(id.value)};
+  l->reserved_kbps += kbps;
+  return Ok();
+}
+
+Result<void> PhysicalNetwork::release_bandwidth(LinkId id, double kbps) {
+  Link* l = link(id);
+  if (l == nullptr) return {ErrorCode::kNotFound, "no such link"};
+  l->reserved_kbps = std::max(0.0, l->reserved_kbps - kbps);
+  return Ok();
+}
+
+DeliveryReport PhysicalNetwork::inject_uplink(Packet pkt, BsId origin) {
+  DeliveryReport fail;
+  const BaseStation* bs = base_station(origin);
+  if (bs == nullptr) return fail;
+  const BsGroup* g = bs_group(bs->group);
+  if (g == nullptr) return fail;
+  pkt.origin_bs = origin;
+  // The radio port of the access switch is always port 1 (created first).
+  return inject_at(std::move(pkt), Endpoint{g->access_switch, PortId{1}}, g->id);
+}
+
+DeliveryReport PhysicalNetwork::inject_at(Packet pkt, Endpoint entry, BsGroupId origin_group) {
+  DeliveryReport report;
+  Endpoint at = entry;
+
+  for (std::size_t hop = 0; hop < kHopGuard; ++hop) {
+    Switch* s = sw(at.sw);
+    if (s == nullptr) {
+      report.outcome = DeliveryReport::Outcome::kError;
+      break;
+    }
+    report.hops += 1;
+    Forwarding fwd = s->process(pkt, at.port, origin_group);
+
+    if (fwd.kind == Forwarding::Kind::kTableMiss ||
+        fwd.kind == Forwarding::Kind::kToController) {
+      PacketInEvent ev{at.sw, at.port, pkt, fwd.kind == Forwarding::Kind::kTableMiss};
+      report.packet_ins.push_back(std::move(ev));
+      report.outcome = DeliveryReport::Outcome::kToController;
+      break;
+    }
+    if (fwd.kind == Forwarding::Kind::kDrop) {
+      report.outcome = DeliveryReport::Outcome::kDropped;
+      break;
+    }
+    if (fwd.kind == Forwarding::Kind::kError) {
+      report.outcome = DeliveryReport::Outcome::kError;
+      break;
+    }
+
+    // kForward: resolve the out-port's peer.
+    const Port* out = s->port(fwd.out_port);
+    switch (out->peer) {
+      case PeerKind::kExternal:
+        report.outcome = DeliveryReport::Outcome::kExternal;
+        report.egress = out->egress;
+        report.packet = std::move(pkt);
+        report.latency = report.latency;  // external latency added by iPlane model
+        return report;
+      case PeerKind::kBsGroup:
+        report.outcome = DeliveryReport::Outcome::kDeliveredToRan;
+        report.delivered_group = out->bs_group;
+        report.packet = std::move(pkt);
+        return report;
+      case PeerKind::kMiddlebox: {
+        Middlebox* mb = middlebox(out->middlebox);
+        if (mb == nullptr) {
+          report.outcome = DeliveryReport::Outcome::kError;
+          report.packet = std::move(pkt);
+          return report;
+        }
+        ++mb->packets_processed;
+        report.middleboxes_traversed.push_back(mb->id);
+        // Bounce: the packet re-enters the same switch from the middlebox port.
+        at = Endpoint{at.sw, fwd.out_port};
+        continue;
+      }
+      case PeerKind::kSwitch: {
+        auto next = peer_of(Endpoint{at.sw, fwd.out_port});
+        if (!next) {  // link down or unwired
+          report.outcome = DeliveryReport::Outcome::kDropped;
+          report.packet = std::move(pkt);
+          return report;
+        }
+        const Link* l = link_at(Endpoint{at.sw, fwd.out_port});
+        report.latency += l->latency;
+        at = *next;
+        continue;
+      }
+      case PeerKind::kNone:
+        report.outcome = DeliveryReport::Outcome::kError;
+        report.packet = std::move(pkt);
+        return report;
+    }
+  }
+  if (report.hops >= kHopGuard) report.outcome = DeliveryReport::Outcome::kLooped;
+  report.packet = std::move(pkt);
+  return report;
+}
+
+Graph PhysicalNetwork::build_core_graph() const {
+  Graph g;
+  for (const auto& [id, s] : switches_) {
+    if (!is_access_switch(id)) g.add_node(id.value);
+  }
+  for (const auto& [id, l] : links_) {
+    if (!l.up) continue;
+    if (is_access_switch(l.a.sw) || is_access_switch(l.b.sw)) continue;
+    EdgeMetrics m{l.latency.to_micros(), 1.0, l.available_kbps()};
+    g.add_bidirectional(l.a.sw.value, l.b.sw.value, m);
+  }
+  return g;
+}
+
+std::size_t PhysicalNetwork::total_rules() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : switches_) n += s->table().size();
+  return n;
+}
+
+}  // namespace softmow::dataplane

@@ -1,0 +1,158 @@
+// The physical data plane: switches, links, radio access network,
+// middleboxes, and Internet egress points, plus packet forwarding across
+// them. This is the substrate every controller ultimately programs.
+//
+// Structure (paper §2.1):
+//   * a fabric of simple core switches, nation-wide, inter-connected;
+//   * per-BS-group access switches performing fine-grained classification;
+//   * middleboxes hanging off switch ports ("on a stick");
+//   * egress points: switch ports peering with ISPs / content providers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/ids.h"
+#include "core/packet.h"
+#include "core/result.h"
+#include "dataplane/entities.h"
+#include "dataplane/sswitch.h"
+#include "sim/time.h"
+
+namespace softmow::dataplane {
+
+/// A punt of a packet to the control plane.
+struct PacketInEvent {
+  SwitchId sw;
+  PortId in_port;
+  Packet packet;
+  bool table_miss = true;  ///< false when an explicit to-controller action fired
+};
+
+/// The fate of an injected packet.
+struct DeliveryReport {
+  enum class Outcome : std::uint8_t {
+    kExternal,       ///< left the network at an egress point
+    kDeliveredToRan, ///< reached a BS-group port (downlink delivery)
+    kToController,   ///< punted (explicit action or table miss)
+    kDropped,
+    kLooped,         ///< exceeded the hop guard
+    kError,          ///< action error (e.g. pop on empty stack), packet dropped
+  };
+  Outcome outcome = Outcome::kDropped;
+  EgressId egress;               ///< valid for kExternal
+  BsGroupId delivered_group;     ///< valid for kDeliveredToRan
+  std::vector<PacketInEvent> packet_ins;
+  Packet packet;                 ///< final packet state, incl. full trace
+  double hops = 0;               ///< switch traversals (core + access)
+  sim::Duration latency;         ///< sum of traversed link latencies
+  std::vector<MiddleboxId> middleboxes_traversed;
+};
+
+class PhysicalNetwork {
+ public:
+  // --- construction --------------------------------------------------------
+  SwitchId add_switch(GeoPoint location = {});
+  /// Wires a bidirectional link between two new ports of `a` and `b`.
+  LinkId connect(SwitchId a, SwitchId b,
+                 sim::Duration latency = sim::Duration::millis(5),
+                 double bandwidth_kbps = 1e6);
+  /// Flags a new port of `sw` as an Internet egress point.
+  EgressId add_egress(SwitchId sw, GeoPoint location = {}, std::string peer_name = {});
+  /// Creates a BS group with its access switch, wired to a new port of
+  /// `core_sw`. The access switch is excluded from the core switch graph.
+  BsGroupId add_bs_group(SwitchId core_sw, BsGroupTopology topology = BsGroupTopology::kRing,
+                         GeoPoint centroid = {});
+  BsId add_base_station(BsGroupId group, GeoPoint location = {});
+  MiddleboxId add_middlebox(SwitchId sw, MiddleboxType type, double capacity_kbps = 1e6);
+
+  /// Re-homes a BS group's access switch onto a port of a different core
+  /// switch (region reconfiguration, §5.3.2). The old core port is removed.
+  Result<void> rehome_bs_group(BsGroupId group, SwitchId new_core_sw);
+
+  // --- accessors ------------------------------------------------------------
+  [[nodiscard]] Switch* sw(SwitchId id);
+  [[nodiscard]] const Switch* sw(SwitchId id) const;
+  [[nodiscard]] bool is_access_switch(SwitchId id) const;
+  /// Core switches only, sorted by ID.
+  [[nodiscard]] std::vector<SwitchId> core_switches() const;
+  [[nodiscard]] std::vector<SwitchId> all_switches() const;
+  [[nodiscard]] GeoPoint switch_location(SwitchId id) const;
+
+  [[nodiscard]] Link* link(LinkId id);
+  [[nodiscard]] const Link* link(LinkId id) const;
+  [[nodiscard]] std::vector<LinkId> links() const;
+  /// The link incident to `e`, if any.
+  [[nodiscard]] const Link* link_at(Endpoint e) const;
+  /// The far end of the link at `e`.
+  [[nodiscard]] std::optional<Endpoint> peer_of(Endpoint e) const;
+  Result<void> set_link_up(LinkId id, bool up);
+  /// Observer invoked on every link up/down transition (the southbound hub
+  /// registers here to emit PortStatus events, §6).
+  using LinkObserver = std::function<void(const Link&, bool up)>;
+  void set_link_observer(LinkObserver observer) { link_observer_ = std::move(observer); }
+
+  [[nodiscard]] const BsGroup* bs_group(BsGroupId id) const;
+  [[nodiscard]] BsGroup* bs_group(BsGroupId id);
+  [[nodiscard]] std::vector<BsGroupId> bs_groups() const;
+  [[nodiscard]] const BaseStation* base_station(BsId id) const;
+  [[nodiscard]] std::vector<BsId> base_stations() const;
+
+  [[nodiscard]] Middlebox* middlebox(MiddleboxId id);
+  [[nodiscard]] const Middlebox* middlebox(MiddleboxId id) const;
+  [[nodiscard]] std::vector<MiddleboxId> middleboxes() const;
+
+  [[nodiscard]] const EgressPoint* egress(EgressId id) const;
+  [[nodiscard]] std::vector<EgressId> egress_points() const;
+
+  // --- bandwidth reservation (used by path implementation) -----------------
+  Result<void> reserve_bandwidth(LinkId id, double kbps);
+  Result<void> release_bandwidth(LinkId id, double kbps);
+
+  // --- traffic ---------------------------------------------------------------
+  /// Injects an uplink packet at `origin` base station: it enters the radio
+  /// port of the group's access switch.
+  DeliveryReport inject_uplink(Packet pkt, BsId origin);
+  /// Injects a packet arriving at `entry` (switch, port).
+  DeliveryReport inject_at(Packet pkt, Endpoint entry, BsGroupId origin_group = BsGroupId{});
+
+  // --- views -----------------------------------------------------------------
+  /// Core-switch graph: nodes keyed by SwitchId::value, one directed edge per
+  /// link direction carrying {latency_us, 1 hop, available bandwidth}.
+  [[nodiscard]] Graph build_core_graph() const;
+
+  /// Total number of installed flow rules across a set of switches (state
+  /// metric for the label-swapping evaluation).
+  [[nodiscard]] std::size_t total_rules() const;
+
+  static constexpr std::size_t kHopGuard = 4096;
+
+ private:
+  Endpoint attach_port(SwitchId sw_id, PeerKind kind);
+
+  std::map<SwitchId, std::unique_ptr<Switch>> switches_;
+  std::map<SwitchId, GeoPoint> locations_;
+  std::map<SwitchId, bool> access_flag_;
+  std::map<LinkId, Link> links_;
+  std::unordered_map<Endpoint, LinkId> link_by_endpoint_;
+  std::map<BsGroupId, BsGroup> groups_;
+  std::map<BsId, BaseStation> stations_;
+  std::map<MiddleboxId, Middlebox> middleboxes_;
+  std::map<EgressId, EgressPoint> egresses_;
+
+  IdAllocator<SwitchId> switch_ids_;
+  IdAllocator<LinkId> link_ids_;
+  IdAllocator<BsGroupId> group_ids_;
+  IdAllocator<BsId> bs_ids_;
+  IdAllocator<MiddleboxId> middlebox_ids_;
+  IdAllocator<EgressId> egress_ids_;
+  LinkObserver link_observer_;
+};
+
+}  // namespace softmow::dataplane

@@ -1,0 +1,105 @@
+#include "dataplane/sswitch.h"
+
+namespace softmow::dataplane {
+
+PortId Switch::add_port(PeerKind peer) {
+  PortId id{next_port_++};
+  Port p;
+  p.id = id;
+  p.peer = peer;
+  ports_.emplace(id, p);
+  return id;
+}
+
+Port* Switch::port(PortId id) {
+  auto it = ports_.find(id);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+const Port* Switch::port(PortId id) const {
+  auto it = ports_.find(id);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+void Switch::set_controller_role(ControllerId c, ControllerRole role) {
+  if (role == ControllerRole::kMaster) {
+    // At most one master: demote any existing master to slave.
+    for (auto& [other, r] : controllers_) {
+      if (other != c && r == ControllerRole::kMaster) r = ControllerRole::kSlave;
+    }
+  }
+  controllers_[c] = role;
+}
+
+void Switch::remove_controller(ControllerId c) { controllers_.erase(c); }
+
+std::optional<ControllerId> Switch::master() const {
+  for (const auto& [c, role] : controllers_) {
+    if (role == ControllerRole::kMaster) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<ControllerId> Switch::event_receivers() const {
+  std::vector<ControllerId> out;
+  for (const auto& [c, role] : controllers_) {
+    if (role == ControllerRole::kMaster || role == ControllerRole::kEqual) out.push_back(c);
+  }
+  return out;
+}
+
+Forwarding Switch::process(Packet& pkt, PortId arrival_port, BsGroupId origin_group) {
+  ++packets_processed_;
+  pkt.trace.push_back(Packet::HopRecord{id_, arrival_port, PortId{}, pkt.label_depth()});
+
+  FlowRule* rule = table_.lookup(pkt, arrival_port, origin_group);
+  if (rule == nullptr) {
+    ++table_misses_;
+    return Forwarding{Forwarding::Kind::kTableMiss, PortId{}, 0};
+  }
+
+  Forwarding result{Forwarding::Kind::kDrop, PortId{}, rule->cookie};
+  for (const Action& a : rule->actions) {
+    switch (a.type) {
+      case ActionType::kPushLabel:
+        pkt.labels.push_back(a.label);
+        break;
+      case ActionType::kPopLabel:
+        if (pkt.labels.empty()) {
+          ++action_errors_;
+          return Forwarding{Forwarding::Kind::kError, PortId{}, rule->cookie};
+        }
+        pkt.labels.pop_back();
+        break;
+      case ActionType::kSwapLabel:
+        if (pkt.labels.empty()) {
+          ++action_errors_;
+          return Forwarding{Forwarding::Kind::kError, PortId{}, rule->cookie};
+        }
+        pkt.labels.back() = a.label;
+        break;
+      case ActionType::kOutput: {
+        const Port* p = port(a.port);
+        if (p == nullptr || !p->up) {
+          ++action_errors_;
+          return Forwarding{Forwarding::Kind::kError, PortId{}, rule->cookie};
+        }
+        result.kind = Forwarding::Kind::kForward;
+        result.out_port = a.port;
+        break;
+      }
+      case ActionType::kToController:
+        result.kind = Forwarding::Kind::kToController;
+        break;
+      case ActionType::kSetVersion:
+        pkt.version = a.version;
+        break;
+      case ActionType::kDrop:
+        return Forwarding{Forwarding::Kind::kDrop, PortId{}, rule->cookie};
+    }
+  }
+  if (result.kind == Forwarding::Kind::kForward) pkt.trace.back().out_port = result.out_port;
+  return result;
+}
+
+}  // namespace softmow::dataplane

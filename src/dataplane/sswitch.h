@@ -1,0 +1,108 @@
+// A programmable data-plane switch.
+//
+// SoftMoW's fabric consists of "simple core switches" (§1): label-switching
+// devices with a flow table, numbered ports, and one or more controller
+// connections with OpenFlow-style roles. The same class also serves as the
+// per-BS-group access switch that performs fine-grained classification
+// (§2.1) — an access switch is simply a switch whose flow rules match on
+// UE / prefix fields rather than labels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/packet.h"
+#include "core/result.h"
+#include "dataplane/flow_table.h"
+
+namespace softmow::dataplane {
+
+/// What sits on the far side of a port.
+enum class PeerKind : std::uint8_t {
+  kNone,       ///< unwired
+  kSwitch,     ///< internal fabric link
+  kBsGroup,    ///< radio access network attachment
+  kMiddlebox,  ///< middlebox on a stick
+  kExternal,   ///< Internet egress point (ISP / content-provider peering)
+};
+
+struct Port {
+  PortId id;
+  bool up = true;
+  PeerKind peer = PeerKind::kNone;
+  LinkId link;            ///< valid when peer == kSwitch
+  BsGroupId bs_group;     ///< valid when peer == kBsGroup
+  MiddleboxId middlebox;  ///< valid when peer == kMiddlebox
+  EgressId egress;        ///< valid when peer == kExternal
+};
+
+/// OpenFlow controller roles; kEqual is used during region reconfiguration
+/// (§5.3.2, OFPCR_ROLE_EQUAL) so source and target leaf controllers both
+/// receive events while control is handed over.
+enum class ControllerRole : std::uint8_t { kMaster, kEqual, kSlave };
+
+/// The outcome of pushing one packet through a switch.
+struct Forwarding {
+  enum class Kind : std::uint8_t {
+    kForward,       ///< emit on `out_port`
+    kToController,  ///< punt (Packet-In)
+    kDrop,          ///< explicit drop action
+    kTableMiss,     ///< no matching rule (punted to controller by convention)
+    kError,         ///< malformed action sequence (e.g. pop on empty stack)
+  };
+  Kind kind = Kind::kTableMiss;
+  PortId out_port;
+  std::uint64_t rule_cookie = 0;
+};
+
+class Switch {
+ public:
+  explicit Switch(SwitchId id) : id_(id) {}
+
+  [[nodiscard]] SwitchId id() const { return id_; }
+
+  /// Adds the next-numbered port; returns its ID (ports number from 1).
+  PortId add_port(PeerKind peer = PeerKind::kNone);
+  [[nodiscard]] Port* port(PortId id);
+  [[nodiscard]] const Port* port(PortId id) const;
+  [[nodiscard]] const std::map<PortId, Port>& ports() const { return ports_; }
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+
+  FlowTable& table() { return table_; }
+  [[nodiscard]] const FlowTable& table() const { return table_; }
+
+  // --- controller roles ----------------------------------------------------
+  void set_controller_role(ControllerId c, ControllerRole role);
+  void remove_controller(ControllerId c);
+  [[nodiscard]] std::optional<ControllerId> master() const;
+  /// Controllers that receive data-plane events: the master plus all equals.
+  [[nodiscard]] std::vector<ControllerId> event_receivers() const;
+  [[nodiscard]] const std::map<ControllerId, ControllerRole>& controllers() const {
+    return controllers_;
+  }
+
+  // --- packet processing ---------------------------------------------------
+  /// Looks up and applies the matching rule's actions to `pkt` in place.
+  /// `origin_group` is the BS group the packet entered the network through
+  /// (used by access-switch classification rules).
+  Forwarding process(Packet& pkt, PortId arrival_port, BsGroupId origin_group = BsGroupId{});
+
+  [[nodiscard]] std::uint64_t packets_processed() const { return packets_processed_; }
+  [[nodiscard]] std::uint64_t table_misses() const { return table_misses_; }
+  [[nodiscard]] std::uint64_t action_errors() const { return action_errors_; }
+
+ private:
+  SwitchId id_;
+  std::map<PortId, Port> ports_;
+  FlowTable table_;
+  std::map<ControllerId, ControllerRole> controllers_;
+  std::uint64_t next_port_ = 1;
+  std::uint64_t packets_processed_ = 0;
+  std::uint64_t table_misses_ = 0;
+  std::uint64_t action_errors_ = 0;
+};
+
+}  // namespace softmow::dataplane

@@ -1,0 +1,64 @@
+#include "mgmt/audit.h"
+
+namespace softmow::mgmt {
+
+using dataplane::DeliveryReport;
+
+AuditReport audit_data_plane(dataplane::PhysicalNetwork& net) {
+  AuditReport report;
+
+  for (SwitchId sw_id : net.all_switches()) {
+    if (!net.is_access_switch(sw_id)) continue;
+    const dataplane::Switch* access = net.sw(sw_id);
+    const dataplane::Port* radio = access->port(PortId{1});
+    if (radio == nullptr || radio->peer != dataplane::PeerKind::kBsGroup) continue;
+    BsGroupId group = radio->bs_group;
+
+    for (const dataplane::FlowRule& rule : access->table().rules()) {
+      const dataplane::Match& match = rule.match;
+      // Classification rules match subscriber-facing fields at the radio
+      // port; skip transit/label rules and rules pinned to other ports.
+      if (match.label.has_value()) continue;
+      if (match.in_port && !(*match.in_port == PortId{1})) continue;
+      if (!match.ue && !match.dst_prefix && !match.bs_group) continue;
+
+      Packet probe;
+      probe.ue = match.ue.value_or(UeId{0});
+      probe.dst_prefix = match.dst_prefix.value_or(PrefixId{0});
+      if (match.version) probe.version = *match.version;
+      if (match.bs_group && !(*match.bs_group == group)) continue;  // unmatchable here
+
+      ++report.classifiers_probed;
+      auto result = net.inject_at(probe, Endpoint{sw_id, PortId{1}}, group);
+      bool ok = result.outcome == DeliveryReport::Outcome::kExternal ||
+                result.outcome == DeliveryReport::Outcome::kDeliveredToRan;
+      std::size_t depth = result.packet.max_depth_seen();
+      switch (result.outcome) {
+        case DeliveryReport::Outcome::kExternal:
+        case DeliveryReport::Outcome::kDeliveredToRan:
+          ++report.delivered;
+          break;
+        case DeliveryReport::Outcome::kToController:
+          ++report.punted;
+          break;
+        case DeliveryReport::Outcome::kDropped:
+          ++report.dropped;
+          break;
+        case DeliveryReport::Outcome::kLooped:
+          ++report.looped;
+          break;
+        case DeliveryReport::Outcome::kError:
+          ++report.action_errors;
+          break;
+      }
+      if (depth > 1) ++report.label_violations;
+      if (!ok || depth > 1) {
+        report.findings.push_back(
+            AuditFinding{sw_id, rule.cookie, result.outcome, depth});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace softmow::mgmt

@@ -1,0 +1,45 @@
+// Data-plane audit: probe-based verification that the rules the controller
+// hierarchy installed actually carry traffic.
+//
+// For every classification rule found on an access switch, the auditor
+// synthesizes a matching uplink packet, walks it through the physical
+// network, and classifies the result: delivered (egress/RAN), punted,
+// dropped, looped, or action error — plus a §4.3 single-label check at
+// every hop. A healthy SoftMoW deployment audits clean; a translation or
+// repair bug shows up as a concrete (access switch, cookie) finding.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/network.h"
+
+namespace softmow::mgmt {
+
+struct AuditFinding {
+  SwitchId access_switch;
+  std::uint64_t cookie = 0;
+  dataplane::DeliveryReport::Outcome outcome;
+  std::size_t max_label_depth = 0;
+};
+
+struct AuditReport {
+  std::size_t classifiers_probed = 0;
+  std::size_t delivered = 0;
+  std::size_t punted = 0;
+  std::size_t dropped = 0;
+  std::size_t looped = 0;
+  std::size_t action_errors = 0;
+  std::size_t label_violations = 0;  ///< probes that saw depth > 1 anywhere
+  /// One entry per classifier whose probe did not deliver cleanly.
+  std::vector<AuditFinding> findings;
+
+  [[nodiscard]] bool clean() const {
+    return delivered == classifiers_probed && label_violations == 0;
+  }
+};
+
+/// Probes every access-switch classification rule. Note: probes traverse
+/// real rules, so per-rule packet counters advance.
+[[nodiscard]] AuditReport audit_data_plane(dataplane::PhysicalNetwork& net);
+
+}  // namespace softmow::mgmt

@@ -1,0 +1,47 @@
+#include "mgmt/failover.h"
+
+namespace softmow::mgmt {
+
+HotStandby::HotStandby(reca::Controller& master, southbound::Hub& hub)
+    : hub_(&hub),
+      id_(master.id()),
+      level_(master.level()),
+      name_(master.name()),
+      label_mode_(master.reca().label_mode()),
+      master_(&master) {
+  sync();
+}
+
+void HotStandby::sync() {
+  ++checkpoints_;
+  devices_ = master_->devices();
+  gbs_.clear();
+  for (GBsId id : master_->nib().gbs_list()) gbs_.push_back(*master_->nib().gbs(id));
+  middleboxes_.clear();
+  for (MiddleboxId id : master_->nib().middleboxes())
+    middleboxes_.push_back(*master_->nib().middlebox(id));
+  routes_ = master_->nib().all_external_routes();
+  border_gbs_ = master_->abstraction().border_gbs();
+}
+
+std::unique_ptr<reca::Controller> HotStandby::promote() {
+  auto standby =
+      std::make_unique<reca::Controller>(id_, level_, name_ + "+standby", label_mode_);
+
+  // Restore the non-discoverable state from the checkpoint.
+  for (const southbound::GBsAnnounce& g : gbs_) standby->nib().upsert_gbs(g);
+  for (const southbound::GMiddleboxAnnounce& m : middleboxes_)
+    standby->nib().upsert_middlebox(m);
+  for (const nos::ExternalRoute& r : routes_) standby->nib().upsert_external_route(r);
+  standby->abstraction().set_border_gbs(border_gbs_);
+
+  // Seize the master role on every device (the old master, if alive, is
+  // demoted to slave by the role machinery) and redo discovery.
+  for (SwitchId sw : devices_) {
+    standby->adopt_physical_switch(*hub_, sw, dataplane::ControllerRole::kMaster);
+  }
+  standby->run_link_discovery();
+  return standby;
+}
+
+}  // namespace softmow::mgmt

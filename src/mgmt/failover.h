@@ -1,0 +1,55 @@
+// Controller failure recovery (paper §6): "each logical node in the tree
+// structure contains master and hot standby instances. For each node, NIB
+// is decoupled from the controller logic and stored in a reliable storage
+// system ... shared between the master and standby."
+//
+// This harness models the reliable storage as periodic NIB checkpoints:
+// sync() captures the master's NIB (including the management-configured
+// G-BS/middlebox inventory and learned interdomain routes, which cannot be
+// re-derived from the data plane); promote() builds a standby controller
+// seeded from the checkpoint, takes the master role on every device, and
+// re-runs one discovery round — the paper's "checks the event logs and
+// redoes unfinished events".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reca/controller.h"
+#include "southbound/switch_agent.h"
+
+namespace softmow::mgmt {
+
+class HotStandby {
+ public:
+  /// Watches `master`, a leaf controller whose devices live in `hub`.
+  HotStandby(reca::Controller& master, southbound::Hub& hub);
+
+  /// Checkpoints the master's NIB into the "reliable storage".
+  void sync();
+  [[nodiscard]] std::uint64_t checkpoints() const { return checkpoints_; }
+
+  /// Master failed: builds the standby controller from the latest
+  /// checkpoint, seizes the master role on all devices and re-discovers.
+  /// The returned controller answers to the same ControllerId.
+  std::unique_ptr<reca::Controller> promote();
+
+ private:
+  southbound::Hub* hub_;
+  ControllerId id_;
+  int level_;
+  std::string name_;
+  reca::LabelMode label_mode_;
+  std::vector<SwitchId> devices_;
+
+  // Checkpointed state (everything not re-derivable from the data plane).
+  std::vector<southbound::GBsAnnounce> gbs_;
+  std::vector<southbound::GMiddleboxAnnounce> middleboxes_;
+  std::vector<nos::ExternalRoute> routes_;
+  std::set<GBsId> border_gbs_;
+  std::uint64_t checkpoints_ = 0;
+  reca::Controller* master_;
+};
+
+}  // namespace softmow::mgmt

@@ -1,0 +1,260 @@
+#include "mgmt/management.h"
+
+#include <algorithm>
+
+#include "core/log.h"
+
+namespace softmow::mgmt {
+
+using dataplane::BsGroup;
+using reca::Controller;
+
+ManagementPlane::ManagementPlane(dataplane::PhysicalNetwork* net)
+    : net_(net), hub_(std::make_unique<southbound::Hub>(net)) {}
+
+southbound::GBsAnnounce ManagementPlane::make_group_announce(BsGroupId g) const {
+  const BsGroup* group = net_->bs_group(g);
+  southbound::GBsAnnounce a;
+  a.gbs = gbs_id_for_group(g);
+  a.attached_switch = group->access_switch;
+  a.attached_port = PortId{1};  // radio port of the access switch
+  a.is_border = false;          // refined by recompute_borders()
+  a.centroid = group->centroid;
+  double radius = 0;
+  for (BsId bs : group->members) {
+    const dataplane::BaseStation* station = net_->base_station(bs);
+    radius = std::max(radius, dataplane::distance(group->centroid, station->location) +
+                                  station->radio_radius);
+  }
+  a.coverage_radius = radius;
+  a.constituent_groups = {g};
+  return a;
+}
+
+void ManagementPlane::configure_leaf_inventory(std::size_t leaf_index) {
+  Controller& leaf = *leaves_[leaf_index];
+  const RegionSpec& region = spec_.leaves[leaf_index];
+
+  for (BsGroupId g : region.groups) leaf.nib().upsert_gbs(make_group_announce(g));
+
+  // Middlebox instances on this region's switches (§4.1: "configured by the
+  // management plane" when they do not speak the discovery protocol).
+  std::set<SwitchId> region_switches(region.switches.begin(), region.switches.end());
+  for (MiddleboxId id : net_->middleboxes()) {
+    const dataplane::Middlebox* mb = net_->middlebox(id);
+    if (!region_switches.contains(mb->attach.sw)) continue;
+    southbound::GMiddleboxAnnounce m;
+    m.gmb = id;
+    m.type = mb->type;
+    m.total_capacity_kbps = mb->capacity_kbps;
+    m.utilization = mb->utilization;
+    m.attached_switch = mb->attach.sw;
+    m.attached_port = mb->attach.port;
+    leaf.nib().upsert_middlebox(m);
+  }
+}
+
+void ManagementPlane::bootstrap(const HierarchySpec& spec) {
+  spec_ = spec;
+
+  // --- leaf controllers ------------------------------------------------------
+  for (std::size_t i = 0; i < spec_.leaves.size(); ++i) {
+    auto leaf = std::make_unique<Controller>(ControllerId{next_controller_++}, 1,
+                                             spec_.leaves[i].name, spec_.label_mode);
+    for (SwitchId sw : spec_.leaves[i].switches) leaf->adopt_physical_switch(*hub_, sw);
+    for (BsGroupId g : spec_.leaves[i].groups) {
+      leaf->adopt_physical_switch(*hub_, net_->bs_group(g)->access_switch);
+      group_to_leaf_[g] = i;
+    }
+    leaves_.push_back(std::move(leaf));
+    configure_leaf_inventory(i);
+    leaves_.back()->run_link_discovery();
+  }
+
+  // --- middle level (optional) -------------------------------------------------
+  bool has_mids = !spec_.mid_regions.empty();
+  if (has_mids) {
+    for (std::size_t m = 0; m < spec_.mid_regions.size(); ++m) {
+      for (std::size_t leaf_index : spec_.mid_regions[m]) leaf_to_mid_[leaf_index] = m;
+    }
+  } else {
+    for (std::size_t i = 0; i < leaves_.size(); ++i) leaf_to_mid_[i] = 0;
+  }
+
+  // Borders must be known before children announce to parents (§5.2).
+  recompute_borders();
+
+  int root_level = has_mids ? 3 : 2;
+  if (has_mids) {
+    for (std::size_t m = 0; m < spec_.mid_regions.size(); ++m) {
+      auto mid = std::make_unique<Controller>(ControllerId{next_controller_++}, 2,
+                                              "parent-" + std::to_string(m),
+                                              spec_.label_mode);
+      for (std::size_t leaf_index : spec_.mid_regions[m]) mid->adopt_child(*leaves_[leaf_index]);
+      mid->run_link_discovery();
+      mids_.push_back(std::move(mid));
+    }
+    recompute_borders();  // mids now exist; set their border G-BS sets
+  }
+
+  root_ = std::make_unique<Controller>(ControllerId{next_controller_++}, root_level, "root",
+                                       spec_.label_mode);
+  if (has_mids) {
+    for (auto& mid : mids_) {
+      mid->refresh_abstraction();
+      root_->adopt_child(*mid);
+    }
+  } else {
+    for (auto& leaf : leaves_) root_->adopt_child(*leaf);
+  }
+  root_->run_link_discovery();
+}
+
+std::vector<Controller*> ManagementPlane::leaves() {
+  std::vector<Controller*> out;
+  for (auto& l : leaves_) out.push_back(l.get());
+  return out;
+}
+
+std::vector<Controller*> ManagementPlane::mids() {
+  std::vector<Controller*> out;
+  for (auto& m : mids_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<Controller*> ManagementPlane::all_controllers() {
+  std::vector<Controller*> out = leaves();
+  for (auto& m : mids_) out.push_back(m.get());
+  if (root_) out.push_back(root_.get());
+  return out;
+}
+
+Controller* ManagementPlane::leaf_of_group(BsGroupId g) {
+  auto it = group_to_leaf_.find(g);
+  return it == group_to_leaf_.end() ? nullptr : leaves_[it->second].get();
+}
+
+void ManagementPlane::recompute_borders() {
+  // Leaf level: a group is border iff some handover neighbor lives in a
+  // different leaf region.
+  std::map<std::size_t, std::set<GBsId>> leaf_borders;
+  // Mid level: the 1:1-re-exposed leaf-border G-BS is border at the mid iff
+  // some neighbor lives in a different *mid* region.
+  std::map<std::size_t, std::set<GBsId>> mid_borders;
+
+  for (const auto& [g, leaf_index] : group_to_leaf_) {
+    for (const auto& [neighbor, weight] : spec_.group_adjacency.neighbors(g)) {
+      auto nit = group_to_leaf_.find(neighbor);
+      if (nit == group_to_leaf_.end()) continue;
+      if (nit->second != leaf_index) leaf_borders[leaf_index].insert(gbs_id_for_group(g));
+      if (!mids_.empty() && leaf_to_mid_.at(nit->second) != leaf_to_mid_.at(leaf_index))
+        mid_borders[leaf_to_mid_.at(leaf_index)].insert(gbs_id_for_group(g));
+    }
+  }
+
+  for (std::size_t i = 0; i < leaves_.size(); ++i)
+    leaves_[i]->abstraction().set_border_gbs(leaf_borders[i]);
+  for (std::size_t m = 0; m < mids_.size(); ++m)
+    mids_[m]->abstraction().set_border_gbs(mid_borders[m]);
+  if (root_) root_->abstraction().set_border_gbs({});
+}
+
+void ManagementPlane::refresh_topology() {
+  for (auto& leaf : leaves_) leaf->refresh_abstraction();
+  for (auto& mid : mids_) {
+    mid->run_link_discovery();
+    mid->refresh_abstraction();
+  }
+  if (root_) root_->run_link_discovery();
+}
+
+bool ManagementPlane::controller_in_subtree(Controller& scope, Controller& c) const {
+  if (&scope == &c) return true;
+  for (Controller* child : scope.children()) {
+    if (controller_in_subtree(*child, c)) return true;
+  }
+  return false;
+}
+
+Controller* ManagementPlane::best_target_leaf(Controller& scope, BsGroupId g) {
+  Controller* best = nullptr;
+  double best_weight = -1;
+  for (const auto& [neighbor, weight] : spec_.group_adjacency.neighbors(g)) {
+    auto it = group_to_leaf_.find(neighbor);
+    if (it == group_to_leaf_.end()) continue;
+    Controller* candidate = leaves_[it->second].get();
+    if (!controller_in_subtree(scope, *candidate)) continue;
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+Result<void> ManagementPlane::reassign_gbs(Controller& initiator, GBsId gbs,
+                                           SwitchId source_gswitch, SwitchId target_gswitch) {
+  Controller* source_child = initiator.child_by_gswitch(source_gswitch);
+  Controller* target_child = initiator.child_by_gswitch(target_gswitch);
+  if (source_child == nullptr || target_child == nullptr)
+    return {ErrorCode::kNotFound, "initiator has no such child G-switch"};
+
+  BsGroupId group = group_for_gbs_id(gbs);
+  auto git = group_to_leaf_.find(group);
+  if (git == group_to_leaf_.end()) return {ErrorCode::kNotFound, "unknown BS group"};
+  Controller& source_leaf = *leaves_[git->second];
+  if (!controller_in_subtree(*source_child, source_leaf))
+    return {ErrorCode::kConflict, "group is not under the claimed source G-switch"};
+
+  Controller* target_leaf = best_target_leaf(*target_child, group);
+  if (target_leaf == nullptr) {
+    // Fall back to any leaf of the target subtree.
+    Controller* c = target_child;
+    while (!c->is_leaf()) {
+      auto children = c->children();
+      if (children.empty()) return {ErrorCode::kNotFound, "target subtree has no leaf"};
+      c = children.front();
+    }
+    target_leaf = c;
+  }
+  if (target_leaf == &source_leaf)
+    return {ErrorCode::kConflict, "source and target leaf are the same"};
+
+  SwitchId access = net_->bs_group(group)->access_switch;
+
+  // (i) Equal-role phase: both leaves receive all events (§5.3.2,
+  //     OFPCR_ROLE_EQUAL), target processes new requests.
+  target_leaf->adopt_physical_switch(*hub_, access, dataplane::ControllerRole::kEqual);
+  target_leaf->nib().upsert_gbs(make_group_announce(group));
+
+  // (ii) UE / path state transfer, coordinated by the management plane.
+  if (ue_transfer_hook_) ue_transfer_hook_(group, source_leaf, *target_leaf);
+
+  // (iii) Source disconnects; target takes the master role.
+  source_leaf.nib().remove_gbs(gbs);
+  source_leaf.release_physical_switch(*hub_, access);
+  southbound::RoleRequest promote;
+  promote.xid = Xid{0};
+  promote.sw = access;
+  promote.controller = target_leaf->id();
+  promote.role = dataplane::ControllerRole::kMaster;
+  (void)target_leaf->send(access, promote);
+
+  // (iv) Bookkeeping and bottom-up logical-plane update (§5.3.2 "updating
+  //      logical data planes"): borders recomputed (internal groups may have
+  //      become border and vice versa), abstractions re-announced, links
+  //      rediscovered level by level.
+  std::size_t target_index = 0;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (leaves_[i].get() == target_leaf) target_index = i;
+  }
+  group_to_leaf_[group] = target_index;
+  recompute_borders();
+  refresh_topology();
+  SOFTMOW_LOG(LogLevel::kInfo, "mgmt")
+      << "reassigned " << gbs.str() << " from " << source_leaf.name() << " to "
+      << target_leaf->name();
+  return Ok();
+}
+
+}  // namespace softmow::mgmt

@@ -1,0 +1,121 @@
+// The management plane (paper §3.3, §5.3.2): bootstraps the recursive
+// control plane over a physical network, configures radio/middlebox
+// inventory into leaf NIBs, computes which BS groups are region-border
+// groups, orchestrates bottom-up discovery, and executes the reconfiguration
+// protocol that transfers control of a border G-BS between leaf regions
+// (equal-role dual control, UE state transfer, master switchover, bottom-up
+// re-abstraction).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "core/weighted_adjacency.h"
+#include "dataplane/network.h"
+#include "reca/controller.h"
+#include "southbound/switch_agent.h"
+
+namespace softmow::mgmt {
+
+struct RegionSpec {
+  std::string name;
+  std::vector<SwitchId> switches;  ///< core switches of this leaf region
+  std::vector<BsGroupId> groups;   ///< BS groups homed in this region
+};
+
+struct HierarchySpec {
+  std::vector<RegionSpec> leaves;
+  /// Optional middle level: each entry lists the leaf indices under one
+  /// level-2 controller. Empty => the root directly parents the leaves
+  /// (2-level hierarchy, the paper's evaluation setting).
+  std::vector<std::vector<std::size_t>> mid_regions;
+  reca::LabelMode label_mode = reca::LabelMode::kSwapping;
+  /// BS-group handover adjacency: drives border-group computation (§5.2).
+  WeightedAdjacency<BsGroupId> group_adjacency;
+};
+
+/// Leaf-level G-BS id for a BS group: the identity is preserved across
+/// levels and across reconfigurations.
+[[nodiscard]] constexpr GBsId gbs_id_for_group(BsGroupId g) { return GBsId{g.value}; }
+[[nodiscard]] constexpr BsGroupId group_for_gbs_id(GBsId g) { return BsGroupId{g.value}; }
+
+class ManagementPlane {
+ public:
+  explicit ManagementPlane(dataplane::PhysicalNetwork* net);
+
+  /// Builds the whole hierarchy: leaf controllers adopt their switches, leaf
+  /// NIBs are configured with G-BS / middlebox inventory, discovery runs
+  /// bottom-up level by level (sequential across levels, §4.1), borders are
+  /// computed, and parents adopt children.
+  void bootstrap(const HierarchySpec& spec);
+
+  [[nodiscard]] reca::Controller& root() { return *root_; }
+  [[nodiscard]] reca::Controller& leaf(std::size_t i) { return *leaves_.at(i); }
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_.size(); }
+  [[nodiscard]] std::vector<reca::Controller*> leaves();
+  [[nodiscard]] std::vector<reca::Controller*> mids();
+  [[nodiscard]] std::vector<reca::Controller*> all_controllers();
+  [[nodiscard]] reca::Controller* leaf_of_group(BsGroupId g);
+  [[nodiscard]] southbound::Hub& hub() { return *hub_; }
+  [[nodiscard]] dataplane::PhysicalNetwork& net() { return *net_; }
+
+  /// Re-runs abstraction refresh + link discovery bottom-up (periodic
+  /// maintenance, and after reconfiguration).
+  void refresh_topology();
+
+  /// Recomputes border G-BS sets at every controller from the current
+  /// group->leaf assignment and the group adjacency.
+  void recompute_borders();
+
+  /// Called during reassign_gbs between the equal-role phase and the master
+  /// switchover, so mobility applications can move UE/path state (§5.3.2).
+  using UeTransferHook =
+      std::function<void(BsGroupId group, reca::Controller& from, reca::Controller& to)>;
+  void set_ue_transfer_hook(UeTransferHook hook) { ue_transfer_hook_ = std::move(hook); }
+
+  /// §5.3.2 reconfiguration: transfers control of border G-BS `gbs` (one BS
+  /// group) from the leaf under `source_gswitch` to a leaf under
+  /// `target_gswitch`, both children of `initiator`. The physical wiring is
+  /// untouched: the group's access uplink becomes a cross-region link that
+  /// the initiator rediscovers.
+  Result<void> reassign_gbs(reca::Controller& initiator, GBsId gbs, SwitchId source_gswitch,
+                            SwitchId target_gswitch);
+
+  [[nodiscard]] const WeightedAdjacency<BsGroupId>& group_adjacency() const {
+    return spec_.group_adjacency;
+  }
+  /// Leaf index currently controlling `g`.
+  [[nodiscard]] std::size_t leaf_index_of_group(BsGroupId g) const {
+    return group_to_leaf_.at(g);
+  }
+  /// Mid-region index of a leaf (identity when there is no middle level).
+  [[nodiscard]] std::size_t mid_index_of_leaf(std::size_t leaf) const {
+    return leaf_to_mid_.at(leaf);
+  }
+
+ private:
+  void configure_leaf_inventory(std::size_t leaf_index);
+  southbound::GBsAnnounce make_group_announce(BsGroupId g) const;
+  /// The leaf (in the subtree of `scope`) best suited to receive `g`:
+  /// the controller of the neighbor group with the largest handover weight.
+  reca::Controller* best_target_leaf(reca::Controller& scope, BsGroupId g);
+  [[nodiscard]] bool controller_in_subtree(reca::Controller& root, reca::Controller& c) const;
+
+  dataplane::PhysicalNetwork* net_;
+  std::unique_ptr<southbound::Hub> hub_;
+  HierarchySpec spec_;
+  std::vector<std::unique_ptr<reca::Controller>> leaves_;
+  std::vector<std::unique_ptr<reca::Controller>> mids_;
+  std::unique_ptr<reca::Controller> root_;
+  std::map<BsGroupId, std::size_t> group_to_leaf_;
+  std::map<std::size_t, std::size_t> leaf_to_mid_;
+  UeTransferHook ue_transfer_hook_;
+  std::uint64_t next_controller_ = 1;
+};
+
+}  // namespace softmow::mgmt

@@ -1,0 +1,22 @@
+// The controller's uniform handle to "its switches" — physical switches for
+// a leaf controller, child G-switches for a non-leaf controller. NOS core
+// services send southbound messages through this interface without knowing
+// which kind of device is on the far side (§3.3: logical devices act as
+// physical ones).
+#pragma once
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "southbound/messages.h"
+
+namespace softmow::nos {
+
+class DeviceBus {
+ public:
+  virtual ~DeviceBus() = default;
+
+  /// Sends `msg` to the device that owns switch `sw`.
+  virtual Result<void> send(SwitchId sw, const southbound::Message& msg) = 0;
+};
+
+}  // namespace softmow::nos

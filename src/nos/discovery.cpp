@@ -1,0 +1,102 @@
+#include "nos/discovery.h"
+
+#include "core/log.h"
+
+namespace softmow::nos {
+
+void DiscoveryModule::on_hello(SwitchId sw) {
+  pending_features_.insert(sw);
+  southbound::FeaturesRequest req;
+  req.xid = Xid{next_xid_++};
+  req.sw = sw;
+  ++stats_.features_requests;
+  (void)bus_->send(sw, req);
+}
+
+void DiscoveryModule::on_features_reply(const southbound::FeaturesReply& reply) {
+  ++stats_.features_replies;
+  pending_features_.erase(reply.sw);
+
+  // On re-announcement (e.g. after region reconfiguration), prune links on
+  // ports that no longer exist.
+  if (const SwitchRecord* old = nib_->sw(reply.sw)) {
+    for (const auto& [pid, desc] : old->ports) {
+      bool still_there = false;
+      for (const southbound::PortDesc& p : reply.ports) {
+        if (p.port == pid) {
+          still_there = true;
+          break;
+        }
+      }
+      if (!still_there) nib_->remove_links_at(Endpoint{reply.sw, pid});
+    }
+  }
+
+  SwitchRecord rec;
+  rec.id = reply.sw;
+  rec.is_gswitch = reply.is_gswitch;
+  std::vector<Endpoint> down_ports;
+  for (const southbound::PortDesc& p : reply.ports) {
+    rec.ports[p.port] = p;
+    // Only *physical* switches with a radio port are access switches; a
+    // G-switch also carries G-BS attachment ports but is not one.
+    if (!reply.is_gswitch && p.peer == dataplane::PeerKind::kBsGroup) rec.is_access = true;
+    if (!p.up) down_ports.push_back(Endpoint{reply.sw, p.port});
+  }
+  rec.vfabric = reply.vfabric;
+  nib_->upsert_switch(std::move(rec));
+  // Links over ports the device reports down are unusable (§6).
+  for (Endpoint e : down_ports) nib_->set_links_at_up(e, false);
+}
+
+void DiscoveryModule::run_link_discovery() {
+  for (SwitchId sw : nib_->switches()) {
+    const SwitchRecord* rec = nib_->sw(sw);
+    for (const auto& [pid, desc] : rec->ports) {
+      if (desc.peer != dataplane::PeerKind::kSwitch || !desc.up) continue;
+      southbound::DiscoveryPayload payload;
+      payload.stack.push_back(southbound::DiscoveryStackEntry{self_, sw, pid});
+      southbound::PacketOut out;
+      out.sw = sw;
+      out.port = pid;
+      out.body = std::move(payload);
+      ++stats_.frames_sent;
+      (void)bus_->send(sw, out);
+    }
+  }
+}
+
+DiscoveryVerdict DiscoveryModule::on_discovery_packet_in(
+    Endpoint at, southbound::DiscoveryPayload& payload) {
+  ++stats_.frames_received;
+  if (payload.stack.empty()) {
+    ++stats_.frames_dropped;
+    return DiscoveryVerdict::kDrop;
+  }
+  southbound::DiscoveryStackEntry top = payload.stack.back();
+  payload.stack.pop_back();
+
+  if (top.controller == self_) {
+    // This controller originated the frame: a link between (top.sw,
+    // top.port) and the arrival endpoint exists in *its* topology (§4.1.2).
+    EdgeMetrics m;
+    m.latency_us = payload.meta.filled ? payload.meta.latency_us : 0.0;
+    m.hop_count = 1.0;
+    m.bandwidth_kbps = payload.meta.filled ? payload.meta.bandwidth_kbps
+                                           : std::numeric_limits<double>::infinity();
+    nib_->upsert_link(Endpoint{top.sw, top.port}, at, m);
+    ++stats_.links_discovered;
+    return DiscoveryVerdict::kConsumed;
+  }
+  if (payload.stack.empty()) {
+    ++stats_.frames_dropped;
+    return DiscoveryVerdict::kDrop;  // §4.1.2: no inter G-switch link here
+  }
+  return DiscoveryVerdict::kForward;
+}
+
+void DiscoveryModule::on_link_down(Endpoint a, Endpoint b) {
+  (void)nib_->set_link_up(a, b, false);
+}
+
+}  // namespace softmow::nos

@@ -1,0 +1,266 @@
+#include "nos/nib.h"
+
+#include <algorithm>
+
+namespace softmow::nos {
+
+const southbound::PortDesc* SwitchRecord::port(PortId p) const {
+  auto it = ports.find(p);
+  return it == ports.end() ? nullptr : &it->second;
+}
+
+void Nib::bump() {
+  ++version_;
+  if (notifying_) return;  // avoid re-entrant notification storms
+  notifying_ = true;
+  for (auto& s : subscribers_) s();
+  notifying_ = false;
+}
+
+void Nib::upsert_switch(SwitchRecord rec) {
+  switches_[rec.id] = std::move(rec);
+  bump();
+}
+
+void Nib::remove_switch(SwitchId id) {
+  if (switches_.erase(id) > 0) {
+    remove_links_of(id);
+    bump();
+  }
+}
+
+Result<void> Nib::set_vfabric(SwitchId id, std::vector<southbound::VFabricEntry> entries) {
+  auto it = switches_.find(id);
+  if (it == switches_.end()) return {ErrorCode::kNotFound, "no such switch"};
+  it->second.vfabric = std::move(entries);
+  bump();
+  return Ok();
+}
+
+const SwitchRecord* Nib::sw(SwitchId id) const {
+  auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+SwitchRecord* Nib::sw_mutable(SwitchId id) {
+  auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+std::vector<SwitchId> Nib::switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(switches_.size());
+  for (const auto& [id, rec] : switches_) out.push_back(id);
+  return out;
+}
+
+std::size_t Nib::total_ports() const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : switches_) n += rec.ports.size();
+  return n;
+}
+
+namespace {
+// Normalized endpoint order so (a,b) and (b,a) describe the same link.
+void normalize(Endpoint& a, Endpoint& b) {
+  if (b < a) std::swap(a, b);
+}
+}  // namespace
+
+void Nib::upsert_link(Endpoint a, Endpoint b, EdgeMetrics metrics) {
+  normalize(a, b);
+  for (LinkRecord& l : links_) {
+    if (l.a == a && l.b == b) {
+      l.metrics = metrics;
+      l.up = true;
+      bump();
+      return;
+    }
+  }
+  links_.push_back(LinkRecord{a, b, metrics, true});
+  bump();
+}
+
+void Nib::remove_link(Endpoint a, Endpoint b) {
+  normalize(a, b);
+  auto before = links_.size();
+  std::erase_if(links_, [&](const LinkRecord& l) { return l.a == a && l.b == b; });
+  if (links_.size() != before) bump();
+}
+
+void Nib::remove_links_of(SwitchId sw) {
+  auto before = links_.size();
+  std::erase_if(links_, [&](const LinkRecord& l) { return l.a.sw == sw || l.b.sw == sw; });
+  if (links_.size() != before) bump();
+}
+
+void Nib::remove_links_at(Endpoint e) {
+  auto before = links_.size();
+  std::erase_if(links_, [&](const LinkRecord& l) { return l.a == e || l.b == e; });
+  if (links_.size() != before) bump();
+}
+
+Result<void> Nib::set_link_up(Endpoint a, Endpoint b, bool up) {
+  normalize(a, b);
+  for (LinkRecord& l : links_) {
+    if (l.a == a && l.b == b) {
+      if (l.up != up) {
+        l.up = up;
+        bump();
+      }
+      return Ok();
+    }
+  }
+  return {ErrorCode::kNotFound, "no such link in NIB"};
+}
+
+void Nib::set_links_at_up(Endpoint e, bool up) {
+  bool changed = false;
+  for (LinkRecord& l : links_) {
+    if ((l.a == e || l.b == e) && l.up != up) {
+      l.up = up;
+      changed = true;
+    }
+  }
+  if (changed) bump();
+}
+
+Result<void> Nib::reserve_link_bandwidth(Endpoint at, double kbps) {
+  for (LinkRecord& l : links_) {
+    if (l.a == at || l.b == at) {
+      if (l.metrics.bandwidth_kbps + 1e-9 < kbps)
+        return {ErrorCode::kExhausted, "insufficient bandwidth on the link"};
+      l.metrics.bandwidth_kbps -= kbps;
+      bump();
+      return Ok();
+    }
+  }
+  return {ErrorCode::kNotFound, "no link at endpoint"};
+}
+
+void Nib::release_link_bandwidth(Endpoint at, double kbps) {
+  for (LinkRecord& l : links_) {
+    if (l.a == at || l.b == at) {
+      l.metrics.bandwidth_kbps += kbps;
+      bump();
+      return;
+    }
+  }
+}
+
+Result<void> Nib::adjust_middlebox_utilization(MiddleboxId id, double capacity_fraction) {
+  auto it = middleboxes_.find(id);
+  if (it == middleboxes_.end()) return {ErrorCode::kNotFound, "no such middlebox"};
+  it->second.utilization =
+      std::clamp(it->second.utilization + capacity_fraction, 0.0, 1.0);
+  bump();
+  return Ok();
+}
+
+const LinkRecord* Nib::link_at(Endpoint e) const {
+  for (const LinkRecord& l : links_) {
+    if (l.a == e || l.b == e) return &l;
+  }
+  return nullptr;
+}
+
+void Nib::upsert_gbs(southbound::GBsAnnounce info) {
+  if (info.withdrawn) {
+    // A withdrawal only applies if the withdrawer still owns the record —
+    // after a region reconfiguration the new region may have (re-)announced
+    // the same G-BS before the old region's withdrawal arrives.
+    auto it = gbs_.find(info.gbs);
+    if (it == gbs_.end()) return;
+    if (info.attached_switch.valid() && !(it->second.attached_switch == info.attached_switch))
+      return;
+    gbs_.erase(it);
+    bump();
+    return;
+  }
+  gbs_[info.gbs] = std::move(info);
+  bump();
+}
+
+void Nib::remove_gbs(GBsId id) {
+  if (gbs_.erase(id) > 0) bump();
+}
+
+const southbound::GBsAnnounce* Nib::gbs(GBsId id) const {
+  auto it = gbs_.find(id);
+  return it == gbs_.end() ? nullptr : &it->second;
+}
+
+std::vector<GBsId> Nib::gbs_list() const {
+  std::vector<GBsId> out;
+  out.reserve(gbs_.size());
+  for (const auto& [id, g] : gbs_) out.push_back(id);
+  return out;
+}
+
+void Nib::upsert_middlebox(southbound::GMiddleboxAnnounce info) {
+  if (info.withdrawn) {
+    remove_middlebox(info.gmb);
+    return;
+  }
+  middleboxes_[info.gmb] = std::move(info);
+  bump();
+}
+
+void Nib::remove_middlebox(MiddleboxId id) {
+  if (middleboxes_.erase(id) > 0) bump();
+}
+
+const southbound::GMiddleboxAnnounce* Nib::middlebox(MiddleboxId id) const {
+  auto it = middleboxes_.find(id);
+  return it == middleboxes_.end() ? nullptr : &it->second;
+}
+
+std::vector<MiddleboxId> Nib::middleboxes() const {
+  std::vector<MiddleboxId> out;
+  out.reserve(middleboxes_.size());
+  for (const auto& [id, m] : middleboxes_) out.push_back(id);
+  return out;
+}
+
+std::vector<MiddleboxId> Nib::middleboxes_of_type(dataplane::MiddleboxType t) const {
+  std::vector<MiddleboxId> out;
+  for (const auto& [id, m] : middleboxes_) {
+    if (m.type == t) out.push_back(id);
+  }
+  return out;
+}
+
+void Nib::upsert_external_route(ExternalRoute r) {
+  auto& routes = external_routes_[r.prefix];
+  for (ExternalRoute& e : routes) {
+    if (e.egress == r.egress) {
+      e = r;
+      return;
+    }
+  }
+  routes.push_back(r);
+}
+
+std::vector<ExternalRoute> Nib::external_routes(PrefixId prefix) const {
+  auto it = external_routes_.find(prefix);
+  return it == external_routes_.end() ? std::vector<ExternalRoute>{} : it->second;
+}
+
+std::vector<ExternalRoute> Nib::all_external_routes() const {
+  std::vector<ExternalRoute> out;
+  for (const auto& [prefix, routes] : external_routes_)
+    out.insert(out.end(), routes.begin(), routes.end());
+  return out;
+}
+
+std::size_t Nib::external_route_count() const {
+  std::size_t n = 0;
+  for (const auto& [prefix, routes] : external_routes_) n += routes.size();
+  return n;
+}
+
+void Nib::subscribe(std::function<void()> on_change) {
+  subscribers_.push_back(std::move(on_change));
+}
+
+}  // namespace softmow::nos

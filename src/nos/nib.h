@@ -1,0 +1,133 @@
+// Network Information Base (paper §4): each controller's view of *its own*
+// topology — physical for leaves, logical (G-switches, G-BSes,
+// G-middleboxes) for non-leaf controllers. The NOS "has visibility of its
+// own local network topology, does not maintain UE state, is not aware of
+// any ancestor or descendant controllers."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/ids.h"
+#include "core/result.h"
+#include "southbound/messages.h"
+
+namespace softmow::nos {
+
+struct SwitchRecord {
+  SwitchId id;
+  bool is_gswitch = false;
+  bool is_access = false;  ///< leaf-only: per-BS-group classification switch
+  std::map<PortId, southbound::PortDesc> ports;
+  /// For G-switches: best-path metrics per border-port pair (§3.2).
+  std::vector<southbound::VFabricEntry> vfabric;
+
+  [[nodiscard]] const southbound::PortDesc* port(PortId p) const;
+};
+
+/// A link between two switches in this controller's view. For a leaf these
+/// are physical; for an ancestor they are the inter-G-switch links it alone
+/// discovered (§4.1).
+struct LinkRecord {
+  Endpoint a;
+  Endpoint b;
+  EdgeMetrics metrics;
+  bool up = true;
+};
+
+/// An interdomain route learned at an egress point (§4.2): reaching `prefix`
+/// via egress port `egress` costs `hops` / `latency_us` *outside* the
+/// cellular WAN.
+struct ExternalRoute {
+  Endpoint egress;
+  PrefixId prefix;
+  double hops = 0;
+  double latency_us = 0;
+};
+
+class Nib {
+ public:
+  // --- switches -------------------------------------------------------------
+  void upsert_switch(SwitchRecord rec);
+  void remove_switch(SwitchId id);
+  [[nodiscard]] const SwitchRecord* sw(SwitchId id) const;
+  [[nodiscard]] SwitchRecord* sw_mutable(SwitchId id);
+  /// Replaces a G-switch's vFabric (on a VFabricUpdate from the child).
+  Result<void> set_vfabric(SwitchId id, std::vector<southbound::VFabricEntry> entries);
+  [[nodiscard]] std::vector<SwitchId> switches() const;
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+  [[nodiscard]] std::size_t total_ports() const;
+
+  // --- links ----------------------------------------------------------------
+  /// Records a discovered link (idempotent; endpoints normalized).
+  void upsert_link(Endpoint a, Endpoint b, EdgeMetrics metrics);
+  void remove_link(Endpoint a, Endpoint b);
+  /// Removes every link incident to `sw`.
+  void remove_links_of(SwitchId sw);
+  /// Removes every link incident to the exact endpoint `e`.
+  void remove_links_at(Endpoint e);
+  Result<void> set_link_up(Endpoint a, Endpoint b, bool up);
+  /// Marks every link touching `e` up/down (port-status handling, §6).
+  void set_links_at_up(Endpoint e, bool up);
+  /// Bandwidth admission bookkeeping: link metrics carry *available*
+  /// bandwidth; reservations reduce it, releases restore it. Fails without
+  /// side effects when the link is unknown or too thin (§3.2).
+  Result<void> reserve_link_bandwidth(Endpoint at, double kbps);
+  void release_link_bandwidth(Endpoint at, double kbps);
+
+  /// Middlebox load accounting: shifts utilization by `capacity_fraction`
+  /// (positive = busier). Clamped to [0, 1].
+  Result<void> adjust_middlebox_utilization(MiddleboxId id, double capacity_fraction);
+  [[nodiscard]] const std::vector<LinkRecord>& links() const { return links_; }
+  /// The link record touching endpoint `e`, if any.
+  [[nodiscard]] const LinkRecord* link_at(Endpoint e) const;
+  /// True if some discovered link uses this endpoint (=> internal port).
+  [[nodiscard]] bool endpoint_linked(Endpoint e) const { return link_at(e) != nullptr; }
+
+  // --- G-BSes (radio attachment points in this view) --------------------------
+  void upsert_gbs(southbound::GBsAnnounce info);
+  void remove_gbs(GBsId id);
+  [[nodiscard]] const southbound::GBsAnnounce* gbs(GBsId id) const;
+  [[nodiscard]] std::vector<GBsId> gbs_list() const;
+
+  // --- middleboxes -----------------------------------------------------------
+  void upsert_middlebox(southbound::GMiddleboxAnnounce info);
+  void remove_middlebox(MiddleboxId id);
+  [[nodiscard]] const southbound::GMiddleboxAnnounce* middlebox(MiddleboxId id) const;
+  [[nodiscard]] std::vector<MiddleboxId> middleboxes() const;
+  [[nodiscard]] std::vector<MiddleboxId> middleboxes_of_type(dataplane::MiddleboxType t) const;
+
+  // --- interdomain routes (§4.2) ----------------------------------------------
+  // Route changes do not bump the topology version: the port graph and the
+  // abstraction are independent of them, and a nation-wide deployment
+  // carries ~1e4 prefixes x egress points.
+  void upsert_external_route(ExternalRoute r);
+  [[nodiscard]] std::vector<ExternalRoute> external_routes(PrefixId prefix) const;
+  [[nodiscard]] std::size_t external_route_count() const;
+  /// Flattened copy of every route (checkpointing, §6).
+  [[nodiscard]] std::vector<ExternalRoute> all_external_routes() const;
+
+  // --- change notification ------------------------------------------------------
+  /// Monotonic version, bumped on every mutation. Subscribers run after each
+  /// bump (topology-change hooks for RecA re-abstraction, §5.3.2).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  void subscribe(std::function<void()> on_change);
+
+ private:
+  void bump();
+
+  std::map<SwitchId, SwitchRecord> switches_;
+  std::vector<LinkRecord> links_;
+  std::map<GBsId, southbound::GBsAnnounce> gbs_;
+  std::map<MiddleboxId, southbound::GMiddleboxAnnounce> middleboxes_;
+  std::map<PrefixId, std::vector<ExternalRoute>> external_routes_;
+  std::uint64_t version_ = 0;
+  std::vector<std::function<void()>> subscribers_;
+  bool notifying_ = false;
+};
+
+}  // namespace softmow::nos

@@ -1,0 +1,234 @@
+#include "nos/path_impl.h"
+
+#include "core/log.h"
+
+namespace softmow::nos {
+
+bool route_intact(const Nib& nib, const ComputedRoute& route) {
+  auto port_ok = [&](SwitchId sw, PortId port) {
+    const SwitchRecord* rec = nib.sw(sw);
+    if (rec == nullptr) return false;
+    const southbound::PortDesc* desc = rec->port(port);
+    return desc != nullptr && desc->up;
+  };
+  for (std::size_t i = 0; i < route.hops.size(); ++i) {
+    const RouteHop& hop = route.hops[i];
+    if (!port_ok(hop.sw, hop.in) || !port_ok(hop.sw, hop.out)) return false;
+    // Between two hops on *different* switches the flow crosses a link the
+    // controller discovered; it must still be up. (Consecutive hops on the
+    // same switch are middlebox detours — no link involved.)
+    if (i + 1 < route.hops.size() && !(route.hops[i + 1].sw == hop.sw)) {
+      const LinkRecord* link = nib.link_at(Endpoint{hop.sw, hop.out});
+      if (link == nullptr || !link->up) return false;
+    }
+  }
+  return true;
+}
+
+Label PathImplementer::allocate_label() {
+  // Partitioned label space: high bits identify the allocating controller,
+  // low 20 bits are a per-controller sequence (~1M concurrent labels).
+  std::uint32_t value = (controller_tag_ << 20) | static_cast<std::uint32_t>(next_label_++ & 0xfffff);
+  return Label{value, level_};
+}
+
+Result<PathId> PathImplementer::setup(const ComputedRoute& route,
+                                      dataplane::Match classifier,
+                                      PathSetupOptions options) {
+  if (route.hops.empty())
+    return Error{ErrorCode::kInvalidArgument, "route has no switch traversals"};
+
+  InstalledPath p;
+  p.id = PathId{next_path_++};
+  p.label = allocate_label();
+  p.classifier = std::move(classifier);
+  p.route = route;
+  p.options = options;
+
+  // Resources first: failing admission must not leave half a path behind.
+  auto acquired = acquire_resources(p);
+  if (!acquired.ok()) return acquired.error();
+  auto installed = install_rules(p);
+  if (!installed.ok()) {
+    release_resources(p);
+    return installed.error();
+  }
+  PathId id = p.id;
+  paths_.emplace(id, std::move(p));
+  return id;
+}
+
+Result<void> PathImplementer::acquire_resources(InstalledPath& p) {
+  if (nib_ == nullptr || p.options.reserve_kbps <= 0) return Ok();
+  const std::vector<RouteHop>& hops = p.route.hops;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (hops[i + 1].sw == hops[i].sw) continue;  // middlebox detour: no link
+    Endpoint at{hops[i].sw, hops[i].out};
+    auto reserved = nib_->reserve_link_bandwidth(at, p.options.reserve_kbps);
+    if (!reserved.ok()) {
+      release_resources(p);
+      return reserved;
+    }
+    p.reserved_links.push_back(at);
+  }
+  for (MiddleboxId mb : p.route.middleboxes) {
+    const southbound::GMiddleboxAnnounce* rec = nib_->middlebox(mb);
+    if (rec == nullptr || rec->total_capacity_kbps <= 0) continue;
+    double fraction = p.options.reserve_kbps / rec->total_capacity_kbps;
+    if (nib_->adjust_middlebox_utilization(mb, fraction).ok())
+      p.reserved_middleboxes.emplace_back(mb, fraction);
+  }
+  return Ok();
+}
+
+void PathImplementer::release_resources(InstalledPath& p) {
+  if (nib_ == nullptr) return;
+  for (Endpoint at : p.reserved_links)
+    nib_->release_link_bandwidth(at, p.options.reserve_kbps);
+  p.reserved_links.clear();
+  for (auto& [mb, fraction] : p.reserved_middleboxes)
+    (void)nib_->adjust_middlebox_utilization(mb, -fraction);
+  p.reserved_middleboxes.clear();
+}
+
+Result<void> PathImplementer::install_rules(InstalledPath& p) {
+  using dataplane::FlowRule;
+  const std::vector<RouteHop>& hops = p.route.hops;
+
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const RouteHop& hop = hops[i];
+    FlowRule rule;
+    rule.cookie = allocate_cookie();
+    rule.priority = p.options.priority;
+
+    bool is_first = i == 0;
+    bool is_last = i + 1 == hops.size();
+
+    if (is_first && is_last) {
+      // Degenerate single-switch path: translate the outer-label intent
+      // directly, with no local label at all.
+      rule.match = p.classifier;
+      rule.match.in_port = hop.in;
+      if (p.options.version != 0)
+        rule.actions.push_back(dataplane::set_version(p.options.version));
+      if (p.options.outer_pop && p.options.outer_push) {
+        if (p.options.outer_push->value != p.classifier.label.value_or(~0u))
+          rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
+        // else: keep the outer label untouched
+      } else if (p.options.outer_pop) {
+        rule.actions.push_back(dataplane::pop_label());
+      } else if (p.options.outer_push) {
+        rule.actions.push_back(dataplane::push_label(*p.options.outer_push));
+      } else {
+        // Stacking mode, degenerate single-switch path: apply the parent's
+        // pops/pushes directly.
+        for (int i = 0; i < p.options.extra_pops_at_exit; ++i)
+          rule.actions.push_back(dataplane::pop_label());
+        for (const Label& under : p.options.push_under)
+          rule.actions.push_back(dataplane::push_label(under));
+      }
+    } else if (is_first) {
+      // Classification at the flow's first switch (§4.3: the access switch
+      // performs fine-grained classification and pushes the local label).
+      // When translating a parent rule (outer_pop), the parent's label is
+      // swapped for the local one so at most one label rides any link.
+      rule.match = p.classifier;
+      rule.match.in_port = hop.in;
+      if (p.options.version != 0)
+        rule.actions.push_back(dataplane::set_version(p.options.version));
+      if (p.options.outer_pop) {
+        rule.actions.push_back(dataplane::swap_label(p.label));
+      } else {
+        for (const Label& under : p.options.push_under)
+          rule.actions.push_back(dataplane::push_label(under));
+        rule.actions.push_back(dataplane::push_label(p.label));
+      }
+    } else if (is_last) {
+      rule.match.label = p.label.value;
+      rule.match.in_port = hop.in;
+      if (p.options.outer_push) {
+        // Pop the local label and push back the ancestor's (§4.3).
+        rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
+      } else if (p.options.pop_at_exit) {
+        rule.actions.push_back(dataplane::pop_label());
+        for (int i = 0; i < p.options.extra_pops_at_exit; ++i)
+          rule.actions.push_back(dataplane::pop_label());
+      }
+    } else {
+      rule.match.label = p.label.value;
+      rule.match.in_port = hop.in;
+    }
+    rule.actions.push_back(dataplane::output(hop.out));
+
+    southbound::FlowMod mod;
+    mod.op = southbound::FlowMod::Op::kAdd;
+    mod.sw = hop.sw;
+    mod.rule = rule;
+    mod.reserve_kbps = p.options.reserve_kbps;
+    auto sent = bus_->send(hop.sw, mod);
+    if (!sent.ok()) {
+      // Roll back what was installed so far.
+      for (auto& [sw, cookie] : p.rules) {
+        southbound::FlowMod rm;
+        rm.op = southbound::FlowMod::Op::kRemoveByCookie;
+        rm.sw = sw;
+        rm.cookie = cookie;
+        (void)bus_->send(sw, rm);
+      }
+      p.rules.clear();
+      return sent;
+    }
+    p.rules.emplace_back(hop.sw, rule.cookie);
+  }
+  p.active = true;
+  return Ok();
+}
+
+Result<void> PathImplementer::deactivate(PathId id) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) return {ErrorCode::kNotFound, "no such path"};
+  InstalledPath& p = it->second;
+  if (!p.active) return Ok();
+  for (auto& [sw, cookie] : p.rules) {
+    southbound::FlowMod rm;
+    rm.op = southbound::FlowMod::Op::kRemoveByCookie;
+    rm.sw = sw;
+    rm.cookie = cookie;
+    (void)bus_->send(sw, rm);
+  }
+  p.rules.clear();
+  p.active = false;
+  release_resources(p);
+  return Ok();
+}
+
+Result<void> PathImplementer::reactivate(PathId id) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) return {ErrorCode::kNotFound, "no such path"};
+  if (it->second.active) return Ok();
+  auto acquired = acquire_resources(it->second);
+  if (!acquired.ok()) return acquired;
+  auto installed = install_rules(it->second);
+  if (!installed.ok()) release_resources(it->second);
+  return installed;
+}
+
+const InstalledPath* PathImplementer::path(PathId id) const {
+  auto it = paths_.find(id);
+  return it == paths_.end() ? nullptr : &it->second;
+}
+
+std::vector<PathId> PathImplementer::paths() const {
+  std::vector<PathId> out;
+  out.reserve(paths_.size());
+  for (const auto& [id, p] : paths_) out.push_back(id);
+  return out;
+}
+
+std::size_t PathImplementer::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, p] : paths_) n += p.active ? 1 : 0;
+  return n;
+}
+
+}  // namespace softmow::nos

@@ -1,0 +1,125 @@
+// Path implementation service (paper §4.3).
+//
+// Aggregates a flow onto a label-switched path: the first switch classifies
+// (fine-grained match) and pushes the controller's label; transit switches
+// forward on (label, in-port); the final switch pops the label before the
+// packet leaves the region (egress port, G-BS port, or internal target).
+//
+// The same code runs at every level of the hierarchy: at a leaf the
+// FlowMods program physical switches; at an ancestor they program child
+// G-switches, whose RecA agents translate them via recursive label swapping.
+//
+// Northbound API (§4.3): PathSetup(match fields, path) / deactivatePath.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/packet.h"
+#include "core/result.h"
+#include "dataplane/flow_table.h"
+#include "nos/device_bus.h"
+#include "nos/routing.h"
+
+namespace softmow::nos {
+
+struct PathSetupOptions {
+  /// Bandwidth reserved along the path (kbps): deducted from every crossed
+  /// link's available bandwidth in the NIB and propagated to translating
+  /// children via the FlowMod, so admission composes down the hierarchy and
+  /// vFabric bandwidth stays truthful (§3.2).
+  double reserve_kbps = 0;
+  /// Consistent-update version stamped by the classifier (§6). 0 = unversioned.
+  std::uint32_t version = 0;
+  /// Rule priority for installed rules.
+  int priority = 100;
+  /// If true, the final switch pops the label before the last output —
+  /// set when the flow leaves this controller's region or the network.
+  bool pop_at_exit = true;
+
+  // --- recursive label swapping (§4.3) --------------------------------------
+  // Used by RecA when translating a parent's virtual rule onto this
+  // controller's topology: the parent's ("outer") label is popped where the
+  // flow enters the region and pushed back where it leaves, so each packet
+  // carries at most one label on any physical link.
+  /// Pop the incoming outer label at the first switch (its value is the
+  /// classifier's label match).
+  bool outer_pop = false;
+  /// Push this outer label at the last switch, after popping the local one.
+  std::optional<Label> outer_push;
+  /// Label-*stacking* baseline (§4.3 strawman): push these outer labels (in
+  /// order, bottom first) at the first switch *under* the local label
+  /// instead of swapping. Mutually exclusive with outer_pop/outer_push.
+  std::vector<Label> push_under;
+  /// Stacking baseline: after popping the local label at the exit, also pop
+  /// this many outer labels beneath it (translates parent rules that pop).
+  int extra_pops_at_exit = 0;
+};
+
+struct InstalledPath {
+  PathId id;
+  Label label;
+  dataplane::Match classifier;
+  ComputedRoute route;
+  PathSetupOptions options;
+  bool active = true;
+  /// (switch, cookie) per installed rule, for teardown.
+  std::vector<std::pair<SwitchId, std::uint64_t>> rules;
+  /// Link endpoints holding a bandwidth reservation for this path.
+  std::vector<Endpoint> reserved_links;
+  /// Middleboxes whose utilization this path raised (by capacity fraction).
+  std::vector<std::pair<MiddleboxId, double>> reserved_middleboxes;
+};
+
+/// True iff every link and port a route relies on is still present and up in
+/// `nib` (§6: after failures, "the controller finds affected local paths and
+/// implements alternative shortest paths").
+[[nodiscard]] bool route_intact(const Nib& nib, const ComputedRoute& route);
+
+class PathImplementer {
+ public:
+  /// `controller_tag` partitions the label space between controllers so a
+  /// label read in a trace identifies its owner; `level` is stamped into
+  /// labels for the single-label-invariant audit. `nib` (optional) enables
+  /// bandwidth/middlebox admission bookkeeping.
+  PathImplementer(DeviceBus* bus, std::uint32_t controller_tag, std::uint8_t level,
+                  Nib* nib = nullptr)
+      : bus_(bus), nib_(nib), controller_tag_(controller_tag & 0x7ff), level_(level) {}
+
+  /// Implements `route` for flows matching `classifier`. Returns the path ID.
+  Result<PathId> setup(const ComputedRoute& route, dataplane::Match classifier,
+                       PathSetupOptions options = {});
+
+  /// Removes every rule of the path and forgets it.
+  Result<void> deactivate(PathId id);
+  /// Re-installs a deactivated path (bearer re-activation).
+  Result<void> reactivate(PathId id);
+
+  [[nodiscard]] const InstalledPath* path(PathId id) const;
+  [[nodiscard]] std::vector<PathId> paths() const;
+  [[nodiscard]] std::size_t active_count() const;
+
+  /// Labels allocated so far (monotone; labels are not recycled).
+  [[nodiscard]] std::uint64_t labels_allocated() const { return next_label_; }
+
+ private:
+  Label allocate_label();
+  std::uint64_t allocate_cookie() { return next_cookie_++; }
+  Result<void> install_rules(InstalledPath& p);
+  Result<void> acquire_resources(InstalledPath& p);
+  void release_resources(InstalledPath& p);
+
+  DeviceBus* bus_;
+  Nib* nib_;
+  std::uint32_t controller_tag_;
+  std::uint8_t level_;
+  std::uint64_t next_label_ = 1;
+  std::uint64_t next_cookie_ = 1;
+  std::uint64_t next_path_ = 1;
+  std::map<PathId, InstalledPath> paths_;
+};
+
+}  // namespace softmow::nos

@@ -1,0 +1,222 @@
+#include "reca/controller.h"
+
+#include "core/log.h"
+
+namespace softmow::reca {
+
+using southbound::AppMessage;
+using southbound::Channel;
+using southbound::DiscoveryPayload;
+using southbound::Message;
+
+Controller::Controller(ControllerId id, int level, std::string name, LabelMode label_mode)
+    : id_(id),
+      level_(level),
+      name_(name.empty() ? id.str() : std::move(name)),
+      routing_(&nib_),
+      paths_(this, static_cast<std::uint32_t>(id.value),
+             static_cast<std::uint8_t>(level), &nib_),
+      discovery_(id, &nib_, this),
+      abstraction_(id, level, &nib_, &routing_),
+      reca_(RecAAgent::Services{id, level, &nib_, &routing_, &paths_, this, &abstraction_},
+            label_mode) {
+  nib_.subscribe([this] { abstraction_.mark_dirty(); });
+}
+
+void Controller::adopt_physical_switch(southbound::Hub& hub, SwitchId sw,
+                                       dataplane::ControllerRole role) {
+  auto channel = std::make_unique<Channel>(&hub.counter());
+  Channel* ch = channel.get();
+  owned_channels_.push_back(std::move(channel));
+  ch->bind_controller([this, ch](const Message& m) { handle_device_message(ch, m); });
+  southbound::SwitchAgent* agent = hub.agent(sw);
+  agent->connect(id_, ch, role);  // triggers Hello -> FeaturesRequest
+}
+
+void Controller::release_physical_switch(southbound::Hub& hub, SwitchId sw) {
+  if (southbound::SwitchAgent* agent = hub.agent(sw)) agent->disconnect(id_);
+  device_channels_.erase(sw);
+  nib_.remove_switch(sw);
+}
+
+void Controller::adopt_child(Controller& child) {
+  auto channel = std::make_unique<Channel>();
+  Channel* ch = channel.get();
+  owned_channels_.push_back(std::move(channel));
+  ch->bind_controller([this, ch](const Message& m) { handle_device_message(ch, m); });
+  child_by_gswitch_[child.abstraction().gswitch_id()] = &child;
+  child.reca().connect_to_parent(ch);  // triggers Hello -> FeaturesRequest
+}
+
+std::vector<SwitchId> Controller::devices() const {
+  std::vector<SwitchId> out;
+  out.reserve(device_channels_.size());
+  for (const auto& [sw, ch] : device_channels_) out.push_back(sw);
+  return out;
+}
+
+Controller* Controller::child_by_gswitch(SwitchId gswitch) const {
+  auto it = child_by_gswitch_.find(gswitch);
+  return it == child_by_gswitch_.end() ? nullptr : it->second;
+}
+
+std::vector<Controller*> Controller::children() const {
+  std::vector<Controller*> out;
+  for (const auto& [gs, c] : child_by_gswitch_) out.push_back(c);
+  return out;
+}
+
+Result<void> Controller::send(SwitchId sw, const Message& msg) {
+  auto it = device_channels_.find(sw);
+  if (it == device_channels_.end())
+    return {ErrorCode::kNotFound, name_ + " has no device " + sw.str()};
+  it->second->send_to_device(msg);
+  return Ok();
+}
+
+std::pair<std::size_t, std::size_t> Controller::repair_paths() {
+  std::size_t repaired = 0, failed = 0;
+  for (PathId id : paths_.paths()) {
+    const nos::InstalledPath* installed = paths_.path(id);
+    if (installed == nullptr || !installed->active) continue;
+    if (nos::route_intact(nib_, installed->route)) continue;
+
+    nos::RoutingRequest request;
+    request.source = installed->route.source;
+    if (installed->route.internet_bound()) {
+      request.dst_prefix = installed->route.prefix;  // may pick a new egress
+    } else {
+      request.dst = installed->route.exit;
+    }
+    auto route = routing_.route(request);
+    dataplane::Match classifier = installed->classifier;
+    nos::PathSetupOptions options = installed->options;
+    (void)paths_.deactivate(id);
+    if (!route.ok()) {
+      ++failed;
+      continue;
+    }
+    auto replacement = paths_.setup(*route, std::move(classifier), options);
+    if (replacement.ok()) ++repaired;
+    else ++failed;
+  }
+  return {repaired, failed};
+}
+
+void Controller::refresh_abstraction() {
+  abstraction_.refresh();
+  reca_.announce();
+}
+
+void Controller::register_child_app_handler(std::string type, ChildAppHandler h) {
+  child_app_handlers_[std::move(type)] = std::move(h);
+}
+
+std::uint64_t Controller::send_app_request(
+    SwitchId child_gswitch, AppMessage msg,
+    std::function<void(const southbound::AppMessage&)> on_response) {
+  msg.request_id = next_request_++;
+  msg.is_response = false;
+  if (on_response) pending_child_requests_[msg.request_id] = std::move(on_response);
+  (void)send(child_gswitch, msg);
+  return msg.request_id;
+}
+
+void Controller::send_app_response(SwitchId child_gswitch, std::uint64_t request_id,
+                                   AppMessage response) {
+  response.request_id = request_id;
+  response.is_response = true;
+  (void)send(child_gswitch, response);
+}
+
+void Controller::handle_device_message(Channel* ch, const Message& msg) {
+  ++messages_handled_;
+
+  if (const auto* hello = std::get_if<southbound::Hello>(&msg)) {
+    device_channels_[hello->sw] = ch;
+    discovery_.on_hello(hello->sw);
+    return;
+  }
+  if (const auto* features = std::get_if<southbound::FeaturesReply>(&msg)) {
+    discovery_.on_features_reply(*features);
+    return;
+  }
+  if (const auto* in = std::get_if<southbound::PacketIn>(&msg)) {
+    if (const auto* disc = std::get_if<DiscoveryPayload>(&in->body)) {
+      DiscoveryPayload payload = *disc;
+      Endpoint at{in->sw, in->in_port};
+      switch (discovery_.on_discovery_packet_in(at, payload)) {
+        case nos::DiscoveryVerdict::kConsumed:
+        case nos::DiscoveryVerdict::kDrop:
+          return;
+        case nos::DiscoveryVerdict::kForward:
+          discovery_.stats_mutable().frames_forwarded_up++;
+          reca_.forward_discovery_up(at, std::move(payload));
+          return;
+      }
+      return;
+    }
+    if (const auto* pkt = std::get_if<Packet>(&in->body)) {
+      if (packet_in_handler_) packet_in_handler_(in->sw, in->in_port, *pkt);
+      return;
+    }
+    return;
+  }
+  if (const auto* gbs = std::get_if<southbound::GBsAnnounce>(&msg)) {
+    nib_.upsert_gbs(*gbs);
+    return;
+  }
+  if (const auto* gmb = std::get_if<southbound::GMiddleboxAnnounce>(&msg)) {
+    nib_.upsert_middlebox(*gmb);
+    return;
+  }
+  if (const auto* vf = std::get_if<southbound::VFabricUpdate>(&msg)) {
+    (void)nib_.set_vfabric(vf->sw, vf->entries);
+    return;
+  }
+  if (const auto* status = std::get_if<southbound::PortStatus>(&msg)) {
+    if (nos::SwitchRecord* rec = nib_.sw_mutable(status->sw)) {
+      Endpoint at{status->sw, status->desc.port};
+      if (status->reason == southbound::PortStatus::Reason::kDelete) {
+        rec->ports.erase(status->desc.port);
+        nib_.remove_links_at(at);
+      } else {
+        rec->ports[status->desc.port] = status->desc;
+        // §6: a link failure is visible to the controller that discovered
+        // the link; mark it unusable so routing avoids it immediately.
+        nib_.set_links_at_up(at, status->desc.up);
+      }
+      abstraction_.mark_dirty();
+    }
+    return;
+  }
+  if (const auto* app = std::get_if<AppMessage>(&msg)) {
+    if (app->is_response) {
+      auto it = pending_child_requests_.find(app->request_id);
+      if (it != pending_child_requests_.end()) {
+        auto cb = std::move(it->second);
+        pending_child_requests_.erase(it);
+        cb(*app);
+      }
+      return;
+    }
+    auto it = child_app_handlers_.find(app->type);
+    SwitchId from;
+    for (const auto& [sw, channel] : device_channels_) {
+      if (channel == ch) {
+        from = sw;
+        break;
+      }
+    }
+    if (it != child_app_handlers_.end()) {
+      it->second(from, *app);
+    } else {
+      SOFTMOW_LOG(LogLevel::kWarn, "controller")
+          << name_ << " no handler for child app message '" << app->type << "'";
+    }
+    return;
+  }
+  // RoleReply / BarrierReply / EchoReply and others need no action here.
+}
+
+}  // namespace softmow::reca

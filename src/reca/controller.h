@@ -1,0 +1,146 @@
+// A SoftMoW controller (paper §3.3, Figure 2): NOS core services (NIB,
+// topology discovery, routing, path implementation) composed with the RecA
+// application. Operator applications (mobility, region optimization,
+// interdomain routing) attach on top via the northbound/eastbound APIs.
+//
+// The same class serves every level of the hierarchy:
+//   * a leaf controller adopts physical switches (through SwitchAgents);
+//   * a non-leaf controller adopts child controllers, whose RecA agents
+//     expose one G-switch each;
+//   * any non-root controller connects to its parent via its own RecA.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "nos/device_bus.h"
+#include "nos/discovery.h"
+#include "nos/nib.h"
+#include "nos/path_impl.h"
+#include "nos/routing.h"
+#include "reca/abstraction.h"
+#include "reca/agent.h"
+#include "southbound/channel.h"
+#include "southbound/switch_agent.h"
+
+namespace softmow::reca {
+
+class Controller : public nos::DeviceBus {
+ public:
+  Controller(ControllerId id, int level, std::string name = {},
+             LabelMode label_mode = LabelMode::kSwapping);
+
+  [[nodiscard]] ControllerId id() const { return id_; }
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool is_leaf() const { return level_ == 1; }
+
+  // --- services --------------------------------------------------------------
+  nos::Nib& nib() { return nib_; }
+  [[nodiscard]] const nos::Nib& nib() const { return nib_; }
+  nos::RoutingService& routing() { return routing_; }
+  nos::PathImplementer& paths() { return paths_; }
+  nos::DiscoveryModule& discovery() { return discovery_; }
+  TopologyAbstraction& abstraction() { return abstraction_; }
+  RecAAgent& reca() { return reca_; }
+
+  // --- device adoption --------------------------------------------------------
+  /// Leaf only: takes (master) control of a physical switch through the hub.
+  void adopt_physical_switch(southbound::Hub& hub, SwitchId sw,
+                             dataplane::ControllerRole role = dataplane::ControllerRole::kMaster);
+  /// Releases a physical switch (used during region reconfiguration).
+  void release_physical_switch(southbound::Hub& hub, SwitchId sw);
+  /// Non-leaf: adopts `child` as a logical device (its G-switch).
+  void adopt_child(Controller& child);
+  [[nodiscard]] std::vector<SwitchId> devices() const;
+  /// Maps a child G-switch back to the child controller adopted earlier.
+  [[nodiscard]] Controller* child_by_gswitch(SwitchId gswitch) const;
+  [[nodiscard]] std::vector<Controller*> children() const;
+
+  // --- DeviceBus ----------------------------------------------------------------
+  Result<void> send(SwitchId sw, const southbound::Message& msg) override;
+
+  // --- northbound API (§4) -----------------------------------------------------
+  /// (path, match fields) = Routing(request, service policy) — §4.2.
+  Result<nos::ComputedRoute> compute_route(const nos::RoutingRequest& request) {
+    return routing_.route(request);
+  }
+  /// PathSetup(match fields, path) — §4.3. Reservation-carrying setups may
+  /// trigger a threshold-based vFabric update to the parent (§3.2).
+  Result<PathId> path_setup(const nos::ComputedRoute& route, dataplane::Match match,
+                            nos::PathSetupOptions options = {}) {
+    auto result = paths_.setup(route, std::move(match), options);
+    if (options.reserve_kbps > 0) reca_.maybe_announce_vfabric();
+    return result;
+  }
+  Result<void> deactivate_path(PathId id) {
+    const nos::InstalledPath* installed = paths_.path(id);
+    bool reserved = installed != nullptr && installed->options.reserve_kbps > 0;
+    auto result = paths_.deactivate(id);
+    if (reserved) reca_.maybe_announce_vfabric();
+    return result;
+  }
+
+  /// Runs one round of link discovery over the current NIB (§4.1.2).
+  void run_link_discovery() { discovery_.run_link_discovery(); }
+  /// §6 failure recovery: finds active paths broken by link/port failures
+  /// and re-implements each over an alternative route with the same
+  /// classifier and options. Returns (repaired, irreparable).
+  std::pair<std::size_t, std::size_t> repair_paths();
+  /// Recomputes the abstraction and announces changes to the parent.
+  void refresh_abstraction();
+
+  // --- application attachment ----------------------------------------------------
+  /// Handler for data-packet PacketIns (table misses / explicit punts).
+  using PacketInHandler = std::function<void(SwitchId sw, PortId in_port, const Packet&)>;
+  void set_packet_in_handler(PacketInHandler h) { packet_in_handler_ = std::move(h); }
+
+  /// Registers an operator application for AppMessages of `type` arriving
+  /// from children. The handler receives the child G-switch and the message.
+  using ChildAppHandler =
+      std::function<void(SwitchId child_gswitch, const southbound::AppMessage&)>;
+  void register_child_app_handler(std::string type, ChildAppHandler h);
+
+  /// Sends an application request down to a child; `on_response` fires when
+  /// the child responds (matched by request id).
+  std::uint64_t send_app_request(SwitchId child_gswitch, southbound::AppMessage msg,
+                                 std::function<void(const southbound::AppMessage&)> on_response);
+  /// Responds to a request previously received from a child.
+  void send_app_response(SwitchId child_gswitch, std::uint64_t request_id,
+                         southbound::AppMessage response);
+
+  /// Messages processed by this controller (Fig. 10 queuing-delay input).
+  [[nodiscard]] std::uint64_t messages_handled() const { return messages_handled_; }
+
+ private:
+  void handle_device_message(southbound::Channel* ch, const southbound::Message& msg);
+
+  ControllerId id_;
+  int level_;
+  std::string name_;
+
+  nos::Nib nib_;
+  nos::RoutingService routing_;
+  nos::PathImplementer paths_;
+  nos::DiscoveryModule discovery_;
+  TopologyAbstraction abstraction_;
+  RecAAgent reca_;
+
+  std::vector<std::unique_ptr<southbound::Channel>> owned_channels_;
+  std::map<SwitchId, southbound::Channel*> device_channels_;
+  std::map<SwitchId, Controller*> child_by_gswitch_;
+
+  PacketInHandler packet_in_handler_;
+  std::map<std::string, ChildAppHandler> child_app_handlers_;
+  std::uint64_t next_request_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(const southbound::AppMessage&)>>
+      pending_child_requests_;
+  std::uint64_t messages_handled_ = 0;
+};
+
+}  // namespace softmow::reca

@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softmow::sim {
+
+void Simulator::schedule(Duration delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(TimePoint when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out, so copy
+  // the event and pop. Callbacks are cheap to move but top() forbids it —
+  // use const_cast-free approach: take a copy of the shared_ptr-free functor.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+TimePoint QueueingStation::submit(TimePoint arrival) {
+  return submit(arrival, service_time_);
+}
+
+TimePoint QueueingStation::submit(TimePoint arrival, Duration service) {
+  TimePoint start = arrival > busy_until_ ? arrival : busy_until_;
+  total_wait_ += start - arrival;
+  busy_until_ = start + service;
+  ++processed_;
+  return busy_until_;
+}
+
+void QueueingStation::reset() {
+  busy_until_ = TimePoint::zero();
+  processed_ = 0;
+  total_wait_ = Duration{};
+}
+
+}  // namespace softmow::sim

@@ -1,0 +1,84 @@
+// Discrete-event simulator driving every timing experiment (notably the
+// Fig. 10 discovery-convergence comparison, which depends on controller
+// queuing delay, the effect the paper identifies as dominant).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace softmow::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run `delay` after the current time. Events scheduled
+  /// for the same instant run in scheduling order (stable FIFO).
+  void schedule(Duration delay, Callback fn);
+  void schedule_at(TimePoint when, Callback fn);
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+  /// Runs events with time <= deadline; leaves later events queued.
+  std::uint64_t run_until(TimePoint deadline);
+  /// Executes exactly one event if any.
+  bool step();
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// Single-server FIFO queue with deterministic service times — the model of
+/// a controller's message-processing pipeline. The paper (§7.3) attributes
+/// the discovery-convergence gap to queuing delay proportional to the number
+/// of ports and links a controller must process; this station reproduces
+/// exactly that: completion = max(arrival, last_completion) + service.
+class QueueingStation {
+ public:
+  explicit QueueingStation(Duration service_time) : service_time_(service_time) {}
+
+  /// Registers a message arriving at `arrival`; returns its completion time.
+  TimePoint submit(TimePoint arrival);
+  /// Same, with an explicit per-message service time.
+  TimePoint submit(TimePoint arrival, Duration service);
+
+  [[nodiscard]] Duration service_time() const { return service_time_; }
+  [[nodiscard]] TimePoint busy_until() const { return busy_until_; }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  /// Total time messages spent waiting (not being served).
+  [[nodiscard]] Duration total_wait() const { return total_wait_; }
+
+  void reset();
+
+ private:
+  Duration service_time_;
+  TimePoint busy_until_ = TimePoint::zero();
+  std::uint64_t processed_ = 0;
+  Duration total_wait_;
+};
+
+}  // namespace softmow::sim

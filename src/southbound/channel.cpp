@@ -1,0 +1,68 @@
+#include "southbound/channel.h"
+
+#include "core/log.h"
+
+namespace softmow::southbound {
+
+const char* message_name(const Message& m) {
+  struct Visitor {
+    const char* operator()(const Hello&) { return "hello"; }
+    const char* operator()(const FeaturesRequest&) { return "features-request"; }
+    const char* operator()(const FeaturesReply&) { return "features-reply"; }
+    const char* operator()(const GBsAnnounce&) { return "gbs-announce"; }
+    const char* operator()(const GMiddleboxAnnounce&) { return "gmb-announce"; }
+    const char* operator()(const FlowMod&) { return "flow-mod"; }
+    const char* operator()(const PacketOut&) { return "packet-out"; }
+    const char* operator()(const PacketIn&) { return "packet-in"; }
+    const char* operator()(const PortStatus&) { return "port-status"; }
+    const char* operator()(const RoleRequest&) { return "role-request"; }
+    const char* operator()(const RoleReply&) { return "role-reply"; }
+    const char* operator()(const BarrierRequest&) { return "barrier-request"; }
+    const char* operator()(const BarrierReply&) { return "barrier-reply"; }
+    const char* operator()(const EchoRequest&) { return "echo-request"; }
+    const char* operator()(const EchoReply&) { return "echo-reply"; }
+    const char* operator()(const AppMessage& a) { return a.is_response ? "app-response" : "app-request"; }
+    const char* operator()(const VFabricUpdate&) { return "vfabric-update"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+void Channel::send_to_device(Message m) {
+  if (!connected_) return;
+  ++sent_to_device_;
+  if (counter_ != nullptr) ++counter_->to_device;
+  pending_.emplace_back(std::move(m), true);
+  pump();
+}
+
+void Channel::send_to_controller(Message m) {
+  if (!connected_) return;
+  ++sent_to_controller_;
+  if (counter_ != nullptr) ++counter_->to_controller;
+  pending_.emplace_back(std::move(m), false);
+  pump();
+}
+
+void Channel::pump() {
+  if (pumping_) return;  // already draining higher in the stack
+  pumping_ = true;
+  while (!pending_.empty() && connected_) {
+    auto [msg, to_device] = std::move(pending_.front());
+    pending_.pop_front();
+    Handler& h = to_device ? to_device_ : to_controller_;
+    if (h) {
+      h(msg);
+    } else {
+      SOFTMOW_LOG(LogLevel::kDebug, "channel")
+          << "dropping " << message_name(msg) << " (no handler bound)";
+    }
+  }
+  pumping_ = false;
+}
+
+void Channel::disconnect() {
+  connected_ = false;
+  pending_.clear();
+}
+
+}  // namespace softmow::southbound

@@ -1,0 +1,70 @@
+// Bidirectional control channel between a controller and a device (physical
+// switch agent or child RecA agent).
+//
+// Delivery is queued-and-flattened: a handler that sends further messages
+// never recurses into nested delivery; messages drain FIFO per channel. A
+// global MessageCounter tallies control-plane message volume — the
+// "east-west" load the region optimization of §5.3 minimizes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "southbound/messages.h"
+
+namespace softmow::southbound {
+
+/// Receives messages arriving at one side of a channel.
+using Handler = std::function<void(const Message&)>;
+
+/// Counts messages by direction; shared by all channels of one experiment.
+struct MessageCounter {
+  std::uint64_t to_device = 0;
+  std::uint64_t to_controller = 0;
+  [[nodiscard]] std::uint64_t total() const { return to_device + to_controller; }
+};
+
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(MessageCounter* counter) : counter_(counter) {}
+
+  /// Installs the controller-side handler (receives device -> controller).
+  void bind_controller(Handler h) { to_controller_ = std::move(h); }
+  /// Installs the device-side handler (receives controller -> device).
+  void bind_device(Handler h) { to_device_ = std::move(h); }
+
+  [[nodiscard]] bool controller_bound() const { return static_cast<bool>(to_controller_); }
+  [[nodiscard]] bool device_bound() const { return static_cast<bool>(to_device_); }
+
+  /// Controller -> device.
+  void send_to_device(Message m);
+  /// Device -> controller.
+  void send_to_controller(Message m);
+
+  /// Drops all undelivered messages (used by failure-injection tests).
+  void disconnect();
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  [[nodiscard]] std::uint64_t sent_to_device() const { return sent_to_device_; }
+  [[nodiscard]] std::uint64_t sent_to_controller() const { return sent_to_controller_; }
+
+ private:
+  void pump();
+
+  Handler to_controller_;
+  Handler to_device_;
+  // Pending (message, deliver-to-device?) pairs.
+  std::deque<std::pair<Message, bool>> pending_;
+  bool pumping_ = false;
+  bool connected_ = true;
+  std::uint64_t sent_to_device_ = 0;
+  std::uint64_t sent_to_controller_ = 0;
+  MessageCounter* counter_ = nullptr;
+};
+
+}  // namespace softmow::southbound

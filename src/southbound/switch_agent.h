@@ -1,0 +1,89 @@
+// Device-side southbound endpoint for a *physical* switch: translates
+// southbound messages into data-plane operations and punts data-plane events
+// back to the switch's controllers according to their roles.
+//
+// The Hub is the per-experiment registry tying agents together: when a frame
+// or packet leaves one switch over a physical link, the Hub routes the
+// resulting event to the receiving switch's agent and hence its controllers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/network.h"
+#include "southbound/channel.h"
+#include "southbound/messages.h"
+
+namespace softmow::southbound {
+
+class SwitchAgent;
+
+/// Registry of switch agents over one physical network.
+class Hub {
+ public:
+  explicit Hub(dataplane::PhysicalNetwork* net) : net_(net) {
+    // Surface link up/down transitions to both endpoints' controllers as
+    // PortStatus events (§6 switch and link failure recovery).
+    net_->set_link_observer([this](const dataplane::Link& link, bool up) {
+      notify_port_status(link.a, up);
+      notify_port_status(link.b, up);
+    });
+  }
+
+  /// Creates (or returns) the agent for `sw`.
+  SwitchAgent* agent(SwitchId sw);
+  [[nodiscard]] dataplane::PhysicalNetwork* net() { return net_; }
+  [[nodiscard]] MessageCounter& counter() { return counter_; }
+
+  /// Punts every PacketIn captured in a delivery report to the controllers
+  /// of the switch that generated it.
+  void deliver_packet_ins(const dataplane::DeliveryReport& report);
+
+ private:
+  void notify_port_status(Endpoint at, bool up);
+
+  dataplane::PhysicalNetwork* net_;
+  std::unordered_map<SwitchId, std::unique_ptr<SwitchAgent>> agents_;
+  MessageCounter counter_;
+};
+
+class SwitchAgent {
+ public:
+  SwitchAgent(Hub* hub, SwitchId sw);
+
+  [[nodiscard]] SwitchId switch_id() const { return sw_; }
+
+  /// Connects a controller over `channel` with the given role. Binds the
+  /// device side of the channel and sends Hello to the controller.
+  void connect(ControllerId controller, Channel* channel,
+               dataplane::ControllerRole role = dataplane::ControllerRole::kMaster);
+  void disconnect(ControllerId controller);
+
+  /// Entry point for controller -> device messages.
+  void handle(const Message& msg);
+
+  /// A frame (discovery payload) physically arrived at `at` on this switch:
+  /// forward it to the master/equal controllers as a PacketIn (§4.1.2
+  /// "when a switch receives a discovery message, it forwards the message to
+  /// the controller").
+  void receive_frame(Endpoint at, const DiscoveryPayload& payload);
+
+  /// Punts a data-plane PacketIn event (table miss / explicit punt).
+  void punt(const dataplane::PacketInEvent& ev);
+
+  /// Reports a port transition to the controllers (§6).
+  void send_port_status(const PortStatus& status) { send_to_controllers(status); }
+
+ private:
+  [[nodiscard]] dataplane::Switch* sw_ptr();
+  void send_to_controllers(const Message& msg);
+  [[nodiscard]] std::vector<PortDesc> port_descs() const;
+
+  Hub* hub_;
+  SwitchId sw_;
+  std::map<ControllerId, Channel*> channels_;
+};
+
+}  // namespace softmow::southbound

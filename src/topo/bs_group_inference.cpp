@@ -1,0 +1,99 @@
+#include "topo/bs_group_inference.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace softmow::topo {
+
+namespace {
+
+/// Connected components of an undirected adjacency restricted to `alive`.
+std::vector<std::vector<BsId>> components(
+    const std::map<BsId, std::set<BsId>>& adjacency, const std::set<BsId>& alive) {
+  std::vector<std::vector<BsId>> out;
+  std::set<BsId> seen;
+  for (BsId start : alive) {
+    if (seen.contains(start)) continue;
+    std::vector<BsId> component;
+    std::vector<BsId> stack{start};
+    seen.insert(start);
+    while (!stack.empty()) {
+      BsId node = stack.back();
+      stack.pop_back();
+      component.push_back(node);
+      auto it = adjacency.find(node);
+      if (it == adjacency.end()) continue;
+      for (BsId next : it->second) {
+        if (alive.contains(next) && seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    out.push_back(std::move(component));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<InferredGroup> infer_bs_groups(const WeightedAdjacency<BsId>& graph,
+                                           const InferenceParams& params) {
+  // Working copies: edge list sorted ascending by weight (removal order) and
+  // a mutable adjacency.
+  auto edges = graph.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::map<BsId, std::set<BsId>> adjacency;
+  std::set<BsId> alive(graph.nodes().begin(), graph.nodes().end());
+  for (const auto& [key, w] : edges) {
+    adjacency[key.first].insert(key.second);
+    adjacency[key.second].insert(key.first);
+  }
+
+  std::vector<InferredGroup> groups;
+  auto freeze_small_components = [&] {
+    for (auto& component : components(adjacency, alive)) {
+      if (component.size() > params.max_group_size) continue;
+      for (BsId bs : component) {
+        alive.erase(bs);
+        for (BsId peer : adjacency[bs]) adjacency[peer].erase(bs);
+        adjacency.erase(bs);
+      }
+      groups.push_back(InferredGroup{std::move(component)});
+    }
+  };
+
+  freeze_small_components();  // isolated stations / tiny islands up front
+  for (const auto& [key, w] : edges) {
+    if (alive.empty()) break;
+    auto [a, b] = key;
+    if (!alive.contains(a) || !alive.contains(b)) continue;  // already frozen
+    adjacency[a].erase(b);
+    adjacency[b].erase(a);
+    freeze_small_components();
+  }
+  // Any survivors (cannot happen: a graph with no edges has singleton
+  // components) — freeze defensively.
+  freeze_small_components();
+  return groups;
+}
+
+double intra_group_weight_fraction(const WeightedAdjacency<BsId>& graph,
+                                   const std::vector<InferredGroup>& groups) {
+  double total = graph.total_weight();
+  if (total <= 0) return 1.0;
+  std::map<BsId, std::size_t> group_of;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (BsId bs : groups[i].members) group_of[bs] = i;
+  }
+  double intra = 0;
+  for (const auto& [key, w] : graph.edges()) {
+    auto a = group_of.find(key.first);
+    auto b = group_of.find(key.second);
+    if (a != group_of.end() && b != group_of.end() && a->second == b->second) intra += w;
+  }
+  return intra / total;
+}
+
+}  // namespace softmow::topo

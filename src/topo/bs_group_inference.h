@@ -1,0 +1,33 @@
+// BS-group inference (paper §7.1): the dataset has no BS-group structure,
+// so groups of at most 6 base stations are inferred from the base-station
+// handover graph by a greedy algorithm that maximizes intra-group handover
+// weight: repeatedly remove the lowest-weight edge and freeze every
+// connected component that has shrunk to <= max_group_size stations.
+#pragma once
+
+#include <vector>
+
+#include "core/ids.h"
+#include "core/weighted_adjacency.h"
+
+namespace softmow::topo {
+
+struct InferredGroup {
+  std::vector<BsId> members;
+};
+
+struct InferenceParams {
+  std::size_t max_group_size = 6;  ///< §7.1: "at most 6 inferred base stations"
+};
+
+/// Runs the §7.1 greedy inference. Every base station in `graph` (including
+/// isolated ones) ends up in exactly one group.
+[[nodiscard]] std::vector<InferredGroup> infer_bs_groups(
+    const WeightedAdjacency<BsId>& graph, const InferenceParams& params = {});
+
+/// Share of total handover weight that is intra-group under `groups` — the
+/// objective the inference maximizes.
+[[nodiscard]] double intra_group_weight_fraction(const WeightedAdjacency<BsId>& graph,
+                                                 const std::vector<InferredGroup>& groups);
+
+}  // namespace softmow::topo

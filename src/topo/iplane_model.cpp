@@ -1,0 +1,60 @@
+#include "topo/iplane_model.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace softmow::topo {
+
+IPlaneModel::IPlaneModel(const dataplane::PhysicalNetwork& net, IPlaneParams params)
+    : net_(&net), params_(params) {
+  Rng rng(params_.seed);
+  double world = params_.extent * params_.world_scale;
+  double offset = (world - params_.extent) / 2.0;
+  prefix_location_.reserve(params_.prefixes);
+  prefix_base_.reserve(params_.prefixes);
+  for (std::size_t p = 0; p < params_.prefixes; ++p) {
+    prefix_location_.push_back(dataplane::GeoPoint{rng.uniform(-offset, world - offset),
+                                                   rng.uniform(-offset, world - offset)});
+    prefix_base_.push_back(rng.uniform(0.0, 4.0));  // per-destination AS-path spread
+  }
+}
+
+std::vector<PrefixId> IPlaneModel::prefixes() const {
+  std::vector<PrefixId> out;
+  out.reserve(prefix_location_.size());
+  for (std::size_t p = 0; p < prefix_location_.size(); ++p) out.push_back(PrefixId{p});
+  return out;
+}
+
+namespace {
+/// Deterministic noise in [0, 1) from (egress, prefix, snapshot) — replaying
+/// a snapshot reproduces exactly the same routes.
+double hash_noise(std::uint64_t egress, std::uint64_t prefix, std::uint64_t snapshot) {
+  std::uint64_t x = egress * 0x9e3779b97f4a7c15ull ^ prefix * 0xc2b2ae3d27d4eb4full ^
+                    (snapshot + 1) * 0x165667b19e3779f9ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) / 9007199254740992.0;  // 53-bit mantissa
+}
+}  // namespace
+
+std::optional<apps::ExternalCost> IPlaneModel::cost(EgressId egress, PrefixId prefix) const {
+  if (!prefix.valid() || prefix.value >= prefix_location_.size()) return std::nullopt;
+  const dataplane::EgressPoint* point = net_->egress(egress);
+  if (point == nullptr) return std::nullopt;
+
+  double d = dataplane::distance(point->location, prefix_location_[prefix.value]);
+  double noise = hash_noise(egress.value, prefix.value, static_cast<std::uint64_t>(snapshot_));
+  double hops = params_.base_hops + prefix_base_[prefix.value] +
+                params_.hops_per_unit * d + noise * 3.0;
+  double latency = hops * params_.latency_per_hop_us *
+                   (0.8 + 0.4 * hash_noise(prefix.value, egress.value,
+                                           static_cast<std::uint64_t>(snapshot_)));
+  return apps::ExternalCost{hops, latency};
+}
+
+}  // namespace softmow::topo

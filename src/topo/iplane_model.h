@@ -1,0 +1,51 @@
+// Synthetic iPlane model (paper §7.2: "To model egress points, we use
+// iPlane consisting of traceroute information from PlanetLab nodes to
+// Internet destinations. To consider routing changes, we replay the hop
+// counts and latencies from multiple snapshots.")
+//
+// Each destination prefix gets a virtual location on a world plane larger
+// than the WAN; the external cost from an egress point is distance-
+// correlated with deterministic per-(egress, prefix, snapshot) noise, so
+// different egress points genuinely differ per destination and successive
+// snapshots model route churn without storing any table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/interdomain.h"
+#include "dataplane/network.h"
+
+namespace softmow::topo {
+
+struct IPlaneParams {
+  std::size_t prefixes = 11590;   ///< §7.2: destinations on the Internet
+  double extent = 100.0;          ///< WAN plane size
+  double world_scale = 4.0;       ///< Internet plane is world_scale x larger
+  double base_hops = 5.0;         ///< AS-path floor
+  double hops_per_unit = 0.03;    ///< distance -> hop coupling
+  double latency_per_hop_us = 2000.0;  ///< ~2 ms per external hop
+  std::uint64_t seed = 23;
+};
+
+class IPlaneModel final : public apps::ExternalPathProvider {
+ public:
+  IPlaneModel(const dataplane::PhysicalNetwork& net, IPlaneParams params);
+
+  [[nodiscard]] std::vector<PrefixId> prefixes() const override;
+  [[nodiscard]] std::optional<apps::ExternalCost> cost(EgressId egress,
+                                                       PrefixId prefix) const override;
+
+  /// Selects the route snapshot replayed by subsequent cost() calls.
+  void set_snapshot(int snapshot) { snapshot_ = snapshot; }
+  [[nodiscard]] int snapshot() const { return snapshot_; }
+
+ private:
+  const dataplane::PhysicalNetwork* net_;
+  IPlaneParams params_;
+  std::vector<dataplane::GeoPoint> prefix_location_;
+  std::vector<double> prefix_base_;  ///< per-destination AS-path bias
+  int snapshot_ = 0;
+};
+
+}  // namespace softmow::topo

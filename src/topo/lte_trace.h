@@ -1,0 +1,77 @@
+// Synthetic LTE workload generator.
+//
+// Substitute for the paper's proprietary 1 TB bearer-level trace (§7.1: one
+// week, a large metro area, >1000 base stations, ~1M devices). It produces:
+//   * base stations clustered around metro cores on the WAN plane,
+//   * a BS-level handover graph (geographic gravity model),
+//   * BS groups via the paper's inference algorithm, attached to the WAN,
+//   * per-minute event bins over the experiment window — bearer arrivals,
+//     UE arrivals and group-to-group handovers — with a diurnal profile
+//     calibrated to the magnitudes of Fig. 11 (per-leaf bearer arrivals up
+//     to ~1e5/min, UE arrivals 1000–3000/min, handovers 1000–4000/min with
+//     four regions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "core/weighted_adjacency.h"
+#include "dataplane/network.h"
+#include "topo/wan_generator.h"
+
+namespace softmow::topo {
+
+struct LteTraceParams {
+  std::size_t base_stations = 1000;   ///< §7.1 "more than 1000 base stations"
+  std::size_t metro_clusters = 12;
+  double extent = 100.0;              ///< must match the WAN plane
+  std::uint64_t subscribers = 1'000'000;  ///< informational (rates are explicit)
+  std::size_t duration_minutes = 48 * 60; ///< Fig. 12 window
+  // Network-wide per-minute peak rates (see header comment for calibration).
+  double peak_bearers_per_min = 280'000;
+  double peak_ue_arrivals_per_min = 8'000;
+  double peak_handovers_per_min = 10'000;
+  double offpeak_fraction = 0.35;     ///< trough-to-peak ratio of the diurnal curve
+  std::size_t handover_neighbors = 6; ///< BS-level adjacency degree
+  std::uint64_t seed = 11;
+};
+
+/// One minute of aggregate activity. Group-indexed by position in
+/// LteTrace::groups.
+struct TraceBin {
+  std::vector<std::uint32_t> bearer_arrivals;
+  std::vector<std::uint32_t> ue_arrivals;
+  /// (group index a, group index b, handover count) with a < b.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> handovers;
+
+  [[nodiscard]] std::uint64_t total_bearers() const;
+  [[nodiscard]] std::uint64_t total_ue_arrivals() const;
+  [[nodiscard]] std::uint64_t total_handovers() const;
+};
+
+struct LteTrace {
+  std::vector<BsId> stations;
+  std::vector<BsGroupId> groups;          ///< defines the bin index space
+  std::map<BsGroupId, std::uint32_t> group_index;
+  WeightedAdjacency<BsId> bs_handover_graph;
+  WeightedAdjacency<BsGroupId> group_adjacency;  ///< aggregated from BS level
+  std::vector<TraceBin> bins;             ///< one per minute
+  /// Aggregate control-plane events per group over the whole trace — the
+  /// load input of region optimization's LB/UB constraints (§5.3.1).
+  std::map<BsGroupId, double> group_load;
+
+  /// Diurnal shape value in [offpeak, 1] for a given minute.
+  [[nodiscard]] static double diurnal(double minute_of_day, double offpeak_fraction);
+};
+
+/// Generates stations + groups into `net` (attached to the nearest WAN
+/// switches) and synthesizes the event bins.
+[[nodiscard]] LteTrace generate_lte_trace(dataplane::PhysicalNetwork& net,
+                                          const WanTopology& wan,
+                                          const LteTraceParams& params);
+
+}  // namespace softmow::topo

@@ -1,0 +1,222 @@
+#include "topo/region_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace softmow::topo {
+
+namespace {
+
+std::map<SwitchId, std::vector<SwitchId>> core_adjacency(
+    const dataplane::PhysicalNetwork& net) {
+  std::map<SwitchId, std::vector<SwitchId>> neighbors;
+  for (LinkId id : net.links()) {
+    const dataplane::Link* l = net.link(id);
+    if (net.is_access_switch(l->a.sw) || net.is_access_switch(l->b.sw)) continue;
+    neighbors[l->a.sw].push_back(l->b.sw);
+    neighbors[l->b.sw].push_back(l->a.sw);
+  }
+  return neighbors;
+}
+
+}  // namespace
+
+PartitionResult partition_regions(const dataplane::PhysicalNetwork& net,
+                                  const std::vector<BsGroupId>& groups,
+                                  const std::vector<SwitchId>& switches, std::size_t regions,
+                                  const std::map<BsGroupId, double>& load) {
+  assert(regions > 0);
+
+  // Home every group's load onto its core attach switch; switches without
+  // radio attachments carry a small baseline weight so switch counts stay
+  // comparable too.
+  std::map<SwitchId, double> switch_load;
+  double total_load = 0;
+  for (BsGroupId g : groups) {
+    double l = 1.0;
+    if (auto it = load.find(g); it != load.end()) l = std::max(it->second, 1e-9);
+    switch_load[net.bs_group(g)->core_attach.sw] += l;
+    total_load += l;
+  }
+  double baseline =
+      switches.empty() ? 0.0 : 1.0 * total_load / static_cast<double>(switches.size());
+  auto weight_of = [&](SwitchId s) {
+    auto it = switch_load.find(s);
+    return baseline + (it != switch_load.end() ? it->second : 0.0);
+  };
+
+  // Seeds: spread across the *loaded* part of the fabric (farthest-point
+  // over switches that host radio attachments), so every region owns a
+  // share of the metro and the region borders cut through it — exactly the
+  // §7.1/§7.4 setting where inter-region handovers exist.
+  std::vector<SwitchId> loaded;
+  for (SwitchId s : switches) {
+    if (switch_load.contains(s)) loaded.push_back(s);
+  }
+  if (loaded.empty()) loaded = switches;
+  std::vector<SwitchId> seeds;
+  seeds.push_back(loaded.front());
+  while (seeds.size() < std::min(regions, loaded.size())) {
+    SwitchId best = loaded.front();
+    double best_distance = -1;
+    for (SwitchId candidate : loaded) {
+      double nearest = 1e18;
+      for (SwitchId seed : seeds) {
+        nearest = std::min(nearest, dataplane::distance(net.switch_location(candidate),
+                                                        net.switch_location(seed)));
+      }
+      if (nearest > best_distance) {
+        best_distance = nearest;
+        best = candidate;
+      }
+    }
+    seeds.push_back(best);
+  }
+
+  // Balanced region growing: repeatedly extend the lightest region by the
+  // adjacent unassigned switch nearest to its seed. Regions are connected by
+  // construction and end with similar cellular loads (§7.1).
+  auto neighbors = core_adjacency(net);
+  std::map<SwitchId, std::size_t> region_of;
+  std::vector<double> region_weight(regions, 0.0);
+  std::vector<std::set<SwitchId>> frontier(regions);
+  std::set<SwitchId> unassigned(switches.begin(), switches.end());
+
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    region_of[seeds[r]] = r;
+    region_weight[r] += weight_of(seeds[r]);
+    unassigned.erase(seeds[r]);
+  }
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    for (SwitchId peer : neighbors[seeds[r]]) {
+      if (unassigned.contains(peer)) frontier[r].insert(peer);
+    }
+  }
+
+  while (!unassigned.empty()) {
+    // Lightest region with a live frontier.
+    std::size_t pick = regions;
+    for (std::size_t r = 0; r < regions; ++r) {
+      std::erase_if(frontier[r], [&](SwitchId s) { return !unassigned.contains(s); });
+      if (frontier[r].empty()) continue;
+      if (pick == regions || region_weight[r] < region_weight[pick]) pick = r;
+    }
+    if (pick == regions) {
+      // Disconnected remainder: hand each leftover to the region of any
+      // neighbor, or to the lightest region as a last resort.
+      for (SwitchId s : std::vector<SwitchId>(unassigned.begin(), unassigned.end())) {
+        std::size_t target =
+            static_cast<std::size_t>(std::min_element(region_weight.begin(),
+                                                      region_weight.end()) -
+                                     region_weight.begin());
+        for (SwitchId peer : neighbors[s]) {
+          auto it = region_of.find(peer);
+          if (it != region_of.end()) {
+            target = it->second;
+            break;
+          }
+        }
+        region_of[s] = target;
+        region_weight[target] += weight_of(s);
+        unassigned.erase(s);
+      }
+      break;
+    }
+    // Frontier switch nearest to the region's seed keeps regions compact.
+    SwitchId chosen = *frontier[pick].begin();
+    double best = 1e18;
+    for (SwitchId s : frontier[pick]) {
+      double d = dataplane::distance(net.switch_location(s), net.switch_location(seeds[pick]));
+      if (d < best) {
+        best = d;
+        chosen = s;
+      }
+    }
+    frontier[pick].erase(chosen);
+    unassigned.erase(chosen);
+    region_of[chosen] = pick;
+    region_weight[pick] += weight_of(chosen);
+    for (SwitchId peer : neighbors[chosen]) {
+      if (unassigned.contains(peer)) frontier[pick].insert(peer);
+    }
+  }
+
+  PartitionResult out;
+  out.switch_regions.resize(regions);
+  for (const auto& [sw, r] : region_of) out.switch_regions[r].push_back(sw);
+  out.group_regions.resize(regions);
+  for (BsGroupId g : groups) {
+    auto it = region_of.find(net.bs_group(g)->core_attach.sw);
+    out.group_regions[it != region_of.end() ? it->second : 0].push_back(g);
+  }
+  return out;
+}
+
+void make_regions_connected(const dataplane::PhysicalNetwork& net,
+                            PartitionResult& partition) {
+  // Region growing already yields connected regions except for the rare
+  // disconnected-remainder fallback; sweep those strays into a touching
+  // region and re-home groups by attach switch.
+  auto neighbors = core_adjacency(net);
+
+  std::map<SwitchId, std::size_t> region_of;
+  for (std::size_t r = 0; r < partition.switch_regions.size(); ++r)
+    for (SwitchId sw : partition.switch_regions[r]) region_of[sw] = r;
+
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t r = 0; r < partition.switch_regions.size(); ++r) {
+      const auto& members = partition.switch_regions[r];
+      if (members.size() <= 1) continue;
+      std::set<SwitchId> unseen(members.begin(), members.end());
+      std::vector<std::vector<SwitchId>> components;
+      while (!unseen.empty()) {
+        std::vector<SwitchId> component{*unseen.begin()};
+        unseen.erase(unseen.begin());
+        for (std::size_t i = 0; i < component.size(); ++i) {
+          for (SwitchId next : neighbors[component[i]]) {
+            if (unseen.erase(next) > 0) component.push_back(next);
+          }
+        }
+        components.push_back(std::move(component));
+      }
+      if (components.size() <= 1) continue;
+      std::sort(components.begin(), components.end(),
+                [](const auto& a, const auto& b) { return a.size() > b.size(); });
+      for (std::size_t c = 1; c < components.size(); ++c) {
+        std::size_t target = r;
+        for (SwitchId sw : components[c]) {
+          for (SwitchId peer : neighbors[sw]) {
+            auto it = region_of.find(peer);
+            if (it != region_of.end() && it->second != r) {
+              target = it->second;
+              break;
+            }
+          }
+          if (target != r) break;
+        }
+        if (target == r) continue;  // fully isolated: leave in place
+        for (SwitchId sw : components[c]) region_of[sw] = target;
+        changed = true;
+      }
+    }
+    if (changed) {
+      for (auto& region : partition.switch_regions) region.clear();
+      for (const auto& [sw, r] : region_of) partition.switch_regions[r].push_back(sw);
+    }
+  }
+
+  std::vector<std::vector<BsGroupId>> groups(partition.group_regions.size());
+  for (const auto& region : partition.group_regions) {
+    for (BsGroupId g : region) {
+      SwitchId attach = net.bs_group(g)->core_attach.sw;
+      auto it = region_of.find(attach);
+      groups[it != region_of.end() ? it->second : 0].push_back(g);
+    }
+  }
+  partition.group_regions = std::move(groups);
+}
+
+}  // namespace softmow::topo

@@ -1,0 +1,38 @@
+// Balanced region partitioning (paper §7.1: "inferred BS groups are
+// partitioned to form approximately equal-sized logical regions with
+// similar cellular loads", preserving geographic neighborhoods).
+//
+// Implementation: recursive load-weighted geographic bisection, alternating
+// the split axis. Switches are routed through the same cut tree so each leaf
+// region is a contiguous rectangle containing both its groups and the WAN
+// switches inside it.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/ids.h"
+#include "dataplane/network.h"
+
+namespace softmow::topo {
+
+struct PartitionResult {
+  std::vector<std::vector<BsGroupId>> group_regions;
+  std::vector<std::vector<SwitchId>> switch_regions;
+};
+
+/// Splits groups (weighted by `load`, defaulting to 1 each) and core
+/// switches into `regions` (must be a power of two) contiguous regions.
+[[nodiscard]] PartitionResult partition_regions(
+    const dataplane::PhysicalNetwork& net, const std::vector<BsGroupId>& groups,
+    const std::vector<SwitchId>& switches, std::size_t regions,
+    const std::map<BsGroupId, double>& load = {});
+
+/// Repairs a partition so that every region is a *connected* subgraph of the
+/// core fabric (operators deploy contiguous regions; internal routing and
+/// vFabric computation rely on it): switch components cut off from their
+/// region's main component are reassigned to a physically adjacent region,
+/// and every BS group is then homed to the region of its core attach switch.
+void make_regions_connected(const dataplane::PhysicalNetwork& net, PartitionResult& partition);
+
+}  // namespace softmow::topo

@@ -1,0 +1,71 @@
+// Trace replay against the *live* control plane.
+//
+// The Fig. 11/12 benches aggregate the synthetic trace numerically; this
+// driver instead feeds a (scaled-down) share of the same per-minute events
+// through the real applications — UE attachments, bearer requests,
+// idle/active cycling and handovers — so control-plane behaviour under
+// trace load is exercised end to end: delegation rates, handover mediation
+// levels, rule churn, and the handover graphs that region optimization
+// consumes are all produced by the actual code paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "apps/suite.h"
+#include "core/rng.h"
+#include "topo/lte_trace.h"
+#include "topo/scenario.h"
+
+namespace softmow::topo {
+
+struct TraceDriverParams {
+  /// Fraction of trace events replayed (1e-3 keeps minutes cheap).
+  double event_scale = 1e-3;
+  /// UEs kept alive per group (round-robin reused for bearers/handovers).
+  std::size_t ues_per_group = 2;
+  /// Probability that a bearer goes idle (and later re-activates).
+  double idle_probability = 0.2;
+  std::uint64_t seed = 31;
+};
+
+struct TraceDriverReport {
+  std::uint64_t minutes_replayed = 0;
+  std::uint64_t attaches = 0;
+  std::uint64_t bearers_requested = 0;
+  std::uint64_t bearers_failed = 0;
+  std::uint64_t idle_cycles = 0;
+  std::uint64_t handovers_requested = 0;
+  std::uint64_t handovers_failed = 0;
+  /// Handovers mediated per hierarchy level (1 = leaf-local/intra).
+  std::map<int, std::uint64_t> handovers_by_level;
+  /// Data-plane rules installed when replay finished.
+  std::size_t rules_at_end = 0;
+};
+
+class TraceDriver {
+ public:
+  TraceDriver(Scenario& scenario, TraceDriverParams params = {});
+
+  /// Replays trace minutes [first, first+count) through the applications.
+  TraceDriverReport replay(std::size_t first_minute, std::size_t count);
+
+ private:
+  UeId ue_for(std::size_t group_index, std::size_t slot);
+  void ensure_attached(std::size_t group_index);
+
+  Scenario& scenario_;
+  TraceDriverParams params_;
+  Rng rng_;
+  /// Per group: the UEs parked there and their next bearer slot.
+  struct GroupState {
+    bool attached = false;
+    std::vector<UeId> ues;
+    std::size_t next = 0;
+  };
+  std::vector<GroupState> groups_;
+  std::uint64_t next_ue_ = 1'000'000;
+};
+
+}  // namespace softmow::topo

@@ -1,0 +1,49 @@
+// Synthetic WAN topology generator.
+//
+// Substitute for the RocketFuel dataset (§7.1, "a data plane containing 321
+// software switches"): a POP-structured, geographically embedded ISP-like
+// backbone. POPs are scattered on a plane; each hosts a handful of switches
+// in a ring with chords; POPs interconnect to their geographic neighbors
+// plus a few long-haul shortcuts. Links default to 5 ms / 1 Gbps (§7.1).
+// Fully deterministic under a seed.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "dataplane/network.h"
+
+namespace softmow::topo {
+
+struct WanParams {
+  std::size_t switches = 321;           ///< §7.1
+  std::size_t pops = 24;
+  double extent = 100.0;                ///< plane is [0, extent]^2
+  double link_latency_ms = 5.0;         ///< §7.1
+  double link_bandwidth_kbps = 1e6;     ///< 1 Gbps, §7.1
+  // RocketFuel-measured ISP backbones are sparse (mean degree 2-3, large
+  // diameter); keep inter-POP connectivity low so internal paths are long.
+  std::size_t pop_neighbor_links = 3;   ///< inter-POP links per POP (nearest)
+  std::size_t long_haul_links = 5;      ///< random distant POP pairs
+  std::uint64_t seed = 7;
+};
+
+struct WanTopology {
+  std::vector<SwitchId> switches;                 ///< all core switches
+  std::vector<std::vector<SwitchId>> pop_members; ///< per-POP switch lists
+  std::vector<dataplane::GeoPoint> pop_centers;
+};
+
+/// Builds the WAN into `net` (which may already contain other elements).
+[[nodiscard]] WanTopology generate_wan(dataplane::PhysicalNetwork& net,
+                                       const WanParams& params);
+
+/// Picks `count` egress switches spread across the plane (greedy
+/// farthest-point selection over POP centers) and attaches an egress point
+/// to each; returns them in selection order so a prefix of the result is a
+/// valid smaller egress set (the Fig. 8 sweep uses 2, 4, 8 of the same 8).
+[[nodiscard]] std::vector<EgressId> place_egress_points(dataplane::PhysicalNetwork& net,
+                                                        const WanTopology& topo,
+                                                        std::size_t count, Rng& rng);
+
+}  // namespace softmow::topo

@@ -1,0 +1,147 @@
+// Service policies end to end (§2.1, §4.2): bearers whose PCRF policy
+// demands a middlebox chain get paths that physically traverse the
+// instances, utilization accounts for admission, and saturated instances
+// steer later flows elsewhere.
+#include <gtest/gtest.h>
+
+#include "softmow/softmow.h"
+
+namespace softmow {
+namespace {
+
+class ServiceChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1 = net.add_switch();
+    s2 = net.add_switch();
+    s3 = net.add_switch();
+    net.connect(s1, s2);
+    net.connect(s2, s3);
+    group = net.add_bs_group(s1);
+    bs = net.add_base_station(group, {});
+    egress = net.add_egress(s3);
+    fw_near = net.add_middlebox(s2, dataplane::MiddleboxType::kFirewall, 1000);
+    fw_far = net.add_middlebox(s3, dataplane::MiddleboxType::kFirewall, 1000);
+
+    mgmt::HierarchySpec spec;
+    spec.leaves.push_back(mgmt::RegionSpec{"only", {s1, s2, s3}, {group}});
+    mp = std::make_unique<mgmt::ManagementPlane>(&net);
+    mp->bootstrap(spec);
+    suite = std::make_unique<apps::AppSuite>(*mp);
+    provider.egress_id = egress;
+    suite->originate_interdomain(provider);
+  }
+
+  struct OneRoute : apps::ExternalPathProvider {
+    EgressId egress_id;
+    std::vector<PrefixId> prefixes() const override { return {PrefixId{1}}; }
+    std::optional<apps::ExternalCost> cost(EgressId e, PrefixId) const override {
+      if (!(e == egress_id)) return std::nullopt;
+      return apps::ExternalCost{10, 20000};
+    }
+  } provider;
+
+  apps::BearerRequest chained_request(UeId ue, double kbps = 0) {
+    apps::BearerRequest request;
+    request.ue = ue;
+    request.bs = bs;
+    request.dst_prefix = PrefixId{1};
+    request.policy.chain = {dataplane::MiddleboxType::kFirewall};
+    request.qos.min_bandwidth_kbps = kbps;
+    return request;
+  }
+
+  dataplane::PhysicalNetwork net;
+  SwitchId s1, s2, s3;
+  BsGroupId group;
+  BsId bs;
+  EgressId egress;
+  MiddleboxId fw_near, fw_far;
+  std::unique_ptr<mgmt::ManagementPlane> mp;
+  std::unique_ptr<apps::AppSuite> suite;
+};
+
+TEST_F(ServiceChainTest, PacketPhysicallyTraversesTheFirewall) {
+  auto& mobility = suite->mobility(mp->leaf(0));
+  ASSERT_TRUE(mobility.ue_attach(UeId{1}, bs).ok());
+  auto bearer = mobility.request_bearer(chained_request(UeId{1}));
+  ASSERT_TRUE(bearer.ok()) << bearer.error().message;
+
+  Packet pkt;
+  pkt.ue = UeId{1};
+  pkt.dst_prefix = PrefixId{1};
+  auto report = net.inject_uplink(pkt, bs);
+  ASSERT_EQ(report.outcome, dataplane::DeliveryReport::Outcome::kExternal);
+  ASSERT_EQ(report.middleboxes_traversed.size(), 1u);
+  MiddleboxId used = report.middleboxes_traversed[0];
+  EXPECT_TRUE(used == fw_near || used == fw_far);
+  EXPECT_EQ(net.middlebox(used)->packets_processed, 1u);
+  EXPECT_LE(report.packet.max_depth_seen(), 1u);
+}
+
+TEST_F(ServiceChainTest, GuaranteedBearerRaisesChosenInstanceUtilization) {
+  auto& mobility = suite->mobility(mp->leaf(0));
+  auto& leaf = mp->leaf(0);
+  ASSERT_TRUE(mobility.ue_attach(UeId{1}, bs).ok());
+  auto bearer = mobility.request_bearer(chained_request(UeId{1}, /*kbps=*/400));
+  ASSERT_TRUE(bearer.ok()) << bearer.error().message;
+
+  double total_utilization = 0;
+  for (MiddleboxId id : leaf.nib().middleboxes())
+    total_utilization += leaf.nib().middlebox(id)->utilization;
+  EXPECT_NEAR(total_utilization, 0.4, 1e-9);  // 400 of 1000 kbps on one instance
+
+  ASSERT_TRUE(mobility.deactivate_bearer(UeId{1}, *bearer).ok());
+  total_utilization = 0;
+  for (MiddleboxId id : leaf.nib().middleboxes())
+    total_utilization += leaf.nib().middlebox(id)->utilization;
+  EXPECT_NEAR(total_utilization, 0.0, 1e-9);
+}
+
+TEST_F(ServiceChainTest, SaturatedInstanceSteersLaterFlows) {
+  auto& leaf = mp->leaf(0);
+  // Saturate the near firewall out of band.
+  ASSERT_TRUE(leaf.nib().adjust_middlebox_utilization(fw_near, 0.97).ok());
+  auto& mobility = suite->mobility(mp->leaf(0));
+  ASSERT_TRUE(mobility.ue_attach(UeId{1}, bs).ok());
+  ASSERT_TRUE(mobility.request_bearer(chained_request(UeId{1})).ok());
+
+  Packet pkt;
+  pkt.ue = UeId{1};
+  pkt.dst_prefix = PrefixId{1};
+  auto report = net.inject_uplink(pkt, bs);
+  ASSERT_EQ(report.outcome, dataplane::DeliveryReport::Outcome::kExternal);
+  ASSERT_EQ(report.middleboxes_traversed.size(), 1u);
+  EXPECT_EQ(report.middleboxes_traversed[0], fw_far);  // steered around fw_near
+}
+
+TEST_F(ServiceChainTest, AllInstancesSaturatedIsUnsatisfiable) {
+  auto& leaf = mp->leaf(0);
+  ASSERT_TRUE(leaf.nib().adjust_middlebox_utilization(fw_near, 0.97).ok());
+  ASSERT_TRUE(leaf.nib().adjust_middlebox_utilization(fw_far, 0.97).ok());
+  auto& mobility = suite->mobility(mp->leaf(0));
+  ASSERT_TRUE(mobility.ue_attach(UeId{1}, bs).ok());
+  auto bearer = mobility.request_bearer(chained_request(UeId{1}));
+  ASSERT_FALSE(bearer.ok());  // no parent to climb to in this fixture
+}
+
+TEST_F(ServiceChainTest, PcrfDrivenChainViaFrontend) {
+  apps::HssApp hss;
+  apps::PcrfApp pcrf;
+  hss.provision({UeId{9}, apps::SubscriberClass::kIot, "imsi-iot"});
+  apps::SubscriberFrontend frontend(&hss, &pcrf, &suite->mobility(mp->leaf(0)));
+  ASSERT_TRUE(frontend.attach(UeId{9}, bs).ok());
+  // IoT default policy routes through a firewall (PcrfApp defaults).
+  auto bearer = frontend.open_bearer(UeId{9}, PrefixId{1}, apps::ApplicationClass::kDefault);
+  ASSERT_TRUE(bearer.ok()) << bearer.error().message;
+
+  Packet pkt;
+  pkt.ue = UeId{9};
+  pkt.dst_prefix = PrefixId{1};
+  auto report = net.inject_uplink(pkt, bs);
+  ASSERT_EQ(report.outcome, dataplane::DeliveryReport::Outcome::kExternal);
+  EXPECT_EQ(report.middleboxes_traversed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace softmow

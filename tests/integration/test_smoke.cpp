@@ -1,0 +1,171 @@
+// End-to-end smoke test over the Figure 5 topology: two leaf regions under a
+// root, a bearer path set up by the root, translated by both leaves through
+// recursive label swapping, and a packet walked through the physical data
+// plane under the single-label invariant.
+#include <gtest/gtest.h>
+
+#include "dataplane/network.h"
+#include "mgmt/management.h"
+#include "nos/port_graph.h"
+#include "reca/controller.h"
+
+namespace softmow {
+namespace {
+
+using dataplane::PhysicalNetwork;
+using mgmt::HierarchySpec;
+using mgmt::ManagementPlane;
+using mgmt::RegionSpec;
+
+class Fig5Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1 = net.add_switch({0, 0});
+    s2 = net.add_switch({1, 0});
+    s3 = net.add_switch({2, 0});
+    s4 = net.add_switch({3, 0});
+    net.connect(s1, s2);
+    net.connect(s2, s3);  // the cross-region link
+    net.connect(s3, s4);
+    group_a = net.add_bs_group(s1, dataplane::BsGroupTopology::kRing, {0, 1});
+    group_b = net.add_bs_group(s4, dataplane::BsGroupTopology::kRing, {3, 1});
+    bs_a = net.add_base_station(group_a, {0, 1});
+    net.add_base_station(group_b, {3, 1});
+    egress = net.add_egress(s4, {3, -1}, "isp-east");
+
+    HierarchySpec spec;
+    spec.leaves.push_back(RegionSpec{"leaf-1", {s1, s2}, {group_a}});
+    spec.leaves.push_back(RegionSpec{"leaf-2", {s3, s4}, {group_b}});
+    spec.group_adjacency.add(group_a, group_b, 10.0);
+
+    mp = std::make_unique<ManagementPlane>(&net);
+    mp->bootstrap(spec);
+  }
+
+  PhysicalNetwork net;
+  SwitchId s1, s2, s3, s4;
+  BsGroupId group_a, group_b;
+  BsId bs_a;
+  EgressId egress;
+  std::unique_ptr<ManagementPlane> mp;
+};
+
+TEST_F(Fig5Test, LeafDiscoveryFindsLocalTopology) {
+  auto& leaf1 = mp->leaf(0);
+  // s1, s2 plus group A's access switch.
+  EXPECT_EQ(leaf1.nib().switch_count(), 3u);
+  // s1-s2 and access-s1; the s2-s3 link is invisible to the leaf.
+  EXPECT_EQ(leaf1.nib().links().size(), 2u);
+
+  auto& leaf2 = mp->leaf(1);
+  EXPECT_EQ(leaf2.nib().switch_count(), 3u);
+  EXPECT_EQ(leaf2.nib().links().size(), 2u);
+}
+
+TEST_F(Fig5Test, RootDiscoversExactlyTheCrossRegionLink) {
+  auto& root = mp->root();
+  EXPECT_EQ(root.nib().switch_count(), 2u);  // two G-switches
+  ASSERT_EQ(root.nib().links().size(), 1u);
+  // Both endpoints are G-switches.
+  const nos::LinkRecord& link = root.nib().links().front();
+  EXPECT_TRUE(reca::is_gswitch_id(link.a.sw));
+  EXPECT_TRUE(reca::is_gswitch_id(link.b.sw));
+}
+
+TEST_F(Fig5Test, AbstractionExposesBorderAndRadioAndEgressPorts) {
+  auto& leaf2 = mp->leaf(1);
+  const auto& features = leaf2.abstraction().features();
+  int external = 0, radio = 0, cross = 0;
+  for (const auto& p : features.ports) {
+    if (p.peer == dataplane::PeerKind::kExternal) ++external;
+    if (p.peer == dataplane::PeerKind::kBsGroup) ++radio;
+    if (p.peer == dataplane::PeerKind::kSwitch) ++cross;
+  }
+  EXPECT_EQ(external, 1);
+  EXPECT_EQ(radio, 1);   // group B is border (adjacent to A in leaf-1)
+  EXPECT_EQ(cross, 1);   // s3's port toward s2
+  EXPECT_FALSE(features.vfabric.empty());
+}
+
+TEST_F(Fig5Test, RootSetsUpCrossRegionPathWithSingleLabelInvariant) {
+  auto& root = mp->root();
+
+  // Publish an interdomain route for prefix 99 at leaf-2's egress, in the
+  // root's (logical) ID space.
+  PrefixId prefix{99};
+  auto& leaf2 = mp->leaf(1);
+  Endpoint egress_local{s4, net.egress(egress)->attach.port};
+  auto exposed = leaf2.abstraction().to_exposed(egress_local);
+  ASSERT_TRUE(exposed.has_value());
+  SwitchId gs2 = leaf2.abstraction().gswitch_id();
+  root.nib().upsert_external_route(
+      nos::ExternalRoute{Endpoint{gs2, *exposed}, prefix, 10.0, 30000.0});
+
+  // Source: group A's G-BS attachment port on GS1.
+  const southbound::GBsAnnounce* gbs_a = root.nib().gbs(mgmt::gbs_id_for_group(group_a));
+  ASSERT_NE(gbs_a, nullptr);
+
+  nos::RoutingRequest req;
+  req.source = Endpoint{gbs_a->attached_switch, gbs_a->attached_port};
+  req.dst_prefix = prefix;
+  auto route = root.compute_route(req);
+  ASSERT_TRUE(route.ok()) << route.error().message;
+  EXPECT_TRUE(route->internet_bound());
+  EXPECT_EQ(route->hops.size(), 2u);  // GS1 then GS2
+
+  dataplane::Match classifier;
+  classifier.ue = UeId{7};
+  auto path = root.path_setup(*route, classifier);
+  ASSERT_TRUE(path.ok()) << path.error().message;
+
+  // Inject an uplink packet from a UE in group A.
+  Packet pkt;
+  pkt.ue = UeId{7};
+  pkt.dst_prefix = prefix;
+  auto report = net.inject_uplink(pkt, bs_a);
+  ASSERT_EQ(report.outcome, dataplane::DeliveryReport::Outcome::kExternal)
+      << "hops=" << report.hops;
+  EXPECT_EQ(report.egress, egress);
+  EXPECT_TRUE(report.packet.labels.empty());  // popped before leaving
+
+  // §4.3 single-label invariant: at most one label at every switch entry.
+  for (const auto& hop : report.packet.trace) {
+    EXPECT_LE(hop.label_depth_on_entry, 1u) << "at " << hop.sw.str();
+  }
+  EXPECT_EQ(report.packet.max_depth_seen(), 1u);
+}
+
+TEST_F(Fig5Test, PathTeardownRemovesAllRules) {
+  auto& root = mp->root();
+  PrefixId prefix{99};
+  auto& leaf2 = mp->leaf(1);
+  Endpoint egress_local{s4, net.egress(egress)->attach.port};
+  SwitchId gs2 = leaf2.abstraction().gswitch_id();
+  root.nib().upsert_external_route(nos::ExternalRoute{
+      Endpoint{gs2, *leaf2.abstraction().to_exposed(egress_local)}, prefix, 10.0, 30000.0});
+  const auto* gbs_a = root.nib().gbs(mgmt::gbs_id_for_group(group_a));
+  nos::RoutingRequest req;
+  req.source = Endpoint{gbs_a->attached_switch, gbs_a->attached_port};
+  req.dst_prefix = prefix;
+  auto route = root.compute_route(req);
+  ASSERT_TRUE(route.ok());
+  dataplane::Match classifier;
+  classifier.ue = UeId{7};
+  auto path = root.path_setup(*route, classifier);
+  ASSERT_TRUE(path.ok());
+  std::size_t rules_with_path = net.total_rules();
+  EXPECT_GT(rules_with_path, 0u);
+
+  ASSERT_TRUE(root.deactivate_path(*path).ok());
+  EXPECT_EQ(net.total_rules(), 0u);
+
+  // A packet now dies at the access switch with a table miss.
+  Packet pkt;
+  pkt.ue = UeId{7};
+  pkt.dst_prefix = prefix;
+  auto report = net.inject_uplink(pkt, bs_a);
+  EXPECT_EQ(report.outcome, dataplane::DeliveryReport::Outcome::kToController);
+}
+
+}  // namespace
+}  // namespace softmow

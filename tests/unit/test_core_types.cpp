@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "core/rng.h"
+#include "core/weighted_adjacency.h"
+
+namespace softmow {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  SwitchId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(SwitchId{3}.valid());
+}
+
+TEST(Ids, OrderingAndEquality) {
+  EXPECT_LT(SwitchId{1}, SwitchId{2});
+  EXPECT_EQ(UeId{7}, UeId{7});
+  EXPECT_NE(UeId{7}, UeId{8});
+}
+
+TEST(Ids, StreamAndStr) {
+  std::ostringstream os;
+  os << ControllerId{4} << " " << GBsId{};
+  EXPECT_EQ(os.str(), "c4 gbs<invalid>");
+  EXPECT_EQ(BsId{2}.str(), "bs2");
+}
+
+TEST(Ids, HashWorksInUnorderedContainers) {
+  std::unordered_set<SwitchId> set{SwitchId{1}, SwitchId{2}, SwitchId{1}};
+  EXPECT_EQ(set.size(), 2u);
+  std::unordered_set<Endpoint> eps{Endpoint{SwitchId{1}, PortId{1}},
+                                   Endpoint{SwitchId{1}, PortId{2}}};
+  EXPECT_EQ(eps.size(), 2u);
+}
+
+TEST(Ids, AllocatorIsMonotone) {
+  IdAllocator<PathId> alloc;
+  EXPECT_EQ(alloc.allocate(), PathId{0});
+  EXPECT_EQ(alloc.allocate(), PathId{1});
+  alloc.reserve_through(PathId{10});
+  EXPECT_EQ(alloc.allocate(), PathId{11});
+}
+
+TEST(ResultT, ValueAndError) {
+  Result<int> ok = 5;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_EQ(ok.value_or(9), 5);
+
+  Result<int> err{ErrorCode::kNotFound, "missing"};
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(err.error().message, "missing");
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(ResultT, VoidSpecialization) {
+  Result<void> ok = Ok();
+  EXPECT_TRUE(ok.ok());
+  Result<void> err{ErrorCode::kConflict, "dup"};
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kConflict);
+}
+
+TEST(ResultT, ErrorCodeNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kUnsatisfiable), "unsatisfiable");
+  EXPECT_STREQ(to_string(ErrorCode::kDelegated), "delegated");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.uniform_u64(0, 1000), b.uniform_u64(0, 1000));
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto v = rng.uniform_u64(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(2);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.weighted_index(w), 1u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng a(5);
+  Rng child1 = a.fork(1);
+  Rng a2(5);
+  Rng child2 = a2.fork(2);
+  // Different salts diverge (overwhelmingly likely).
+  EXPECT_NE(child1.uniform_u64(0, 1u << 30), child2.uniform_u64(0, 1u << 30));
+}
+
+TEST(WeightedAdjacencyT, AccumulatesUndirected) {
+  WeightedAdjacency<GBsId> g;
+  g.add(GBsId{1}, GBsId{2}, 3);
+  g.add(GBsId{2}, GBsId{1}, 4);  // same edge, reversed
+  EXPECT_DOUBLE_EQ(g.weight(GBsId{1}, GBsId{2}), 7);
+  EXPECT_DOUBLE_EQ(g.weight(GBsId{2}, GBsId{1}), 7);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7);
+}
+
+TEST(WeightedAdjacencyT, SelfEdgesIgnored) {
+  WeightedAdjacency<GBsId> g;
+  g.add(GBsId{1}, GBsId{1}, 9);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WeightedAdjacencyT, NeighborsAndDegree) {
+  WeightedAdjacency<GBsId> g;
+  g.add(GBsId{1}, GBsId{2}, 3);
+  g.add(GBsId{1}, GBsId{3}, 4);
+  g.add(GBsId{2}, GBsId{3}, 5);
+  EXPECT_EQ(g.neighbors(GBsId{1}).size(), 2u);
+  EXPECT_DOUBLE_EQ(g.degree_weight(GBsId{1}), 7);
+  EXPECT_DOUBLE_EQ(g.degree_weight(GBsId{3}), 9);
+}
+
+TEST(WeightedAdjacencyT, RemoveNodeDropsEdges) {
+  WeightedAdjacency<GBsId> g;
+  g.add(GBsId{1}, GBsId{2}, 3);
+  g.add(GBsId{2}, GBsId{3}, 5);
+  g.remove_node(GBsId{2});
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.nodes().contains(GBsId{2}));
+  EXPECT_TRUE(g.nodes().contains(GBsId{1}));
+}
+
+TEST(WeightedAdjacencyT, MergeAccumulates) {
+  WeightedAdjacency<GBsId> a, b;
+  a.add(GBsId{1}, GBsId{2}, 3);
+  b.add(GBsId{1}, GBsId{2}, 4);
+  b.add(GBsId{2}, GBsId{3}, 1);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.weight(GBsId{1}, GBsId{2}), 7);
+  EXPECT_DOUBLE_EQ(a.weight(GBsId{2}, GBsId{3}), 1);
+}
+
+TEST(WeightedAdjacencyT, SetOverwrites) {
+  WeightedAdjacency<GBsId> g;
+  g.add(GBsId{1}, GBsId{2}, 3);
+  g.set(GBsId{1}, GBsId{2}, 10);
+  EXPECT_DOUBLE_EQ(g.weight(GBsId{1}, GBsId{2}), 10);
+}
+
+}  // namespace
+}  // namespace softmow

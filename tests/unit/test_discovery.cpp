@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "nos/discovery.h"
+
+namespace softmow::nos {
+namespace {
+
+/// Records outgoing messages.
+class RecordingBus : public DeviceBus {
+ public:
+  Result<void> send(SwitchId sw, const southbound::Message& msg) override {
+    sent.emplace_back(sw, msg);
+    return Ok();
+  }
+  std::vector<std::pair<SwitchId, southbound::Message>> sent;
+};
+
+southbound::FeaturesReply reply_for(SwitchId sw, std::initializer_list<std::uint64_t> ports,
+                                    bool gswitch = false) {
+  southbound::FeaturesReply r;
+  r.sw = sw;
+  r.is_gswitch = gswitch;
+  for (std::uint64_t p : ports) {
+    southbound::PortDesc d;
+    d.port = PortId{p};
+    d.peer = dataplane::PeerKind::kSwitch;
+    r.ports.push_back(d);
+  }
+  return r;
+}
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  Nib nib;
+  RecordingBus bus;
+  DiscoveryModule discovery{ControllerId{1}, &nib, &bus};
+};
+
+TEST_F(DiscoveryTest, HelloTriggersFeaturesRequest) {
+  discovery.on_hello(SwitchId{4});
+  ASSERT_EQ(bus.sent.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<southbound::FeaturesRequest>(bus.sent[0].second));
+  EXPECT_FALSE(discovery.features_complete());
+  discovery.on_features_reply(reply_for(SwitchId{4}, {1, 2}));
+  EXPECT_TRUE(discovery.features_complete());
+  EXPECT_EQ(nib.sw(SwitchId{4})->ports.size(), 2u);
+}
+
+TEST_F(DiscoveryTest, LinkDiscoverySendsOneFramePerSwitchPort) {
+  discovery.on_features_reply(reply_for(SwitchId{1}, {1, 2, 3}));
+  auto mixed = reply_for(SwitchId{2}, {1});
+  southbound::PortDesc radio;
+  radio.port = PortId{9};
+  radio.peer = dataplane::PeerKind::kBsGroup;  // not switch-facing: no frame
+  mixed.ports.push_back(radio);
+  discovery.on_features_reply(mixed);
+  bus.sent.clear();
+
+  discovery.run_link_discovery();
+  EXPECT_EQ(bus.sent.size(), 4u);  // 3 + 1 switch-facing ports
+  for (const auto& [sw, msg] : bus.sent) {
+    const auto& out = std::get<southbound::PacketOut>(msg);
+    const auto& payload = std::get<southbound::DiscoveryPayload>(out.body);
+    ASSERT_EQ(payload.stack.size(), 1u);
+    EXPECT_EQ(payload.stack[0].controller, ControllerId{1});
+    EXPECT_EQ(payload.stack[0].sw, sw);
+    EXPECT_EQ(payload.stack[0].port, out.port);
+  }
+  EXPECT_EQ(discovery.stats().frames_sent, 4u);
+}
+
+TEST_F(DiscoveryTest, OwnFrameYieldsLink) {
+  discovery.on_features_reply(reply_for(SwitchId{1}, {1}));
+  discovery.on_features_reply(reply_for(SwitchId{2}, {1}));
+  southbound::DiscoveryPayload payload;
+  payload.stack.push_back(
+      southbound::DiscoveryStackEntry{ControllerId{1}, SwitchId{1}, PortId{1}});
+  payload.meta.latency_us = 5000;
+  payload.meta.bandwidth_kbps = 1e6;
+  payload.meta.filled = true;
+
+  auto verdict =
+      discovery.on_discovery_packet_in(Endpoint{SwitchId{2}, PortId{1}}, payload);
+  EXPECT_EQ(verdict, DiscoveryVerdict::kConsumed);
+  ASSERT_EQ(nib.links().size(), 1u);
+  EXPECT_DOUBLE_EQ(nib.links()[0].metrics.latency_us, 5000);
+  EXPECT_EQ(discovery.stats().links_discovered, 1u);
+}
+
+TEST_F(DiscoveryTest, ForeignFrameWithRemainingStackIsForwarded) {
+  southbound::DiscoveryPayload payload;
+  payload.stack.push_back(
+      southbound::DiscoveryStackEntry{ControllerId{99}, SwitchId{50}, PortId{1}});
+  payload.stack.push_back(
+      southbound::DiscoveryStackEntry{ControllerId{42}, SwitchId{60}, PortId{2}});
+  auto verdict =
+      discovery.on_discovery_packet_in(Endpoint{SwitchId{2}, PortId{1}}, payload);
+  EXPECT_EQ(verdict, DiscoveryVerdict::kForward);
+  // The top entry (not ours) was popped; the rest travels upward (§4.1.2).
+  ASSERT_EQ(payload.stack.size(), 1u);
+  EXPECT_EQ(payload.stack[0].controller, ControllerId{99});
+}
+
+TEST_F(DiscoveryTest, ForeignFrameWithEmptyStackIsDropped) {
+  southbound::DiscoveryPayload payload;
+  payload.stack.push_back(
+      southbound::DiscoveryStackEntry{ControllerId{42}, SwitchId{60}, PortId{2}});
+  auto verdict =
+      discovery.on_discovery_packet_in(Endpoint{SwitchId{2}, PortId{1}}, payload);
+  EXPECT_EQ(verdict, DiscoveryVerdict::kDrop);
+  EXPECT_EQ(discovery.stats().frames_dropped, 1u);
+}
+
+TEST_F(DiscoveryTest, EmptyStackFrameIsDropped) {
+  southbound::DiscoveryPayload payload;
+  EXPECT_EQ(discovery.on_discovery_packet_in(Endpoint{SwitchId{2}, PortId{1}}, payload),
+            DiscoveryVerdict::kDrop);
+}
+
+TEST_F(DiscoveryTest, RediscoveryIsIdempotent) {
+  discovery.on_features_reply(reply_for(SwitchId{1}, {1}));
+  discovery.on_features_reply(reply_for(SwitchId{2}, {1}));
+  southbound::DiscoveryPayload payload;
+  payload.stack.push_back(
+      southbound::DiscoveryStackEntry{ControllerId{1}, SwitchId{1}, PortId{1}});
+  for (int round = 0; round < 3; ++round) {
+    auto copy = payload;
+    (void)discovery.on_discovery_packet_in(Endpoint{SwitchId{2}, PortId{1}}, copy);
+  }
+  EXPECT_EQ(nib.links().size(), 1u);
+}
+
+TEST_F(DiscoveryTest, FeaturesReplyPrunesLinksOnRemovedAndDownPorts) {
+  discovery.on_features_reply(reply_for(SwitchId{1}, {1, 2}));
+  discovery.on_features_reply(reply_for(SwitchId{2}, {1}));
+  nib.upsert_link({SwitchId{1}, PortId{1}}, {SwitchId{2}, PortId{1}}, {});
+  nib.upsert_link({SwitchId{1}, PortId{2}}, {SwitchId{2}, PortId{1}}, {});
+
+  // Re-announce switch 1 without port 2 and with port 1 down.
+  southbound::FeaturesReply shrunk;
+  shrunk.sw = SwitchId{1};
+  southbound::PortDesc p1;
+  p1.port = PortId{1};
+  p1.up = false;
+  p1.peer = dataplane::PeerKind::kSwitch;
+  shrunk.ports.push_back(p1);
+  discovery.on_features_reply(shrunk);
+
+  ASSERT_EQ(nib.links().size(), 1u);  // the port-2 link is gone entirely
+  EXPECT_FALSE(nib.links()[0].up);    // the port-1 link is marked down
+}
+
+TEST_F(DiscoveryTest, GSwitchVfabricStored) {
+  auto reply = reply_for(SwitchId{7}, {1, 2}, /*gswitch=*/true);
+  reply.vfabric.push_back(southbound::VFabricEntry{PortId{1}, PortId{2}, {}});
+  discovery.on_features_reply(reply);
+  ASSERT_NE(nib.sw(SwitchId{7}), nullptr);
+  EXPECT_TRUE(nib.sw(SwitchId{7})->is_gswitch);
+  EXPECT_EQ(nib.sw(SwitchId{7})->vfabric.size(), 1u);
+}
+
+}  // namespace
+}  // namespace softmow::nos

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/flow_table.h"
+
+namespace softmow::dataplane {
+namespace {
+
+Packet make_packet(UeId ue = UeId{1}, PrefixId prefix = PrefixId{9}) {
+  Packet p;
+  p.ue = ue;
+  p.dst_prefix = prefix;
+  return p;
+}
+
+TEST(Match, EmptyMatchesEverything) {
+  Match m;
+  Packet p = make_packet();
+  EXPECT_TRUE(m.matches(p, PortId{1}, BsGroupId{}));
+  EXPECT_EQ(m.specificity(), 0);
+}
+
+TEST(Match, InPortField) {
+  Match m;
+  m.in_port = PortId{3};
+  Packet p = make_packet();
+  EXPECT_TRUE(m.matches(p, PortId{3}, BsGroupId{}));
+  EXPECT_FALSE(m.matches(p, PortId{4}, BsGroupId{}));
+}
+
+TEST(Match, LabelMatchesTopOfStackOnly) {
+  Match m;
+  m.label = 42;
+  Packet p = make_packet();
+  EXPECT_FALSE(m.matches(p, PortId{1}, BsGroupId{}));  // no label at all
+  p.labels.push_back(Label{42, 1});
+  EXPECT_TRUE(m.matches(p, PortId{1}, BsGroupId{}));
+  p.labels.push_back(Label{7, 2});  // 42 buried under 7
+  EXPECT_FALSE(m.matches(p, PortId{1}, BsGroupId{}));
+}
+
+TEST(Match, UeAndPrefixAndGroup) {
+  Match m;
+  m.ue = UeId{1};
+  m.dst_prefix = PrefixId{9};
+  m.bs_group = BsGroupId{5};
+  Packet p = make_packet();
+  EXPECT_TRUE(m.matches(p, PortId{1}, BsGroupId{5}));
+  EXPECT_FALSE(m.matches(p, PortId{1}, BsGroupId{6}));
+  p.ue = UeId{2};
+  EXPECT_FALSE(m.matches(p, PortId{1}, BsGroupId{5}));
+}
+
+TEST(Match, VersionField) {
+  Match m;
+  m.version = 3;
+  Packet p = make_packet();
+  EXPECT_FALSE(m.matches(p, PortId{1}, BsGroupId{}));
+  p.version = 3;
+  EXPECT_TRUE(m.matches(p, PortId{1}, BsGroupId{}));
+}
+
+TEST(FlowTable, HigherPriorityWins) {
+  FlowTable t;
+  FlowRule low;
+  low.cookie = 1;
+  low.priority = 10;
+  low.actions = {drop()};
+  FlowRule high;
+  high.cookie = 2;
+  high.priority = 20;
+  high.actions = {output(PortId{1})};
+  t.install(low);
+  t.install(high);
+  Packet p = make_packet();
+  FlowRule* hit = t.lookup(p, PortId{1});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, 2u);
+}
+
+TEST(FlowTable, SpecificityBreaksPriorityTies) {
+  FlowTable t;
+  FlowRule generic;
+  generic.cookie = 1;
+  generic.priority = 10;
+  FlowRule specific;
+  specific.cookie = 2;
+  specific.priority = 10;
+  specific.match.ue = UeId{1};
+  t.install(generic);
+  t.install(specific);
+  Packet p = make_packet();
+  EXPECT_EQ(t.lookup(p, PortId{1})->cookie, 2u);
+  Packet other = make_packet(UeId{99});
+  EXPECT_EQ(t.lookup(other, PortId{1})->cookie, 1u);
+}
+
+TEST(FlowTable, InstallReplacesSameCookie) {
+  FlowTable t;
+  FlowRule r;
+  r.cookie = 7;
+  r.priority = 1;
+  t.install(r);
+  r.priority = 5;
+  t.install(r);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rules().front().priority, 5);
+}
+
+TEST(FlowTable, RemoveByCookieAndMatch) {
+  FlowTable t;
+  FlowRule a;
+  a.cookie = 1;
+  a.match.ue = UeId{1};
+  FlowRule b;
+  b.cookie = 2;
+  b.match.ue = UeId{2};
+  t.install(a);
+  t.install(b);
+  EXPECT_EQ(t.remove_by_cookie(1), 1u);
+  EXPECT_EQ(t.remove_by_cookie(1), 0u);
+  Match m;
+  m.ue = UeId{2};
+  EXPECT_EQ(t.remove_by_match(m), 1u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, LookupCountsPacketsAndBytes) {
+  FlowTable t;
+  FlowRule r;
+  r.cookie = 1;
+  t.install(r);
+  Packet p = make_packet();
+  p.payload_bytes = 1000;
+  p.labels.push_back(Label{1, 1});  // +4 header bytes
+  (void)t.lookup(p, PortId{1});
+  (void)t.lookup(p, PortId{1});
+  EXPECT_EQ(t.rules().front().packet_count, 2u);
+  EXPECT_EQ(t.rules().front().byte_count, 2008u);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable t;
+  FlowRule r;
+  r.cookie = 1;
+  r.match.ue = UeId{5};
+  t.install(r);
+  Packet p = make_packet(UeId{6});
+  EXPECT_EQ(t.lookup(p, PortId{1}), nullptr);
+}
+
+}  // namespace
+}  // namespace softmow::dataplane

@@ -1,0 +1,113 @@
+// Edge cases of the constraint machinery shared by routing and vFabric:
+// EdgeMetrics composition, PathConstraints semantics, and constrained
+// k-shortest-path behaviour.
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+
+namespace softmow {
+namespace {
+
+TEST(EdgeMetricsTest, SeriesCompositionAddsAndBottlenecks) {
+  EdgeMetrics a{10, 2, 500};
+  EdgeMetrics b{5, 1, 300};
+  EdgeMetrics c = a.then(b);
+  EXPECT_DOUBLE_EQ(c.latency_us, 15);
+  EXPECT_DOUBLE_EQ(c.hop_count, 3);
+  EXPECT_DOUBLE_EQ(c.bandwidth_kbps, 300);  // min of the two
+  // Composition with the identity (0 latency, 0 hops, inf bandwidth).
+  EdgeMetrics identity{0, 0, std::numeric_limits<double>::infinity()};
+  EdgeMetrics d = identity.then(a);
+  EXPECT_DOUBLE_EQ(d.latency_us, a.latency_us);
+  EXPECT_DOUBLE_EQ(d.bandwidth_kbps, a.bandwidth_kbps);
+}
+
+TEST(PathConstraintsTest, SatisfiedBySemantics) {
+  PathConstraints c;
+  EXPECT_TRUE(c.satisfied_by(EdgeMetrics{1e9, 1e9, 0}));  // unconstrained
+
+  c.max_latency_us = 100;
+  c.max_hops = 5;
+  c.min_bandwidth_kbps = 50;
+  EXPECT_TRUE(c.satisfied_by(EdgeMetrics{100, 5, 50}));   // boundaries inclusive
+  EXPECT_FALSE(c.satisfied_by(EdgeMetrics{100.1, 5, 50}));
+  EXPECT_FALSE(c.satisfied_by(EdgeMetrics{100, 5.1, 50}));
+  EXPECT_FALSE(c.satisfied_by(EdgeMetrics{100, 5, 49.9}));
+}
+
+class ConstrainedGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three parallel routes 1 -> 5 with distinct trade-offs:
+    //   fast+thin:   1-2-5 (latency 10, 2 hops, 100 kbps)
+    //   slow+fat:    1-3-5 (latency 50, 2 hops, 1e6 kbps)
+    //   long+cheap:  1-4a-4b-5 (latency 9, 3 hops, 1e6 kbps)
+    g.add_edge(1, 2, {5, 1, 100});
+    g.add_edge(2, 5, {5, 1, 100});
+    g.add_edge(1, 3, {25, 1, 1e6});
+    g.add_edge(3, 5, {25, 1, 1e6});
+    g.add_edge(1, 40, {3, 1, 1e6});
+    g.add_edge(40, 41, {3, 1, 1e6});
+    g.add_edge(41, 5, {3, 1, 1e6});
+  }
+  Graph g;
+};
+
+TEST_F(ConstrainedGraphTest, UnconstrainedPicksLowestLatency) {
+  auto path = g.shortest_path(1, 5, Metric::kLatency);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->metrics.latency_us, 9);  // the 3-hop route
+}
+
+TEST_F(ConstrainedGraphTest, HopBoundForcesThe2HopRoute) {
+  PathConstraints c;
+  c.max_hops = 2;
+  auto path = g.shortest_path(1, 5, Metric::kLatency, c);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->metrics.hop_count, 2);
+  EXPECT_DOUBLE_EQ(path->metrics.latency_us, 10);  // fast+thin wins among 2-hop
+}
+
+TEST_F(ConstrainedGraphTest, BandwidthAndHopsTogetherForceSlowFat) {
+  PathConstraints c;
+  c.max_hops = 2;
+  c.min_bandwidth_kbps = 500;
+  auto path = g.shortest_path(1, 5, Metric::kLatency, c);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->metrics.latency_us, 50);  // only 1-3-5 satisfies both
+  EXPECT_GE(path->metrics.bandwidth_kbps, 500);
+}
+
+TEST_F(ConstrainedGraphTest, ImpossibleComboIsUnsatisfiable) {
+  PathConstraints c;
+  c.max_hops = 2;
+  c.max_latency_us = 20;
+  c.min_bandwidth_kbps = 500;  // 2 hops + <=20us + fat: nothing qualifies
+  auto path = g.shortest_path(1, 5, Metric::kLatency, c);
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.code(), ErrorCode::kUnsatisfiable);
+}
+
+TEST_F(ConstrainedGraphTest, KShortestWithConstraintsFiltersButStaysSorted) {
+  PathConstraints c;
+  c.max_hops = 2;
+  auto paths = g.k_shortest_paths(1, 5, 5, Metric::kLatency, c);
+  ASSERT_EQ(paths.size(), 2u);  // the two 2-hop routes survive
+  EXPECT_LE(paths[0].cost(Metric::kLatency), paths[1].cost(Metric::kLatency));
+  for (const GraphPath& p : paths) EXPECT_LE(p.metrics.hop_count, 2);
+}
+
+TEST_F(ConstrainedGraphTest, KShortestBandwidthFloorExcludesThinRoutes) {
+  PathConstraints c;
+  c.min_bandwidth_kbps = 500;
+  auto paths = g.k_shortest_paths(1, 5, 5, Metric::kLatency, c);
+  for (const GraphPath& p : paths) EXPECT_GE(p.metrics.bandwidth_kbps, 500);
+  ASSERT_EQ(paths.size(), 2u);  // fast+thin excluded
+}
+
+TEST_F(ConstrainedGraphTest, KZeroReturnsNothing) {
+  EXPECT_TRUE(g.k_shortest_paths(1, 5, 0, Metric::kLatency).empty());
+}
+
+}  // namespace
+}  // namespace softmow

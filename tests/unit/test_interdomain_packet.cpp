@@ -1,0 +1,126 @@
+// Interdomain route propagation (§4.2), packet-model helpers, and AppSuite
+// wiring.
+#include <gtest/gtest.h>
+
+#include "softmow/softmow.h"
+
+namespace softmow {
+namespace {
+
+TEST(PacketModel, HeaderAndDepthAccounting) {
+  Packet p;
+  p.payload_bytes = 1000;
+  EXPECT_EQ(p.header_bytes(), 0u);
+  EXPECT_EQ(p.wire_bytes(), 1000u);
+  p.labels.push_back(Label{1, 1});
+  p.labels.push_back(Label{2, 2});
+  EXPECT_EQ(p.header_bytes(), 2 * kLabelHeaderBytes);
+  EXPECT_EQ(p.wire_bytes(), 1000u + 2 * kLabelHeaderBytes);
+  EXPECT_EQ(p.label_depth(), 2u);
+
+  // max_depth_seen covers both the trace history and the current stack.
+  p.trace.push_back(Packet::HopRecord{SwitchId{1}, PortId{1}, PortId{2}, 3});
+  EXPECT_EQ(p.max_depth_seen(), 3u);
+  p.trace.clear();
+  EXPECT_EQ(p.max_depth_seen(), 2u);
+}
+
+class InterdomainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1 = net.add_switch();
+    s2 = net.add_switch();
+    net.connect(s1, s2);
+    group = net.add_bs_group(s1);
+    net.add_base_station(group, {});
+    egress = net.add_egress(s2);
+    mgmt::HierarchySpec spec;
+    spec.leaves.push_back(mgmt::RegionSpec{"west", {s1}, {group}});
+    spec.leaves.push_back(mgmt::RegionSpec{"east", {s2}, {}});
+    mp = std::make_unique<mgmt::ManagementPlane>(&net);
+    mp->bootstrap(spec);
+    suite = std::make_unique<apps::AppSuite>(*mp);
+  }
+
+  struct TwoPrefixProvider : apps::ExternalPathProvider {
+    EgressId egress_id;
+    std::vector<PrefixId> prefixes() const override { return {PrefixId{1}, PrefixId{2}}; }
+    std::optional<apps::ExternalCost> cost(EgressId e, PrefixId p) const override {
+      if (!(e == egress_id)) return std::nullopt;
+      return apps::ExternalCost{static_cast<double>(4 + p.value), 1000.0 * (1 + p.value)};
+    }
+  };
+
+  dataplane::PhysicalNetwork net;
+  SwitchId s1, s2;
+  BsGroupId group;
+  EgressId egress;
+  std::unique_ptr<mgmt::ManagementPlane> mp;
+  std::unique_ptr<apps::AppSuite> suite;
+};
+
+TEST_F(InterdomainFixture, RoutesTranslateUpwardPerLevel) {
+  TwoPrefixProvider provider;
+  provider.egress_id = egress;
+  suite->originate_interdomain(provider);
+
+  // The east leaf holds the route in its own (physical) ID space...
+  auto& east = mp->leaf(1);
+  auto local_routes = east.nib().external_routes(PrefixId{1});
+  ASSERT_EQ(local_routes.size(), 1u);
+  EXPECT_EQ(local_routes[0].egress.sw, s2);
+  EXPECT_DOUBLE_EQ(local_routes[0].hops, 5);
+
+  // ...and the root holds it re-keyed to the east G-switch's exposed port.
+  auto root_routes = mp->root().nib().external_routes(PrefixId{1});
+  ASSERT_EQ(root_routes.size(), 1u);
+  EXPECT_EQ(root_routes[0].egress.sw, east.abstraction().gswitch_id());
+  EXPECT_DOUBLE_EQ(root_routes[0].hops, 5);
+  // The west leaf (no egress of its own) has none.
+  EXPECT_TRUE(mp->leaf(0).nib().external_routes(PrefixId{1}).empty());
+}
+
+TEST_F(InterdomainFixture, ReoriginationRefreshesCosts) {
+  TwoPrefixProvider provider;
+  provider.egress_id = egress;
+  suite->originate_interdomain(provider);
+  auto before = mp->root().nib().external_routes(PrefixId{2});
+  ASSERT_EQ(before.size(), 1u);
+
+  // Route churn (new snapshot): costs change, entries are replaced, not
+  // duplicated.
+  struct Worse : TwoPrefixProvider {
+    std::optional<apps::ExternalCost> cost(EgressId e, PrefixId p) const override {
+      auto base = TwoPrefixProvider::cost(e, p);
+      if (!base) return std::nullopt;
+      return apps::ExternalCost{base->hops + 3, base->latency_us};
+    }
+  } churned;
+  churned.egress_id = egress;
+  suite->originate_interdomain(churned);
+  auto after = mp->root().nib().external_routes(PrefixId{2});
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_DOUBLE_EQ(after[0].hops, before[0].hops + 3);
+  EXPECT_EQ(mp->root().nib().external_route_count(), 2u);
+}
+
+TEST_F(InterdomainFixture, SuiteAccessorsAndTransferHook) {
+  EXPECT_NE(suite->region_opt(mp->root()), nullptr);
+  EXPECT_EQ(suite->region_opt(mp->leaf(0)), nullptr);  // leaves have none
+  EXPECT_EQ(suite->region_opt_map().size(), 1u);       // just the root here
+  EXPECT_EQ(&suite->leaf_mobility_of_group(group), &suite->mobility(mp->leaf(0)));
+  // The suite's UE-transfer hook is installed at construction: a reassign
+  // moves mobility state automatically (exercised in test_mgmt_controller).
+  EXPECT_EQ(&suite->mgmt(), mp.get());
+}
+
+TEST_F(InterdomainFixture, AgentStatsTrackDiscoveryRelay) {
+  // The west leaf forwarded the root's discovery frames upward during
+  // bootstrap (its border port faces east).
+  const reca::AgentStats& stats = mp->leaf(0).reca().stats();
+  EXPECT_GT(stats.discovery_down, 0u);  // root frames descended through it
+  EXPECT_GT(stats.discovery_up, 0u);    // east's frames climbed through it
+}
+
+}  // namespace
+}  // namespace softmow

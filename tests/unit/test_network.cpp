@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/network.h"
+
+namespace softmow::dataplane {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a = net.add_switch({0, 0});
+    b = net.add_switch({1, 0});
+    c = net.add_switch({2, 0});
+    ab = net.connect(a, b, sim::Duration::millis(5), 1000);
+    bc = net.connect(b, c, sim::Duration::millis(5), 1000);
+  }
+
+  PhysicalNetwork net;
+  SwitchId a, b, c;
+  LinkId ab, bc;
+};
+
+TEST_F(NetworkTest, ConnectCreatesPortsAndSymmetricLink) {
+  const Link* link = net.link(ab);
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->a.sw, a);
+  EXPECT_EQ(link->b.sw, b);
+  EXPECT_EQ(net.peer_of(link->a), link->b);
+  EXPECT_EQ(net.peer_of(link->b), link->a);
+  EXPECT_EQ(net.sw(a)->port(link->a.port)->peer, PeerKind::kSwitch);
+}
+
+TEST_F(NetworkTest, LinkDownBlocksPeerLookupAndNotifiesObserver) {
+  int notifications = 0;
+  net.set_link_observer([&](const Link&, bool) { ++notifications; });
+  ASSERT_TRUE(net.set_link_up(ab, false).ok());
+  EXPECT_FALSE(net.peer_of(net.link(ab)->a).has_value());
+  ASSERT_TRUE(net.set_link_up(ab, true).ok());
+  EXPECT_TRUE(net.peer_of(net.link(ab)->a).has_value());
+  EXPECT_EQ(notifications, 2);
+  // Setting the same state twice does not re-notify.
+  ASSERT_TRUE(net.set_link_up(ab, true).ok());
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST_F(NetworkTest, BandwidthReservationEnforcesCapacity) {
+  EXPECT_TRUE(net.reserve_bandwidth(ab, 600).ok());
+  EXPECT_EQ(net.link(ab)->available_kbps(), 400);
+  EXPECT_EQ(net.reserve_bandwidth(ab, 600).code(), ErrorCode::kExhausted);
+  EXPECT_TRUE(net.release_bandwidth(ab, 600).ok());
+  EXPECT_EQ(net.link(ab)->available_kbps(), 1000);
+  // Over-release clamps at zero reservation.
+  EXPECT_TRUE(net.release_bandwidth(ab, 999).ok());
+  EXPECT_EQ(net.link(ab)->available_kbps(), 1000);
+}
+
+TEST_F(NetworkTest, BsGroupGetsAccessSwitchWiredToCore) {
+  BsGroupId g = net.add_bs_group(a);
+  const BsGroup* group = net.bs_group(g);
+  ASSERT_NE(group, nullptr);
+  EXPECT_TRUE(net.is_access_switch(group->access_switch));
+  EXPECT_EQ(group->core_attach.sw, a);
+  // Radio port is port 1 of the access switch.
+  EXPECT_EQ(net.sw(group->access_switch)->port(PortId{1})->peer, PeerKind::kBsGroup);
+  BsId bs = net.add_base_station(g, {0, 1});
+  EXPECT_EQ(net.base_station(bs)->group, g);
+  EXPECT_EQ(group->members.size(), 1u);
+}
+
+TEST_F(NetworkTest, CoreGraphExcludesAccessSwitches) {
+  net.add_bs_group(a);
+  Graph g = net.build_core_graph();
+  EXPECT_EQ(g.node_count(), 3u);  // a, b, c only
+  EXPECT_EQ(g.edge_count(), 4u);  // two links, both directions
+}
+
+TEST_F(NetworkTest, UplinkDeliveryToEgress) {
+  BsGroupId g = net.add_bs_group(a);
+  BsId bs = net.add_base_station(g, {0, 1});
+  EgressId egress = net.add_egress(c);
+  const BsGroup* group = net.bs_group(g);
+
+  // access:1 -> access:2, a -> b -> c -> egress.
+  Switch* access = net.sw(group->access_switch);
+  FlowRule classify;
+  classify.cookie = 1;
+  classify.match.ue = UeId{1};
+  classify.actions = {push_label(Label{5, 1}), output(PortId{2})};
+  access->table().install(classify);
+
+  auto transit = [&](SwitchId sw, PortId out) {
+    FlowRule rule;
+    rule.cookie = 2;
+    rule.match.label = 5;
+    rule.actions = {output(out)};
+    net.sw(sw)->table().install(rule);
+  };
+  transit(a, net.link(ab)->a.port);
+  transit(b, net.link(bc)->a.port);
+  FlowRule exit;
+  exit.cookie = 3;
+  exit.match.label = 5;
+  exit.actions = {pop_label(), output(net.egress(egress)->attach.port)};
+  net.sw(c)->table().install(exit);
+
+  Packet pkt;
+  pkt.ue = UeId{1};
+  auto report = net.inject_uplink(pkt, bs);
+  EXPECT_EQ(report.outcome, DeliveryReport::Outcome::kExternal);
+  EXPECT_EQ(report.egress, egress);
+  EXPECT_EQ(report.hops, 4);  // access, a, b, c
+  EXPECT_TRUE(report.packet.labels.empty());
+  // 1ms access uplink + 5ms + 5ms core links.
+  EXPECT_NEAR(report.latency.to_millis(), 11.0, 1e-9);
+}
+
+TEST_F(NetworkTest, MiddleboxBounceCountsAndReenters) {
+  MiddleboxId mb = net.add_middlebox(b, MiddleboxType::kFirewall);
+  PortId mb_port = net.middlebox(mb)->attach.port;
+
+  // a -> b; at b: to middlebox; on return (in_port = mb port): to c.
+  FlowRule to_mb;
+  to_mb.cookie = 1;
+  to_mb.match.label = 5;
+  to_mb.match.in_port = net.link(ab)->b.port;
+  to_mb.actions = {output(mb_port)};
+  FlowRule from_mb;
+  from_mb.cookie = 2;
+  from_mb.match.label = 5;
+  from_mb.match.in_port = mb_port;
+  from_mb.actions = {pop_label(), output(net.link(bc)->a.port)};
+  net.sw(b)->table().install(to_mb);
+  net.sw(b)->table().install(from_mb);
+
+  EgressId egress = net.add_egress(c);
+  FlowRule exit;
+  exit.cookie = 3;
+  exit.actions = {output(net.egress(egress)->attach.port)};
+  net.sw(c)->table().install(exit);
+
+  Packet pkt;
+  pkt.labels.push_back(Label{5, 1});
+  auto report = net.inject_at(pkt, net.link(ab)->b);
+  EXPECT_EQ(report.outcome, DeliveryReport::Outcome::kExternal);
+  ASSERT_EQ(report.middleboxes_traversed.size(), 1u);
+  EXPECT_EQ(report.middleboxes_traversed[0], mb);
+  EXPECT_EQ(net.middlebox(mb)->packets_processed, 1u);
+}
+
+TEST_F(NetworkTest, ForwardingLoopHitsHopGuard) {
+  // a and b bounce the packet forever.
+  FlowRule at_a;
+  at_a.cookie = 1;
+  at_a.actions = {output(net.link(ab)->a.port)};
+  net.sw(a)->table().install(at_a);
+  FlowRule at_b;
+  at_b.cookie = 1;
+  at_b.actions = {output(net.link(ab)->b.port)};
+  net.sw(b)->table().install(at_b);
+
+  Packet pkt;
+  auto report = net.inject_at(pkt, net.link(ab)->b);
+  EXPECT_EQ(report.outcome, DeliveryReport::Outcome::kLooped);
+  EXPECT_GE(report.hops, static_cast<double>(PhysicalNetwork::kHopGuard));
+}
+
+TEST_F(NetworkTest, RehomeBsGroupMovesUplink) {
+  BsGroupId g = net.add_bs_group(a);
+  SwitchId old_attach = net.bs_group(g)->core_attach.sw;
+  EXPECT_EQ(old_attach, a);
+  ASSERT_TRUE(net.rehome_bs_group(g, c).ok());
+  EXPECT_EQ(net.bs_group(g)->core_attach.sw, c);
+  // The access switch still has its radio port and a working uplink.
+  auto peer = net.peer_of(Endpoint{net.bs_group(g)->access_switch, PortId{2}});
+  EXPECT_FALSE(peer.has_value());  // old port's link is gone
+}
+
+TEST_F(NetworkTest, DeliveryToRanOnDownlinkPort) {
+  BsGroupId g = net.add_bs_group(a);
+  const BsGroup* group = net.bs_group(g);
+  // a -> access -> radio port.
+  FlowRule at_a;
+  at_a.cookie = 1;
+  at_a.actions = {output(net.bs_group(g)->core_attach.port)};
+  net.sw(a)->table().install(at_a);
+  FlowRule at_access;
+  at_access.cookie = 1;
+  at_access.actions = {output(PortId{1})};
+  net.sw(group->access_switch)->table().install(at_access);
+
+  Packet pkt;
+  auto report = net.inject_at(pkt, net.link(ab)->a);
+  EXPECT_EQ(report.outcome, DeliveryReport::Outcome::kDeliveredToRan);
+  EXPECT_EQ(report.delivered_group, g);
+}
+
+TEST_F(NetworkTest, TotalRulesCountsAcrossSwitches) {
+  EXPECT_EQ(net.total_rules(), 0u);
+  FlowRule rule;
+  rule.cookie = 1;
+  net.sw(a)->table().install(rule);
+  net.sw(b)->table().install(rule);
+  EXPECT_EQ(net.total_rules(), 2u);
+}
+
+}  // namespace
+}  // namespace softmow::dataplane

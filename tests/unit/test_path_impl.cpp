@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "nos/path_impl.h"
+
+namespace softmow::nos {
+namespace {
+
+/// Captures FlowMods per switch instead of programming anything.
+class RecordingBus : public DeviceBus {
+ public:
+  Result<void> send(SwitchId sw, const southbound::Message& msg) override {
+    if (fail_on.valid() && sw == fail_on)
+      return Error{ErrorCode::kUnavailable, "injected failure"};
+    if (const auto* mod = std::get_if<southbound::FlowMod>(&msg)) mods.push_back(*mod);
+    return Ok();
+  }
+
+  [[nodiscard]] std::vector<southbound::FlowMod> mods_for(SwitchId sw) const {
+    std::vector<southbound::FlowMod> out;
+    for (const auto& m : mods)
+      if (m.sw == sw) out.push_back(m);
+    return out;
+  }
+
+  std::vector<southbound::FlowMod> mods;
+  SwitchId fail_on;
+};
+
+ComputedRoute three_hop_route() {
+  // access(1: in 1, out 2) -> core(2: in 1, out 2) -> border(3: in 1, out 8)
+  ComputedRoute route;
+  route.hops = {RouteHop{SwitchId{1}, PortId{1}, PortId{2}},
+                RouteHop{SwitchId{2}, PortId{1}, PortId{2}},
+                RouteHop{SwitchId{3}, PortId{1}, PortId{8}}};
+  route.source = Endpoint{SwitchId{1}, PortId{1}};
+  route.exit = Endpoint{SwitchId{3}, PortId{8}};
+  return route;
+}
+
+dataplane::Match ue_classifier(std::uint64_t ue = 7) {
+  dataplane::Match m;
+  m.ue = UeId{ue};
+  return m;
+}
+
+bool has_action(const southbound::FlowMod& mod, dataplane::ActionType type) {
+  for (const auto& a : mod.rule.actions)
+    if (a.type == type) return true;
+  return false;
+}
+
+TEST(PathImplementer, OwnPathRules) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 1, 1);
+  auto id = paths.setup(three_hop_route(), ue_classifier());
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(bus.mods.size(), 3u);
+
+  // First switch: classify + push + output; match pins the in-port.
+  const auto& first = bus.mods[0];
+  EXPECT_EQ(first.sw, SwitchId{1});
+  EXPECT_EQ(first.rule.match.ue, UeId{7});
+  EXPECT_EQ(first.rule.match.in_port, PortId{1});
+  EXPECT_TRUE(has_action(first, dataplane::ActionType::kPushLabel));
+
+  // Transit: match on (label, in-port) only.
+  const auto& mid = bus.mods[1];
+  EXPECT_TRUE(mid.rule.match.label.has_value());
+  EXPECT_FALSE(mid.rule.match.ue.has_value());
+  EXPECT_FALSE(has_action(mid, dataplane::ActionType::kPushLabel));
+
+  // Exit: pop before output (pop_at_exit default).
+  const auto& last = bus.mods[2];
+  EXPECT_TRUE(has_action(last, dataplane::ActionType::kPopLabel));
+}
+
+TEST(PathImplementer, OuterSwapTranslationRules) {
+  // RecA translation of a parent transit rule: pop outer at ingress (swap to
+  // local), push outer back at egress (swap back).
+  RecordingBus bus;
+  PathImplementer paths(&bus, 2, 1);
+  dataplane::Match classifier;
+  classifier.label = 900;
+  PathSetupOptions options;
+  options.outer_pop = true;
+  options.outer_push = Label{900, 2};
+  ASSERT_TRUE(paths.setup(three_hop_route(), classifier, options).ok());
+
+  EXPECT_TRUE(has_action(bus.mods[0], dataplane::ActionType::kSwapLabel));
+  EXPECT_FALSE(has_action(bus.mods[0], dataplane::ActionType::kPushLabel));
+  // Exit swaps the local label back to the outer one: never two labels.
+  EXPECT_TRUE(has_action(bus.mods[2], dataplane::ActionType::kSwapLabel));
+  EXPECT_FALSE(has_action(bus.mods[2], dataplane::ActionType::kPopLabel));
+}
+
+TEST(PathImplementer, StackingTranslationRules) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 3, 1);
+  PathSetupOptions options;
+  options.push_under = {Label{800, 3}, Label{801, 2}};
+  options.extra_pops_at_exit = 0;
+  ASSERT_TRUE(paths.setup(three_hop_route(), ue_classifier(), options).ok());
+  // First switch pushes the two outer labels then the local one: 3 pushes.
+  int pushes = 0;
+  for (const auto& a : bus.mods[0].rule.actions)
+    pushes += a.type == dataplane::ActionType::kPushLabel ? 1 : 0;
+  EXPECT_EQ(pushes, 3);
+}
+
+TEST(PathImplementer, SingleSwitchPathAvoidsLocalLabel) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 1, 1);
+  ComputedRoute route;
+  route.hops = {RouteHop{SwitchId{1}, PortId{1}, PortId{8}}};
+  route.source = Endpoint{SwitchId{1}, PortId{1}};
+  route.exit = Endpoint{SwitchId{1}, PortId{8}};
+  ASSERT_TRUE(paths.setup(route, ue_classifier()).ok());
+  ASSERT_EQ(bus.mods.size(), 1u);
+  EXPECT_FALSE(has_action(bus.mods[0], dataplane::ActionType::kPushLabel));
+  EXPECT_FALSE(has_action(bus.mods[0], dataplane::ActionType::kPopLabel));
+}
+
+TEST(PathImplementer, EmptyRouteRejected) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 1, 1);
+  ComputedRoute route;
+  EXPECT_EQ(paths.setup(route, ue_classifier()).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(PathImplementer, RollbackOnInstallFailure) {
+  RecordingBus bus;
+  bus.fail_on = SwitchId{3};
+  PathImplementer paths(&bus, 1, 1);
+  auto id = paths.setup(three_hop_route(), ue_classifier());
+  EXPECT_FALSE(id.ok());
+  // The two already-installed rules were removed again.
+  int removes = 0;
+  for (const auto& m : bus.mods)
+    removes += m.op == southbound::FlowMod::Op::kRemoveByCookie ? 1 : 0;
+  EXPECT_EQ(removes, 2);
+  EXPECT_EQ(paths.active_count(), 0u);
+}
+
+TEST(PathImplementer, DeactivateRemovesEveryRule) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 1, 1);
+  auto id = paths.setup(three_hop_route(), ue_classifier());
+  ASSERT_TRUE(id.ok());
+  bus.mods.clear();
+  ASSERT_TRUE(paths.deactivate(*id).ok());
+  EXPECT_EQ(bus.mods.size(), 3u);
+  for (const auto& m : bus.mods)
+    EXPECT_EQ(m.op, southbound::FlowMod::Op::kRemoveByCookie);
+  EXPECT_EQ(paths.active_count(), 0u);
+  // Idempotent.
+  ASSERT_TRUE(paths.deactivate(*id).ok());
+  EXPECT_EQ(bus.mods.size(), 3u);
+}
+
+TEST(PathImplementer, ReactivateReinstalls) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 1, 1);
+  auto id = paths.setup(three_hop_route(), ue_classifier());
+  ASSERT_TRUE(paths.deactivate(*id).ok());
+  bus.mods.clear();
+  ASSERT_TRUE(paths.reactivate(*id).ok());
+  EXPECT_EQ(bus.mods.size(), 3u);
+  EXPECT_EQ(paths.active_count(), 1u);
+}
+
+TEST(PathImplementer, LabelsAreUniquePerPathAndTagged) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, /*controller_tag=*/5, /*level=*/2);
+  auto a = paths.setup(three_hop_route(), ue_classifier(1));
+  auto b = paths.setup(three_hop_route(), ue_classifier(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const InstalledPath* pa = paths.path(*a);
+  const InstalledPath* pb = paths.path(*b);
+  EXPECT_NE(pa->label.value, pb->label.value);
+  EXPECT_EQ(pa->label.value >> 20, 5u);  // controller tag in the high bits
+  EXPECT_EQ(pa->label.owner_level, 2);
+}
+
+TEST(PathImplementer, VersionStampedAtIngress) {
+  RecordingBus bus;
+  PathImplementer paths(&bus, 1, 1);
+  PathSetupOptions options;
+  options.version = 7;
+  ASSERT_TRUE(paths.setup(three_hop_route(), ue_classifier(), options).ok());
+  EXPECT_TRUE(has_action(bus.mods[0], dataplane::ActionType::kSetVersion));
+}
+
+TEST(RouteIntact, DetectsMissingAndDownPieces) {
+  Nib nib;
+  for (std::uint64_t s : {1, 2, 3}) {
+    SwitchRecord rec;
+    rec.id = SwitchId{s};
+    southbound::PortDesc p1, p2;
+    p1.port = PortId{1};
+    p2.port = s == 3 ? PortId{8} : PortId{2};
+    rec.ports[p1.port] = p1;
+    rec.ports[p2.port] = p2;
+    nib.upsert_switch(rec);
+  }
+  nib.upsert_link({SwitchId{1}, PortId{2}}, {SwitchId{2}, PortId{1}}, {});
+  nib.upsert_link({SwitchId{2}, PortId{2}}, {SwitchId{3}, PortId{1}}, {});
+  ComputedRoute route = three_hop_route();
+  EXPECT_TRUE(route_intact(nib, route));
+  nib.set_links_at_up({SwitchId{2}, PortId{2}}, false);
+  EXPECT_FALSE(route_intact(nib, route));
+  nib.set_links_at_up({SwitchId{2}, PortId{2}}, true);
+  EXPECT_TRUE(route_intact(nib, route));
+  nib.remove_switch(SwitchId{2});
+  EXPECT_FALSE(route_intact(nib, route));
+}
+
+}  // namespace
+}  // namespace softmow::nos

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "nos/port_graph.h"
+
+namespace softmow::nos {
+namespace {
+
+southbound::PortDesc port(std::uint64_t id) {
+  southbound::PortDesc d;
+  d.port = PortId{id};
+  d.peer = dataplane::PeerKind::kSwitch;
+  return d;
+}
+
+TEST(PortKey, RoundTrips) {
+  NodeKey k = port_key(SwitchId{42}, PortId{7});
+  EXPECT_EQ(key_switch(k), SwitchId{42});
+  EXPECT_EQ(key_port(k), PortId{7});
+  EXPECT_EQ(key_endpoint(k), (Endpoint{SwitchId{42}, PortId{7}}));
+}
+
+TEST(PortGraph, PhysicalSwitchIsFreeToCross) {
+  Nib nib;
+  SwitchRecord rec;
+  rec.id = SwitchId{1};
+  rec.ports[PortId{1}] = port(1);
+  rec.ports[PortId{2}] = port(2);
+  nib.upsert_switch(rec);
+  Graph g = build_port_graph(nib);
+  auto path = g.shortest_path(port_key(SwitchId{1}, PortId{1}),
+                              port_key(SwitchId{1}, PortId{2}), Metric::kHops);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->metrics.hop_count, 0);
+  EXPECT_DOUBLE_EQ(path->metrics.latency_us, 0);
+}
+
+TEST(PortGraph, GSwitchUsesVfabricCosts) {
+  Nib nib;
+  SwitchRecord rec;
+  rec.id = SwitchId{1};
+  rec.is_gswitch = true;
+  rec.ports[PortId{1}] = port(1);
+  rec.ports[PortId{2}] = port(2);
+  rec.ports[PortId{3}] = port(3);
+  rec.vfabric = {
+      southbound::VFabricEntry{PortId{1}, PortId{2}, EdgeMetrics{100, 3, 1e6}},
+      // No entry for 1 -> 3: those ports are internally disconnected.
+  };
+  nib.upsert_switch(rec);
+  Graph g = build_port_graph(nib);
+  auto path = g.shortest_path(port_key(SwitchId{1}, PortId{1}),
+                              port_key(SwitchId{1}, PortId{2}), Metric::kHops);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->metrics.hop_count, 3);
+  EXPECT_DOUBLE_EQ(path->metrics.latency_us, 100);
+  EXPECT_FALSE(g.shortest_path(port_key(SwitchId{1}, PortId{1}),
+                               port_key(SwitchId{1}, PortId{3}), Metric::kHops)
+                   .ok());
+}
+
+TEST(PortGraph, DownPortsAreExcludedOnPhysicalSwitches) {
+  Nib nib;
+  SwitchRecord rec;
+  rec.id = SwitchId{1};
+  rec.ports[PortId{1}] = port(1);
+  auto down = port(2);
+  down.up = false;
+  rec.ports[PortId{2}] = down;
+  nib.upsert_switch(rec);
+  Graph g = build_port_graph(nib);
+  EXPECT_FALSE(g.shortest_path(port_key(SwitchId{1}, PortId{1}),
+                               port_key(SwitchId{1}, PortId{2}), Metric::kHops)
+                   .ok());
+}
+
+TEST(PortGraph, LinksConnectSwitchesBothWays) {
+  Nib nib;
+  for (std::uint64_t s : {1, 2}) {
+    SwitchRecord rec;
+    rec.id = SwitchId{s};
+    rec.ports[PortId{1}] = port(1);
+    nib.upsert_switch(rec);
+  }
+  nib.upsert_link({SwitchId{1}, PortId{1}}, {SwitchId{2}, PortId{1}},
+                  EdgeMetrics{5000, 1, 1e6});
+  Graph g = build_port_graph(nib);
+  auto forward = g.shortest_path(port_key(SwitchId{1}, PortId{1}),
+                                 port_key(SwitchId{2}, PortId{1}), Metric::kHops);
+  auto back = g.shortest_path(port_key(SwitchId{2}, PortId{1}),
+                              port_key(SwitchId{1}, PortId{1}), Metric::kHops);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(forward->metrics.hop_count, 1);
+}
+
+TEST(PortGraph, DownLinksExcluded) {
+  Nib nib;
+  for (std::uint64_t s : {1, 2}) {
+    SwitchRecord rec;
+    rec.id = SwitchId{s};
+    rec.ports[PortId{1}] = port(1);
+    nib.upsert_switch(rec);
+  }
+  nib.upsert_link({SwitchId{1}, PortId{1}}, {SwitchId{2}, PortId{1}}, {});
+  nib.set_links_at_up({SwitchId{1}, PortId{1}}, false);
+  Graph g = build_port_graph(nib);
+  EXPECT_FALSE(g.shortest_path(port_key(SwitchId{1}, PortId{1}),
+                               port_key(SwitchId{2}, PortId{1}), Metric::kHops)
+                   .ok());
+}
+
+TEST(HopsFromPath, ExtractsPerSwitchTraversals) {
+  // (1,p1) -> (1,p2) | link | (2,p1) -> (2,p2)
+  GraphPath path;
+  path.nodes = {port_key(SwitchId{1}, PortId{1}), port_key(SwitchId{1}, PortId{2}),
+                port_key(SwitchId{2}, PortId{1}), port_key(SwitchId{2}, PortId{2})};
+  auto hops = hops_from_path(path);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0], (RouteHop{SwitchId{1}, PortId{1}, PortId{2}}));
+  EXPECT_EQ(hops[1], (RouteHop{SwitchId{2}, PortId{1}, PortId{2}}));
+}
+
+TEST(HopsFromPath, MiddleboxDetourYieldsTwoHopsOnOneSwitch) {
+  // Stage stitching repeats the waypoint node; the switch is traversed
+  // in->mb and then mb->out.
+  GraphPath path;
+  path.nodes = {port_key(SwitchId{1}, PortId{1}), port_key(SwitchId{1}, PortId{5}),
+                port_key(SwitchId{1}, PortId{5}),  // repeated waypoint
+                port_key(SwitchId{1}, PortId{2})};
+  auto hops = hops_from_path(path);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0], (RouteHop{SwitchId{1}, PortId{1}, PortId{5}}));
+  EXPECT_EQ(hops[1], (RouteHop{SwitchId{1}, PortId{5}, PortId{2}}));
+}
+
+}  // namespace
+}  // namespace softmow::nos

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "apps/region_opt.h"
+#include "core/rng.h"
+
+namespace softmow::apps {
+namespace {
+
+// The paper's Figure 7b instance: border G-BSes 2, 3, 4, internal
+// aggregates IA (region A) and IB (region B). The root sees 900
+// inter-region handovers; moving G-BS 3 from B to A yields the maximum gain
+// 200 (= 500 - 200 - 100).
+class Fig7Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    input.graph.add(gbs3, gbs4, 500);  // cross (B-A)
+    input.graph.add(gbs3, ib, 200);    // internal to B
+    input.graph.add(gbs3, gbs2, 100);  // internal to B
+    input.graph.add(gbs2, ia, 250);    // cross (B-A)
+    input.graph.add(gbs4, ib, 100);    // cross (A-B)
+    input.graph.add(gbs4, ia, 450);    // internal to A (anchors 4 in A)
+    input.graph.add(ia, ib, 50);       // cross, not movable
+    input.attach = {{gbs2, gsb}, {gbs3, gsb}, {gbs4, gsa}, {ia, gsa}, {ib, gsb}};
+    input.movable = {gbs2, gbs3, gbs4};
+    input.gswitch_links = {{gsa, gsb}};
+    // Gains: 3->A = 500-(200+100) = 200 (max, as in the paper);
+    //        2->A = 250-100 = 150; 4->B = (500+100)-450 = 150.
+  }
+
+  GBsId gbs2{2}, gbs3{3}, gbs4{4}, ia{100}, ib{101};
+  SwitchId gsa{1}, gsb{2};
+  RegionOptInput input;
+};
+
+TEST_F(Fig7Test, InitialCrossWeightIs900) {
+  EXPECT_DOUBLE_EQ(cross_region_weight(input.graph, input.attach), 900);
+}
+
+TEST_F(Fig7Test, FirstMoveIsGbs3WithGain200) {
+  RegionOptConstraints unconstrained;
+  unconstrained.lb_factor = 0;
+  unconstrained.ub_factor = 100;
+  unconstrained.max_moves = 1;
+  auto result = greedy_region_optimization(input, unconstrained);
+  ASSERT_EQ(result.moves.size(), 1u);
+  EXPECT_EQ(result.moves[0].gbs, gbs3);
+  EXPECT_EQ(result.moves[0].from, gsb);
+  EXPECT_EQ(result.moves[0].to, gsa);
+  EXPECT_DOUBLE_EQ(result.moves[0].gain, 200);
+  EXPECT_DOUBLE_EQ(result.final_cross_weight, 700);  // Fig. 7c
+}
+
+TEST_F(Fig7Test, RunsToConvergenceWithPositiveGains) {
+  RegionOptConstraints unconstrained;
+  unconstrained.lb_factor = 0;
+  unconstrained.ub_factor = 100;
+  auto result = greedy_region_optimization(input, unconstrained);
+  double total_gain = 0;
+  for (const Move& m : result.moves) {
+    EXPECT_GT(m.gain, 0);
+    total_gain += m.gain;
+  }
+  EXPECT_DOUBLE_EQ(result.initial_cross_weight - result.final_cross_weight, total_gain);
+  // Convergence: re-running on the final assignment finds nothing.
+  RegionOptInput again = input;
+  again.attach = result.final_attach;
+  auto second = greedy_region_optimization(again, unconstrained);
+  EXPECT_TRUE(second.moves.empty());
+}
+
+TEST_F(Fig7Test, LoadConstraintsCanBlockTheBestMove) {
+  // Give G-BS 3 so much load that moving it would overload region A.
+  input.load = {{gbs2, 1}, {gbs3, 100}, {gbs4, 1}, {ia, 1}, {ib, 1}};
+  RegionOptConstraints tight;
+  tight.lb_factor = 0.7;
+  tight.ub_factor = 1.3;  // region A starts at 2; +100 is far beyond 1.3x
+  auto result = greedy_region_optimization(input, tight);
+  for (const Move& m : result.moves) EXPECT_NE(m.gbs, gbs3);
+}
+
+TEST_F(Fig7Test, MovesRequireAnInterGSwitchLink) {
+  input.gswitch_links.clear();  // no link between the regions
+  RegionOptConstraints unconstrained;
+  unconstrained.lb_factor = 0;
+  unconstrained.ub_factor = 100;
+  auto result = greedy_region_optimization(input, unconstrained);
+  EXPECT_TRUE(result.moves.empty());
+}
+
+TEST_F(Fig7Test, InternalAggregatesNeverMove) {
+  RegionOptConstraints unconstrained;
+  unconstrained.lb_factor = 0;
+  unconstrained.ub_factor = 100;
+  auto result = greedy_region_optimization(input, unconstrained);
+  for (const Move& m : result.moves) {
+    EXPECT_NE(m.gbs, ia);
+    EXPECT_NE(m.gbs, ib);
+  }
+}
+
+TEST_F(Fig7Test, MaxMovesBudgetRespected) {
+  RegionOptConstraints capped;
+  capped.lb_factor = 0;
+  capped.ub_factor = 100;
+  capped.max_moves = 1;
+  auto result = greedy_region_optimization(input, capped);
+  EXPECT_LE(result.moves.size(), 1u);
+}
+
+// Property sweep over random instances: the greedy never increases the
+// cross-region weight, each move has positive gain, and it terminates.
+class RegionOptRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionOptRandomTest, NeverWorseAndTerminates) {
+  Rng rng(GetParam());
+  RegionOptInput input;
+  const std::size_t groups = 60, regions = 4;
+  for (std::size_t g = 0; g < groups; ++g) {
+    GBsId id{g};
+    input.attach[id] = SwitchId{rng.uniform_u64(0, regions - 1)};
+    input.load[id] = rng.uniform(1, 10);
+    input.movable.insert(id);
+  }
+  for (int e = 0; e < 200; ++e) {
+    GBsId a{rng.uniform_u64(0, groups - 1)}, b{rng.uniform_u64(0, groups - 1)};
+    if (a == b) continue;
+    input.graph.add(a, b, rng.uniform(1, 100));
+  }
+  for (std::size_t r = 0; r < regions; ++r)
+    for (std::size_t s = r + 1; s < regions; ++s)
+      input.gswitch_links.insert({SwitchId{r}, SwitchId{s}});
+
+  RegionOptConstraints constraints;  // the paper's ±30%
+  auto result = greedy_region_optimization(input, constraints);
+  EXPECT_LE(result.final_cross_weight, result.initial_cross_weight + 1e-9);
+  for (const Move& m : result.moves) EXPECT_GT(m.gain, 0);
+  EXPECT_LT(result.moves.size(), 10000u);  // terminated sanely
+
+  // §5.3.1 constraints: every region's final load within its envelope.
+  std::map<SwitchId, double> initial_load, final_load;
+  for (const auto& [g, sw] : input.attach) initial_load[sw] += input.load[g];
+  for (const auto& [g, sw] : result.final_attach) final_load[sw] += input.load[g];
+  for (const auto& [sw, load] : final_load) {
+    EXPECT_GE(load + 1e-6, initial_load[sw] * constraints.lb_factor) << sw.str();
+    EXPECT_LE(load - 1e-6, initial_load[sw] * constraints.ub_factor) << sw.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionOptRandomTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace softmow::apps

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "nos/routing.h"
+
+namespace softmow::nos {
+namespace {
+
+southbound::PortDesc port(std::uint64_t id,
+                          dataplane::PeerKind peer = dataplane::PeerKind::kSwitch,
+                          std::uint64_t egress = ~0ull) {
+  southbound::PortDesc d;
+  d.port = PortId{id};
+  d.peer = peer;
+  if (egress != ~0ull) d.egress = EgressId{egress};
+  return d;
+}
+
+/// A line of switches 1 - 2 - 3, each with an egress port, plus a radio
+/// attachment on switch 1:
+///   radio(1:p9)  1 --(5ms)-- 2 --(5ms)-- 3
+///   egress E1 at 1:p8, E2 at 3:p8
+class RoutingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t s : {1, 2, 3}) {
+      SwitchRecord rec;
+      rec.id = SwitchId{s};
+      rec.ports[PortId{1}] = port(1);
+      rec.ports[PortId{2}] = port(2);
+      if (s == 1) {
+        rec.ports[PortId{9}] = port(9, dataplane::PeerKind::kBsGroup);
+        rec.ports[PortId{8}] = port(8, dataplane::PeerKind::kExternal, 1);
+      }
+      if (s == 3) rec.ports[PortId{8}] = port(8, dataplane::PeerKind::kExternal, 2);
+      nib.upsert_switch(rec);
+    }
+    nib.upsert_link({SwitchId{1}, PortId{2}}, {SwitchId{2}, PortId{1}},
+                    EdgeMetrics{5000, 1, 1e6});
+    nib.upsert_link({SwitchId{2}, PortId{2}}, {SwitchId{3}, PortId{1}},
+                    EdgeMetrics{5000, 1, 1e6});
+  }
+
+  Endpoint radio{SwitchId{1}, PortId{9}};
+  Nib nib;
+  RoutingService routing{&nib};
+};
+
+TEST_F(RoutingFixture, PicksNearestEgressByTotalCost) {
+  // E1 is 0 internal hops away but has a long external path; E2 is 2 hops
+  // away with a short one. Totals: E1 = 0+12, E2 = 2+4 -> E2 wins.
+  nib.upsert_external_route({{SwitchId{1}, PortId{8}}, PrefixId{1}, 12, 120000});
+  nib.upsert_external_route({{SwitchId{3}, PortId{8}}, PrefixId{1}, 4, 40000});
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{1};
+  auto route = routing.route(req);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->exit, (Endpoint{SwitchId{3}, PortId{8}}));
+  EXPECT_EQ(route->egress_id, EgressId{2});
+  EXPECT_DOUBLE_EQ(route->total_hops(), 6);
+  EXPECT_DOUBLE_EQ(route->internal.hop_count, 2);
+}
+
+TEST_F(RoutingFixture, Fig4ConstraintRedirectsToCloserEgress) {
+  // The paper's §4.2 example: both egress points are 10 external hops from
+  // the prefix; the constraint is a maximum *end-to-end* hop count. The
+  // farther egress violates it, the nearer one satisfies it.
+  nib.upsert_external_route({{SwitchId{1}, PortId{8}}, PrefixId{7}, 10, 1000});
+  nib.upsert_external_route({{SwitchId{3}, PortId{8}}, PrefixId{7}, 10, 1000});
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{7};
+  req.objective = Metric::kLatency;  // latency-optimal would tie; hop bound decides
+  req.constraints.max_hops = 11;     // 2 internal + 10 external = 12 > 11
+  auto route = routing.route(req);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->egress_id, EgressId{1});  // 0 internal + 10 external = 10
+  EXPECT_LE(route->total_hops(), 11);
+}
+
+TEST_F(RoutingFixture, UnsatisfiableWhenNoEgressMeetsConstraints) {
+  nib.upsert_external_route({{SwitchId{1}, PortId{8}}, PrefixId{7}, 10, 1000});
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{7};
+  req.constraints.max_hops = 5;
+  auto route = routing.route(req);
+  ASSERT_FALSE(route.ok());
+  EXPECT_EQ(route.code(), ErrorCode::kUnsatisfiable);
+}
+
+TEST_F(RoutingFixture, NoInterdomainRouteIsNotFound) {
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{404};
+  EXPECT_EQ(routing.route(req).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RoutingFixture, RequestWithoutDestinationIsInvalid) {
+  RoutingRequest req;
+  req.source = radio;
+  EXPECT_EQ(routing.route(req).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RoutingFixture, InternalDestinationRouting) {
+  RoutingRequest req;
+  req.source = radio;
+  req.dst = Endpoint{SwitchId{3}, PortId{8}};
+  auto route = routing.route(req);
+  ASSERT_TRUE(route.ok());
+  EXPECT_FALSE(route->internet_bound());
+  EXPECT_DOUBLE_EQ(route->internal.hop_count, 2);
+  EXPECT_DOUBLE_EQ(route->external_hops, 0);
+  ASSERT_EQ(route->hops.size(), 3u);
+  EXPECT_EQ(route->hops[0].sw, SwitchId{1});
+  EXPECT_EQ(route->hops[0].in, PortId{9});
+}
+
+TEST_F(RoutingFixture, MiddleboxChainIsVisitedInOrder) {
+  southbound::GMiddleboxAnnounce fw;
+  fw.gmb = MiddleboxId{1};
+  fw.type = dataplane::MiddleboxType::kFirewall;
+  fw.attached_switch = SwitchId{2};
+  fw.attached_port = PortId{5};
+  nib.upsert_middlebox(fw);
+  // Register the attach port on switch 2.
+  SwitchRecord rec = *nib.sw(SwitchId{2});
+  rec.ports[PortId{5}] = port(5, dataplane::PeerKind::kMiddlebox);
+  nib.upsert_switch(rec);
+  nib.upsert_external_route({{SwitchId{3}, PortId{8}}, PrefixId{1}, 4, 40000});
+
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{1};
+  req.policy.chain = {dataplane::MiddleboxType::kFirewall};
+  auto route = routing.route(req);
+  ASSERT_TRUE(route.ok());
+  ASSERT_EQ(route->middleboxes.size(), 1u);
+  EXPECT_EQ(route->middleboxes[0], MiddleboxId{1});
+  // The port path passes through the middlebox attach node.
+  bool visits = false;
+  for (NodeKey node : route->port_path.nodes)
+    visits |= node == port_key(SwitchId{2}, PortId{5});
+  EXPECT_TRUE(visits);
+}
+
+TEST_F(RoutingFixture, SaturatedMiddleboxIsSkipped) {
+  southbound::GMiddleboxAnnounce fw;
+  fw.gmb = MiddleboxId{1};
+  fw.type = dataplane::MiddleboxType::kFirewall;
+  fw.attached_switch = SwitchId{2};
+  fw.attached_port = PortId{5};
+  fw.utilization = 0.99;  // over the admission threshold
+  nib.upsert_middlebox(fw);
+  nib.upsert_external_route({{SwitchId{3}, PortId{8}}, PrefixId{1}, 4, 40000});
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{1};
+  req.policy.chain = {dataplane::MiddleboxType::kFirewall};
+  auto route = routing.route(req);
+  ASSERT_FALSE(route.ok());
+  EXPECT_EQ(route.code(), ErrorCode::kUnsatisfiable);
+}
+
+TEST_F(RoutingFixture, BandwidthFloorAvoidsThinLinks) {
+  // Thin the 1-2 link; demand more than it has.
+  nib.upsert_link({SwitchId{1}, PortId{2}}, {SwitchId{2}, PortId{1}},
+                  EdgeMetrics{5000, 1, 100});
+  nib.upsert_external_route({{SwitchId{3}, PortId{8}}, PrefixId{1}, 4, 40000});
+  nib.upsert_external_route({{SwitchId{1}, PortId{8}}, PrefixId{1}, 9, 90000});
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{1};
+  req.constraints.min_bandwidth_kbps = 500;
+  auto route = routing.route(req);
+  ASSERT_TRUE(route.ok());
+  // Cannot reach E2 over the thin link: falls back to local egress E1.
+  EXPECT_EQ(route->egress_id, EgressId{1});
+}
+
+TEST_F(RoutingFixture, GraphCacheInvalidatesOnTopologyChange) {
+  nib.upsert_external_route({{SwitchId{3}, PortId{8}}, PrefixId{1}, 4, 40000});
+  RoutingRequest req;
+  req.source = radio;
+  req.dst_prefix = PrefixId{1};
+  ASSERT_TRUE(routing.route(req).ok());
+  // Cut the line: the cached graph must be rebuilt and routing must fail
+  // over to E1 (if present) or fail.
+  nib.set_links_at_up({SwitchId{1}, PortId{2}}, false);
+  auto after = routing.route(req);
+  EXPECT_FALSE(after.ok());
+}
+
+}  // namespace
+}  // namespace softmow::nos

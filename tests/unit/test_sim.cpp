@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace softmow::sim {
+namespace {
+
+TEST(Duration, UnitConversions) {
+  EXPECT_EQ(Duration::millis(5).to_micros(), 5000);
+  EXPECT_EQ(Duration::seconds(2).to_millis(), 2000);
+  EXPECT_EQ(Duration::minutes(3).to_seconds(), 180);
+  EXPECT_EQ(Duration::hours(1).to_minutes(), 60);
+  EXPECT_EQ((Duration::millis(1) + Duration::micros(500)).to_micros(), 1500);
+  EXPECT_EQ((Duration::millis(10) * 2.5).to_millis(), 25);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().since_start().to_millis(), 30);
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule(Duration::millis(1), [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] {
+    ++fired;
+    sim.schedule(Duration::millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().since_start().to_millis(), 2);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(10), [&] { ++fired; });
+  sim.schedule(Duration::millis(30), [&] { ++fired; });
+  sim.run_until(TimePoint::at(Duration::millis(20)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now().since_start().to_millis(), 20);  // advanced to deadline
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(QueueingStation, SerializesBackToBackArrivals) {
+  QueueingStation station(Duration::millis(10));
+  TimePoint t0 = TimePoint::zero();
+  EXPECT_EQ(station.submit(t0).since_start().to_millis(), 10);
+  EXPECT_EQ(station.submit(t0).since_start().to_millis(), 20);
+  EXPECT_EQ(station.submit(t0).since_start().to_millis(), 30);
+  EXPECT_EQ(station.processed(), 3u);
+  // Second and third waited 10 and 20 ms.
+  EXPECT_EQ(station.total_wait().to_millis(), 30);
+}
+
+TEST(QueueingStation, IdleServerStartsImmediately) {
+  QueueingStation station(Duration::millis(10));
+  auto first = station.submit(TimePoint::at(Duration::millis(5)));
+  EXPECT_EQ(first.since_start().to_millis(), 15);
+  // Arrival after the server went idle: no wait.
+  auto second = station.submit(TimePoint::at(Duration::millis(100)));
+  EXPECT_EQ(second.since_start().to_millis(), 110);
+  EXPECT_EQ(station.total_wait().to_millis(), 0);
+}
+
+TEST(QueueingStation, PerMessageServiceOverride) {
+  QueueingStation station(Duration::millis(10));
+  auto done = station.submit(TimePoint::zero(), Duration::millis(1));
+  EXPECT_EQ(done.since_start().to_millis(), 1);
+}
+
+TEST(QueueingStation, ResetClearsState) {
+  QueueingStation station(Duration::millis(10));
+  (void)station.submit(TimePoint::zero());
+  station.reset();
+  EXPECT_EQ(station.processed(), 0u);
+  EXPECT_EQ(station.submit(TimePoint::zero()).since_start().to_millis(), 10);
+}
+
+}  // namespace
+}  // namespace softmow::sim

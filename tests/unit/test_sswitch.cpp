@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/sswitch.h"
+
+namespace softmow::dataplane {
+namespace {
+
+Packet ue_packet(UeId ue = UeId{1}) {
+  Packet p;
+  p.ue = ue;
+  p.dst_prefix = PrefixId{5};
+  return p;
+}
+
+class SwitchTest : public ::testing::Test {
+ protected:
+  Switch sw{SwitchId{1}};
+};
+
+TEST_F(SwitchTest, PortsNumberFromOne) {
+  EXPECT_EQ(sw.add_port(), PortId{1});
+  EXPECT_EQ(sw.add_port(PeerKind::kExternal), PortId{2});
+  EXPECT_EQ(sw.port_count(), 2u);
+  EXPECT_EQ(sw.port(PortId{2})->peer, PeerKind::kExternal);
+  EXPECT_EQ(sw.port(PortId{9}), nullptr);
+}
+
+TEST_F(SwitchTest, TableMissPuntsAndCounts) {
+  sw.add_port();
+  Packet p = ue_packet();
+  auto fwd = sw.process(p, PortId{1});
+  EXPECT_EQ(fwd.kind, Forwarding::Kind::kTableMiss);
+  EXPECT_EQ(sw.table_misses(), 1u);
+  EXPECT_EQ(sw.packets_processed(), 1u);
+  // The trace records the visit even on a miss.
+  ASSERT_EQ(p.trace.size(), 1u);
+  EXPECT_EQ(p.trace[0].sw, SwitchId{1});
+}
+
+TEST_F(SwitchTest, PushSwapPopSequence) {
+  sw.add_port();
+  sw.add_port();
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {push_label(Label{7, 1}), swap_label(Label{9, 1}), output(PortId{2})};
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  auto fwd = sw.process(p, PortId{1});
+  EXPECT_EQ(fwd.kind, Forwarding::Kind::kForward);
+  EXPECT_EQ(fwd.out_port, PortId{2});
+  ASSERT_EQ(p.labels.size(), 1u);
+  EXPECT_EQ(p.labels.back().value, 9u);
+}
+
+TEST_F(SwitchTest, PopOnEmptyStackIsAnError) {
+  sw.add_port();
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {pop_label(), output(PortId{1})};
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  auto fwd = sw.process(p, PortId{1});
+  EXPECT_EQ(fwd.kind, Forwarding::Kind::kError);
+  EXPECT_EQ(sw.action_errors(), 1u);
+}
+
+TEST_F(SwitchTest, SwapOnEmptyStackIsAnError) {
+  sw.add_port();
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {swap_label(Label{3, 1}), output(PortId{1})};
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kError);
+}
+
+TEST_F(SwitchTest, OutputToDownPortIsAnError) {
+  sw.add_port();
+  PortId out = sw.add_port();
+  sw.port(out)->up = false;
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {output(out)};
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kError);
+}
+
+TEST_F(SwitchTest, ExplicitDropStopsProcessing) {
+  sw.add_port();
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {drop(), output(PortId{1})};  // output after drop ignored
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kDrop);
+}
+
+TEST_F(SwitchTest, ToControllerAction) {
+  sw.add_port();
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {to_controller()};
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kToController);
+}
+
+TEST_F(SwitchTest, SetVersionStampsPacket) {
+  sw.add_port();
+  sw.add_port();
+  FlowRule rule;
+  rule.cookie = 1;
+  rule.actions = {set_version(4), output(PortId{2})};
+  sw.table().install(rule);
+  Packet p = ue_packet();
+  (void)sw.process(p, PortId{1});
+  EXPECT_EQ(p.version, 4u);
+}
+
+TEST_F(SwitchTest, SingleMasterInvariant) {
+  sw.set_controller_role(ControllerId{1}, ControllerRole::kMaster);
+  sw.set_controller_role(ControllerId{2}, ControllerRole::kMaster);
+  EXPECT_EQ(sw.master(), ControllerId{2});
+  // The old master was demoted, not removed.
+  EXPECT_EQ(sw.controllers().at(ControllerId{1}), ControllerRole::kSlave);
+}
+
+TEST_F(SwitchTest, EqualRoleControllersReceiveEvents) {
+  sw.set_controller_role(ControllerId{1}, ControllerRole::kMaster);
+  sw.set_controller_role(ControllerId{2}, ControllerRole::kEqual);
+  sw.set_controller_role(ControllerId{3}, ControllerRole::kSlave);
+  auto receivers = sw.event_receivers();
+  EXPECT_EQ(receivers.size(), 2u);  // master + equal, not slave
+}
+
+TEST_F(SwitchTest, RemoveControllerClearsRole) {
+  sw.set_controller_role(ControllerId{1}, ControllerRole::kMaster);
+  sw.remove_controller(ControllerId{1});
+  EXPECT_FALSE(sw.master().has_value());
+}
+
+}  // namespace
+}  // namespace softmow::dataplane

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+
+namespace softmow {
+namespace {
+
+TEST(SampleSet, BasicMoments) {
+  SampleSet s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), 15);
+  EXPECT_DOUBLE_EQ(s.mean(), 3);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleSet, EmptySetIsSafe) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1), 0);
+  EXPECT_TRUE(s.cdf_series().empty());
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet s;
+  s.add_all({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25);
+  EXPECT_DOUBLE_EQ(s.median(), 25);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(SampleSet, PercentileIsMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 50; ++i) s.add((i * 37) % 101);
+  double last = -1;
+  for (double p = 0; p <= 100; p += 2.5) {
+    double v = s.percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST(SampleSet, CdfMatchesDefinition) {
+  SampleSet s;
+  s.add_all({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0), 0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(3), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(99), 1.0);
+}
+
+TEST(SampleSet, CdfSeriesEndsAtOne) {
+  SampleSet s;
+  s.add_all({5, 1, 9, 3});
+  auto series = s.cdf_series(4);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 9);
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].first, series[i - 1].first);
+}
+
+TEST(SampleSet, AddAfterQueryStaysCorrect) {
+  SampleSet s;
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  s.add(10);  // re-sort required internally
+  EXPECT_DOUBLE_EQ(s.max(), 10);
+}
+
+TEST(BoxStatsTest, SummarizesQuartiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  BoxStats box = box_stats(s);
+  EXPECT_DOUBLE_EQ(box.min, 1);
+  EXPECT_DOUBLE_EQ(box.max, 100);
+  EXPECT_NEAR(box.median, 50.5, 1e-9);
+  EXPECT_NEAR(box.mean, 50.5, 1e-9);
+  EXPECT_LT(box.p25, box.median);
+  EXPECT_GT(box.p75, box.median);
+}
+
+TEST(TextTable, AlignsAndPads) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy"});  // short rows padded
+  std::string s = t.str();
+  EXPECT_NE(s.find("| a  | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| x  | 1           |"), std::string::npos);
+  EXPECT_NE(s.find("| yy |             |"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace softmow

@@ -1,0 +1,143 @@
+// HSS / PCRF operator applications (§3.3) and the attach/bearer front desk.
+#include <gtest/gtest.h>
+
+#include "apps/subscriber.h"
+#include "softmow/softmow.h"
+
+namespace softmow::apps {
+namespace {
+
+TEST(Hss, ProvisionLookupDeprovision) {
+  HssApp hss;
+  hss.provision({UeId{1}, SubscriberClass::kPremium, "imsi-001"});
+  ASSERT_NE(hss.lookup(UeId{1}), nullptr);
+  EXPECT_EQ(hss.lookup(UeId{1})->tier, SubscriberClass::kPremium);
+  EXPECT_EQ(hss.subscriber_count(), 1u);
+  EXPECT_TRUE(hss.deprovision(UeId{1}).ok());
+  EXPECT_EQ(hss.lookup(UeId{1}), nullptr);
+  EXPECT_EQ(hss.deprovision(UeId{1}).code(), ErrorCode::kNotFound);
+}
+
+TEST(Hss, AttachAuthorization) {
+  HssApp hss;
+  hss.provision({UeId{1}, SubscriberClass::kBasic, "a"});
+  hss.provision({UeId{2}, SubscriberClass::kBlocked, "b"});
+  auto ok = hss.authorize_attach(UeId{1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, SubscriberClass::kBasic);
+  EXPECT_EQ(hss.authorize_attach(UeId{2}).code(), ErrorCode::kPermission);
+  EXPECT_EQ(hss.authorize_attach(UeId{3}).code(), ErrorCode::kPermission);
+  EXPECT_EQ(hss.rejected_attaches(), 2u);
+}
+
+TEST(Pcrf, DefaultRulesEncodeOperatorPolicy) {
+  PcrfApp pcrf;
+  auto voip = pcrf.policy_for(SubscriberClass::kBasic, ApplicationClass::kVoip);
+  EXPECT_EQ(voip.objective, Metric::kLatency);
+  ASSERT_TRUE(voip.qos.max_latency_us.has_value());
+
+  auto premium_video = pcrf.policy_for(SubscriberClass::kPremium, ApplicationClass::kVideo);
+  ASSERT_EQ(premium_video.service.chain.size(), 1u);
+  EXPECT_EQ(premium_video.service.chain[0], dataplane::MiddleboxType::kVideoTranscoder);
+  EXPECT_GT(premium_video.qos.min_bandwidth_kbps, 0);
+
+  auto iot = pcrf.policy_for(SubscriberClass::kIot, ApplicationClass::kDefault);
+  ASSERT_EQ(iot.service.chain.size(), 1u);
+  EXPECT_EQ(iot.service.chain[0], dataplane::MiddleboxType::kFirewall);
+
+  // Unknown pair falls back to best-effort.
+  auto fallback = pcrf.policy_for(SubscriberClass::kPremium, ApplicationClass::kBulk);
+  EXPECT_TRUE(fallback.service.empty());
+  EXPECT_FALSE(fallback.qos.max_latency_us.has_value());
+}
+
+TEST(Pcrf, RuleOverrideAndRequestSynthesis) {
+  PcrfApp pcrf;
+  PcrfApp::Policy strict;
+  strict.qos.max_hops = 9;
+  pcrf.set_rule(SubscriberClass::kBasic, ApplicationClass::kBulk, strict);
+  SubscriberProfile profile{UeId{7}, SubscriberClass::kBasic, "x"};
+  auto request = pcrf.make_request(profile, BsId{3}, PrefixId{5}, ApplicationClass::kBulk);
+  EXPECT_EQ(request.ue, UeId{7});
+  EXPECT_EQ(request.bs, BsId{3});
+  EXPECT_EQ(request.dst_prefix, PrefixId{5});
+  ASSERT_TRUE(request.qos.max_hops.has_value());
+  EXPECT_DOUBLE_EQ(*request.qos.max_hops, 9);
+}
+
+TEST(Pcrf, ChargingMetersPerSubscriber) {
+  PcrfApp pcrf;
+  pcrf.meter(UeId{1}, ApplicationClass::kVideo, 1000);
+  pcrf.meter(UeId{1}, ApplicationClass::kBulk, 500);
+  pcrf.meter(UeId{2}, ApplicationClass::kVoip, 10);
+  EXPECT_EQ(pcrf.usage_bytes(UeId{1}), 1500u);
+  EXPECT_EQ(pcrf.usage_bytes(UeId{2}), 10u);
+  EXPECT_EQ(pcrf.usage_bytes(UeId{3}), 0u);
+  EXPECT_EQ(pcrf.records().size(), 3u);
+}
+
+TEST(SubscriberFrontendTest, EndToEndAttachAndPolicyBearer) {
+  auto scenario = topo::build_scenario(topo::small_scenario_params(6));
+  auto& mp = *scenario->mgmt;
+  BsGroupId group = scenario->partition.group_regions[0].front();
+  BsId bs = scenario->net.bs_group(group)->members.front();
+  auto& mobility = scenario->apps->mobility(*mp.leaf_of_group(group));
+
+  HssApp hss;
+  PcrfApp pcrf;
+  SubscriberFrontend frontend(&hss, &pcrf, &mobility);
+
+  // Unprovisioned subscribers are turned away before touching mobility.
+  EXPECT_EQ(frontend.attach(UeId{1}, bs).code(), ErrorCode::kPermission);
+  hss.provision({UeId{1}, SubscriberClass::kBasic, "imsi-1"});
+  auto tier = frontend.attach(UeId{1}, bs);
+  ASSERT_TRUE(tier.ok());
+
+  // Best-effort bulk bearer via policy lookup, then verify delivery.
+  auto bearer = frontend.open_bearer(UeId{1}, PrefixId{3}, ApplicationClass::kBulk);
+  ASSERT_TRUE(bearer.ok()) << bearer.error().message;
+  Packet pkt;
+  pkt.ue = UeId{1};
+  pkt.dst_prefix = PrefixId{3};
+  auto report = scenario->net.inject_uplink(pkt, bs);
+  EXPECT_EQ(report.outcome, dataplane::DeliveryReport::Outcome::kExternal);
+  pcrf.meter(UeId{1}, ApplicationClass::kBulk, report.packet.wire_bytes());
+  EXPECT_GT(pcrf.usage_bytes(UeId{1}), 0u);
+
+  // Bearer for a subscriber that never attached fails cleanly.
+  hss.provision({UeId{2}, SubscriberClass::kBasic, "imsi-2"});
+  EXPECT_EQ(frontend.open_bearer(UeId{2}, PrefixId{3}, ApplicationClass::kBulk).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(MobilityFastPath, SameGroupHandoverChangesNoPaths) {
+  auto scenario = topo::build_scenario(topo::small_scenario_params(6));
+  auto& mp = *scenario->mgmt;
+  // A group with at least two base stations.
+  BsGroupId group;
+  for (BsGroupId g : scenario->trace.groups) {
+    if (scenario->net.bs_group(g)->members.size() >= 2) {
+      group = g;
+      break;
+    }
+  }
+  if (!group.valid()) GTEST_SKIP() << "no multi-BS group in this seed";
+  const auto& members = scenario->net.bs_group(group)->members;
+  auto& mobility = scenario->apps->mobility(*mp.leaf_of_group(group));
+  ASSERT_TRUE(mobility.ue_attach(UeId{1}, members[0]).ok());
+  apps::BearerRequest request;
+  request.ue = UeId{1};
+  request.bs = members[0];
+  request.dst_prefix = PrefixId{3};
+  ASSERT_TRUE(mobility.request_bearer(request).ok());
+  std::size_t rules_before = scenario->net.total_rules();
+
+  ASSERT_TRUE(mobility.handover(UeId{1}, members[1]).ok());
+  EXPECT_EQ(mobility.stats().intra_group_handovers, 1u);
+  EXPECT_EQ(mobility.stats().intra_region_handovers, 0u);
+  EXPECT_EQ(scenario->net.total_rules(), rules_before);  // fast path: no churn
+  EXPECT_EQ(mobility.ue(UeId{1})->bs, members[1]);
+}
+
+}  // namespace
+}  // namespace softmow::apps

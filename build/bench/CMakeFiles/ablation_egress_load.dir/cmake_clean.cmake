@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_egress_load.dir/ablation_egress_load.cpp.o"
+  "CMakeFiles/ablation_egress_load.dir/ablation_egress_load.cpp.o.d"
+  "ablation_egress_load"
+  "ablation_egress_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_egress_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

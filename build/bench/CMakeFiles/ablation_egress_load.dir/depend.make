@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_egress_load.
+# This may be replaced when dependencies are built.

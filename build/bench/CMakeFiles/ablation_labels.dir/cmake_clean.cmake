@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_labels.dir/ablation_labels.cpp.o"
+  "CMakeFiles/ablation_labels.dir/ablation_labels.cpp.o.d"
+  "ablation_labels"
+  "ablation_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regionopt.dir/ablation_regionopt.cpp.o"
+  "CMakeFiles/ablation_regionopt.dir/ablation_regionopt.cpp.o.d"
+  "ablation_regionopt"
+  "ablation_regionopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regionopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vfabric.dir/ablation_vfabric.cpp.o"
+  "CMakeFiles/ablation_vfabric.dir/ablation_vfabric.cpp.o.d"
+  "ablation_vfabric"
+  "ablation_vfabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vfabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

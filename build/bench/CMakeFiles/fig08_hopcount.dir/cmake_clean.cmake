@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_hopcount.dir/fig08_hopcount.cpp.o"
+  "CMakeFiles/fig08_hopcount.dir/fig08_hopcount.cpp.o.d"
+  "fig08_hopcount"
+  "fig08_hopcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_hopcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_discovery.dir/fig10_discovery.cpp.o"
+  "CMakeFiles/fig10_discovery.dir/fig10_discovery.cpp.o.d"
+  "fig10_discovery"
+  "fig10_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

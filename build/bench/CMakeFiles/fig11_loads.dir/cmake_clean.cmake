@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_loads.dir/fig11_loads.cpp.o"
+  "CMakeFiles/fig11_loads.dir/fig11_loads.cpp.o.d"
+  "fig11_loads"
+  "fig11_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_handover_opt.dir/fig12_handover_opt.cpp.o"
+  "CMakeFiles/fig12_handover_opt.dir/fig12_handover_opt.cpp.o.d"
+  "fig12_handover_opt"
+  "fig12_handover_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_handover_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_replay.dir/live_replay.cpp.o"
+  "CMakeFiles/live_replay.dir/live_replay.cpp.o.d"
+  "live_replay"
+  "live_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

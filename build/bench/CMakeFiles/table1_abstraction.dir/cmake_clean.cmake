@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_abstraction.dir/table1_abstraction.cpp.o"
+  "CMakeFiles/table1_abstraction.dir/table1_abstraction.cpp.o.d"
+  "table1_abstraction"
+  "table1_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inter_region_handover.dir/inter_region_handover.cpp.o"
+  "CMakeFiles/inter_region_handover.dir/inter_region_handover.cpp.o.d"
+  "inter_region_handover"
+  "inter_region_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inter_region_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for inter_region_handover.
+# This may be replaced when dependencies are built.

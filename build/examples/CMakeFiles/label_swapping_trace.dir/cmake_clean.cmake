@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_swapping_trace.dir/label_swapping_trace.cpp.o"
+  "CMakeFiles/label_swapping_trace.dir/label_swapping_trace.cpp.o.d"
+  "label_swapping_trace"
+  "label_swapping_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_swapping_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_console.dir/operator_console.cpp.o"
+  "CMakeFiles/operator_console.dir/operator_console.cpp.o.d"
+  "operator_console"
+  "operator_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for operator_console.
+# This may be replaced when dependencies are built.

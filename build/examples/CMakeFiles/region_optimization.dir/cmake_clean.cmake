@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_optimization.dir/region_optimization.cpp.o"
+  "CMakeFiles/region_optimization.dir/region_optimization.cpp.o.d"
+  "region_optimization"
+  "region_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/interdomain.cpp" "src/apps/CMakeFiles/softmow_apps.dir/interdomain.cpp.o" "gcc" "src/apps/CMakeFiles/softmow_apps.dir/interdomain.cpp.o.d"
+  "/root/repo/src/apps/mobility.cpp" "src/apps/CMakeFiles/softmow_apps.dir/mobility.cpp.o" "gcc" "src/apps/CMakeFiles/softmow_apps.dir/mobility.cpp.o.d"
+  "/root/repo/src/apps/region_opt.cpp" "src/apps/CMakeFiles/softmow_apps.dir/region_opt.cpp.o" "gcc" "src/apps/CMakeFiles/softmow_apps.dir/region_opt.cpp.o.d"
+  "/root/repo/src/apps/subscriber.cpp" "src/apps/CMakeFiles/softmow_apps.dir/subscriber.cpp.o" "gcc" "src/apps/CMakeFiles/softmow_apps.dir/subscriber.cpp.o.d"
+  "/root/repo/src/apps/suite.cpp" "src/apps/CMakeFiles/softmow_apps.dir/suite.cpp.o" "gcc" "src/apps/CMakeFiles/softmow_apps.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reca/CMakeFiles/softmow_reca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/softmow_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nos/CMakeFiles/softmow_nos.dir/DependInfo.cmake"
+  "/root/repo/build/src/southbound/CMakeFiles/softmow_southbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/softmow_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softmow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softmow_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_apps.dir/interdomain.cpp.o"
+  "CMakeFiles/softmow_apps.dir/interdomain.cpp.o.d"
+  "CMakeFiles/softmow_apps.dir/mobility.cpp.o"
+  "CMakeFiles/softmow_apps.dir/mobility.cpp.o.d"
+  "CMakeFiles/softmow_apps.dir/region_opt.cpp.o"
+  "CMakeFiles/softmow_apps.dir/region_opt.cpp.o.d"
+  "CMakeFiles/softmow_apps.dir/subscriber.cpp.o"
+  "CMakeFiles/softmow_apps.dir/subscriber.cpp.o.d"
+  "CMakeFiles/softmow_apps.dir/suite.cpp.o"
+  "CMakeFiles/softmow_apps.dir/suite.cpp.o.d"
+  "libsoftmow_apps.a"
+  "libsoftmow_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

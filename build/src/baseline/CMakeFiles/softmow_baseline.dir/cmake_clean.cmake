@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_baseline.dir/lte_baseline.cpp.o"
+  "CMakeFiles/softmow_baseline.dir/lte_baseline.cpp.o.d"
+  "libsoftmow_baseline.a"
+  "libsoftmow_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

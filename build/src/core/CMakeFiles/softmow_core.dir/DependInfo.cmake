@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/softmow_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/softmow_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "src/core/CMakeFiles/softmow_core.dir/log.cpp.o" "gcc" "src/core/CMakeFiles/softmow_core.dir/log.cpp.o.d"
+  "/root/repo/src/core/result.cpp" "src/core/CMakeFiles/softmow_core.dir/result.cpp.o" "gcc" "src/core/CMakeFiles/softmow_core.dir/result.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/softmow_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/softmow_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

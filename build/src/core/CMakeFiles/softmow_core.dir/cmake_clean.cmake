@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_core.dir/graph.cpp.o"
+  "CMakeFiles/softmow_core.dir/graph.cpp.o.d"
+  "CMakeFiles/softmow_core.dir/log.cpp.o"
+  "CMakeFiles/softmow_core.dir/log.cpp.o.d"
+  "CMakeFiles/softmow_core.dir/result.cpp.o"
+  "CMakeFiles/softmow_core.dir/result.cpp.o.d"
+  "CMakeFiles/softmow_core.dir/stats.cpp.o"
+  "CMakeFiles/softmow_core.dir/stats.cpp.o.d"
+  "libsoftmow_core.a"
+  "libsoftmow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

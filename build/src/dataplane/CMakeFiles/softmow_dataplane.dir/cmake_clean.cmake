@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_dataplane.dir/flow_table.cpp.o"
+  "CMakeFiles/softmow_dataplane.dir/flow_table.cpp.o.d"
+  "CMakeFiles/softmow_dataplane.dir/network.cpp.o"
+  "CMakeFiles/softmow_dataplane.dir/network.cpp.o.d"
+  "CMakeFiles/softmow_dataplane.dir/sswitch.cpp.o"
+  "CMakeFiles/softmow_dataplane.dir/sswitch.cpp.o.d"
+  "libsoftmow_dataplane.a"
+  "libsoftmow_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

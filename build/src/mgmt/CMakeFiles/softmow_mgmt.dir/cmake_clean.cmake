@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_mgmt.dir/audit.cpp.o"
+  "CMakeFiles/softmow_mgmt.dir/audit.cpp.o.d"
+  "CMakeFiles/softmow_mgmt.dir/failover.cpp.o"
+  "CMakeFiles/softmow_mgmt.dir/failover.cpp.o.d"
+  "CMakeFiles/softmow_mgmt.dir/management.cpp.o"
+  "CMakeFiles/softmow_mgmt.dir/management.cpp.o.d"
+  "libsoftmow_mgmt.a"
+  "libsoftmow_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nos/discovery.cpp" "src/nos/CMakeFiles/softmow_nos.dir/discovery.cpp.o" "gcc" "src/nos/CMakeFiles/softmow_nos.dir/discovery.cpp.o.d"
+  "/root/repo/src/nos/nib.cpp" "src/nos/CMakeFiles/softmow_nos.dir/nib.cpp.o" "gcc" "src/nos/CMakeFiles/softmow_nos.dir/nib.cpp.o.d"
+  "/root/repo/src/nos/path_impl.cpp" "src/nos/CMakeFiles/softmow_nos.dir/path_impl.cpp.o" "gcc" "src/nos/CMakeFiles/softmow_nos.dir/path_impl.cpp.o.d"
+  "/root/repo/src/nos/port_graph.cpp" "src/nos/CMakeFiles/softmow_nos.dir/port_graph.cpp.o" "gcc" "src/nos/CMakeFiles/softmow_nos.dir/port_graph.cpp.o.d"
+  "/root/repo/src/nos/routing.cpp" "src/nos/CMakeFiles/softmow_nos.dir/routing.cpp.o" "gcc" "src/nos/CMakeFiles/softmow_nos.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/southbound/CMakeFiles/softmow_southbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/softmow_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softmow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softmow_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

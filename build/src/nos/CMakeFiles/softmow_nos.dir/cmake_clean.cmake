@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_nos.dir/discovery.cpp.o"
+  "CMakeFiles/softmow_nos.dir/discovery.cpp.o.d"
+  "CMakeFiles/softmow_nos.dir/nib.cpp.o"
+  "CMakeFiles/softmow_nos.dir/nib.cpp.o.d"
+  "CMakeFiles/softmow_nos.dir/path_impl.cpp.o"
+  "CMakeFiles/softmow_nos.dir/path_impl.cpp.o.d"
+  "CMakeFiles/softmow_nos.dir/port_graph.cpp.o"
+  "CMakeFiles/softmow_nos.dir/port_graph.cpp.o.d"
+  "CMakeFiles/softmow_nos.dir/routing.cpp.o"
+  "CMakeFiles/softmow_nos.dir/routing.cpp.o.d"
+  "libsoftmow_nos.a"
+  "libsoftmow_nos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_nos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softmow_nos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_reca.dir/abstraction.cpp.o"
+  "CMakeFiles/softmow_reca.dir/abstraction.cpp.o.d"
+  "CMakeFiles/softmow_reca.dir/agent.cpp.o"
+  "CMakeFiles/softmow_reca.dir/agent.cpp.o.d"
+  "CMakeFiles/softmow_reca.dir/controller.cpp.o"
+  "CMakeFiles/softmow_reca.dir/controller.cpp.o.d"
+  "libsoftmow_reca.a"
+  "libsoftmow_reca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_reca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

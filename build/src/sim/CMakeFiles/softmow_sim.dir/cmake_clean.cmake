@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_sim.dir/simulator.cpp.o"
+  "CMakeFiles/softmow_sim.dir/simulator.cpp.o.d"
+  "libsoftmow_sim.a"
+  "libsoftmow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

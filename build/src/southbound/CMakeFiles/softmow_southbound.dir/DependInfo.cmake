@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/southbound/channel.cpp" "src/southbound/CMakeFiles/softmow_southbound.dir/channel.cpp.o" "gcc" "src/southbound/CMakeFiles/softmow_southbound.dir/channel.cpp.o.d"
+  "/root/repo/src/southbound/switch_agent.cpp" "src/southbound/CMakeFiles/softmow_southbound.dir/switch_agent.cpp.o" "gcc" "src/southbound/CMakeFiles/softmow_southbound.dir/switch_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/softmow_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softmow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softmow_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_southbound.dir/channel.cpp.o"
+  "CMakeFiles/softmow_southbound.dir/channel.cpp.o.d"
+  "CMakeFiles/softmow_southbound.dir/switch_agent.cpp.o"
+  "CMakeFiles/softmow_southbound.dir/switch_agent.cpp.o.d"
+  "libsoftmow_southbound.a"
+  "libsoftmow_southbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_southbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

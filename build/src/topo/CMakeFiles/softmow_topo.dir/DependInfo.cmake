@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/bs_group_inference.cpp" "src/topo/CMakeFiles/softmow_topo.dir/bs_group_inference.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/bs_group_inference.cpp.o.d"
+  "/root/repo/src/topo/iplane_model.cpp" "src/topo/CMakeFiles/softmow_topo.dir/iplane_model.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/iplane_model.cpp.o.d"
+  "/root/repo/src/topo/lte_trace.cpp" "src/topo/CMakeFiles/softmow_topo.dir/lte_trace.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/lte_trace.cpp.o.d"
+  "/root/repo/src/topo/region_partitioner.cpp" "src/topo/CMakeFiles/softmow_topo.dir/region_partitioner.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/region_partitioner.cpp.o.d"
+  "/root/repo/src/topo/scenario.cpp" "src/topo/CMakeFiles/softmow_topo.dir/scenario.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/scenario.cpp.o.d"
+  "/root/repo/src/topo/trace_driver.cpp" "src/topo/CMakeFiles/softmow_topo.dir/trace_driver.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/trace_driver.cpp.o.d"
+  "/root/repo/src/topo/wan_generator.cpp" "src/topo/CMakeFiles/softmow_topo.dir/wan_generator.cpp.o" "gcc" "src/topo/CMakeFiles/softmow_topo.dir/wan_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/softmow_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/softmow_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/softmow_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/reca/CMakeFiles/softmow_reca.dir/DependInfo.cmake"
+  "/root/repo/build/src/nos/CMakeFiles/softmow_nos.dir/DependInfo.cmake"
+  "/root/repo/build/src/southbound/CMakeFiles/softmow_southbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softmow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softmow_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

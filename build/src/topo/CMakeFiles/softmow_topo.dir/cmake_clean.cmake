@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmow_topo.dir/bs_group_inference.cpp.o"
+  "CMakeFiles/softmow_topo.dir/bs_group_inference.cpp.o.d"
+  "CMakeFiles/softmow_topo.dir/iplane_model.cpp.o"
+  "CMakeFiles/softmow_topo.dir/iplane_model.cpp.o.d"
+  "CMakeFiles/softmow_topo.dir/lte_trace.cpp.o"
+  "CMakeFiles/softmow_topo.dir/lte_trace.cpp.o.d"
+  "CMakeFiles/softmow_topo.dir/region_partitioner.cpp.o"
+  "CMakeFiles/softmow_topo.dir/region_partitioner.cpp.o.d"
+  "CMakeFiles/softmow_topo.dir/scenario.cpp.o"
+  "CMakeFiles/softmow_topo.dir/scenario.cpp.o.d"
+  "CMakeFiles/softmow_topo.dir/trace_driver.cpp.o"
+  "CMakeFiles/softmow_topo.dir/trace_driver.cpp.o.d"
+  "CMakeFiles/softmow_topo.dir/wan_generator.cpp.o"
+  "CMakeFiles/softmow_topo.dir/wan_generator.cpp.o.d"
+  "libsoftmow_topo.a"
+  "libsoftmow_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmow_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

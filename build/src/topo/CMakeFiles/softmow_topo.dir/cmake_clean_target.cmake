@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftmow_topo.a"
+)

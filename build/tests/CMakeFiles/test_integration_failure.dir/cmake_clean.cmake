@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_failure.dir/integration/test_failure.cpp.o"
+  "CMakeFiles/test_integration_failure.dir/integration/test_failure.cpp.o.d"
+  "test_integration_failure"
+  "test_integration_failure.pdb"
+  "test_integration_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_scenario.dir/integration/test_scenario.cpp.o"
+  "CMakeFiles/test_integration_scenario.dir/integration/test_scenario.cpp.o.d"
+  "test_integration_scenario"
+  "test_integration_scenario.pdb"
+  "test_integration_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_service_chain.dir/integration/test_service_chain.cpp.o"
+  "CMakeFiles/test_integration_service_chain.dir/integration/test_service_chain.cpp.o.d"
+  "test_integration_service_chain"
+  "test_integration_service_chain.pdb"
+  "test_integration_service_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_service_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

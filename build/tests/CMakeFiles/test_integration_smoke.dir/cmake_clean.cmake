@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_smoke.dir/integration/test_smoke.cpp.o"
+  "CMakeFiles/test_integration_smoke.dir/integration/test_smoke.cpp.o.d"
+  "test_integration_smoke"
+  "test_integration_smoke.pdb"
+  "test_integration_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

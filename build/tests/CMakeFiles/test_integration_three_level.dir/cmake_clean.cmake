@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_three_level.dir/integration/test_three_level.cpp.o"
+  "CMakeFiles/test_integration_three_level.dir/integration/test_three_level.cpp.o.d"
+  "test_integration_three_level"
+  "test_integration_three_level.pdb"
+  "test_integration_three_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_three_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_abstraction.dir/unit/test_abstraction.cpp.o"
+  "CMakeFiles/test_unit_abstraction.dir/unit/test_abstraction.cpp.o.d"
+  "test_unit_abstraction"
+  "test_unit_abstraction.pdb"
+  "test_unit_abstraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

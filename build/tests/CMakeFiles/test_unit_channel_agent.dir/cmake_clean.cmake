@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_channel_agent.dir/unit/test_channel_agent.cpp.o"
+  "CMakeFiles/test_unit_channel_agent.dir/unit/test_channel_agent.cpp.o.d"
+  "test_unit_channel_agent"
+  "test_unit_channel_agent.pdb"
+  "test_unit_channel_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_channel_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

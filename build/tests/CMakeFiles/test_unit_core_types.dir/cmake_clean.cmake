@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_core_types.dir/unit/test_core_types.cpp.o"
+  "CMakeFiles/test_unit_core_types.dir/unit/test_core_types.cpp.o.d"
+  "test_unit_core_types"
+  "test_unit_core_types.pdb"
+  "test_unit_core_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_core_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_unit_core_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_driver_audit.dir/unit/test_driver_audit.cpp.o"
+  "CMakeFiles/test_unit_driver_audit.dir/unit/test_driver_audit.cpp.o.d"
+  "test_unit_driver_audit"
+  "test_unit_driver_audit.pdb"
+  "test_unit_driver_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_driver_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_flow_table.dir/unit/test_flow_table.cpp.o"
+  "CMakeFiles/test_unit_flow_table.dir/unit/test_flow_table.cpp.o.d"
+  "test_unit_flow_table"
+  "test_unit_flow_table.pdb"
+  "test_unit_flow_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_flow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_graph_constraints.dir/unit/test_graph_constraints.cpp.o"
+  "CMakeFiles/test_unit_graph_constraints.dir/unit/test_graph_constraints.cpp.o.d"
+  "test_unit_graph_constraints"
+  "test_unit_graph_constraints.pdb"
+  "test_unit_graph_constraints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_graph_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

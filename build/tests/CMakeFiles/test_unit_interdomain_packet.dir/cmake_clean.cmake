@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_interdomain_packet.dir/unit/test_interdomain_packet.cpp.o"
+  "CMakeFiles/test_unit_interdomain_packet.dir/unit/test_interdomain_packet.cpp.o.d"
+  "test_unit_interdomain_packet"
+  "test_unit_interdomain_packet.pdb"
+  "test_unit_interdomain_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_interdomain_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_mgmt_controller.dir/unit/test_mgmt_controller.cpp.o"
+  "CMakeFiles/test_unit_mgmt_controller.dir/unit/test_mgmt_controller.cpp.o.d"
+  "test_unit_mgmt_controller"
+  "test_unit_mgmt_controller.pdb"
+  "test_unit_mgmt_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_mgmt_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

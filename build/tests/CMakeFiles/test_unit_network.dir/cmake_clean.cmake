@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_network.dir/unit/test_network.cpp.o"
+  "CMakeFiles/test_unit_network.dir/unit/test_network.cpp.o.d"
+  "test_unit_network"
+  "test_unit_network.pdb"
+  "test_unit_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_nib.dir/unit/test_nib.cpp.o"
+  "CMakeFiles/test_unit_nib.dir/unit/test_nib.cpp.o.d"
+  "test_unit_nib"
+  "test_unit_nib.pdb"
+  "test_unit_nib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_nib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_path_impl.dir/unit/test_path_impl.cpp.o"
+  "CMakeFiles/test_unit_path_impl.dir/unit/test_path_impl.cpp.o.d"
+  "test_unit_path_impl"
+  "test_unit_path_impl.pdb"
+  "test_unit_path_impl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_path_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_port_graph.dir/unit/test_port_graph.cpp.o"
+  "CMakeFiles/test_unit_port_graph.dir/unit/test_port_graph.cpp.o.d"
+  "test_unit_port_graph"
+  "test_unit_port_graph.pdb"
+  "test_unit_port_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_port_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_region_opt.dir/unit/test_region_opt.cpp.o"
+  "CMakeFiles/test_unit_region_opt.dir/unit/test_region_opt.cpp.o.d"
+  "test_unit_region_opt"
+  "test_unit_region_opt.pdb"
+  "test_unit_region_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_region_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

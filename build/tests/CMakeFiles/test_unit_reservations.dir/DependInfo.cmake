@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/unit/test_reservations.cpp" "tests/CMakeFiles/test_unit_reservations.dir/unit/test_reservations.cpp.o" "gcc" "tests/CMakeFiles/test_unit_reservations.dir/unit/test_reservations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/softmow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/softmow_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/softmow_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/softmow_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/reca/CMakeFiles/softmow_reca.dir/DependInfo.cmake"
+  "/root/repo/build/src/nos/CMakeFiles/softmow_nos.dir/DependInfo.cmake"
+  "/root/repo/build/src/southbound/CMakeFiles/softmow_southbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/softmow_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softmow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softmow_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_reservations.dir/unit/test_reservations.cpp.o"
+  "CMakeFiles/test_unit_reservations.dir/unit/test_reservations.cpp.o.d"
+  "test_unit_reservations"
+  "test_unit_reservations.pdb"
+  "test_unit_reservations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

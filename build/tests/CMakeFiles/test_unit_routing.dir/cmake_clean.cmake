@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_routing.dir/unit/test_routing.cpp.o"
+  "CMakeFiles/test_unit_routing.dir/unit/test_routing.cpp.o.d"
+  "test_unit_routing"
+  "test_unit_routing.pdb"
+  "test_unit_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

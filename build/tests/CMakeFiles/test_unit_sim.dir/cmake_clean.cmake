@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_sim.dir/unit/test_sim.cpp.o"
+  "CMakeFiles/test_unit_sim.dir/unit/test_sim.cpp.o.d"
+  "test_unit_sim"
+  "test_unit_sim.pdb"
+  "test_unit_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

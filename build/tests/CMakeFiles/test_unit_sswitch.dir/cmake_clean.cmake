@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_sswitch.dir/unit/test_sswitch.cpp.o"
+  "CMakeFiles/test_unit_sswitch.dir/unit/test_sswitch.cpp.o.d"
+  "test_unit_sswitch"
+  "test_unit_sswitch.pdb"
+  "test_unit_sswitch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_sswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

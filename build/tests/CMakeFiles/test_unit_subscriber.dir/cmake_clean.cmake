@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_subscriber.dir/unit/test_subscriber.cpp.o"
+  "CMakeFiles/test_unit_subscriber.dir/unit/test_subscriber.cpp.o.d"
+  "test_unit_subscriber"
+  "test_unit_subscriber.pdb"
+  "test_unit_subscriber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_subscriber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

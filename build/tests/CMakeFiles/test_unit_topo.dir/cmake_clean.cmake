@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_topo.dir/unit/test_topo.cpp.o"
+  "CMakeFiles/test_unit_topo.dir/unit/test_topo.cpp.o.d"
+  "test_unit_topo"
+  "test_unit_topo.pdb"
+  "test_unit_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

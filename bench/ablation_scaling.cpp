@@ -57,4 +57,6 @@ void run() {
 }  // namespace
 }  // namespace softmow::bench
 
-int main() { softmow::bench::run(); }
+int main(int argc, char** argv) {
+  return softmow::bench::bench_main(argc, argv, softmow::bench::run);
+}

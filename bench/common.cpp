@@ -1,6 +1,61 @@
 #include "bench/common.h"
 
+#include <cstring>
+
+#include "obs/export.h"
+
 namespace softmow::bench {
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    auto take_value = [&](const char* flag, std::string* out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "warning: %s needs a path argument\n", flag);
+        return true;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (take_value("--metrics-json", &opts.metrics_json)) continue;
+    if (take_value("--metrics-csv", &opts.metrics_csv)) continue;
+    std::fprintf(stderr, "warning: ignoring unknown argument '%s' "
+                         "(known: --metrics-json <path>, --metrics-csv <path>)\n",
+                 argv[i]);
+  }
+  return opts;
+}
+
+bool export_metrics(const BenchOptions& opts) {
+  bool ok = true;
+  if (!opts.metrics_json.empty()) {
+    std::string doc = obs::to_json(obs::default_registry(), &obs::default_tracer());
+    auto written = obs::write_file(opts.metrics_json, doc);
+    if (written.ok()) {
+      std::fprintf(stderr, "metrics: wrote %s\n", opts.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: %s\n", written.error().message.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.metrics_csv.empty()) {
+    auto written = obs::write_file(opts.metrics_csv, obs::to_csv(obs::default_registry()));
+    if (written.ok()) {
+      std::fprintf(stderr, "metrics: wrote %s\n", opts.metrics_csv.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: %s\n", written.error().message.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int bench_main(int argc, char** argv, void (*run)()) {
+  BenchOptions opts = parse_bench_args(argc, argv);
+  run();
+  return export_metrics(opts) ? 0 : 1;
+}
 
 InternalCostTable compute_internal_costs(topo::Scenario& scenario) {
   InternalCostTable table;

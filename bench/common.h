@@ -11,6 +11,22 @@
 
 namespace softmow::bench {
 
+/// Command-line options shared by every figure/ablation binary.
+struct BenchOptions {
+  std::string metrics_json;  ///< --metrics-json <path>: dump registry+trace
+  std::string metrics_csv;   ///< --metrics-csv <path>: dump registry as CSV
+};
+
+/// Parses `--metrics-json`/`--metrics-csv`; warns (stderr) on anything else.
+BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Writes the default registry (and tracer, for JSON) to the requested
+/// paths. No-op for unset paths. Returns false if any write failed.
+bool export_metrics(const BenchOptions& opts);
+
+/// parse + run + export: the standard bench main body.
+int bench_main(int argc, char** argv, void (*run)());
+
 /// Paper-scale parameters (§7.1). Deterministic under `seed`.
 inline topo::ScenarioParams paper_scale_params(std::uint64_t seed = 1,
                                                std::size_t regions = 4,

@@ -14,6 +14,8 @@
 // station per controller, exactly the delay source the paper identifies.
 #include "bench/common.h"
 
+#include "obs/trace.h"
+
 namespace softmow::bench {
 namespace {
 
@@ -22,8 +24,8 @@ namespace {
 const sim::Duration kServicePerMessage = sim::Duration::millis(1.0);
 const sim::Duration kChannelRtt = sim::Duration::millis(30.0);
 
-sim::Duration queue_convergence(std::uint64_t messages) {
-  sim::QueueingStation station(kServicePerMessage);
+sim::Duration queue_convergence(std::uint64_t messages, const std::string& station_name) {
+  sim::QueueingStation station(kServicePerMessage, station_name);
   sim::TimePoint done = sim::TimePoint::zero();
   for (std::uint64_t m = 0; m < messages; ++m)
     done = station.submit(sim::TimePoint::zero());  // burst at period start
@@ -46,29 +48,35 @@ void run() {
   mp.root().run_link_discovery();
 
   std::uint64_t flat_messages = baseline::flat_discovery_message_count(scenario->net);
-  sim::Duration flat_time = queue_convergence(flat_messages);
+  sim::Duration flat_time = queue_convergence(flat_messages, "flat");
 
   TextTable table({"controller", "messages", "convergence (s)", "vs flat"});
   double min_gain = 100, max_gain = 0;
-  auto add = [&](const std::string& name, std::uint64_t messages,
+  auto add = [&](const std::string& name, int level, std::uint64_t messages,
                  sim::Duration extra = {}) {
-    sim::Duration t = queue_convergence(messages) + extra;
+    sim::Duration t = queue_convergence(messages, name) + extra;
+    // One span per controller's discovery round: the --metrics-json timeline
+    // of the convergence race this figure plots.
+    obs::default_tracer().span(sim::TimePoint::zero(), sim::TimePoint::zero() + t,
+                               "discovery.convergence", level, name,
+                               std::to_string(messages) + " messages");
     double gain = 100.0 * (flat_time.to_seconds() - t.to_seconds()) / flat_time.to_seconds();
     min_gain = std::min(min_gain, gain);
     max_gain = std::max(max_gain, gain);
     table.add_row({name, std::to_string(messages), TextTable::num(t.to_seconds(), 2),
                    TextTable::num(gain, 1) + "% faster"});
+    return t;
   };
   sim::Duration busiest_leaf;
   for (reca::Controller* leaf : mp.leaves()) {
     std::uint64_t messages = leaf->discovery().stats().messages_processed();
-    add(leaf->name(), messages);
-    busiest_leaf = std::max(busiest_leaf, queue_convergence(messages));
+    busiest_leaf = std::max(busiest_leaf, add(leaf->name(), leaf->level(), messages));
   }
   // The root's frames descend through the leaf controllers, which are busy
   // with their own concurrent discovery round (§4.1): the root cannot
   // converge before the busiest leaf drains its FIFO queue.
-  add("root", mp.root().discovery().stats().messages_processed(), busiest_leaf);
+  add("root", mp.root().level(), mp.root().discovery().stats().messages_processed(),
+      busiest_leaf);
   table.add_row({"flat (standard)", std::to_string(flat_messages),
                  TextTable::num(flat_time.to_seconds(), 2), "-"});
   table.print();
@@ -84,7 +92,8 @@ void run() {
   std::size_t active = mp.leaves().size() + 1;
   double shared_min = 100, shared_max = 0;
   for (reca::Controller* leaf : mp.leaves()) {
-    double t = queue_convergence(leaf->discovery().stats().messages_processed()).to_seconds() *
+    double t = queue_convergence(leaf->discovery().stats().messages_processed(), "shared-host")
+                   .to_seconds() *
                static_cast<double>(active);
     double gain = 100.0 * (flat_time.to_seconds() - t) / flat_time.to_seconds();
     shared_min = std::min(shared_min, gain);
@@ -101,4 +110,6 @@ void run() {
 }  // namespace
 }  // namespace softmow::bench
 
-int main() { softmow::bench::run(); }
+int main(int argc, char** argv) {
+  return softmow::bench::bench_main(argc, argv, softmow::bench::run);
+}

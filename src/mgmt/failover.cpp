@@ -1,6 +1,24 @@
 #include "mgmt/failover.h"
 
+#include <chrono>
+
+#include "obs/trace.h"
+
 namespace softmow::mgmt {
+
+namespace {
+
+/// Wall-clock microseconds spent in `fn` — checkpoint/promotion cost is real
+/// compute (NIB copies, role seizure, re-discovery), not simulated delay.
+template <class Fn>
+double timed_us(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 HotStandby::HotStandby(reca::Controller& master, southbound::Hub& hub)
     : hub_(&hub),
@@ -9,38 +27,55 @@ HotStandby::HotStandby(reca::Controller& master, southbound::Hub& hub)
       name_(master.name()),
       label_mode_(master.reca().label_mode()),
       master_(&master) {
+  obs::MetricsRegistry& reg = obs::default_registry();
+  checkpoints_metric_ = reg.counter("failover_checkpoints_total");
+  promotions_metric_ = reg.counter("failover_promotions_total");
+  sync_us_metric_ = reg.histogram("failover_sync_us", obs::wait_us_bounds());
+  promote_us_metric_ = reg.histogram("failover_promote_us", obs::wait_us_bounds());
   sync();
 }
 
-void HotStandby::sync() {
-  ++checkpoints_;
-  devices_ = master_->devices();
-  gbs_.clear();
-  for (GBsId id : master_->nib().gbs_list()) gbs_.push_back(*master_->nib().gbs(id));
-  middleboxes_.clear();
-  for (MiddleboxId id : master_->nib().middleboxes())
-    middleboxes_.push_back(*master_->nib().middlebox(id));
-  routes_ = master_->nib().all_external_routes();
-  border_gbs_ = master_->abstraction().border_gbs();
+void HotStandby::sync(sim::TimePoint at) {
+  double us = timed_us([&] {
+    ++checkpoints_;
+    devices_ = master_->devices();
+    gbs_.clear();
+    for (GBsId id : master_->nib().gbs_list()) gbs_.push_back(*master_->nib().gbs(id));
+    middleboxes_.clear();
+    for (MiddleboxId id : master_->nib().middleboxes())
+      middleboxes_.push_back(*master_->nib().middlebox(id));
+    routes_ = master_->nib().all_external_routes();
+    border_gbs_ = master_->abstraction().border_gbs();
+  });
+  checkpoints_metric_->inc();
+  sync_us_metric_->observe(us);
+  obs::default_tracer().event(at, "failover.checkpoint", level_, name_);
 }
 
-std::unique_ptr<reca::Controller> HotStandby::promote() {
-  auto standby =
-      std::make_unique<reca::Controller>(id_, level_, name_ + "+standby", label_mode_);
+std::unique_ptr<reca::Controller> HotStandby::promote(sim::TimePoint at) {
+  std::unique_ptr<reca::Controller> standby;
+  double us = timed_us([&] {
+    standby = std::make_unique<reca::Controller>(id_, level_, name_ + "+standby", label_mode_);
 
-  // Restore the non-discoverable state from the checkpoint.
-  for (const southbound::GBsAnnounce& g : gbs_) standby->nib().upsert_gbs(g);
-  for (const southbound::GMiddleboxAnnounce& m : middleboxes_)
-    standby->nib().upsert_middlebox(m);
-  for (const nos::ExternalRoute& r : routes_) standby->nib().upsert_external_route(r);
-  standby->abstraction().set_border_gbs(border_gbs_);
+    // Restore the non-discoverable state from the checkpoint.
+    for (const southbound::GBsAnnounce& g : gbs_) standby->nib().upsert_gbs(g);
+    for (const southbound::GMiddleboxAnnounce& m : middleboxes_)
+      standby->nib().upsert_middlebox(m);
+    for (const nos::ExternalRoute& r : routes_) standby->nib().upsert_external_route(r);
+    standby->abstraction().set_border_gbs(border_gbs_);
 
-  // Seize the master role on every device (the old master, if alive, is
-  // demoted to slave by the role machinery) and redo discovery.
-  for (SwitchId sw : devices_) {
-    standby->adopt_physical_switch(*hub_, sw, dataplane::ControllerRole::kMaster);
-  }
-  standby->run_link_discovery();
+    // Seize the master role on every device (the old master, if alive, is
+    // demoted to slave by the role machinery) and redo discovery.
+    for (SwitchId sw : devices_) {
+      standby->adopt_physical_switch(*hub_, sw, dataplane::ControllerRole::kMaster);
+    }
+    standby->run_link_discovery();
+  });
+  ++promotions_;
+  promotions_metric_->inc();
+  promote_us_metric_->observe(us);
+  obs::default_tracer().event(at, "failover.promote", level_, name_,
+                              std::to_string(devices_.size()) + " devices");
   return standby;
 }
 

@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "reca/controller.h"
+#include "sim/time.h"
 #include "southbound/switch_agent.h"
 
 namespace softmow::mgmt {
@@ -26,14 +28,16 @@ class HotStandby {
   /// Watches `master`, a leaf controller whose devices live in `hub`.
   HotStandby(reca::Controller& master, southbound::Hub& hub);
 
-  /// Checkpoints the master's NIB into the "reliable storage".
-  void sync();
+  /// Checkpoints the master's NIB into the "reliable storage". `at` stamps
+  /// the trace event when the caller runs under a simulated clock.
+  void sync(sim::TimePoint at = sim::TimePoint::zero());
   [[nodiscard]] std::uint64_t checkpoints() const { return checkpoints_; }
 
   /// Master failed: builds the standby controller from the latest
   /// checkpoint, seizes the master role on all devices and re-discovers.
   /// The returned controller answers to the same ControllerId.
-  std::unique_ptr<reca::Controller> promote();
+  std::unique_ptr<reca::Controller> promote(sim::TimePoint at = sim::TimePoint::zero());
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
 
  private:
   southbound::Hub* hub_;
@@ -49,7 +53,12 @@ class HotStandby {
   std::vector<nos::ExternalRoute> routes_;
   std::set<GBsId> border_gbs_;
   std::uint64_t checkpoints_ = 0;
+  std::uint64_t promotions_ = 0;
   reca::Controller* master_;
+  obs::Counter* checkpoints_metric_;   ///< failover_checkpoints_total
+  obs::Counter* promotions_metric_;    ///< failover_promotions_total
+  obs::Histogram* sync_us_metric_;     ///< failover_sync_us (wall clock)
+  obs::Histogram* promote_us_metric_;  ///< failover_promote_us (wall clock)
 };
 
 }  // namespace softmow::mgmt

@@ -4,6 +4,18 @@
 
 namespace softmow::nos {
 
+DiscoveryModule::DiscoveryModule(ControllerId self, Nib* nib, DeviceBus* bus, int level)
+    : self_(self), nib_(nib), bus_(bus) {
+  obs::MetricsRegistry& reg = obs::default_registry();
+  const obs::Labels by_level{{"level", std::to_string(level)}};
+  rounds_metric_ = reg.counter("discovery_rounds_total", by_level);
+  frames_sent_metric_ =
+      reg.counter("discovery_frames_total", {{"level", std::to_string(level)}, {"kind", "sent"}});
+  frames_received_metric_ = reg.counter(
+      "discovery_frames_total", {{"level", std::to_string(level)}, {"kind", "received"}});
+  links_metric_ = reg.counter("discovery_links_total", by_level);
+}
+
 void DiscoveryModule::on_hello(SwitchId sw) {
   pending_features_.insert(sw);
   southbound::FeaturesRequest req;
@@ -50,6 +62,7 @@ void DiscoveryModule::on_features_reply(const southbound::FeaturesReply& reply) 
 }
 
 void DiscoveryModule::run_link_discovery() {
+  rounds_metric_->inc();
   for (SwitchId sw : nib_->switches()) {
     const SwitchRecord* rec = nib_->sw(sw);
     for (const auto& [pid, desc] : rec->ports) {
@@ -61,6 +74,7 @@ void DiscoveryModule::run_link_discovery() {
       out.port = pid;
       out.body = std::move(payload);
       ++stats_.frames_sent;
+      frames_sent_metric_->inc();
       (void)bus_->send(sw, out);
     }
   }
@@ -69,6 +83,7 @@ void DiscoveryModule::run_link_discovery() {
 DiscoveryVerdict DiscoveryModule::on_discovery_packet_in(
     Endpoint at, southbound::DiscoveryPayload& payload) {
   ++stats_.frames_received;
+  frames_received_metric_->inc();
   if (payload.stack.empty()) {
     ++stats_.frames_dropped;
     return DiscoveryVerdict::kDrop;
@@ -86,6 +101,7 @@ DiscoveryVerdict DiscoveryModule::on_discovery_packet_in(
                                            : std::numeric_limits<double>::infinity();
     nib_->upsert_link(Endpoint{top.sw, top.port}, at, m);
     ++stats_.links_discovered;
+    links_metric_->inc();
     return DiscoveryVerdict::kConsumed;
   }
   if (payload.stack.empty()) {

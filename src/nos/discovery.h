@@ -17,6 +17,7 @@
 #include "core/ids.h"
 #include "nos/device_bus.h"
 #include "nos/nib.h"
+#include "obs/metrics.h"
 
 namespace softmow::nos {
 
@@ -45,8 +46,9 @@ enum class DiscoveryVerdict {
 
 class DiscoveryModule {
  public:
-  DiscoveryModule(ControllerId self, Nib* nib, DeviceBus* bus)
-      : self_(self), nib_(nib), bus_(bus) {}
+  /// `level` tags this controller's registry series
+  /// (discovery_rounds_total{level=...} etc.); 0 = outside the hierarchy.
+  DiscoveryModule(ControllerId self, Nib* nib, DeviceBus* bus, int level = 0);
 
   /// A device announced itself (Hello): request its features.
   void on_hello(SwitchId sw);
@@ -80,6 +82,11 @@ class DiscoveryModule {
   std::uint64_t next_xid_ = 1;
   std::set<SwitchId> pending_features_;
   DiscoveryStats stats_;
+  // Per-level registry handles (shared across same-level controllers).
+  obs::Counter* rounds_metric_;          ///< discovery_rounds_total{level}
+  obs::Counter* frames_sent_metric_;     ///< discovery_frames_total{level,kind=sent}
+  obs::Counter* frames_received_metric_; ///< discovery_frames_total{level,kind=received}
+  obs::Counter* links_metric_;           ///< discovery_links_total{level}
 };
 
 }  // namespace softmow::nos

@@ -25,6 +25,16 @@ bool route_intact(const Nib& nib, const ComputedRoute& route) {
   return true;
 }
 
+PathImplementer::PathImplementer(DeviceBus* bus, std::uint32_t controller_tag,
+                                 std::uint8_t level, Nib* nib)
+    : bus_(bus), nib_(nib), controller_tag_(controller_tag & 0x7ff), level_(level) {
+  obs::MetricsRegistry& reg = obs::default_registry();
+  const obs::Labels by_level{{"level", std::to_string(level)}};
+  setups_metric_ = reg.counter("path_setups_total", by_level);
+  flowmods_metric_ = reg.counter("flowmods_sent_total", by_level);
+  label_push_metric_ = reg.counter("label_pushes_total", by_level);
+}
+
 Label PathImplementer::allocate_label() {
   // Partitioned label space: high bits identify the allocating controller,
   // low 20 bits are a per-controller sequence (~1M concurrent labels).
@@ -55,6 +65,7 @@ Result<PathId> PathImplementer::setup(const ComputedRoute& route,
   }
   PathId id = p.id;
   paths_.emplace(id, std::move(p));
+  setups_metric_->inc();
   return id;
 }
 
@@ -159,6 +170,14 @@ Result<void> PathImplementer::install_rules(InstalledPath& p) {
       rule.match.in_port = hop.in;
     }
     rule.actions.push_back(dataplane::output(hop.out));
+
+    flowmods_metric_->inc();
+    for (const dataplane::Action& a : rule.actions) {
+      // A swap leaves a new label on the wire just like a push (§4.3).
+      if (a.type == dataplane::ActionType::kPushLabel ||
+          a.type == dataplane::ActionType::kSwapLabel)
+        label_push_metric_->inc();
+    }
 
     southbound::FlowMod mod;
     mod.op = southbound::FlowMod::Op::kAdd;

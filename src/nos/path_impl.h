@@ -23,6 +23,7 @@
 #include "dataplane/flow_table.h"
 #include "nos/device_bus.h"
 #include "nos/routing.h"
+#include "obs/metrics.h"
 
 namespace softmow::nos {
 
@@ -86,8 +87,7 @@ class PathImplementer {
   /// labels for the single-label-invariant audit. `nib` (optional) enables
   /// bandwidth/middlebox admission bookkeeping.
   PathImplementer(DeviceBus* bus, std::uint32_t controller_tag, std::uint8_t level,
-                  Nib* nib = nullptr)
-      : bus_(bus), nib_(nib), controller_tag_(controller_tag & 0x7ff), level_(level) {}
+                  Nib* nib = nullptr);
 
   /// Implements `route` for flows matching `classifier`. Returns the path ID.
   Result<PathId> setup(const ComputedRoute& route, dataplane::Match classifier,
@@ -120,6 +120,10 @@ class PathImplementer {
   std::uint64_t next_cookie_ = 1;
   std::uint64_t next_path_ = 1;
   std::map<PathId, InstalledPath> paths_;
+  // Per-level registry handles (shared across same-level controllers).
+  obs::Counter* setups_metric_;       ///< path_setups_total{level}
+  obs::Counter* flowmods_metric_;     ///< flowmods_sent_total{level}
+  obs::Counter* label_push_metric_;   ///< label_pushes_total{level}
 };
 
 }  // namespace softmow::nos

@@ -1,0 +1,147 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace softmow::obs {
+
+namespace {
+
+JsonValue labels_object(const Labels& labels) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [k, v] : labels) out.set(k, JsonValue::string(v));
+  return out;
+}
+
+JsonValue sample_json(const MetricSample& s) {
+  JsonValue out = JsonValue::object();
+  out.set("name", JsonValue::string(s.name));
+  out.set("labels", labels_object(s.labels));
+  switch (s.kind) {
+    case MetricKind::kCounter:
+      out.set("kind", JsonValue::string("counter"));
+      out.set("value", JsonValue::number(s.counter_value));
+      break;
+    case MetricKind::kGauge:
+      out.set("kind", JsonValue::string("gauge"));
+      out.set("value", JsonValue::number(s.gauge_value));
+      break;
+    case MetricKind::kHistogram: {
+      out.set("kind", JsonValue::string("histogram"));
+      out.set("count", JsonValue::number(s.hist_count));
+      out.set("sum", JsonValue::number(s.hist_sum));
+      JsonValue bounds = JsonValue::array();
+      for (double b : s.bounds) bounds.push_back(JsonValue::number(b));
+      out.set("bounds", std::move(bounds));
+      JsonValue buckets = JsonValue::array();
+      for (std::uint64_t c : s.bucket_counts) buckets.push_back(JsonValue::number(c));
+      out.set("buckets", std::move(buckets));
+      break;
+    }
+  }
+  return out;
+}
+
+JsonValue event_json(const TraceEvent& e) {
+  JsonValue out = JsonValue::object();
+  out.set("at_ns", JsonValue::number(static_cast<double>(e.at.since_start().to_nanos())));
+  out.set("name", JsonValue::string(e.name));
+  out.set("level", JsonValue::number(static_cast<double>(e.level)));
+  out.set("scope", JsonValue::string(e.scope));
+  if (!e.detail.empty()) out.set("detail", JsonValue::string(e.detail));
+  return out;
+}
+
+JsonValue span_json(const TraceSpan& s) {
+  JsonValue out = JsonValue::object();
+  out.set("begin_ns", JsonValue::number(static_cast<double>(s.begin.since_start().to_nanos())));
+  out.set("end_ns", JsonValue::number(static_cast<double>(s.end.since_start().to_nanos())));
+  out.set("name", JsonValue::string(s.name));
+  out.set("level", JsonValue::number(static_cast<double>(s.level)));
+  out.set("scope", JsonValue::string(s.scope));
+  if (!s.detail.empty()) out.set("detail", JsonValue::string(s.detail));
+  return out;
+}
+
+std::string labels_csv(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonValue export_json(const MetricsRegistry& registry, const Tracer* tracer) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::string("softmow.obs.v1"));
+
+  JsonValue metrics = JsonValue::array();
+  for (const MetricSample& s : registry.snapshot()) metrics.push_back(sample_json(s));
+  doc.set("metrics", std::move(metrics));
+
+  JsonValue trace = JsonValue::object();
+  JsonValue events = JsonValue::array();
+  JsonValue spans = JsonValue::array();
+  if (tracer != nullptr) {
+    for (const TraceEvent& e : tracer->events()) events.push_back(event_json(e));
+    for (const TraceSpan& s : tracer->spans()) spans.push_back(span_json(s));
+  }
+  trace.set("events", std::move(events));
+  trace.set("spans", std::move(spans));
+  doc.set("trace", std::move(trace));
+  return doc;
+}
+
+std::string to_json(const MetricsRegistry& registry, const Tracer* tracer) {
+  return export_json(registry, tracer).dump() + "\n";
+}
+
+std::string to_csv(const MetricsRegistry& registry) {
+  std::string out = "name,labels,kind,field,value\n";
+  for (const MetricSample& s : registry.snapshot()) {
+    std::string prefix = s.name + "," + labels_csv(s.labels) + ",";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += prefix + "counter,value," + std::to_string(s.counter_value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += prefix + "gauge,value," + fmt_double(s.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += prefix + "histogram,count," + std::to_string(s.hist_count) + "\n";
+        out += prefix + "histogram,sum," + fmt_double(s.hist_sum) + "\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+          cumulative += s.bucket_counts[i];
+          std::string bound = i < s.bounds.size() ? fmt_double(s.bounds[i]) : "+inf";
+          out += prefix + "histogram,le_" + bound + "," + std::to_string(cumulative) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<void> write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Error{ErrorCode::kUnavailable, "cannot open " + path + " for writing"};
+  std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (written != content.size() || rc != 0)
+    return Error{ErrorCode::kUnavailable, "short write to " + path};
+  return Ok();
+}
+
+}  // namespace softmow::obs

@@ -1,0 +1,34 @@
+// Exporters turning a MetricsRegistry snapshot (plus an optional Tracer)
+// into machine-readable output. Two formats:
+//
+//   * JSON — one document: {"metrics": [...], "trace": {"events": [...],
+//     "spans": [...]}}. This is what `--metrics-json` writes; the schema is
+//     documented in README.md ("Observability").
+//   * CSV — one row per series (histograms flattened to one row per bucket),
+//     for spreadsheet-style consumption of sweeps.
+#pragma once
+
+#include <string>
+
+#include "core/result.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace softmow::obs {
+
+/// Builds the export document. `tracer` may be nullptr (metrics only).
+JsonValue export_json(const MetricsRegistry& registry, const Tracer* tracer = nullptr);
+
+/// Serialized export_json().
+std::string to_json(const MetricsRegistry& registry, const Tracer* tracer = nullptr);
+
+/// CSV with header `name,labels,kind,field,value`; labels are
+/// `k=v;k=v`. Histograms emit count/sum rows plus one `le_<bound>` row per
+/// bucket (cumulative, Prometheus-style).
+std::string to_csv(const MetricsRegistry& registry);
+
+/// Writes `content` to `path` (parent directory must exist).
+Result<void> write_file(const std::string& path, const std::string& content);
+
+}  // namespace softmow::obs

@@ -1,0 +1,332 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace softmow::obs {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::number(std::uint64_t u) { return number(static_cast<double>(u)); }
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  assert(type_ == Type::kArray);
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  assert(type_ == Type::kObject);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  // Integers (the common case: counters, bucket counts, nanosecond stamps)
+  // print without a fractional part so exports diff cleanly.
+  if (std::nearbyint(v) == v && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, number_); break;
+    case Type::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += "\":";
+        if (indent >= 0) out += ' ';
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> parse_document() {
+    auto v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size())
+      return Error{ErrorCode::kInvalidArgument, "trailing characters at offset " +
+                                                    std::to_string(pos_)};
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[nodiscard]] Error err(const std::string& what) const {
+    return Error{ErrorCode::kInvalidArgument,
+                 what + " at offset " + std::to_string(pos_)};
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* w) {
+    std::size_t n = std::string(w).size();
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return s.error();
+      return JsonValue::string(std::move(s.value()));
+    }
+    if (consume_word("true")) return JsonValue::boolean(true);
+    if (consume_word("false")) return JsonValue::boolean(false);
+    if (consume_word("null")) return JsonValue::null();
+    return parse_number();
+  }
+
+  Result<JsonValue> parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return err("invalid value");
+    try {
+      return JsonValue::number(std::stod(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return err("invalid number");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return err("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return err("invalid \\u escape");
+            }
+            // Exports only emit \u00XX (control characters); decode those
+            // and pass anything wider through as '?'.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return err("invalid escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<JsonValue> parse_array() {
+    if (!consume('[')) return err("expected '['");
+    JsonValue out = JsonValue::array();
+    skip_ws();
+    if (consume(']')) return out;
+    while (true) {
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      out.push_back(std::move(v.value()));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return err("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> parse_object() {
+    if (!consume('{')) return err("expected '{'");
+    JsonValue out = JsonValue::object();
+    skip_ws();
+    if (consume('}')) return out;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!consume(':')) return err("expected ':'");
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      out.set(key.value(), std::move(v.value()));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return err("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace softmow::obs

@@ -1,0 +1,75 @@
+// Minimal JSON document model: enough to build the metrics/trace export and
+// to parse it back (round-trip tests, downstream tooling that consumes
+// `--metrics-json` output). Not a general-purpose JSON library — numbers are
+// doubles, no \uXXXX escapes beyond pass-through, objects preserve insertion
+// order so exports are byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+
+namespace softmow::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue number(std::uint64_t v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] std::uint64_t as_uint() const { return static_cast<std::uint64_t>(number_); }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  // --- array ---------------------------------------------------------------
+  void push_back(JsonValue v);
+  [[nodiscard]] std::size_t size() const { return array_.size(); }
+  [[nodiscard]] const JsonValue& at(std::size_t i) const { return array_.at(i); }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return array_; }
+
+  // --- object --------------------------------------------------------------
+  /// Inserts or overwrites; insertion order is preserved on serialization.
+  void set(const std::string& key, JsonValue v);
+  /// nullptr when absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Serializes with 2-space indentation (indent < 0 => compact).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes `s` as a JSON string literal body (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace softmow::obs

@@ -1,0 +1,33 @@
+#include "obs/trace.h"
+
+namespace softmow::obs {
+
+void Tracer::event(sim::TimePoint at, std::string name, int level, std::string scope,
+                   std::string detail) {
+  events_.push_back(TraceEvent{at, std::move(name), level, std::move(scope), std::move(detail)});
+}
+
+void Tracer::span(sim::TimePoint begin, sim::TimePoint end, std::string name, int level,
+                  std::string scope, std::string detail) {
+  spans_.push_back(
+      TraceSpan{begin, end, std::move(name), level, std::move(scope), std::move(detail)});
+}
+
+std::vector<TraceSpan> Tracer::spans_at_level(int level) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_)
+    if (s.level == level) out.push_back(s);
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  spans_.clear();
+}
+
+Tracer& default_tracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace softmow::obs

@@ -1,0 +1,89 @@
+// Sim-clock-aware tracing: point events and spans stamped with
+// sim::TimePoint, tagged with the controller level that produced them. A
+// run's tracer yields a timeline of discovery rounds, path-setup RPCs and
+// failover promotions that the exporters dump next to the metrics registry.
+//
+// sim/time.h is header-only, so depending on it keeps obs below the sim
+// *library* in the link order (sim links obs for its own instrumentation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace softmow::obs {
+
+/// A point-in-time occurrence (e.g. "link-down", "promotion").
+struct TraceEvent {
+  sim::TimePoint at;
+  std::string name;
+  int level = 0;        ///< controller level; 0 = outside the hierarchy
+  std::string scope;    ///< controller / component name
+  std::string detail;   ///< free-form annotation
+};
+
+/// A named interval (e.g. one discovery round at one controller).
+struct TraceSpan {
+  sim::TimePoint begin;
+  sim::TimePoint end;
+  std::string name;
+  int level = 0;
+  std::string scope;
+  std::string detail;
+
+  [[nodiscard]] sim::Duration duration() const { return end - begin; }
+};
+
+/// Append-only collector. Not a hot-path structure: spans are recorded per
+/// protocol round / RPC, not per message.
+class Tracer {
+ public:
+  void event(sim::TimePoint at, std::string name, int level = 0, std::string scope = {},
+             std::string detail = {});
+  void span(sim::TimePoint begin, sim::TimePoint end, std::string name, int level = 0,
+            std::string scope = {}, std::string detail = {});
+
+  /// RAII helper: records a span from `begin` to the time passed to close().
+  class PendingSpan {
+   public:
+    PendingSpan(Tracer* tracer, sim::TimePoint begin, std::string name, int level,
+                std::string scope)
+        : tracer_(tracer), begin_(begin), name_(std::move(name)), level_(level),
+          scope_(std::move(scope)) {}
+    void close(sim::TimePoint end, std::string detail = {}) {
+      if (tracer_ != nullptr)
+        tracer_->span(begin_, end, std::move(name_), level_, std::move(scope_),
+                      std::move(detail));
+      tracer_ = nullptr;
+    }
+
+   private:
+    Tracer* tracer_;
+    sim::TimePoint begin_;
+    std::string name_;
+    int level_;
+    std::string scope_;
+  };
+  [[nodiscard]] PendingSpan begin_span(sim::TimePoint begin, std::string name, int level = 0,
+                                       std::string scope = {}) {
+    return PendingSpan(this, begin, std::move(name), level, std::move(scope));
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// Spans recorded by controllers at `level`, in recording order.
+  [[nodiscard]] std::vector<TraceSpan> spans_at_level(int level) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// Process-wide tracer paired with obs::default_registry().
+Tracer& default_tracer();
+
+}  // namespace softmow::obs

@@ -16,10 +16,12 @@ Controller::Controller(ControllerId id, int level, std::string name, LabelMode l
       routing_(&nib_),
       paths_(this, static_cast<std::uint32_t>(id.value),
              static_cast<std::uint8_t>(level), &nib_),
-      discovery_(id, &nib_, this),
+      discovery_(id, &nib_, this, level),
       abstraction_(id, level, &nib_, &routing_),
       reca_(RecAAgent::Services{id, level, &nib_, &routing_, &paths_, this, &abstraction_},
-            label_mode) {
+            label_mode),
+      messages_metric_(obs::default_registry().counter(
+          "controller_messages_total", {{"level", std::to_string(level)}})) {
   nib_.subscribe([this] { abstraction_.mark_dirty(); });
 }
 
@@ -131,6 +133,7 @@ void Controller::send_app_response(SwitchId child_gswitch, std::uint64_t request
 
 void Controller::handle_device_message(Channel* ch, const Message& msg) {
   ++messages_handled_;
+  messages_metric_->inc();
 
   if (const auto* hello = std::get_if<southbound::Hello>(&msg)) {
     device_channels_[hello->sw] = ch;

@@ -115,6 +115,8 @@ class Controller : public nos::DeviceBus {
                          southbound::AppMessage response);
 
   /// Messages processed by this controller (Fig. 10 queuing-delay input).
+  /// Also aggregated per level in the metrics registry as
+  /// controller_messages_total{level=...}.
   [[nodiscard]] std::uint64_t messages_handled() const { return messages_handled_; }
 
  private:
@@ -141,6 +143,7 @@ class Controller : public nos::DeviceBus {
   std::unordered_map<std::uint64_t, std::function<void(const southbound::AppMessage&)>>
       pending_child_requests_;
   std::uint64_t messages_handled_ = 0;
+  obs::Counter* messages_metric_;  ///< controller_messages_total{level}
 };
 
 }  // namespace softmow::reca

@@ -5,6 +5,9 @@
 
 namespace softmow::sim {
 
+Simulator::Simulator()
+    : events_counter_(obs::default_registry().counter("sim_events_executed_total")) {}
+
 void Simulator::schedule(Duration delay, Callback fn) {
   schedule_at(now_ + delay, std::move(fn));
 }
@@ -23,6 +26,7 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.when;
   ++executed_;
+  events_counter_->inc();
   ev.fn();
   return true;
 }
@@ -43,6 +47,13 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   return n;
 }
 
+QueueingStation::QueueingStation(Duration service_time, const std::string& station)
+    : service_time_(service_time),
+      wait_hist_(obs::default_registry().histogram("sim_queue_wait_us", obs::wait_us_bounds(),
+                                                   {{"station", station}})),
+      messages_counter_(obs::default_registry().counter("sim_queue_messages_total",
+                                                        {{"station", station}})) {}
+
 TimePoint QueueingStation::submit(TimePoint arrival) {
   return submit(arrival, service_time_);
 }
@@ -50,8 +61,10 @@ TimePoint QueueingStation::submit(TimePoint arrival) {
 TimePoint QueueingStation::submit(TimePoint arrival, Duration service) {
   TimePoint start = arrival > busy_until_ ? arrival : busy_until_;
   total_wait_ += start - arrival;
+  wait_hist_->observe((start - arrival).to_micros());
   busy_until_ = start + service;
   ++processed_;
+  messages_counter_->inc();
   return busy_until_;
 }
 

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/time.h"
 
 namespace softmow::sim {
@@ -15,6 +17,8 @@ namespace softmow::sim {
 class Simulator {
  public:
   using Callback = std::function<void()>;
+
+  Simulator();
 
   /// Schedules `fn` to run `delay` after the current time. Events scheduled
   /// for the same instant run in scheduling order (stable FIFO).
@@ -50,6 +54,7 @@ class Simulator {
   TimePoint now_;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Counter* events_counter_;  ///< sim_events_executed_total
 };
 
 /// Single-server FIFO queue with deterministic service times — the model of
@@ -59,7 +64,10 @@ class Simulator {
 /// exactly that: completion = max(arrival, last_completion) + service.
 class QueueingStation {
  public:
-  explicit QueueingStation(Duration service_time) : service_time_(service_time) {}
+  /// `station` labels this station's series in the metrics registry
+  /// (sim_queue_wait_us / sim_queue_messages_total); stations created with
+  /// the same label merge their observations.
+  explicit QueueingStation(Duration service_time, const std::string& station = "default");
 
   /// Registers a message arriving at `arrival`; returns its completion time.
   TimePoint submit(TimePoint arrival);
@@ -79,6 +87,8 @@ class QueueingStation {
   TimePoint busy_until_ = TimePoint::zero();
   std::uint64_t processed_ = 0;
   Duration total_wait_;
+  obs::Histogram* wait_hist_;     ///< sim_queue_wait_us{station=...}
+  obs::Counter* messages_counter_;  ///< sim_queue_messages_total{station=...}
 };
 
 }  // namespace softmow::sim

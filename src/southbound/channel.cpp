@@ -27,9 +27,19 @@ const char* message_name(const Message& m) {
   return std::visit(Visitor{}, m);
 }
 
+Channel::Channel() : Channel(nullptr) {}
+
+Channel::Channel(MessageCounter* counter)
+    : counter_(counter),
+      to_device_metric_(obs::default_registry().counter("southbound_messages_total",
+                                                        {{"direction", "to_device"}})),
+      to_controller_metric_(obs::default_registry().counter("southbound_messages_total",
+                                                            {{"direction", "to_controller"}})) {}
+
 void Channel::send_to_device(Message m) {
   if (!connected_) return;
   ++sent_to_device_;
+  to_device_metric_->inc();
   if (counter_ != nullptr) ++counter_->to_device;
   pending_.emplace_back(std::move(m), true);
   pump();
@@ -38,6 +48,7 @@ void Channel::send_to_device(Message m) {
 void Channel::send_to_controller(Message m) {
   if (!connected_) return;
   ++sent_to_controller_;
+  to_controller_metric_->inc();
   if (counter_ != nullptr) ++counter_->to_controller;
   pending_.emplace_back(std::move(m), false);
   pump();

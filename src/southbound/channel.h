@@ -2,9 +2,12 @@
 // switch agent or child RecA agent).
 //
 // Delivery is queued-and-flattened: a handler that sends further messages
-// never recurses into nested delivery; messages drain FIFO per channel. A
-// global MessageCounter tallies control-plane message volume — the
-// "east-west" load the region optimization of §5.3 minimizes.
+// never recurses into nested delivery; messages drain FIFO per channel.
+// Control-plane message volume — the "east-west" load the region
+// optimization of §5.3 minimizes — is reported per direction through the
+// obs metrics registry (`southbound_messages_total{direction=...}`); the
+// per-experiment MessageCounter remains as a thin scoped view for callers
+// that need a delta isolated to one Hub.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "southbound/messages.h"
 
 namespace softmow::southbound {
@@ -22,6 +26,9 @@ namespace softmow::southbound {
 using Handler = std::function<void(const Message&)>;
 
 /// Counts messages by direction; shared by all channels of one experiment.
+/// Deprecated in favour of the registry series
+/// `southbound_messages_total{direction=to_device|to_controller}`, which
+/// every channel feeds unconditionally; kept as a thin per-Hub view.
 struct MessageCounter {
   std::uint64_t to_device = 0;
   std::uint64_t to_controller = 0;
@@ -30,8 +37,8 @@ struct MessageCounter {
 
 class Channel {
  public:
-  Channel() = default;
-  explicit Channel(MessageCounter* counter) : counter_(counter) {}
+  Channel();
+  explicit Channel(MessageCounter* counter);
 
   /// Installs the controller-side handler (receives device -> controller).
   void bind_controller(Handler h) { to_controller_ = std::move(h); }
@@ -65,6 +72,8 @@ class Channel {
   std::uint64_t sent_to_device_ = 0;
   std::uint64_t sent_to_controller_ = 0;
   MessageCounter* counter_ = nullptr;
+  obs::Counter* to_device_metric_;      ///< southbound_messages_total{direction=to_device}
+  obs::Counter* to_controller_metric_;  ///< southbound_messages_total{direction=to_controller}
 };
 
 }  // namespace softmow::southbound

@@ -59,6 +59,34 @@ TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, RunUntilExecutesEventExactlyAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(20), [&] { ++fired; });
+  sim.schedule(Duration::millis(20) + Duration::micros(1), [&] { ++fired; });
+  sim.run_until(TimePoint::at(Duration::millis(20)));
+  // The deadline is inclusive: an event at exactly t=deadline runs; one a
+  // single tick later stays queued.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now().since_start().to_millis(), 20);
+}
+
+TEST(QueueingStation, TotalWaitAccumulatesAcrossBusyPeriods) {
+  QueueingStation station(Duration::millis(10));
+  // Busy period 1: three arrivals at t=0 wait 0, 10, 20 ms.
+  (void)station.submit(TimePoint::zero());
+  (void)station.submit(TimePoint::zero());
+  (void)station.submit(TimePoint::zero());
+  EXPECT_EQ(station.total_wait().to_millis(), 30);
+  // Idle gap, then busy period 2: arrivals at t=100 wait 0 and 10 ms —
+  // total_wait keeps accumulating, it is not per-busy-period.
+  (void)station.submit(TimePoint::at(Duration::millis(100)));
+  (void)station.submit(TimePoint::at(Duration::millis(100)));
+  EXPECT_EQ(station.total_wait().to_millis(), 40);
+  EXPECT_EQ(station.processed(), 5u);
+}
+
 TEST(QueueingStation, SerializesBackToBackArrivals) {
   QueueingStation station(Duration::millis(10));
   TimePoint t0 = TimePoint::zero();

@@ -85,6 +85,8 @@ ModeResult run_mode(reca::LabelMode mode) {
     }
   }
   result.rules = scenario->net.total_rules();
+  maybe_verify(*scenario,
+               mode == reca::LabelMode::kSwapping ? "verify(swapping)" : "verify(stacking)");
   return result;
 }
 

@@ -101,6 +101,13 @@ void eastwest_load() {
       UeId ue{1000 + ue_seq++};
       if (!mobility.ue_attach(ue, scenario->net.bs_group(from)->members.front()).ok())
         continue;
+      // Carry a real bearer through the handover so the post-reconfiguration
+      // data plane is non-trivial (and --verify checks actual installed state).
+      apps::BearerRequest bearer;
+      bearer.ue = ue;
+      bearer.bs = scenario->net.bs_group(from)->members.front();
+      bearer.dst_prefix = PrefixId{(ue_seq * 7) % 50};
+      (void)mobility.request_bearer(bearer);
       (void)mobility.handover(ue, scenario->net.bs_group(to)->members.front());
     }
   }
@@ -114,6 +121,7 @@ void eastwest_load() {
     loads[mgmt::gbs_id_for_group(group)] = load;
   auto result = opt->optimize_round(constraints, loads, /*execute=*/true);
   std::uint64_t reconfig_messages = close_phase("regionopt.reconfigure");
+  maybe_verify(*scenario, "post-reconfiguration verify");
 
   TextTable ew({"phase", "east-west messages", "moves"});
   ew.add_row({"drive handovers", std::to_string(handover_messages), "-"});

@@ -15,6 +15,7 @@ void run() {
                "a higher-level controller never computes a worse path");
 
   auto scenario = topo::build_scenario(paper_scale_params(1, 4, /*originate=*/true));
+  maybe_verify(*scenario);
   auto& mp = *scenario->mgmt;
   auto prefixes = scenario->iplane->prefixes();
 

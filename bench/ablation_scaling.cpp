@@ -26,6 +26,7 @@ void run() {
       c->discovery().stats_mutable() = nos::DiscoveryStats{};
     for (reca::Controller* leaf : mp.leaves()) leaf->run_link_discovery();
     mp.root().run_link_discovery();
+    maybe_verify(*scenario);
 
     std::uint64_t max_leaf = 0;
     for (reca::Controller* leaf : mp.leaves())

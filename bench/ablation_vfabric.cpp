@@ -85,6 +85,7 @@ Sweep run_threshold(double threshold) {
           sweep.worst_staleness, std::abs(e.metrics.bandwidth_kbps - it->second) / base);
     }
   }
+  maybe_verify(*scenario, "verify");
   return sweep;
 }
 

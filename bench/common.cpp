@@ -20,8 +20,12 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     };
     if (take_value("--metrics-json", &opts.metrics_json)) continue;
     if (take_value("--metrics-csv", &opts.metrics_csv)) continue;
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      opts.verify = true;
+      continue;
+    }
     std::fprintf(stderr, "warning: ignoring unknown argument '%s' "
-                         "(known: --metrics-json <path>, --metrics-csv <path>)\n",
+                         "(known: --metrics-json <path>, --metrics-csv <path>, --verify)\n",
                  argv[i]);
   }
   return opts;
@@ -51,10 +55,33 @@ bool export_metrics(const BenchOptions& opts) {
   return ok;
 }
 
+namespace {
+BenchOptions g_options;
+}  // namespace
+
+const BenchOptions& current_bench_options() { return g_options; }
+
+bool maybe_verify(topo::Scenario& scenario, const char* tag) {
+  if (!current_bench_options().verify) return true;
+  verify::ControlState state;
+  {
+    std::vector<const reca::Controller*> controllers;
+    for (reca::Controller* c : scenario.mgmt->all_controllers()) controllers.push_back(c);
+    state = verify::collect_control_state(controllers);
+  }
+  if (scenario.apps) state.bearers = scenario.apps->bearer_claims();
+  verify::VerifyReport report =
+      verify::verify_data_plane(scenario.net, &state, scenario.mgmt->verify_options());
+  std::printf("%s%s%s\n", tag, *tag != '\0' ? ": " : "", report.summary().c_str());
+  for (const verify::Finding& f : report.findings)
+    std::printf("  %s\n", f.str().c_str());
+  return report.clean();
+}
+
 int bench_main(int argc, char** argv, void (*run)()) {
-  BenchOptions opts = parse_bench_args(argc, argv);
+  g_options = parse_bench_args(argc, argv);
   run();
-  return export_metrics(opts) ? 0 : 1;
+  return export_metrics(g_options) ? 0 : 1;
 }
 
 InternalCostTable compute_internal_costs(topo::Scenario& scenario) {

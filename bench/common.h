@@ -15,10 +15,22 @@ namespace softmow::bench {
 struct BenchOptions {
   std::string metrics_json;  ///< --metrics-json <path>: dump registry+trace
   std::string metrics_csv;   ///< --metrics-csv <path>: dump registry as CSV
+  bool verify = false;       ///< --verify: static-verify each scenario built
 };
 
-/// Parses `--metrics-json`/`--metrics-csv`; warns (stderr) on anything else.
+/// Parses `--metrics-json`/`--metrics-csv`/`--verify`; warns (stderr) on
+/// anything else.
 BenchOptions parse_bench_args(int argc, char** argv);
+
+/// The options of the running bench (set by bench_main before run()), so
+/// helpers deep inside a bench body can consult the flags.
+const BenchOptions& current_bench_options();
+
+/// When `--verify` is set: runs the static data-plane verifier over the
+/// scenario's installed state (label-mode-aware options, live-path and
+/// bearer cross-checks) and prints the report summary. Findings land in the
+/// default metrics registry either way. Returns true when clean or skipped.
+bool maybe_verify(topo::Scenario& scenario, const char* tag = "");
 
 /// Writes the default registry (and tracer, for JSON) to the requested
 /// paths. No-op for unset paths. Returns false if any write failed.

@@ -15,6 +15,7 @@ void run() {
                "75th/85th pct RTT down 43%/60% from LTE to 8-egress SoftMoW");
 
   auto scenario = topo::build_scenario(paper_scale_params(1, 4, /*originate=*/false));
+  maybe_verify(*scenario);
   auto internal = compute_internal_costs(*scenario);
   auto prefixes = scenario->iplane->prefixes();
 

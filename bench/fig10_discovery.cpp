@@ -46,6 +46,7 @@ void run() {
   }
   for (reca::Controller* leaf : mp.leaves()) leaf->run_link_discovery();
   mp.root().run_link_discovery();
+  maybe_verify(*scenario);
 
   std::uint64_t flat_messages = baseline::flat_discovery_message_count(scenario->net);
   sim::Duration flat_time = queue_convergence(flat_messages, "flat");

@@ -31,6 +31,7 @@ void run() {
   auto scenario = topo::build_scenario(paper_scale_params(1, 4, /*originate=*/false));
   auto& mp = *scenario->mgmt;
   const topo::LteTrace& trace = scenario->trace;
+  maybe_verify(*scenario);
 
   std::vector<std::string> names;
   for (reca::Controller* leaf : mp.leaves()) names.push_back(leaf->name());

@@ -102,6 +102,7 @@ void run() {
     std::vector<std::size_t> region_of(trace.groups.size());
     for (std::size_t g = 0; g < trace.groups.size(); ++g)
       region_of[g] = scenario->mgmt->leaf_index_of_group(trace.groups[g]);
+    maybe_verify(*scenario);
 
     series.push_back(simulate(trace, region_of, regions, /*optimize=*/false));
     series.push_back(simulate(trace, region_of, regions, /*optimize=*/true));

@@ -60,6 +60,7 @@ void run() {
               "violations -> %s\n",
               audit.classifiers_probed, audit.delivered, audit.label_violations,
               audit.clean() ? "CLEAN" : "FINDINGS");
+  maybe_verify(*scenario, "static verify");
   std::printf("takeaway: trace-shaped load runs through §5.1/§5.2 unmodified — most "
               "bearers resolve at the leaves, the remainder climbs exactly as far as its "
               "QoS requires, and every installed path still delivers with at most one "

@@ -18,7 +18,7 @@ void BM_FlowTableLookup(benchmark::State& state) {
     rule.match.label = static_cast<std::uint32_t>(i);
     rule.match.in_port = PortId{static_cast<std::uint64_t>(i % 8) + 1};
     rule.actions = {dataplane::output(PortId{2})};
-    table.install(rule);
+    (void)table.install(rule);
   }
   Packet pkt;
   pkt.labels.push_back(Label{static_cast<std::uint32_t>(rules - 1), 1});

@@ -14,6 +14,7 @@ void run() {
                "leaves expose ~20.75% of ports on average; 73% of links hidden at root");
 
   auto scenario = topo::build_scenario(paper_scale_params(1, 4, /*originate=*/false));
+  maybe_verify(*scenario);
   auto& mp = *scenario->mgmt;
 
   TextTable table(

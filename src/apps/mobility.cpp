@@ -677,6 +677,17 @@ std::vector<UeRecord> MobilityApp::extract_group_state(BsGroupId group) {
   std::vector<UeRecord> out;
   for (auto it = ues_.begin(); it != ues_.end();) {
     if (it->second.group == group) {
+      // Local path ids are meaningless in the target leaf's path table, and
+      // this leaf is about to lose control of the switches carrying them:
+      // tear them down now and hand the bearer over as pending re-setup.
+      // Ancestor-implemented paths survive the leaf change untouched.
+      for (auto& [bid, bearer] : it->second.bearers) {
+        if (!bearer.active || !bearer.handled_locally) continue;
+        (void)controller_->deactivate_path(bearer.local_path);
+        bearer.local_path = PathId{};
+        bearer.active = false;
+        bearer.pending_rehome = true;
+      }
       out.push_back(std::move(it->second));
       it = ues_.erase(it);
     } else {
@@ -688,6 +699,25 @@ std::vector<UeRecord> MobilityApp::extract_group_state(BsGroupId group) {
 
 void MobilityApp::absorb_group_state(std::vector<UeRecord> records) {
   for (UeRecord& rec : records) ues_[rec.ue] = std::move(rec);
+}
+
+void MobilityApp::rehome_transferred_bearers(BsGroupId group) {
+  std::vector<BearerRequest> to_restore;
+  for (auto& [ue_id, rec] : ues_) {
+    if (!(rec.group == group)) continue;
+    for (auto& [bid, bearer] : rec.bearers) {
+      if (bearer.pending_rehome) to_restore.push_back(bearer.request);
+    }
+    std::erase_if(rec.bearers, [](const auto& kv) { return kv.second.pending_rehome; });
+  }
+  for (const BearerRequest& request : to_restore) {
+    auto restored = request_bearer(request);
+    if (!restored.ok()) {
+      SOFTMOW_LOG(LogLevel::kWarn, "mobility")
+          << controller_->name() << " bearer re-setup after reconfiguration failed: "
+          << restored.error().message;
+    }
+  }
 }
 
 }  // namespace softmow::apps

@@ -57,6 +57,9 @@ struct BearerRecord {
   /// Globally unique handle to the ancestor-installed path (0 = none); used
   /// to request deactivation from below.
   std::uint64_t ancestor_key = 0;
+  /// Set during §5.3.2 region reconfiguration: the bearer's old path was torn
+  /// down by the source leaf and the target leaf must re-establish it.
+  bool pending_rehome = false;
 };
 
 struct UeRecord {
@@ -159,8 +162,18 @@ class MobilityApp {
   Result<void> handover(UeId ue, BsId target_bs);
 
   [[nodiscard]] const UeRecord* ue(UeId id) const;
+  [[nodiscard]] const std::map<UeId, UeRecord>& ues() const { return ues_; }
   [[nodiscard]] std::size_t ue_count() const { return ues_.size(); }
   [[nodiscard]] const MobilityStats& stats() const { return stats_; }
+
+  /// True iff this (ancestor) app holds `key` and the path behind it is
+  /// still active — the control-plane side of a delegated bearer's claim.
+  [[nodiscard]] bool ancestor_path_active(std::uint64_t key) const {
+    auto it = ancestor_paths_.find(key);
+    if (it == ancestor_paths_.end()) return false;
+    const nos::InstalledPath* p = controller_->paths().path(it->second);
+    return p != nullptr && p->active;
+  }
 
   /// The handover log of this controller mapped into its *exposed* ID space
   /// (border G-BSes 1:1, everything local collapsed onto the internal
@@ -178,9 +191,16 @@ class MobilityApp {
 
   // --- region reconfiguration support (§5.3.2) --------------------------------
   /// Extracts UE records of `group` (source side of a control transfer).
+  /// Locally-implemented bearer paths are torn down here — the source leaf
+  /// still masters the region's switches at this phase — and the bearers are
+  /// marked `pending_rehome` for the target side.
   std::vector<UeRecord> extract_group_state(BsGroupId group);
   /// Absorbs transferred UE records (target side).
   void absorb_group_state(std::vector<UeRecord> records);
+  /// Re-establishes `pending_rehome` bearers of `group` from this (target)
+  /// leaf. Must run after the reconfiguration's logical-plane update so
+  /// routes toward the adopted access switch exist.
+  void rehome_transferred_bearers(BsGroupId group);
 
  private:
   void register_handlers();

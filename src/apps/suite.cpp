@@ -18,6 +18,10 @@ AppSuite::AppSuite(mgmt::ManagementPlane& mgmt) : mgmt_(mgmt) {
         mobility_.at(to.id())->absorb_group_state(
             mobility_.at(from.id())->extract_group_state(group));
       });
+  mgmt_.set_ue_rehome_hook(
+      [this](BsGroupId group, reca::Controller& /*from*/, reca::Controller& to) {
+        mobility_.at(to.id())->rehome_transferred_bearers(group);
+      });
 }
 
 RegionOptApp* AppSuite::region_opt(reca::Controller& c) {
@@ -39,6 +43,35 @@ void AppSuite::originate_interdomain(const ExternalPathProvider& provider) {
 
 MobilityApp& AppSuite::leaf_mobility_of_group(BsGroupId group) {
   return *mobility_.at(mgmt_.leaf_of_group(group)->id());
+}
+
+std::vector<verify::ControlState::BearerClaim> AppSuite::bearer_claims() {
+  std::vector<verify::ControlState::BearerClaim> claims;
+  for (reca::Controller* leaf : mgmt_.leaves()) {
+    MobilityApp& app = *mobility_.at(leaf->id());
+    for (const auto& [ue_id, rec] : app.ues()) {
+      for (const auto& [bearer_id, bearer] : rec.bearers) {
+        verify::ControlState::BearerClaim claim;
+        claim.ue = ue_id;
+        claim.bearer = bearer_id;
+        claim.active = bearer.active;
+        if (bearer.handled_locally) {
+          const nos::InstalledPath* p = leaf->paths().path(bearer.local_path);
+          claim.path_installed = p != nullptr && p->active;
+        } else {
+          // Delegated: any ancestor that holds the key vouches for it.
+          for (auto& [id, candidate] : mobility_) {
+            if (candidate->ancestor_path_active(bearer.ancestor_key)) {
+              claim.path_installed = true;
+              break;
+            }
+          }
+        }
+        claims.push_back(claim);
+      }
+    }
+  }
+  return claims;
 }
 
 }  // namespace softmow::apps

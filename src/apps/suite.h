@@ -11,6 +11,7 @@
 #include "apps/mobility.h"
 #include "apps/region_opt.h"
 #include "mgmt/management.h"
+#include "verify/verifier.h"
 
 namespace softmow::apps {
 
@@ -33,6 +34,11 @@ class AppSuite {
 
   /// The leaf mobility app currently serving `group`.
   [[nodiscard]] MobilityApp& leaf_mobility_of_group(BsGroupId group);
+
+  /// Bearer-to-path claims across every leaf, for the static verifier: each
+  /// active bearer paired with whether a live installed path (local or
+  /// ancestor-held) actually backs it.
+  [[nodiscard]] std::vector<verify::ControlState::BearerClaim> bearer_claims();
 
   [[nodiscard]] mgmt::ManagementPlane& mgmt() { return mgmt_; }
 

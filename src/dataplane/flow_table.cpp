@@ -75,10 +75,18 @@ std::string FlowRule::str() const {
   return os.str();
 }
 
-void FlowTable::install(FlowRule rule) {
+Result<void> FlowTable::install(FlowRule rule) {
+  for (const FlowRule& r : rules_) {
+    if (r.cookie != rule.cookie && r.priority == rule.priority && r.match == rule.match) {
+      return {ErrorCode::kConflict,
+              "install of " + rule.str() + " would ambiguously shadow cookie " +
+                  std::to_string(r.cookie) + " (same priority and match)"};
+    }
+  }
   remove_by_cookie(rule.cookie);
   rules_.push_back(std::move(rule));
   sort_rules();
+  return Ok();
 }
 
 std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {

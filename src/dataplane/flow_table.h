@@ -82,7 +82,10 @@ struct FlowRule {
 class FlowTable {
  public:
   /// Installs a rule. Replaces an existing rule with the same cookie.
-  void install(FlowRule rule);
+  /// Rejects (kConflict) a rule whose (priority, match) is identical to a
+  /// rule installed under a *different* cookie: the tie would otherwise be
+  /// broken by cookie order, leaving one of the two silently shadowed.
+  Result<void> install(FlowRule rule);
   /// Removes all rules with this cookie; returns how many were removed.
   std::size_t remove_by_cookie(std::uint64_t cookie);
   /// Removes rules whose match equals `match` exactly.

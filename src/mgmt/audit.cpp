@@ -51,8 +51,11 @@ AuditReport audit_data_plane(dataplane::PhysicalNetwork& net) {
           ++report.action_errors;
           break;
       }
-      if (depth > 1) ++report.label_violations;
-      if (!ok || depth > 1) {
+      // §4.3: never more than one label on the wire, and push/pop balanced —
+      // a packet delivered with labels still stacked escaped its region.
+      bool stack_residue = ok && !result.packet.labels.empty();
+      if (depth > 1 || stack_residue) ++report.label_violations;
+      if (!ok || depth > 1 || stack_residue) {
         report.findings.push_back(
             AuditFinding{sw_id, rule.cookie, result.outcome, depth});
       }

@@ -29,7 +29,7 @@ struct AuditReport {
   std::size_t dropped = 0;
   std::size_t looped = 0;
   std::size_t action_errors = 0;
-  std::size_t label_violations = 0;  ///< probes that saw depth > 1 anywhere
+  std::size_t label_violations = 0;  ///< depth > 1 anywhere, or labels left at exit
   /// One entry per classifier whose probe did not deliver cleanly.
   std::vector<AuditFinding> findings;
 

@@ -251,10 +251,42 @@ Result<void> ManagementPlane::reassign_gbs(Controller& initiator, GBsId gbs,
   group_to_leaf_[group] = target_index;
   recompute_borders();
   refresh_topology();
+
+  // (v) Re-establish the transferred bearers from the target leaf, now that
+  //     the refreshed logical planes can route to the adopted access switch.
+  if (ue_rehome_hook_) ue_rehome_hook_(group, source_leaf, *target_leaf);
+
   SOFTMOW_LOG(LogLevel::kInfo, "mgmt")
       << "reassigned " << gbs.str() << " from " << source_leaf.name() << " to "
       << target_leaf->name();
   return Ok();
+}
+
+verify::VerifyOptions ManagementPlane::verify_options() const {
+  verify::VerifyOptions options;
+  if (spec_.label_mode == reca::LabelMode::kSwapping) {
+    options.max_label_depth = 1;  // §4.3 single-label invariant
+  } else {
+    // Stacking strawman: one label per hierarchy level above the wire.
+    options.max_label_depth = spec_.mid_regions.empty() ? 2 : 3;
+  }
+  return options;
+}
+
+verify::VerifyReport ManagementPlane::verify_data_plane() {
+  std::vector<const reca::Controller*> controllers;
+  for (reca::Controller* c : all_controllers()) controllers.push_back(c);
+  verify::ControlState state = verify::collect_control_state(controllers);
+  verifier_ = std::make_unique<verify::StaticVerifier>(net_, verify_options());
+  return verifier_->verify(&state);
+}
+
+verify::VerifyReport ManagementPlane::reverify_data_plane(const std::vector<SwitchId>& dirty) {
+  std::vector<const reca::Controller*> controllers;
+  for (reca::Controller* c : all_controllers()) controllers.push_back(c);
+  verify::ControlState state = verify::collect_control_state(controllers);
+  if (!verifier_) verifier_ = std::make_unique<verify::StaticVerifier>(net_, verify_options());
+  return verifier_->reverify(dirty, &state);
 }
 
 }  // namespace softmow::mgmt

@@ -19,6 +19,7 @@
 #include "dataplane/network.h"
 #include "reca/controller.h"
 #include "southbound/switch_agent.h"
+#include "verify/verifier.h"
 
 namespace softmow::mgmt {
 
@@ -78,6 +79,11 @@ class ManagementPlane {
       std::function<void(BsGroupId group, reca::Controller& from, reca::Controller& to)>;
   void set_ue_transfer_hook(UeTransferHook hook) { ue_transfer_hook_ = std::move(hook); }
 
+  /// Called at the end of reassign_gbs, after the bottom-up logical-plane
+  /// update, so transferred bearers can be re-established from the target
+  /// leaf over the refreshed topology.
+  void set_ue_rehome_hook(UeTransferHook hook) { ue_rehome_hook_ = std::move(hook); }
+
   /// §5.3.2 reconfiguration: transfers control of border G-BS `gbs` (one BS
   /// group) from the leaf under `source_gswitch` to a leaf under
   /// `target_gswitch`, both children of `initiator`. The physical wiring is
@@ -89,6 +95,18 @@ class ManagementPlane {
   [[nodiscard]] const WeightedAdjacency<BsGroupId>& group_adjacency() const {
     return spec_.group_adjacency;
   }
+  [[nodiscard]] reca::LabelMode label_mode() const { return spec_.label_mode; }
+
+  // --- static data-plane verification ----------------------------------------
+  /// Verifier options matching this hierarchy: label depth 1 under recursive
+  /// swapping (§4.3), hierarchy depth under the stacking strawman.
+  [[nodiscard]] verify::VerifyOptions verify_options() const;
+  /// Full static pass over every switch's installed rules, cross-checked
+  /// against the live paths of every leaf controller.
+  verify::VerifyReport verify_data_plane();
+  /// Incremental pass after rules changed on `dirty` switches; falls back to
+  /// a full pass on first use.
+  verify::VerifyReport reverify_data_plane(const std::vector<SwitchId>& dirty);
   /// Leaf index currently controlling `g`.
   [[nodiscard]] std::size_t leaf_index_of_group(BsGroupId g) const {
     return group_to_leaf_.at(g);
@@ -115,7 +133,9 @@ class ManagementPlane {
   std::map<BsGroupId, std::size_t> group_to_leaf_;
   std::map<std::size_t, std::size_t> leaf_to_mid_;
   UeTransferHook ue_transfer_hook_;
+  UeTransferHook ue_rehome_hook_;
   std::uint64_t next_controller_ = 1;
+  std::unique_ptr<verify::StaticVerifier> verifier_;  ///< walk caches for reverify
 };
 
 }  // namespace softmow::mgmt

@@ -133,7 +133,7 @@ Result<void> PathImplementer::install_rules(InstalledPath& p) {
       } else {
         // Stacking mode, degenerate single-switch path: apply the parent's
         // pops/pushes directly.
-        for (int i = 0; i < p.options.extra_pops_at_exit; ++i)
+        for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
           rule.actions.push_back(dataplane::pop_label());
         for (const Label& under : p.options.push_under)
           rule.actions.push_back(dataplane::push_label(under));
@@ -162,7 +162,7 @@ Result<void> PathImplementer::install_rules(InstalledPath& p) {
         rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
       } else if (p.options.pop_at_exit) {
         rule.actions.push_back(dataplane::pop_label());
-        for (int i = 0; i < p.options.extra_pops_at_exit; ++i)
+        for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
           rule.actions.push_back(dataplane::pop_label());
       }
     } else {

@@ -47,6 +47,9 @@
 #include "apps/subscriber.h"   // IWYU pragma: export
 #include "apps/suite.h"        // IWYU pragma: export
 
+#include "verify/rule_graph.h"  // IWYU pragma: export
+#include "verify/verifier.h"    // IWYU pragma: export
+
 #include "mgmt/audit.h"        // IWYU pragma: export
 #include "mgmt/failover.h"     // IWYU pragma: export
 #include "mgmt/management.h"   // IWYU pragma: export

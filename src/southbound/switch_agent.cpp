@@ -118,7 +118,12 @@ void SwitchAgent::handle(const Message& msg) {
 
   if (const auto* mod = std::get_if<FlowMod>(&msg)) {
     switch (mod->op) {
-      case FlowMod::Op::kAdd: s->table().install(mod->rule); break;
+      case FlowMod::Op::kAdd:
+        if (auto installed = s->table().install(mod->rule); !installed.ok()) {
+          SOFTMOW_LOG(LogLevel::kWarn, "agent")
+              << sw_.str() << " rejected flow-mod: " << installed.error().message;
+        }
+        break;
       case FlowMod::Op::kRemoveByCookie: s->table().remove_by_cookie(mod->cookie); break;
       case FlowMod::Op::kRemoveByMatch: s->table().remove_by_match(mod->rule.match); break;
     }

@@ -126,6 +126,47 @@ TEST_P(InvariantTest, BearersDeliverUnderSingleLabelInvariant) {
   EXPECT_GT(exercised, 0);
 }
 
+// Tentpole cross-check: the static verifier's verdict must agree with the
+// probe audit on every scenario — both clean after bearer setup, and the
+// incremental path must agree with the full pass.
+TEST_P(InvariantTest, StaticVerifierAgreesWithProbeAudit) {
+  auto& mp = *scenario->mgmt;
+  std::uint64_t ue_seq = 9000;
+  int exercised = 0;
+  for (BsGroupId group : scenario->trace.groups) {
+    if (exercised >= 6) break;
+    auto& mobility = scenario->apps->mobility(*mp.leaf_of_group(group));
+    BsId bs = scenario->net.bs_group(group)->members.front();
+    UeId ue{ue_seq++};
+    if (!mobility.ue_attach(ue, bs).ok()) continue;
+    apps::BearerRequest request;
+    request.ue = ue;
+    request.bs = bs;
+    request.dst_prefix = PrefixId{(ue_seq * 3) % 50};
+    if (mobility.request_bearer(request).ok()) ++exercised;
+  }
+  EXPECT_GT(exercised, 0);
+
+  auto audit = mgmt::audit_data_plane(scenario->net);
+  verify::VerifyReport report = mp.verify_data_plane();
+  std::string details = report.summary();
+  for (const auto& f : report.findings) details += "\n  " + f.str();
+  EXPECT_EQ(audit.clean(), report.clean()) << details;
+  EXPECT_TRUE(report.clean()) << details;
+  EXPECT_GT(report.classes_analyzed, 0u);
+  EXPECT_EQ(report.classes_delivered, report.classes_analyzed);
+
+  // Incremental re-verification over every access switch reproduces the
+  // full-pass verdict.
+  std::vector<SwitchId> dirty;
+  for (SwitchId sw : scenario->net.all_switches()) {
+    if (scenario->net.is_access_switch(sw)) dirty.push_back(sw);
+  }
+  verify::VerifyReport incremental = mp.reverify_data_plane(dirty);
+  EXPECT_EQ(incremental.clean(), report.clean());
+  EXPECT_EQ(incremental.classes_analyzed, report.classes_analyzed);
+}
+
 // Invariant 4 (at the app level): one executed optimization round never
 // increases the cross-region handover weight and leaves a coherent control
 // plane behind.
@@ -138,8 +179,15 @@ TEST_P(InvariantTest, RegionOptimizationRoundIsSafe) {
     if (driven >= 8) break;
     auto& mobility = scenario->apps->mobility(*mp.leaf_of_group(key.first));
     UeId ue{ue_seq++};
-    if (!mobility.ue_attach(ue, scenario->net.bs_group(key.first)->members.front()).ok())
-      continue;
+    BsId bs = scenario->net.bs_group(key.first)->members.front();
+    if (!mobility.ue_attach(ue, bs).ok()) continue;
+    // Carry a real bearer through the handover so reconfiguration has
+    // installed paths and bearer records to migrate.
+    apps::BearerRequest request;
+    request.ue = ue;
+    request.bs = bs;
+    request.dst_prefix = PrefixId{(ue_seq * 7) % 50};
+    (void)mobility.request_bearer(request);
     if (mobility.handover(ue, scenario->net.bs_group(key.second)->members.front()).ok())
       ++driven;
   }
@@ -158,6 +206,14 @@ TEST_P(InvariantTest, RegionOptimizationRoundIsSafe) {
   std::size_t discovered = 0;
   for (reca::Controller* c : mp.all_controllers()) discovered += c->nib().links().size();
   EXPECT_EQ(discovered, scenario->net.links().size());
+
+  // Both checkers must accept the reconfigured data plane — in particular,
+  // transferred bearers must be re-homed onto target-leaf paths (§5.3.2).
+  EXPECT_TRUE(mgmt::audit_data_plane(scenario->net).clean());
+  verify::VerifyReport report = mp.verify_data_plane();
+  std::string details = report.summary();
+  for (const auto& f : report.findings) details += "\n  " + f.str();
+  EXPECT_TRUE(report.clean()) << details;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -165,9 +221,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Config{11, 4, false}, Config{12, 4, false}, Config{13, 2, false},
                       Config{14, 8, false}, Config{15, 4, true}, Config{16, 4, true},
                       Config{17, 2, false}, Config{18, 8, false}),
-    [](const ::testing::TestParamInfo<Config>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_r" +
-             std::to_string(info.param.regions) + (info.param.mids ? "_3level" : "_2level");
+    [](const ::testing::TestParamInfo<Config>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_r" +
+             std::to_string(param_info.param.regions) +
+             (param_info.param.mids ? "_3level" : "_2level");
     });
 
 }  // namespace

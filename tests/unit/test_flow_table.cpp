@@ -69,8 +69,8 @@ TEST(FlowTable, HigherPriorityWins) {
   high.cookie = 2;
   high.priority = 20;
   high.actions = {output(PortId{1})};
-  t.install(low);
-  t.install(high);
+  ASSERT_TRUE(t.install(low).ok());
+  ASSERT_TRUE(t.install(high).ok());
   Packet p = make_packet();
   FlowRule* hit = t.lookup(p, PortId{1});
   ASSERT_NE(hit, nullptr);
@@ -86,8 +86,8 @@ TEST(FlowTable, SpecificityBreaksPriorityTies) {
   specific.cookie = 2;
   specific.priority = 10;
   specific.match.ue = UeId{1};
-  t.install(generic);
-  t.install(specific);
+  ASSERT_TRUE(t.install(generic).ok());
+  ASSERT_TRUE(t.install(specific).ok());
   Packet p = make_packet();
   EXPECT_EQ(t.lookup(p, PortId{1})->cookie, 2u);
   Packet other = make_packet(UeId{99});
@@ -99,11 +99,64 @@ TEST(FlowTable, InstallReplacesSameCookie) {
   FlowRule r;
   r.cookie = 7;
   r.priority = 1;
-  t.install(r);
+  ASSERT_TRUE(t.install(r).ok());
   r.priority = 5;
-  t.install(r);
+  ASSERT_TRUE(t.install(r).ok());
   EXPECT_EQ(t.size(), 1u);
   EXPECT_EQ(t.rules().front().priority, 5);
+}
+
+TEST(FlowTable, InstallRejectsAmbiguousDuplicate) {
+  // Identical (priority, match) under a different cookie: the tie would be
+  // broken only by cookie order, silently shadowing one of the two.
+  FlowTable t;
+  FlowRule a;
+  a.cookie = 1;
+  a.priority = 10;
+  a.match.ue = UeId{1};
+  a.actions = {output(PortId{1})};
+  ASSERT_TRUE(t.install(a).ok());
+
+  FlowRule b = a;
+  b.cookie = 2;
+  b.actions = {output(PortId{2})};
+  auto rejected = t.install(b);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), ErrorCode::kConflict);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rules().front().cookie, 1u);
+}
+
+TEST(FlowTable, InstallAllowsSameMatchAtDifferentPriority) {
+  // Make-before-break (§6) layers a new rule *above* the old one — same
+  // match, higher priority — which must stay legal.
+  FlowTable t;
+  FlowRule old_rule;
+  old_rule.cookie = 1;
+  old_rule.priority = 100;
+  old_rule.match.ue = UeId{1};
+  FlowRule new_rule;
+  new_rule.cookie = 2;
+  new_rule.priority = 200;
+  new_rule.match.ue = UeId{1};
+  ASSERT_TRUE(t.install(old_rule).ok());
+  ASSERT_TRUE(t.install(new_rule).ok());
+  Packet p = make_packet();
+  EXPECT_EQ(t.lookup(p, PortId{1})->cookie, 2u);
+}
+
+TEST(FlowTable, InstallReplacesIdenticalRuleUnderSameCookie) {
+  FlowTable t;
+  FlowRule r;
+  r.cookie = 7;
+  r.priority = 10;
+  r.match.ue = UeId{1};
+  r.actions = {output(PortId{1})};
+  ASSERT_TRUE(t.install(r).ok());
+  r.actions = {output(PortId{2})};  // re-route under the same identity
+  ASSERT_TRUE(t.install(r).ok());
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rules().front().actions.front().port, PortId{2});
 }
 
 TEST(FlowTable, RemoveByCookieAndMatch) {
@@ -114,8 +167,8 @@ TEST(FlowTable, RemoveByCookieAndMatch) {
   FlowRule b;
   b.cookie = 2;
   b.match.ue = UeId{2};
-  t.install(a);
-  t.install(b);
+  ASSERT_TRUE(t.install(a).ok());
+  ASSERT_TRUE(t.install(b).ok());
   EXPECT_EQ(t.remove_by_cookie(1), 1u);
   EXPECT_EQ(t.remove_by_cookie(1), 0u);
   Match m;
@@ -128,7 +181,7 @@ TEST(FlowTable, LookupCountsPacketsAndBytes) {
   FlowTable t;
   FlowRule r;
   r.cookie = 1;
-  t.install(r);
+  ASSERT_TRUE(t.install(r).ok());
   Packet p = make_packet();
   p.payload_bytes = 1000;
   p.labels.push_back(Label{1, 1});  // +4 header bytes
@@ -143,7 +196,7 @@ TEST(FlowTable, MissReturnsNull) {
   FlowRule r;
   r.cookie = 1;
   r.match.ue = UeId{5};
-  t.install(r);
+  ASSERT_TRUE(t.install(r).ok());
   Packet p = make_packet(UeId{6});
   EXPECT_EQ(t.lookup(p, PortId{1}), nullptr);
 }

@@ -205,7 +205,9 @@ TEST(Graph, KShortestPathsAreSortedLoopFreeAndDistinct) {
     std::sort(nodes.begin(), nodes.end());
     EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end());
     // Sorted by cost.
-    if (i > 0) EXPECT_GE(paths[i].cost(Metric::kLatency), paths[i - 1].cost(Metric::kLatency));
+    if (i > 0) {
+      EXPECT_GE(paths[i].cost(Metric::kLatency), paths[i - 1].cost(Metric::kLatency));
+    }
     // Distinct edge sequences.
     for (std::size_t j = 0; j < i; ++j) EXPECT_NE(paths[i].edges, paths[j].edges);
   }

@@ -86,14 +86,14 @@ TEST_F(NetworkTest, UplinkDeliveryToEgress) {
   classify.cookie = 1;
   classify.match.ue = UeId{1};
   classify.actions = {push_label(Label{5, 1}), output(PortId{2})};
-  access->table().install(classify);
+  ASSERT_TRUE(access->table().install(classify).ok());
 
   auto transit = [&](SwitchId sw, PortId out) {
     FlowRule rule;
     rule.cookie = 2;
     rule.match.label = 5;
     rule.actions = {output(out)};
-    net.sw(sw)->table().install(rule);
+    ASSERT_TRUE(net.sw(sw)->table().install(rule).ok());
   };
   transit(a, net.link(ab)->a.port);
   transit(b, net.link(bc)->a.port);
@@ -101,7 +101,7 @@ TEST_F(NetworkTest, UplinkDeliveryToEgress) {
   exit.cookie = 3;
   exit.match.label = 5;
   exit.actions = {pop_label(), output(net.egress(egress)->attach.port)};
-  net.sw(c)->table().install(exit);
+  ASSERT_TRUE(net.sw(c)->table().install(exit).ok());
 
   Packet pkt;
   pkt.ue = UeId{1};
@@ -129,14 +129,14 @@ TEST_F(NetworkTest, MiddleboxBounceCountsAndReenters) {
   from_mb.match.label = 5;
   from_mb.match.in_port = mb_port;
   from_mb.actions = {pop_label(), output(net.link(bc)->a.port)};
-  net.sw(b)->table().install(to_mb);
-  net.sw(b)->table().install(from_mb);
+  ASSERT_TRUE(net.sw(b)->table().install(to_mb).ok());
+  ASSERT_TRUE(net.sw(b)->table().install(from_mb).ok());
 
   EgressId egress = net.add_egress(c);
   FlowRule exit;
   exit.cookie = 3;
   exit.actions = {output(net.egress(egress)->attach.port)};
-  net.sw(c)->table().install(exit);
+  ASSERT_TRUE(net.sw(c)->table().install(exit).ok());
 
   Packet pkt;
   pkt.labels.push_back(Label{5, 1});
@@ -152,11 +152,11 @@ TEST_F(NetworkTest, ForwardingLoopHitsHopGuard) {
   FlowRule at_a;
   at_a.cookie = 1;
   at_a.actions = {output(net.link(ab)->a.port)};
-  net.sw(a)->table().install(at_a);
+  ASSERT_TRUE(net.sw(a)->table().install(at_a).ok());
   FlowRule at_b;
   at_b.cookie = 1;
   at_b.actions = {output(net.link(ab)->b.port)};
-  net.sw(b)->table().install(at_b);
+  ASSERT_TRUE(net.sw(b)->table().install(at_b).ok());
 
   Packet pkt;
   auto report = net.inject_at(pkt, net.link(ab)->b);
@@ -182,11 +182,11 @@ TEST_F(NetworkTest, DeliveryToRanOnDownlinkPort) {
   FlowRule at_a;
   at_a.cookie = 1;
   at_a.actions = {output(net.bs_group(g)->core_attach.port)};
-  net.sw(a)->table().install(at_a);
+  ASSERT_TRUE(net.sw(a)->table().install(at_a).ok());
   FlowRule at_access;
   at_access.cookie = 1;
   at_access.actions = {output(PortId{1})};
-  net.sw(group->access_switch)->table().install(at_access);
+  ASSERT_TRUE(net.sw(group->access_switch)->table().install(at_access).ok());
 
   Packet pkt;
   auto report = net.inject_at(pkt, net.link(ab)->a);
@@ -198,8 +198,8 @@ TEST_F(NetworkTest, TotalRulesCountsAcrossSwitches) {
   EXPECT_EQ(net.total_rules(), 0u);
   FlowRule rule;
   rule.cookie = 1;
-  net.sw(a)->table().install(rule);
-  net.sw(b)->table().install(rule);
+  ASSERT_TRUE(net.sw(a)->table().install(rule).ok());
+  ASSERT_TRUE(net.sw(b)->table().install(rule).ok());
   EXPECT_EQ(net.total_rules(), 2u);
 }
 

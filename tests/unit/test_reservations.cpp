@@ -101,7 +101,8 @@ TEST_F(PathReservationTest, SetupReservesOnEveryCrossedLink) {
 
 TEST_F(PathReservationTest, AdmissionFailureLeavesNoResidue) {
   // Thin the second link below the request.
-  nib.set_link_up({SwitchId{2}, PortId{2}}, {SwitchId{3}, PortId{1}}, true);
+  ASSERT_TRUE(
+      nib.set_link_up({SwitchId{2}, PortId{2}}, {SwitchId{3}, PortId{1}}, true).ok());
   ASSERT_TRUE(nib.reserve_link_bandwidth({SwitchId{2}, PortId{2}}, 900).ok());
   nos::PathSetupOptions options;
   options.reserve_kbps = 300;

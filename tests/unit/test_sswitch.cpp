@@ -43,7 +43,7 @@ TEST_F(SwitchTest, PushSwapPopSequence) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {push_label(Label{7, 1}), swap_label(Label{9, 1}), output(PortId{2})};
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   auto fwd = sw.process(p, PortId{1});
   EXPECT_EQ(fwd.kind, Forwarding::Kind::kForward);
@@ -57,7 +57,7 @@ TEST_F(SwitchTest, PopOnEmptyStackIsAnError) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {pop_label(), output(PortId{1})};
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   auto fwd = sw.process(p, PortId{1});
   EXPECT_EQ(fwd.kind, Forwarding::Kind::kError);
@@ -69,7 +69,7 @@ TEST_F(SwitchTest, SwapOnEmptyStackIsAnError) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {swap_label(Label{3, 1}), output(PortId{1})};
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kError);
 }
@@ -81,7 +81,7 @@ TEST_F(SwitchTest, OutputToDownPortIsAnError) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {output(out)};
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kError);
 }
@@ -91,7 +91,7 @@ TEST_F(SwitchTest, ExplicitDropStopsProcessing) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {drop(), output(PortId{1})};  // output after drop ignored
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kDrop);
 }
@@ -101,7 +101,7 @@ TEST_F(SwitchTest, ToControllerAction) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {to_controller()};
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   EXPECT_EQ(sw.process(p, PortId{1}).kind, Forwarding::Kind::kToController);
 }
@@ -112,7 +112,7 @@ TEST_F(SwitchTest, SetVersionStampsPacket) {
   FlowRule rule;
   rule.cookie = 1;
   rule.actions = {set_version(4), output(PortId{2})};
-  sw.table().install(rule);
+  ASSERT_TRUE(sw.table().install(rule).ok());
   Packet p = ue_packet();
   (void)sw.process(p, PortId{1});
   EXPECT_EQ(p.version, 4u);

@@ -1,10 +1,33 @@
 #include "bench/common.h"
 
+#include <cstdlib>
 #include <cstring>
 
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
 #include "obs/export.h"
 
 namespace softmow::bench {
+
+void print_bench_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "\n"
+               "Options shared by every bench binary:\n"
+               "  --metrics-json <path>    dump metrics registry + trace as JSON\n"
+               "  --metrics-csv <path>     dump metrics registry as CSV\n"
+               "  --trace-chrome <path>    write a Chrome Trace Event file\n"
+               "                           (load at ui.perfetto.dev or chrome://tracing)\n"
+               "  --latency-budget         print the per-operation critical-path\n"
+               "                           latency-budget table after the run\n"
+               "  --trace-capacity <n>     cap the trace ring buffer at n spans/events\n"
+               "  --scale <f>              scale paper-size scenario parameters by f\n"
+               "                           (e.g. 0.25 for CI smoke runs)\n"
+               "  --verify                 run the static data-plane verifier on each\n"
+               "                           scenario the bench builds\n"
+               "  --help                   show this message and exit\n",
+               argv0);
+}
 
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions opts;
@@ -12,27 +35,75 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     auto take_value = [&](const char* flag, std::string* out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "warning: %s needs a path argument\n", flag);
+        std::fprintf(stderr, "error: %s needs an argument\n", flag);
+        opts.parse_ok = false;
         return true;
       }
       *out = argv[++i];
       return true;
     };
+    std::string value;
     if (take_value("--metrics-json", &opts.metrics_json)) continue;
     if (take_value("--metrics-csv", &opts.metrics_csv)) continue;
+    if (take_value("--trace-chrome", &opts.trace_chrome)) continue;
+    if (take_value("--trace-capacity", &value)) {
+      if (!value.empty()) {
+        char* end = nullptr;
+        unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n == 0) {
+          std::fprintf(stderr, "error: --trace-capacity needs a positive integer, got '%s'\n",
+                       value.c_str());
+          opts.parse_ok = false;
+        } else {
+          opts.trace_capacity = static_cast<std::size_t>(n);
+        }
+      }
+      continue;
+    }
+    if (take_value("--scale", &value)) {
+      if (!value.empty()) {
+        char* end = nullptr;
+        double f = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0' || f <= 0) {
+          std::fprintf(stderr, "error: --scale needs a positive factor, got '%s'\n",
+                       value.c_str());
+          opts.parse_ok = false;
+        } else {
+          opts.scale = f;
+        }
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--latency-budget") == 0) {
+      opts.latency_budget = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--verify") == 0) {
       opts.verify = true;
       continue;
     }
-    std::fprintf(stderr, "warning: ignoring unknown argument '%s' "
-                         "(known: --metrics-json <path>, --metrics-csv <path>, --verify)\n",
-                 argv[i]);
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      opts.help = true;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown argument '%s' (see --help)\n", argv[i]);
+    opts.parse_ok = false;
   }
   return opts;
 }
 
 bool export_metrics(const BenchOptions& opts) {
   bool ok = true;
+  if (!opts.trace_chrome.empty()) {
+    auto written = obs::write_chrome_trace(obs::default_tracer(), opts.trace_chrome);
+    if (written.ok()) {
+      std::fprintf(stderr, "trace: wrote %s (load at ui.perfetto.dev)\n",
+                   opts.trace_chrome.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", written.error().message.c_str());
+      ok = false;
+    }
+  }
   if (!opts.metrics_json.empty()) {
     std::string doc = obs::to_json(obs::default_registry(), &obs::default_tracer());
     auto written = obs::write_file(opts.metrics_json, doc);
@@ -80,7 +151,23 @@ bool maybe_verify(topo::Scenario& scenario, const char* tag) {
 
 int bench_main(int argc, char** argv, void (*run)()) {
   g_options = parse_bench_args(argc, argv);
+  if (g_options.help) {
+    print_bench_usage(stdout, argv[0]);
+    return 0;
+  }
+  if (!g_options.parse_ok) {
+    print_bench_usage(stderr, argv[0]);
+    return 2;
+  }
+  if (g_options.trace_capacity > 0)
+    obs::default_tracer().set_capacity(g_options.trace_capacity);
   run();
+  if (g_options.latency_budget) {
+    std::printf("\n%s",
+                obs::latency_budget_table(
+                    obs::analyze_root_operations(obs::default_tracer()))
+                    .c_str());
+  }
   return export_metrics(g_options) ? 0 : 1;
 }
 

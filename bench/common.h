@@ -15,11 +15,21 @@ namespace softmow::bench {
 struct BenchOptions {
   std::string metrics_json;  ///< --metrics-json <path>: dump registry+trace
   std::string metrics_csv;   ///< --metrics-csv <path>: dump registry as CSV
-  bool verify = false;       ///< --verify: static-verify each scenario built
+  std::string trace_chrome;  ///< --trace-chrome <path>: Perfetto-loadable trace
+  bool latency_budget = false;  ///< --latency-budget: print critical-path table
+  bool verify = false;          ///< --verify: static-verify each scenario built
+  std::size_t trace_capacity = 0;  ///< --trace-capacity <n>: ring size (0 = default)
+  double scale = 1.0;           ///< --scale <f>: shrink paper-scale params (CI smoke)
+  bool help = false;            ///< --help: print usage and exit 0
+  bool parse_ok = true;         ///< false: unknown flag / bad value; exit non-zero
 };
 
-/// Parses `--metrics-json`/`--metrics-csv`/`--verify`; warns (stderr) on
-/// anything else.
+/// Prints the shared option set to `out`.
+void print_bench_usage(std::FILE* out, const char* argv0);
+
+/// Parses the shared options. Unknown flags and malformed values set
+/// `parse_ok = false` (bench_main exits 2); `--help` sets `help`
+/// (bench_main prints usage and exits 0).
 BenchOptions parse_bench_args(int argc, char** argv);
 
 /// The options of the running bench (set by bench_main before run()), so
@@ -33,21 +43,31 @@ const BenchOptions& current_bench_options();
 bool maybe_verify(topo::Scenario& scenario, const char* tag = "");
 
 /// Writes the default registry (and tracer, for JSON) to the requested
-/// paths. No-op for unset paths. Returns false if any write failed.
+/// paths, plus the Chrome trace for `--trace-chrome`. No-op for unset
+/// paths. Returns false if any write failed.
 bool export_metrics(const BenchOptions& opts);
 
-/// parse + run + export: the standard bench main body.
+/// parse + run + export: the standard bench main body. Also applies
+/// `--trace-capacity`, prints the `--latency-budget` table after run(), and
+/// honours `--help` / unknown-flag exits.
 int bench_main(int argc, char** argv, void (*run)());
 
-/// Paper-scale parameters (§7.1). Deterministic under `seed`.
+/// Paper-scale parameters (§7.1). Deterministic under `seed`. Honours the
+/// running bench's `--scale` factor (CI smoke runs shrink the scenario while
+/// keeping its shape).
 inline topo::ScenarioParams paper_scale_params(std::uint64_t seed = 1,
                                                std::size_t regions = 4,
                                                bool originate = true) {
+  double f = current_bench_options().scale;
+  auto scaled = [f](std::size_t n, std::size_t floor_at) {
+    auto s = static_cast<std::size_t>(static_cast<double>(n) * f);
+    return s < floor_at ? floor_at : s;
+  };
   topo::ScenarioParams p;
-  p.wan.switches = 321;          // §7.1
-  p.trace.base_stations = 1000;  // §7.1 "more than 1000 base stations"
+  p.wan.switches = scaled(321, 40);          // §7.1
+  p.trace.base_stations = scaled(1000, 100);  // §7.1 "more than 1000 base stations"
   p.trace.duration_minutes = 48 * 60;  // Fig. 12 window
-  p.iplane.prefixes = 11590;     // §7.2 destinations
+  p.iplane.prefixes = scaled(11590, 500);     // §7.2 destinations
   p.regions = regions;
   p.egress_points = 8;           // Fig. 8 sweep max
   p.originate_interdomain = originate;

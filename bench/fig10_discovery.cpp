@@ -32,6 +32,27 @@ sim::Duration queue_convergence(std::uint64_t messages, const std::string& stati
   return (done - sim::TimePoint::zero()) + kChannelRtt;
 }
 
+/// One controller's convergence as a causal subtree under `parent`: a
+/// "discovery.convergence" span containing per-message queue.wait /
+/// queue.service spans (burst arrival at `start`) and the trailing channel
+/// RTT as propagation — so the critical-path analyzer can split this
+/// controller's share into queueing vs. processing vs. wire time.
+sim::TimePoint traced_convergence(std::uint64_t messages, const std::string& name, int level,
+                                  obs::TraceContext parent, sim::TimePoint start) {
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::TraceContext conv =
+      tracer.open_span_under(parent, start, "discovery.convergence", level, name);
+  sim::QueueingStation station(kServicePerMessage, name, level);
+  sim::TimePoint done = start;
+  for (std::uint64_t m = 0; m < messages; ++m)
+    done = station.submit(start, kServicePerMessage, conv);  // burst at `start`
+  tracer.span_under(conv, done, done + kChannelRtt, "channel.rtt", level, name,
+                    obs::SpanKind::kPropagate);
+  done = done + kChannelRtt;
+  tracer.close_span(conv, done, std::to_string(messages) + " messages");
+  return done;
+}
+
 void run() {
   print_header("Figure 10 — discovery convergence time per controller",
                "SoftMoW controllers converge 44-58% faster than a flat controller");
@@ -48,36 +69,49 @@ void run() {
   mp.root().run_link_discovery();
   maybe_verify(*scenario);
 
+  obs::Tracer& tracer = obs::default_tracer();
+  const sim::TimePoint t0 = sim::TimePoint::zero();
+
+  // Flat baseline: one controller, one queue, as its own span tree so the
+  // --latency-budget table contrasts it with the recursive round.
   std::uint64_t flat_messages = baseline::flat_discovery_message_count(scenario->net);
-  sim::Duration flat_time = queue_convergence(flat_messages, "flat");
+  obs::TraceContext flat_round =
+      tracer.open_span_under({}, t0, "discovery.round.flat", 0, "flat");
+  sim::TimePoint flat_done = traced_convergence(flat_messages, "flat", 0, flat_round, t0);
+  tracer.close_span(flat_round, flat_done, std::to_string(flat_messages) + " messages");
+  sim::Duration flat_time = flat_done - t0;
+
+  // The recursive round: every controller's convergence is a subtree of one
+  // root operation, so the critical path runs busiest-leaf queue -> root
+  // queue -> wire, crossing controller levels.
+  obs::TraceContext round =
+      tracer.open_span_under({}, t0, "discovery.round.recursive", 0, "hierarchy");
 
   TextTable table({"controller", "messages", "convergence (s)", "vs flat"});
   double min_gain = 100, max_gain = 0;
   auto add = [&](const std::string& name, int level, std::uint64_t messages,
-                 sim::Duration extra = {}) {
-    sim::Duration t = queue_convergence(messages, name) + extra;
-    // One span per controller's discovery round: the --metrics-json timeline
-    // of the convergence race this figure plots.
-    obs::default_tracer().span(sim::TimePoint::zero(), sim::TimePoint::zero() + t,
-                               "discovery.convergence", level, name,
-                               std::to_string(messages) + " messages");
+                 sim::TimePoint start) {
+    sim::TimePoint end = traced_convergence(messages, name, level, round, start);
+    sim::Duration t = end - t0;
     double gain = 100.0 * (flat_time.to_seconds() - t.to_seconds()) / flat_time.to_seconds();
     min_gain = std::min(min_gain, gain);
     max_gain = std::max(max_gain, gain);
     table.add_row({name, std::to_string(messages), TextTable::num(t.to_seconds(), 2),
                    TextTable::num(gain, 1) + "% faster"});
-    return t;
+    return end;
   };
-  sim::Duration busiest_leaf;
+  sim::TimePoint busiest_leaf = t0;
   for (reca::Controller* leaf : mp.leaves()) {
     std::uint64_t messages = leaf->discovery().stats().messages_processed();
-    busiest_leaf = std::max(busiest_leaf, add(leaf->name(), leaf->level(), messages));
+    busiest_leaf = std::max(busiest_leaf, add(leaf->name(), leaf->level(), messages, t0));
   }
   // The root's frames descend through the leaf controllers, which are busy
   // with their own concurrent discovery round (§4.1): the root cannot
   // converge before the busiest leaf drains its FIFO queue.
-  add("root", mp.root().level(), mp.root().discovery().stats().messages_processed(),
-      busiest_leaf);
+  sim::TimePoint root_done = add("root", mp.root().level(),
+                                 mp.root().discovery().stats().messages_processed(),
+                                 busiest_leaf);
+  tracer.close_span(round, root_done, "converged");
   table.add_row({"flat (standard)", std::to_string(flat_messages),
                  TextTable::num(flat_time.to_seconds(), 2), "-"});
   table.print();

@@ -11,6 +11,35 @@ namespace softmow::apps {
 using mgmt::gbs_id_for_group;
 using southbound::AppMessage;
 
+namespace {
+
+/// Opens a span under the ambient context (so a delegated serve attaches to
+/// the requesting operation's tree, while a UE-initiated request roots a new
+/// one) and closes it on scope exit with whatever detail was recorded last.
+/// The live control plane runs at sim-time zero: these spans carry causal
+/// structure; the timing benches model durations on the same shape.
+class SpanGuard {
+ public:
+  SpanGuard(std::string name, int level, std::string scope)
+      : tracer_(obs::default_tracer()),
+        ctx_(tracer_.open_span(sim::TimePoint::zero(), std::move(name), level,
+                               std::move(scope))),
+        scoped_(tracer_, ctx_) {}
+  ~SpanGuard() { tracer_.close_span(ctx_, sim::TimePoint::zero(), std::move(detail_)); }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void detail(std::string d) { detail_ = std::move(d); }
+
+ private:
+  obs::Tracer& tracer_;
+  obs::TraceContext ctx_;
+  obs::Tracer::ScopedContext scoped_;
+  std::string detail_;
+};
+
+}  // namespace
+
 MobilityApp::MobilityApp(reca::Controller* controller, const dataplane::PhysicalNetwork* net)
     : controller_(controller), net_(net) {
   register_handlers();
@@ -346,9 +375,13 @@ Result<BearerId> MobilityApp::request_bearer(const BearerRequest& request) {
   if (it == ues_.end()) return Error{ErrorCode::kNotFound, "UE not attached"};
   UeRecord& rec = it->second;
 
+  SpanGuard span("bearer.setup", controller_->level(), controller_->name());
+  span.detail("failed");
+
   auto local = setup_local_bearer(rec, request);
   if (local.ok()) {
     ++stats_.bearers_local;
+    span.detail("local");
     return local;
   }
   if (local.code() != ErrorCode::kNotFound && local.code() != ErrorCode::kUnsatisfiable)
@@ -391,6 +424,7 @@ Result<BearerId> MobilityApp::request_bearer(const BearerRequest& request) {
   bearer.ancestor_key = outcome.ancestor_key;
   BearerId id = bearer.id;
   rec.bearers.emplace(id, std::move(bearer));
+  span.detail("delegated L" + std::to_string(outcome.handled_level));
   return id;
 }
 
@@ -418,6 +452,9 @@ Result<BearerOutcome> MobilityApp::serve_bearer(const BearerDelegation& delegati
   auto source = gbs_attach(delegation.source_gbs);
   if (!source) return Error{ErrorCode::kNotFound, "source G-BS not in this region"};
 
+  SpanGuard span("bearer.serve", controller_->level(), controller_->name());
+  span.detail("failed");
+
   nos::RoutingRequest routing;
   routing.source = *source;
   routing.dst_prefix = delegation.request.dst_prefix;
@@ -437,6 +474,7 @@ Result<BearerOutcome> MobilityApp::serve_bearer(const BearerDelegation& delegati
 
   std::uint64_t key = (controller_->id().value << 32) | next_ancestor_key_++;
   ancestor_paths_[key] = *path;
+  span.detail("served");
   return BearerOutcome{true, controller_->level(), key, {}};
 }
 
@@ -464,6 +502,9 @@ Result<void> MobilityApp::handover(UeId ue, BsId target_bs) {
     rec.bs = target_bs;
     return Ok();
   }
+
+  SpanGuard span("handover", controller_->level(), controller_->name());
+  span.detail("failed");
 
   GBsId source_gbs = gbs_of_group(rec.group);
   GBsId target_gbs = gbs_of_group(target->group);
@@ -502,6 +543,7 @@ Result<void> MobilityApp::handover(UeId ue, BsId target_bs) {
             << replaced.error().message;
       }
     }
+    span.detail("intra-region");
     return Ok();
   }
 
@@ -541,6 +583,7 @@ Result<void> MobilityApp::handover(UeId ue, BsId target_bs) {
   // The ancestor released us via ho-release; if the UE record survived
   // (release raced), drop it now: the target leaf owns the UE.
   ues_.erase(ue);
+  span.detail("inter-region");
   return Ok();
 }
 
@@ -549,6 +592,9 @@ Result<HandoverOutcome> MobilityApp::serve_handover(const HandoverDelegation& de
   auto target = gbs_attach(delegation.target_gbs);
   if (!source || !target)
     return Error{ErrorCode::kNotFound, "not the common ancestor of source and target"};
+
+  SpanGuard span("handover.serve", controller_->level(), controller_->name());
+  span.detail("failed");
 
   ++stats_.inter_region_handled;
   handover_log_.add(delegation.source_gbs, delegation.target_gbs, 1.0);
@@ -628,6 +674,7 @@ Result<HandoverOutcome> MobilityApp::serve_handover(const HandoverDelegation& de
 
   if (!allocated)
     return Error{ErrorCode::kUnavailable, "target G-BS failed to allocate resources"};
+  span.detail("served");
   return HandoverOutcome{true, controller_->level(), {}};
 }
 

@@ -53,6 +53,13 @@ void HotStandby::sync(sim::TimePoint at) {
 }
 
 std::unique_ptr<reca::Controller> HotStandby::promote(sim::TimePoint at) {
+  // The promotion is a root span: adoption and re-discovery triggered inside
+  // attach beneath it, and its duration is the measured wall-clock cost
+  // mapped onto the sim clock starting at `at`.
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::TraceContext root = tracer.open_span_under({}, at, "failover.promote", level_, name_);
+  obs::Tracer::ScopedContext scoped(tracer, root);
+
   std::unique_ptr<reca::Controller> standby;
   double us = timed_us([&] {
     standby = std::make_unique<reca::Controller>(id_, level_, name_ + "+standby", label_mode_);
@@ -74,8 +81,8 @@ std::unique_ptr<reca::Controller> HotStandby::promote(sim::TimePoint at) {
   ++promotions_;
   promotions_metric_->inc();
   promote_us_metric_->observe(us);
-  obs::default_tracer().event(at, "failover.promote", level_, name_,
-                              std::to_string(devices_.size()) + " devices");
+  tracer.close_span(root, at + sim::Duration::micros(us),
+                    std::to_string(devices_.size()) + " devices");
   return standby;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/log.h"
+#include "obs/trace.h"
 
 namespace softmow::mgmt {
 
@@ -55,6 +56,13 @@ void ManagementPlane::configure_leaf_inventory(std::size_t leaf_index) {
 }
 
 void ManagementPlane::bootstrap(const HierarchySpec& spec) {
+  // Root span over the whole bring-up: every adoption handshake and per-level
+  // discovery round below attaches to it, so one trace shows the recursive
+  // bootstrap order (leaves -> mids -> root, §4.1).
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::TraceContext root_span =
+      tracer.open_span_under({}, sim::TimePoint::zero(), "bootstrap", 0, "mgmt");
+  obs::Tracer::ScopedContext scoped(tracer, root_span);
   spec_ = spec;
 
   // --- leaf controllers ------------------------------------------------------
@@ -108,6 +116,9 @@ void ManagementPlane::bootstrap(const HierarchySpec& spec) {
     for (auto& leaf : leaves_) root_->adopt_child(*leaf);
   }
   root_->run_link_discovery();
+  tracer.close_span(root_span, sim::TimePoint::zero(),
+                    std::to_string(leaves_.size()) + " leaves, " +
+                        std::to_string(mids_.size()) + " mids");
 }
 
 std::vector<Controller*> ManagementPlane::leaves() {
@@ -160,12 +171,17 @@ void ManagementPlane::recompute_borders() {
 }
 
 void ManagementPlane::refresh_topology() {
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::TraceContext root_span =
+      tracer.open_span_under({}, sim::TimePoint::zero(), "topology.refresh", 0, "mgmt");
+  obs::Tracer::ScopedContext scoped(tracer, root_span);
   for (auto& leaf : leaves_) leaf->refresh_abstraction();
   for (auto& mid : mids_) {
     mid->run_link_discovery();
     mid->refresh_abstraction();
   }
   if (root_) root_->run_link_discovery();
+  tracer.close_span(root_span, sim::TimePoint::zero());
 }
 
 bool ManagementPlane::controller_in_subtree(Controller& scope, Controller& c) const {

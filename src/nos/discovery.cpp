@@ -5,7 +5,7 @@
 namespace softmow::nos {
 
 DiscoveryModule::DiscoveryModule(ControllerId self, Nib* nib, DeviceBus* bus, int level)
-    : self_(self), nib_(nib), bus_(bus) {
+    : self_(self), nib_(nib), bus_(bus), level_(level) {
   obs::MetricsRegistry& reg = obs::default_registry();
   const obs::Labels by_level{{"level", std::to_string(level)}};
   rounds_metric_ = reg.counter("discovery_rounds_total", by_level);
@@ -63,21 +63,32 @@ void DiscoveryModule::on_features_reply(const southbound::FeaturesReply& reply) 
 
 void DiscoveryModule::run_link_discovery() {
   rounds_metric_->inc();
+  // The live control plane runs at sim-time zero: this span contributes
+  // causal structure (every frame's descent/ascent attaches under it), while
+  // the timing benches model durations on top of the same shape.
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::TraceContext round =
+      tracer.open_span(sim::TimePoint::zero(), "discovery.round", level_, self_.str());
+  obs::Tracer::ScopedContext scoped(tracer, round);
+  std::uint64_t frames = 0;
   for (SwitchId sw : nib_->switches()) {
     const SwitchRecord* rec = nib_->sw(sw);
     for (const auto& [pid, desc] : rec->ports) {
       if (desc.peer != dataplane::PeerKind::kSwitch || !desc.up) continue;
       southbound::DiscoveryPayload payload;
       payload.stack.push_back(southbound::DiscoveryStackEntry{self_, sw, pid});
+      payload.ctx = round;
       southbound::PacketOut out;
       out.sw = sw;
       out.port = pid;
       out.body = std::move(payload);
       ++stats_.frames_sent;
+      ++frames;
       frames_sent_metric_->inc();
       (void)bus_->send(sw, out);
     }
   }
+  tracer.close_span(round, sim::TimePoint::zero(), std::to_string(frames) + " frames");
 }
 
 DiscoveryVerdict DiscoveryModule::on_discovery_packet_in(
@@ -102,6 +113,10 @@ DiscoveryVerdict DiscoveryModule::on_discovery_packet_in(
     nib_->upsert_link(Endpoint{top.sw, top.port}, at, m);
     ++stats_.links_discovered;
     links_metric_->inc();
+    obs::default_tracer().event_under(payload.ctx, sim::TimePoint::zero(), "discovery.link",
+                                      level_, self_.str(),
+                                      top.sw.str() + ":" + top.port.str() + " <-> " +
+                                          at.sw.str() + ":" + at.port.str());
     return DiscoveryVerdict::kConsumed;
   }
   if (payload.stack.empty()) {

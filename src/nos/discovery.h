@@ -18,6 +18,7 @@
 #include "nos/device_bus.h"
 #include "nos/nib.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace softmow::nos {
 
@@ -61,7 +62,9 @@ class DiscoveryModule {
 
   /// Originates one link-discovery frame per switch-facing port of every
   /// NIB switch (§4.1.2 "link discovery messages are sent out from each
-  /// port"). Idempotent: re-running refreshes link state.
+  /// port"). Idempotent: re-running refreshes link state. The whole round is
+  /// one "discovery.round" span; each frame carries the round's context so
+  /// relays at other levels attach to it.
   void run_link_discovery();
 
   /// Processes a received discovery frame; pops the stack (mutating
@@ -79,6 +82,7 @@ class DiscoveryModule {
   ControllerId self_;
   Nib* nib_;
   DeviceBus* bus_;
+  int level_;
   std::uint64_t next_xid_ = 1;
   std::set<SwitchId> pending_features_;
   DiscoveryStats stats_;

@@ -1,0 +1,148 @@
+#include "obs/chrome_trace.h"
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace softmow::obs {
+
+namespace {
+
+constexpr std::uint64_t kPid = 1;
+
+/// Stable track ids: tracks sort by (level, scope) so the hierarchy reads
+/// top-down in the timeline.
+class TrackTable {
+ public:
+  std::uint64_t tid(int level, const std::string& scope) {
+    auto [it, inserted] = tids_.try_emplace({level, scope}, 0);
+    if (inserted) it->second = next_tid_++;
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::pair<int, std::string>, std::uint64_t>& tracks() const {
+    return tids_;
+  }
+
+ private:
+  std::map<std::pair<int, std::string>, std::uint64_t> tids_;
+  std::uint64_t next_tid_ = 1;
+};
+
+double to_us(sim::TimePoint t) {
+  return static_cast<double>(t.since_start().to_nanos()) / 1000.0;
+}
+
+JsonValue base_event(const char* ph, const std::string& name, const char* cat, double ts,
+                     std::uint64_t tid) {
+  JsonValue ev = JsonValue::object();
+  ev.set("ph", JsonValue::string(ph));
+  ev.set("name", JsonValue::string(name));
+  ev.set("cat", JsonValue::string(cat));
+  ev.set("ts", JsonValue::number(ts));
+  ev.set("pid", JsonValue::number(kPid));
+  ev.set("tid", JsonValue::number(tid));
+  return ev;
+}
+
+JsonValue metadata_event(const char* name, std::uint64_t tid, JsonValue args) {
+  JsonValue ev = JsonValue::object();
+  ev.set("ph", JsonValue::string("M"));
+  ev.set("name", JsonValue::string(name));
+  ev.set("pid", JsonValue::number(kPid));
+  ev.set("tid", JsonValue::number(tid));
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+JsonValue span_args(const TraceSpan& s) {
+  JsonValue args = JsonValue::object();
+  args.set("trace_id", JsonValue::number(s.trace_id));
+  args.set("span_id", JsonValue::number(s.span_id));
+  args.set("parent_id", JsonValue::number(s.parent_id));
+  args.set("kind", JsonValue::string(span_kind_name(s.kind)));
+  args.set("level", JsonValue::number(static_cast<double>(s.level)));
+  if (!s.detail.empty()) args.set("detail", JsonValue::string(s.detail));
+  return args;
+}
+
+}  // namespace
+
+JsonValue chrome_trace_json(const Tracer& tracer) {
+  TrackTable tracks;
+  std::unordered_map<std::uint64_t, const TraceSpan*> by_id;
+  for (const TraceSpan& s : tracer.spans()) by_id.emplace(s.span_id, &s);
+
+  JsonValue events = JsonValue::array();
+
+  for (const TraceSpan& s : tracer.spans()) {
+    std::uint64_t tid = tracks.tid(s.level, s.scope);
+    JsonValue ev = base_event("X", s.name, span_kind_name(s.kind), to_us(s.begin), tid);
+    ev.set("dur", JsonValue::number(to_us(s.end) - to_us(s.begin)));
+    ev.set("args", span_args(s));
+    events.push_back(std::move(ev));
+
+    // Flow arrow from the parent's track to this span when they differ, so
+    // cross-level causality stays visible in the timeline.
+    auto parent = s.parent_id != 0 ? by_id.find(s.parent_id) : by_id.end();
+    if (parent != by_id.end()) {
+      const TraceSpan& p = *parent->second;
+      std::uint64_t parent_tid = tracks.tid(p.level, p.scope);
+      if (parent_tid != tid) {
+        JsonValue start = base_event("s", "causal", "flow", to_us(s.begin), parent_tid);
+        start.set("id", JsonValue::number(s.span_id));
+        events.push_back(std::move(start));
+        JsonValue finish = base_event("f", "causal", "flow", to_us(s.begin), tid);
+        finish.set("id", JsonValue::number(s.span_id));
+        finish.set("bp", JsonValue::string("e"));
+        events.push_back(std::move(finish));
+      }
+    }
+  }
+
+  for (const TraceEvent& e : tracer.events()) {
+    std::uint64_t tid = tracks.tid(e.level, e.scope);
+    JsonValue ev = base_event("i", e.name, "event", to_us(e.at), tid);
+    ev.set("s", JsonValue::string("t"));  // instant scoped to its thread
+    JsonValue args = JsonValue::object();
+    args.set("trace_id", JsonValue::number(e.trace_id));
+    args.set("parent_id", JsonValue::number(e.parent_id));
+    if (!e.detail.empty()) args.set("detail", JsonValue::string(e.detail));
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+
+  // Track names: emitted last but Perfetto applies metadata regardless of
+  // position in the array.
+  JsonValue proc_args = JsonValue::object();
+  proc_args.set("name", JsonValue::string("softmow"));
+  events.push_back(metadata_event("process_name", 0, std::move(proc_args)));
+  for (const auto& [key, tid] : tracks.tracks()) {
+    const auto& [level, scope] = key;
+    JsonValue args = JsonValue::object();
+    std::string name = "L" + std::to_string(level);
+    if (!scope.empty()) name += " " + scope;
+    args.set("name", JsonValue::string(name));
+    events.push_back(metadata_event("thread_name", tid, std::move(args)));
+    JsonValue sort = JsonValue::object();
+    sort.set("sort_index", JsonValue::number(static_cast<double>(level)));
+    events.push_back(metadata_event("thread_sort_index", tid, std::move(sort)));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", JsonValue::string("ms"));
+  return doc;
+}
+
+std::string chrome_trace_string(const Tracer& tracer) {
+  return chrome_trace_json(tracer).dump(-1) + "\n";
+}
+
+Result<void> write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  return write_file(path, chrome_trace_string(tracer));
+}
+
+}  // namespace softmow::obs

@@ -1,0 +1,28 @@
+// Chrome Trace Event exporter: renders a Tracer's span trees in the JSON
+// format chrome://tracing and Perfetto (ui.perfetto.dev) load natively.
+// Each (controller level, scope) pair becomes one named track; spans become
+// "X" complete events carrying trace/span/parent ids in args; point events
+// become "i" instants; cross-track parent→child edges become "s"/"f" flow
+// arrows so one bearer setup or discovery round reads as a single connected
+// tree across controller levels.
+#pragma once
+
+#include <string>
+
+#include "core/result.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace softmow::obs {
+
+/// Builds the `{"traceEvents": [...]}` document (sim-clock timestamps in
+/// microseconds, so 1 sim-second reads as 1 s in the Perfetto timeline).
+JsonValue chrome_trace_json(const Tracer& tracer);
+
+/// Serializes chrome_trace_json() compactly.
+std::string chrome_trace_string(const Tracer& tracer);
+
+/// Writes chrome_trace_string() to `path`.
+Result<void> write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace softmow::obs

@@ -1,0 +1,238 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace softmow::obs {
+
+namespace {
+
+using ChildIndex = std::unordered_map<std::uint64_t, std::vector<const TraceSpan*>>;
+
+ChildIndex build_child_index(const Tracer& tracer) {
+  ChildIndex index;
+  for (const TraceSpan& s : tracer.spans())
+    if (s.parent_id != 0) index[s.parent_id].push_back(&s);
+  return index;
+}
+
+/// Accumulates critical-path time into per-level buckets.
+class Attribution {
+ public:
+  explicit Attribution(const ChildIndex* children) : children_(children) {}
+
+  void add(int level, SpanKind kind, sim::Duration d) {
+    if (d <= sim::Duration{}) return;
+    LevelBudget& budget = levels_[level];
+    budget.level = level;
+    switch (kind) {
+      case SpanKind::kQueue: budget.queueing += d; break;
+      case SpanKind::kPropagate: budget.propagation += d; break;
+      case SpanKind::kProcess:
+      case SpanKind::kOperation: budget.processing += d; break;
+    }
+  }
+
+  /// Walks backward from min(span.end, t_end): intervals covered by the
+  /// child that was still running are attributed recursively; uncovered
+  /// gaps are the span's own time. Every nanosecond of
+  /// [span.begin, min(span.end, t_end)] lands in exactly one bucket.
+  void attribute(const TraceSpan& span, sim::TimePoint t_end) {
+    sim::TimePoint t = std::min(span.end, t_end);
+    if (t <= span.begin) return;
+
+    struct ByEnd {
+      bool operator()(const TraceSpan* a, const TraceSpan* b) const { return a->end < b->end; }
+    };
+    std::priority_queue<const TraceSpan*, std::vector<const TraceSpan*>, ByEnd> active;
+    auto it = children_->find(span.span_id);
+    if (it != children_->end()) {
+      for (const TraceSpan* kid : it->second)
+        if (kid->begin < t && kid->end > span.begin && kid->end > kid->begin)
+          active.push(kid);
+    }
+
+    while (t > span.begin && !active.empty()) {
+      const TraceSpan* kid = active.top();
+      active.pop();
+      if (kid->begin >= t) continue;  // starts after the current frontier
+      sim::TimePoint kid_end = std::min(kid->end, t);
+      if (kid_end < t) {  // gap no child covers: the span's own time
+        add(span.level, span.kind, t - kid_end);
+        t = kid_end;
+      }
+      attribute(*kid, t);
+      t = std::max(kid->begin, span.begin);
+    }
+    if (t > span.begin) add(span.level, span.kind, t - span.begin);
+  }
+
+  [[nodiscard]] std::vector<LevelBudget> levels() const {
+    std::vector<LevelBudget> out;
+    out.reserve(levels_.size());
+    for (const auto& [level, budget] : levels_) out.push_back(budget);
+    return out;
+  }
+
+ private:
+  const ChildIndex* children_;
+  std::map<int, LevelBudget> levels_;
+};
+
+CriticalPathReport analyze_with_index(const TraceSpan& root, const ChildIndex& children) {
+  CriticalPathReport report;
+  report.root_span_id = root.span_id;
+  report.trace_id = root.trace_id;
+  report.name = root.name;
+  report.scope = root.scope;
+  report.begin = root.begin;
+  report.end = root.end;
+  Attribution attribution(&children);
+  attribution.attribute(root, root.end);
+  report.levels = attribution.levels();
+  return report;
+}
+
+std::string fmt_ms(sim::Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", d.to_millis());
+  return buf;
+}
+
+std::string fmt_pct(sim::Duration part, sim::Duration whole) {
+  double w = whole.to_seconds();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", w > 0 ? 100.0 * part.to_seconds() / w : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+sim::Duration CriticalPathReport::attributed() const {
+  sim::Duration total;
+  for (const LevelBudget& b : levels) total += b.total();
+  return total;
+}
+
+const LevelBudget* CriticalPathReport::level(int l) const {
+  for (const LevelBudget& b : levels)
+    if (b.level == l) return &b;
+  return nullptr;
+}
+
+CriticalPathReport::Dominant CriticalPathReport::dominant() const {
+  Dominant best;
+  for (const LevelBudget& b : levels) {
+    struct Candidate {
+      const char* component;
+      sim::Duration time;
+    };
+    for (const Candidate& c : {Candidate{"queueing", b.queueing},
+                               Candidate{"processing", b.processing},
+                               Candidate{"propagation", b.propagation}}) {
+      if (c.time > best.time) best = Dominant{b.level, c.component, c.time};
+    }
+  }
+  return best;
+}
+
+CriticalPathReport analyze_span_tree(const Tracer& tracer, std::uint64_t root_span_id) {
+  ChildIndex children = build_child_index(tracer);
+  const TraceSpan* root = tracer.find_span(root_span_id);
+  if (root == nullptr) return CriticalPathReport{};
+  return analyze_with_index(*root, children);
+}
+
+std::vector<CriticalPathReport> analyze_root_operations(const Tracer& tracer,
+                                                        const std::string& name_prefix) {
+  ChildIndex children = build_child_index(tracer);
+  std::vector<CriticalPathReport> reports;
+  for (const TraceSpan& s : tracer.spans()) {
+    if (s.parent_id != 0) continue;
+    if (!children.contains(s.span_id)) continue;  // flat span, not an operation
+    if (!name_prefix.empty() && s.name.compare(0, name_prefix.size(), name_prefix) != 0)
+      continue;
+    reports.push_back(analyze_with_index(s, children));
+  }
+  return reports;
+}
+
+std::string latency_budget_table(const std::vector<CriticalPathReport>& reports) {
+  if (reports.empty()) return "latency budget: no root operations traced\n";
+
+  // Group by operation name, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const CriticalPathReport*>> by_name;
+  for (const CriticalPathReport& r : reports) {
+    if (!by_name.contains(r.name)) order.push_back(r.name);
+    by_name[r.name].push_back(&r);
+  }
+
+  std::string out;
+  for (const std::string& name : order) {
+    const auto& group = by_name[name];
+    sim::Duration total;
+    std::map<int, LevelBudget> levels;
+    for (const CriticalPathReport* r : group) {
+      total += r->duration();
+      for (const LevelBudget& b : r->levels) {
+        LevelBudget& agg = levels[b.level];
+        agg.level = b.level;
+        agg.queueing += b.queueing;
+        agg.processing += b.processing;
+        agg.propagation += b.propagation;
+      }
+    }
+    sim::Duration mean = group.empty() ? sim::Duration{} : total * (1.0 / group.size());
+
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "latency budget: %s  (%zu op%s, mean end-to-end %s ms)\n", name.c_str(),
+                  group.size(), group.size() == 1 ? "" : "s", fmt_ms(mean).c_str());
+    out += head;
+    out += "  level |  queueing (ms)       | processing (ms)      | propagation (ms)\n";
+    LevelBudget bottleneck;
+    sim::Duration bottleneck_time;
+    const char* bottleneck_component = "";
+    for (const auto& [level, b] : levels) {
+      char row[256];
+      std::snprintf(row, sizeof(row), "  L%-4d | %12s %s | %12s %s | %12s %s\n", level,
+                    fmt_ms(b.queueing).c_str(), fmt_pct(b.queueing, total).c_str(),
+                    fmt_ms(b.processing).c_str(), fmt_pct(b.processing, total).c_str(),
+                    fmt_ms(b.propagation).c_str(), fmt_pct(b.propagation, total).c_str());
+      out += row;
+      struct Candidate {
+        const char* component;
+        sim::Duration time;
+      };
+      for (const Candidate& c : {Candidate{"queueing", b.queueing},
+                                 Candidate{"processing", b.processing},
+                                 Candidate{"propagation", b.propagation}}) {
+        if (c.time > bottleneck_time) {
+          bottleneck_time = c.time;
+          bottleneck_component = c.component;
+          bottleneck = b;
+        }
+      }
+    }
+    sim::Duration attributed;
+    for (const auto& [level, b] : levels) attributed += b.total();
+    char foot[256];
+    if (bottleneck_time > sim::Duration{}) {
+      std::snprintf(foot, sizeof(foot),
+                    "  attributed %s / %s ms; bottleneck: %s at level %d (%s of end-to-end)\n",
+                    fmt_ms(attributed).c_str(), fmt_ms(total).c_str(), bottleneck_component,
+                    bottleneck.level, fmt_pct(bottleneck_time, total).c_str());
+    } else {
+      std::snprintf(foot, sizeof(foot),
+                    "  (no measurable sim-time duration — causal structure only)\n");
+    }
+    out += foot;
+  }
+  return out;
+}
+
+}  // namespace softmow::obs

@@ -1,0 +1,68 @@
+// Critical-path latency attribution over causal span trees (the tooling the
+// paper's §7.2/§7.3 analysis implies but never shows): given a root
+// operation's span tree, walk the chain of spans that actually gated its
+// completion and charge every nanosecond of the root's duration to a
+// (controller level, component) bucket — queueing, processing or
+// propagation. The buckets sum exactly to the root's end-to-end duration,
+// so "which level's queue ate the latency?" has a direct, checkable answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/time.h"
+
+namespace softmow::obs {
+
+/// Critical-path time at one controller level, split by component.
+struct LevelBudget {
+  int level = 0;
+  sim::Duration queueing;     ///< SpanKind::kQueue
+  sim::Duration processing;   ///< SpanKind::kProcess + operation self-time
+  sim::Duration propagation;  ///< SpanKind::kPropagate
+
+  [[nodiscard]] sim::Duration total() const { return queueing + processing + propagation; }
+};
+
+/// Decomposition of one root operation.
+struct CriticalPathReport {
+  std::uint64_t root_span_id = 0;
+  std::uint64_t trace_id = 0;
+  std::string name;
+  std::string scope;
+  sim::TimePoint begin;
+  sim::TimePoint end;
+  std::vector<LevelBudget> levels;  ///< sorted by level
+
+  [[nodiscard]] sim::Duration duration() const { return end - begin; }
+  /// Sum over all buckets; equals duration() by construction.
+  [[nodiscard]] sim::Duration attributed() const;
+  [[nodiscard]] const LevelBudget* level(int l) const;
+  /// (level, component name, time) of the single largest bucket.
+  struct Dominant {
+    int level = 0;
+    const char* component = "";
+    sim::Duration time;
+  };
+  [[nodiscard]] Dominant dominant() const;
+};
+
+/// Decomposes the tree rooted at `root_span_id` among `tracer`'s closed
+/// spans. Children outside the parent interval are clamped; overlapping
+/// (concurrent) children are resolved by walking backward from the root's
+/// end through whichever child was still running — the critical path.
+CriticalPathReport analyze_span_tree(const Tracer& tracer, std::uint64_t root_span_id);
+
+/// Analyzes every root operation — a parentless span with at least one
+/// child — whose name starts with `name_prefix` (empty = all).
+std::vector<CriticalPathReport> analyze_root_operations(const Tracer& tracer,
+                                                        const std::string& name_prefix = {});
+
+/// Human-readable per-operation latency-budget table: reports grouped by
+/// operation name, mean end-to-end duration, per-level queueing /
+/// propagation / processing shares, and the bottleneck bucket.
+std::string latency_budget_table(const std::vector<CriticalPathReport>& reports);
+
+}  // namespace softmow::obs

@@ -47,6 +47,10 @@ JsonValue event_json(const TraceEvent& e) {
   out.set("name", JsonValue::string(e.name));
   out.set("level", JsonValue::number(static_cast<double>(e.level)));
   out.set("scope", JsonValue::string(e.scope));
+  if (e.trace_id != 0) {
+    out.set("trace_id", JsonValue::number(e.trace_id));
+    out.set("parent_id", JsonValue::number(e.parent_id));
+  }
   if (!e.detail.empty()) out.set("detail", JsonValue::string(e.detail));
   return out;
 }
@@ -58,6 +62,10 @@ JsonValue span_json(const TraceSpan& s) {
   out.set("name", JsonValue::string(s.name));
   out.set("level", JsonValue::number(static_cast<double>(s.level)));
   out.set("scope", JsonValue::string(s.scope));
+  out.set("trace_id", JsonValue::number(s.trace_id));
+  out.set("span_id", JsonValue::number(s.span_id));
+  out.set("parent_id", JsonValue::number(s.parent_id));
+  out.set("kind", JsonValue::string(span_kind_name(s.kind)));
   if (!s.detail.empty()) out.set("detail", JsonValue::string(s.detail));
   return out;
 }
@@ -83,7 +91,7 @@ std::string fmt_double(double v) {
 
 JsonValue export_json(const MetricsRegistry& registry, const Tracer* tracer) {
   JsonValue doc = JsonValue::object();
-  doc.set("schema", JsonValue::string("softmow.obs.v1"));
+  doc.set("schema", JsonValue::string("softmow.obs.v2"));
 
   JsonValue metrics = JsonValue::array();
   for (const MetricSample& s : registry.snapshot()) metrics.push_back(sample_json(s));

@@ -1,8 +1,9 @@
 // Minimal JSON document model: enough to build the metrics/trace export and
 // to parse it back (round-trip tests, downstream tooling that consumes
 // `--metrics-json` output). Not a general-purpose JSON library — numbers are
-// doubles, no \uXXXX escapes beyond pass-through, objects preserve insertion
-// order so exports are byte-stable.
+// doubles, \uXXXX is emitted only for control characters (and decoded only
+// below U+0080 on parse; wider code points degrade to '?'), objects preserve
+// insertion order so exports are byte-stable.
 #pragma once
 
 #include <cstdint>

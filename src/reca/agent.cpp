@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/log.h"
 
@@ -124,6 +125,10 @@ void RecAAgent::handle_from_parent(const Message& msg) {
   }
   if (const auto* app = std::get_if<AppMessage>(&msg)) {
     ++stats_.app_down;
+    // The message's own context outranks the ambient one (responses to a
+    // delegated request must rejoin the operation that originated it).
+    std::optional<obs::Tracer::ScopedContext> scoped;
+    if (app->ctx.valid()) scoped.emplace(obs::default_tracer(), app->ctx);
     if (app->is_response) {
       auto it = pending_.find(app->request_id);
       if (it != pending_.end()) {
@@ -170,6 +175,11 @@ void RecAAgent::handle_discovery_down(const PacketOut& out) {
   DiscoveryPayload payload = std::get<DiscoveryPayload>(out.body);
   payload.stack.push_back(southbound::DiscoveryStackEntry{s_.self, local->sw, local->port});
   ++stats_.discovery_down;
+  // Zero-length relay span: ties this level's descent into the originating
+  // round's tree (payload.ctx crossed the channel with the frame).
+  obs::default_tracer().span_under(payload.ctx, sim::TimePoint::zero(), sim::TimePoint::zero(),
+                                   "discovery.descend", s_.level, s_.self.str(),
+                                   obs::SpanKind::kProcess);
 
   PacketOut down;
   down.sw = local->sw;
@@ -191,6 +201,9 @@ void RecAAgent::forward_discovery_up(Endpoint local_at, DiscoveryPayload payload
     return;
   }
   ++stats_.discovery_up;
+  obs::default_tracer().span_under(payload.ctx, sim::TimePoint::zero(), sim::TimePoint::zero(),
+                                   "discovery.relay", s_.level, s_.self.str(),
+                                   obs::SpanKind::kProcess);
   PacketIn in;
   in.sw = s_.abstraction->gswitch_id();
   in.in_port = *exposed;
@@ -220,11 +233,18 @@ void RecAAgent::translate_flow_mod(const FlowMod& mod) {
   }
 
   // --- kAdd: implement the virtual rule as local internal path(s) -----------
+  // The ambient context here is the parent operation that sent the FlowMod
+  // (restored by the channel); nested local path setups attach beneath it.
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::TraceContext translate = tracer.open_span(sim::TimePoint::zero(), "flowmod.translate",
+                                                 s_.level, s_.self.str());
+  obs::Tracer::ScopedContext scoped(tracer, translate);
   const dataplane::FlowRule& rule = mod.rule;
   if (!rule.match.in_port) {
     ++stats_.flowmod_failures;
     SOFTMOW_LOG(LogLevel::kWarn, "reca")
         << s_.self.str() << " virtual rule without in_port cannot be translated";
+    tracer.close_span(translate, sim::TimePoint::zero(), "no in_port");
     return;
   }
   std::vector<Endpoint> entry_points = s_.abstraction->constituents(*rule.match.in_port);
@@ -250,11 +270,13 @@ void RecAAgent::translate_flow_mod(const FlowMod& mod) {
   }
   if (entry_points.empty() || !out_port) {
     ++stats_.flowmod_failures;
+    tracer.close_span(translate, sim::TimePoint::zero(), "unmappable rule");
     return;
   }
   auto local_out = s_.abstraction->to_local(*out_port);
   if (!local_out) {
     ++stats_.flowmod_failures;
+    tracer.close_span(translate, sim::TimePoint::zero(), "unmapped out port");
     return;
   }
 
@@ -314,10 +336,14 @@ void RecAAgent::translate_flow_mod(const FlowMod& mod) {
   }
   if (installed.empty()) {
     ++stats_.flowmod_failures;
+    tracer.close_span(translate, sim::TimePoint::zero(), "no feasible internal path");
     return;
   }
+  std::size_t paths = installed.size();
   parent_cookie_to_paths_[rule.cookie] = std::move(installed);
   ++stats_.flowmods_translated;
+  tracer.close_span(translate, sim::TimePoint::zero(),
+                    std::to_string(paths) + " internal path(s)");
   maybe_announce_vfabric();  // reservations may have crossed the threshold
 }
 
@@ -325,6 +351,7 @@ std::uint64_t RecAAgent::delegate(AppMessage msg,
                                   std::function<void(const AppMessage&)> on_response) {
   msg.request_id = next_request_++;
   msg.is_response = false;
+  if (!msg.ctx.valid()) msg.ctx = obs::default_tracer().current();
   if (on_response) pending_[msg.request_id] = std::move(on_response);
   ++stats_.app_up;
   if (parent_ != nullptr) parent_->send_to_controller(msg);
@@ -333,12 +360,14 @@ std::uint64_t RecAAgent::delegate(AppMessage msg,
 
 void RecAAgent::send_up(AppMessage msg) {
   ++stats_.app_up;
+  if (!msg.ctx.valid()) msg.ctx = obs::default_tracer().current();
   if (parent_ != nullptr) parent_->send_to_controller(msg);
 }
 
 void RecAAgent::respond_up(std::uint64_t request_id, AppMessage response) {
   response.request_id = request_id;
   response.is_response = true;
+  if (!response.ctx.valid()) response.ctx = obs::default_tracer().current();
   if (parent_ != nullptr) parent_->send_to_controller(response);
 }
 

@@ -1,5 +1,7 @@
 #include "reca/controller.h"
 
+#include <optional>
+
 #include "core/log.h"
 
 namespace softmow::reca {
@@ -119,6 +121,7 @@ std::uint64_t Controller::send_app_request(
     std::function<void(const southbound::AppMessage&)> on_response) {
   msg.request_id = next_request_++;
   msg.is_response = false;
+  if (!msg.ctx.valid()) msg.ctx = obs::default_tracer().current();
   if (on_response) pending_child_requests_[msg.request_id] = std::move(on_response);
   (void)send(child_gswitch, msg);
   return msg.request_id;
@@ -128,6 +131,7 @@ void Controller::send_app_response(SwitchId child_gswitch, std::uint64_t request
                                    AppMessage response) {
   response.request_id = request_id;
   response.is_response = true;
+  if (!response.ctx.valid()) response.ctx = obs::default_tracer().current();
   (void)send(child_gswitch, response);
 }
 
@@ -194,6 +198,10 @@ void Controller::handle_device_message(Channel* ch, const Message& msg) {
     return;
   }
   if (const auto* app = std::get_if<AppMessage>(&msg)) {
+    // Rejoin the operation the message belongs to (set by the sender when it
+    // delegated up or requested down).
+    std::optional<obs::Tracer::ScopedContext> scoped;
+    if (app->ctx.valid()) scoped.emplace(obs::default_tracer(), app->ctx);
     if (app->is_response) {
       auto it = pending_child_requests_.find(app->request_id);
       if (it != pending_child_requests_.end()) {

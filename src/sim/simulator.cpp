@@ -14,7 +14,7 @@ void Simulator::schedule(Duration delay, Callback fn) {
 
 void Simulator::schedule_at(TimePoint when, Callback fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, seq_++, std::move(fn)});
+  queue_.push(Event{when, seq_++, std::move(fn), obs::default_tracer().current()});
 }
 
 bool Simulator::step() {
@@ -27,6 +27,9 @@ bool Simulator::step() {
   now_ = ev.when;
   ++executed_;
   events_counter_->inc();
+  // Restore the scheduler's context (possibly invalid — that masks any
+  // ambient context so one event's trace never bleeds into the next).
+  obs::Tracer::ScopedContext scoped(obs::default_tracer(), ev.ctx);
   ev.fn();
   return true;
 }
@@ -47,8 +50,8 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   return n;
 }
 
-QueueingStation::QueueingStation(Duration service_time, const std::string& station)
-    : service_time_(service_time),
+QueueingStation::QueueingStation(Duration service_time, const std::string& station, int level)
+    : service_time_(service_time), station_(station), level_(level),
       wait_hist_(obs::default_registry().histogram("sim_queue_wait_us", obs::wait_us_bounds(),
                                                    {{"station", station}})),
       messages_counter_(obs::default_registry().counter("sim_queue_messages_total",
@@ -66,6 +69,19 @@ TimePoint QueueingStation::submit(TimePoint arrival, Duration service) {
   ++processed_;
   messages_counter_->inc();
   return busy_until_;
+}
+
+TimePoint QueueingStation::submit(TimePoint arrival, Duration service,
+                                  const obs::TraceContext& parent) {
+  TimePoint start = arrival > busy_until_ ? arrival : busy_until_;
+  TimePoint done = submit(arrival, service);
+  obs::Tracer& tracer = obs::default_tracer();
+  if (start > arrival)
+    tracer.span_under(parent, arrival, start, "queue.wait", level_, station_,
+                      obs::SpanKind::kQueue);
+  tracer.span_under(parent, start, done, "queue.service", level_, station_,
+                    obs::SpanKind::kProcess);
+  return done;
 }
 
 void QueueingStation::reset() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/time.h"
 
 namespace softmow::sim {
@@ -21,7 +22,10 @@ class Simulator {
   Simulator();
 
   /// Schedules `fn` to run `delay` after the current time. Events scheduled
-  /// for the same instant run in scheduling order (stable FIFO).
+  /// for the same instant run in scheduling order (stable FIFO). The ambient
+  /// trace context at scheduling time is captured and restored around the
+  /// callback, so spans opened inside it attach to the operation that
+  /// scheduled it — not to whatever ran just before.
   void schedule(Duration delay, Callback fn);
   void schedule_at(TimePoint when, Callback fn);
 
@@ -42,6 +46,7 @@ class Simulator {
     TimePoint when;
     std::uint64_t seq;
     Callback fn;
+    obs::TraceContext ctx;  ///< ambient context captured at schedule time
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -66,13 +71,20 @@ class QueueingStation {
  public:
   /// `station` labels this station's series in the metrics registry
   /// (sim_queue_wait_us / sim_queue_messages_total); stations created with
-  /// the same label merge their observations.
-  explicit QueueingStation(Duration service_time, const std::string& station = "default");
+  /// the same label merge their observations. `level` tags traced
+  /// submissions with the owning controller's hierarchy level.
+  explicit QueueingStation(Duration service_time, const std::string& station = "default",
+                           int level = 0);
 
   /// Registers a message arriving at `arrival`; returns its completion time.
   TimePoint submit(TimePoint arrival);
   /// Same, with an explicit per-message service time.
   TimePoint submit(TimePoint arrival, Duration service);
+  /// Same, and records "queue.wait" (kQueue, when the message waited) and
+  /// "queue.service" (kProcess) spans under `parent` in default_tracer(), so
+  /// critical-path analysis can split this station's latency contribution
+  /// into queueing vs. processing.
+  TimePoint submit(TimePoint arrival, Duration service, const obs::TraceContext& parent);
 
   [[nodiscard]] Duration service_time() const { return service_time_; }
   [[nodiscard]] TimePoint busy_until() const { return busy_until_; }
@@ -84,6 +96,8 @@ class QueueingStation {
 
  private:
   Duration service_time_;
+  std::string station_;
+  int level_;
   TimePoint busy_until_ = TimePoint::zero();
   std::uint64_t processed_ = 0;
   Duration total_wait_;

@@ -18,6 +18,13 @@
 #include "core/stats.h"            // IWYU pragma: export
 #include "core/weighted_adjacency.h"  // IWYU pragma: export
 
+#include "obs/chrome_trace.h"   // IWYU pragma: export
+#include "obs/critical_path.h"  // IWYU pragma: export
+#include "obs/export.h"         // IWYU pragma: export
+#include "obs/json.h"           // IWYU pragma: export
+#include "obs/metrics.h"        // IWYU pragma: export
+#include "obs/trace.h"          // IWYU pragma: export
+
 #include "sim/simulator.h"         // IWYU pragma: export
 #include "sim/time.h"              // IWYU pragma: export
 

@@ -41,7 +41,7 @@ void Channel::send_to_device(Message m) {
   ++sent_to_device_;
   to_device_metric_->inc();
   if (counter_ != nullptr) ++counter_->to_device;
-  pending_.emplace_back(std::move(m), true);
+  pending_.push_back(Pending{std::move(m), true, obs::default_tracer().current()});
   pump();
 }
 
@@ -50,7 +50,7 @@ void Channel::send_to_controller(Message m) {
   ++sent_to_controller_;
   to_controller_metric_->inc();
   if (counter_ != nullptr) ++counter_->to_controller;
-  pending_.emplace_back(std::move(m), false);
+  pending_.push_back(Pending{std::move(m), false, obs::default_tracer().current()});
   pump();
 }
 
@@ -58,14 +58,17 @@ void Channel::pump() {
   if (pumping_) return;  // already draining higher in the stack
   pumping_ = true;
   while (!pending_.empty() && connected_) {
-    auto [msg, to_device] = std::move(pending_.front());
+    Pending entry = std::move(pending_.front());
     pending_.pop_front();
-    Handler& h = to_device ? to_device_ : to_controller_;
+    Handler& h = entry.to_device ? to_device_ : to_controller_;
     if (h) {
-      h(msg);
+      // Restore the sender's context for the handler: even though the queue
+      // flattens nested sends, causality follows the message, not the stack.
+      obs::Tracer::ScopedContext scoped(obs::default_tracer(), entry.ctx);
+      h(entry.msg);
     } else {
       SOFTMOW_LOG(LogLevel::kDebug, "channel")
-          << "dropping " << message_name(msg) << " (no handler bound)";
+          << "dropping " << message_name(entry.msg) << " (no handler bound)";
     }
   }
   pumping_ = false;

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "southbound/messages.h"
 
 namespace softmow::southbound {
@@ -48,7 +49,9 @@ class Channel {
   [[nodiscard]] bool controller_bound() const { return static_cast<bool>(to_controller_); }
   [[nodiscard]] bool device_bound() const { return static_cast<bool>(to_device_); }
 
-  /// Controller -> device.
+  /// Controller -> device. The sender's ambient trace context is captured
+  /// with the message and restored around the receiving handler, so delivery
+  /// through the flattened queue preserves causality.
   void send_to_device(Message m);
   /// Device -> controller.
   void send_to_controller(Message m);
@@ -65,8 +68,12 @@ class Channel {
 
   Handler to_controller_;
   Handler to_device_;
-  // Pending (message, deliver-to-device?) pairs.
-  std::deque<std::pair<Message, bool>> pending_;
+  struct Pending {
+    Message msg;
+    bool to_device;
+    obs::TraceContext ctx;  ///< sender's ambient context at send time
+  };
+  std::deque<Pending> pending_;
   bool pumping_ = false;
   bool connected_ = true;
   std::uint64_t sent_to_device_ = 0;

@@ -21,6 +21,7 @@
 #include "dataplane/entities.h"
 #include "dataplane/flow_table.h"
 #include "dataplane/sswitch.h"
+#include "obs/trace.h"
 
 namespace softmow::southbound {
 
@@ -120,6 +121,10 @@ struct LinkMeta {
 struct DiscoveryPayload {
   std::vector<DiscoveryStackEntry> stack;  ///< back() is the top
   LinkMeta meta;
+  /// Trace position of the discovery round that originated this frame; rides
+  /// the frame through every relay so the whole descent/ascent lands in one
+  /// span tree (channels only restore ambient context per hop).
+  obs::TraceContext ctx;
 };
 
 /// Controller -> device: emit a frame or packet out of a port.
@@ -171,6 +176,9 @@ struct AppMessage {
   std::uint64_t request_id = 0;  ///< correlates responses to requests
   bool is_response = false;
   std::any body;
+  /// Trace position of the operation this request/response belongs to (e.g.
+  /// the bearer setup being delegated up the hierarchy, §5.1).
+  obs::TraceContext ctx;
 };
 
 /// vFabric update: a child re-announces changed port-pair metrics when the

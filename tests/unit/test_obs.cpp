@@ -112,6 +112,25 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_FALSE(JsonValue::parse(R"({"a" 1})").ok());
 }
 
+TEST(Json, ControlCharactersEscapeAndRoundTrip) {
+  // Every control byte below 0x20 must serialize as valid JSON (\uXXXX or a
+  // short escape) and parse back to the identical byte string.
+  std::string raw;
+  for (char c = 1; c < 0x20; ++c) raw.push_back(c);
+  raw += "tail\x01mid\x1f";
+  JsonValue obj = JsonValue::object();
+  obj.set("s", JsonValue::string(raw));
+
+  std::string doc = obj.dump(-1);  // compact: no formatting newlines
+  for (char c : doc) EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+  EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+  EXPECT_NE(doc.find("\\u001f"), std::string::npos);
+
+  auto back = JsonValue::parse(doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->find("s")->as_string(), raw);
+}
+
 TEST(Json, DumpParseRoundTrip) {
   JsonValue obj = JsonValue::object();
   obj.set("name", JsonValue::string("with \"quotes\" and\nnewline"));
@@ -147,7 +166,7 @@ TEST(Export, RegistryJsonRoundTrip) {
 
   auto doc = JsonValue::parse(to_json(reg, &tracer));
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->find("schema")->as_string(), "softmow.obs.v1");
+  EXPECT_EQ(doc->find("schema")->as_string(), "softmow.obs.v2");
 
   const JsonValue* metrics = doc->find("metrics");
   ASSERT_NE(metrics, nullptr);
@@ -225,6 +244,32 @@ TEST(Tracer, SpansFilterByLevelAndPendingSpanCloses) {
   EXPECT_EQ(tracer.spans_at_level(2).size(), 1u);
   EXPECT_EQ(tracer.spans_at_level(2)[0].duration().to_millis(), 3);
   EXPECT_EQ(tracer.spans_at_level(3).size(), 0u);
+}
+
+TEST(Tracer, RingBufferCapacityDropsOldestAndCounts) {
+  MetricsRegistry reg;
+  Tracer tracer(&reg);
+  tracer.set_capacity(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    sim::TimePoint at = sim::TimePoint::at(sim::Duration::millis(i));
+    tracer.span(at, at + sim::Duration::millis(1), "s" + std::to_string(i), 0);
+    tracer.event(at, "e" + std::to_string(i), 0);
+  }
+  ASSERT_EQ(tracer.spans().size(), 4u);
+  ASSERT_EQ(tracer.events().size(), 4u);
+  // Oldest entries were evicted: the survivors are the last four.
+  EXPECT_EQ(tracer.spans().front().name, "s6");
+  EXPECT_EQ(tracer.spans().back().name, "s9");
+  EXPECT_EQ(tracer.dropped_spans(), 6u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+  EXPECT_EQ(reg.counter("trace_dropped_total", {{"buffer", "spans"}})->value(), 6u);
+  EXPECT_EQ(reg.counter("trace_dropped_total", {{"buffer", "events"}})->value(), 6u);
+
+  // Shrinking below the current size evicts immediately.
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans().front().name, "s8");
 }
 
 TEST(DefaultRegistry, IsProcessWideSingleton) {

@@ -19,13 +19,54 @@ void run() {
   TextTable table({"regions", "max leaf msgs", "max leaf conv (s)", "root msgs",
                    "cross links", "inter-region HO share"});
 
+  std::uint64_t sustained_events = 0, sustained_windows = 0;
+  std::size_t sustained_shards = 0;
+
   for (std::size_t regions : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     auto scenario = topo::build_scenario(paper_scale_params(1, regions, /*originate=*/false));
     auto& mp = *scenario->mgmt;
     for (reca::Controller* c : mp.all_controllers())
       c->discovery().stats_mutable() = nos::DiscoveryStats{};
-    for (reca::Controller* leaf : mp.leaves()) leaf->run_link_discovery();
-    mp.root().run_link_discovery();
+    // The steady-state round runs on the sharded engine (leaves drain, then
+    // the root), same schedule for any --threads value.
+    {
+      ShardedRun sharded(*scenario);
+      sim::ShardedSimulator& engine = sharded.engine();
+      for (reca::Controller* leaf : mp.leaves())
+        engine.schedule(leaf->shard(), sim::Duration{},
+                        [leaf] { leaf->run_link_discovery(); });
+      engine.run();
+      reca::Controller* root = &mp.root();
+      engine.schedule(root->shard(), sim::Duration{},
+                      [root] { root->run_link_discovery(); });
+      engine.run();
+
+      // Sustained load on the widest sweep point: several staggered periodic
+      // rounds per leaf region — the wall-clock of this phase (exported as
+      // bench_wall_ms{phase=sim}) is what --threads accelerates.
+      if (regions == 8) {
+        constexpr int kSustainedRounds = 8;
+        for (reca::Controller* leaf : mp.leaves()) {
+          for (int r = 0; r < kSustainedRounds; ++r)
+            engine.schedule(leaf->shard(), sim::Duration::millis(100.0 * r),
+                            [leaf] { leaf->run_link_discovery(); });
+        }
+        sustained_events = engine.run();
+        sustained_windows = engine.windows_executed();
+        sustained_shards = engine.shard_count();
+        // Counts below reflect one steady-state round, as before the
+        // sustained phase.
+        for (reca::Controller* c : mp.all_controllers())
+          c->discovery().stats_mutable() = nos::DiscoveryStats{};
+        for (reca::Controller* leaf : mp.leaves())
+          engine.schedule(leaf->shard(), sim::Duration{},
+                          [leaf] { leaf->run_link_discovery(); });
+        engine.run();
+        engine.schedule(root->shard(), sim::Duration{},
+                        [root] { root->run_link_discovery(); });
+        engine.run();
+      }
+    }
     maybe_verify(*scenario);
 
     std::uint64_t max_leaf = 0;
@@ -49,6 +90,10 @@ void run() {
                    TextTable::num(total > 0 ? 100 * cross / total : 0, 1) + "%"});
   }
   table.print();
+  std::printf("\nsustained engine load (8 regions): %llu events in %llu windows over "
+              "%zu shards\n",
+              static_cast<unsigned long long>(sustained_events),
+              static_cast<unsigned long long>(sustained_windows), sustained_shards);
   std::printf("\ntakeaway: doubling the regions roughly halves the busiest leaf's "
               "discovery workload while the root's stays tiny — the scalability the "
               "hierarchy buys; the growing inter-region handover share is the cost that "

@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -9,85 +10,135 @@
 
 namespace softmow::bench {
 
+namespace {
+
+bool parse_positive_size(const std::string& value, std::size_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) return false;
+  *out = static_cast<std::size_t>(n);
+  return true;
+}
+
+bool parse_nonneg_size(const std::string& value, std::size_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::size_t>(n);
+  return true;
+}
+
+}  // namespace
+
+const std::vector<OptionSpec>& bench_option_registry() {
+  static const std::vector<OptionSpec> specs = {
+      {"--metrics-json", "<path>", "dump metrics registry + trace as JSON",
+       [](BenchOptions& o, const std::string& v) {
+         o.metrics_json = v;
+         return true;
+       }},
+      {"--metrics-csv", "<path>", "dump metrics registry as CSV",
+       [](BenchOptions& o, const std::string& v) {
+         o.metrics_csv = v;
+         return true;
+       }},
+      {"--trace-chrome", "<path>",
+       "write a Chrome Trace Event file\n(load at ui.perfetto.dev or chrome://tracing)",
+       [](BenchOptions& o, const std::string& v) {
+         o.trace_chrome = v;
+         return true;
+       }},
+      {"--latency-budget", nullptr,
+       "print the per-operation critical-path\nlatency-budget table after the run",
+       [](BenchOptions& o, const std::string&) {
+         o.latency_budget = true;
+         return true;
+       }},
+      {"--trace-capacity", "<n>", "cap the trace ring buffer at n spans/events",
+       [](BenchOptions& o, const std::string& v) {
+         return parse_positive_size(v, &o.trace_capacity);
+       }},
+      {"--scale", "<f>",
+       "scale paper-size scenario parameters by f\n(e.g. 0.25 for CI smoke runs)",
+       [](BenchOptions& o, const std::string& v) {
+         char* end = nullptr;
+         double f = std::strtod(v.c_str(), &end);
+         if (v.empty() || end == nullptr || *end != '\0' || f <= 0) return false;
+         o.scale = f;
+         return true;
+       }},
+      {"--threads", "<n>",
+       "worker threads for sharded-engine phases\n(default 1: inline, same schedule)",
+       [](BenchOptions& o, const std::string& v) { return parse_positive_size(v, &o.threads); }},
+      {"--shards", "<n>",
+       "override the engine's shard count\n(default 0: one per region + one per level)",
+       [](BenchOptions& o, const std::string& v) { return parse_nonneg_size(v, &o.shards); }},
+      {"--verify", nullptr,
+       "run the static data-plane verifier on each\nscenario the bench builds",
+       [](BenchOptions& o, const std::string&) {
+         o.verify = true;
+         return true;
+       }},
+      {"--help", nullptr, "show this message and exit",
+       [](BenchOptions& o, const std::string&) {
+         o.help = true;
+         return true;
+       }},
+  };
+  return specs;
+}
+
 void print_bench_usage(std::FILE* out, const char* argv0) {
-  std::fprintf(out,
-               "usage: %s [options]\n"
-               "\n"
-               "Options shared by every bench binary:\n"
-               "  --metrics-json <path>    dump metrics registry + trace as JSON\n"
-               "  --metrics-csv <path>     dump metrics registry as CSV\n"
-               "  --trace-chrome <path>    write a Chrome Trace Event file\n"
-               "                           (load at ui.perfetto.dev or chrome://tracing)\n"
-               "  --latency-budget         print the per-operation critical-path\n"
-               "                           latency-budget table after the run\n"
-               "  --trace-capacity <n>     cap the trace ring buffer at n spans/events\n"
-               "  --scale <f>              scale paper-size scenario parameters by f\n"
-               "                           (e.g. 0.25 for CI smoke runs)\n"
-               "  --verify                 run the static data-plane verifier on each\n"
-               "                           scenario the bench builds\n"
-               "  --help                   show this message and exit\n",
-               argv0);
+  std::fprintf(out, "usage: %s [options]\n\nOptions shared by every bench binary:\n", argv0);
+  constexpr int kHelpColumn = 27;
+  for (const OptionSpec& spec : bench_option_registry()) {
+    std::string left = "  ";
+    left += spec.name;
+    if (spec.placeholder != nullptr) {
+      left += ' ';
+      left += spec.placeholder;
+    }
+    if (left.size() + 2 < kHelpColumn) left.resize(kHelpColumn, ' ');
+    else left += "  ";
+    // '\n' in the help text starts a continuation line in the help column.
+    std::string help = spec.help;
+    for (std::size_t nl = help.find('\n'); nl != std::string::npos; nl = help.find('\n', nl + 1))
+      help.replace(nl, 1, "\n" + std::string(kHelpColumn, ' '));
+    std::fprintf(out, "%s%s\n", left.c_str(), help.c_str());
+  }
 }
 
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
-    auto take_value = [&](const char* flag, std::string* out) {
-      if (std::strcmp(argv[i], flag) != 0) return false;
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs an argument\n", flag);
-        opts.parse_ok = false;
-        return true;
+    const char* flag = std::strcmp(argv[i], "-h") == 0 ? "--help" : argv[i];
+    const OptionSpec* spec = nullptr;
+    for (const OptionSpec& s : bench_option_registry()) {
+      if (std::strcmp(flag, s.name) == 0) {
+        spec = &s;
+        break;
       }
-      *out = argv[++i];
-      return true;
-    };
+    }
+    if (spec == nullptr) {
+      std::fprintf(stderr, "error: unknown argument '%s' (see --help)\n", argv[i]);
+      opts.parse_ok = false;
+      continue;
+    }
     std::string value;
-    if (take_value("--metrics-json", &opts.metrics_json)) continue;
-    if (take_value("--metrics-csv", &opts.metrics_csv)) continue;
-    if (take_value("--trace-chrome", &opts.trace_chrome)) continue;
-    if (take_value("--trace-capacity", &value)) {
-      if (!value.empty()) {
-        char* end = nullptr;
-        unsigned long long n = std::strtoull(value.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || n == 0) {
-          std::fprintf(stderr, "error: --trace-capacity needs a positive integer, got '%s'\n",
-                       value.c_str());
-          opts.parse_ok = false;
-        } else {
-          opts.trace_capacity = static_cast<std::size_t>(n);
-        }
+    if (spec->placeholder != nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", spec->name);
+        opts.parse_ok = false;
+        continue;
       }
-      continue;
+      value = argv[++i];
     }
-    if (take_value("--scale", &value)) {
-      if (!value.empty()) {
-        char* end = nullptr;
-        double f = std::strtod(value.c_str(), &end);
-        if (end == nullptr || *end != '\0' || f <= 0) {
-          std::fprintf(stderr, "error: --scale needs a positive factor, got '%s'\n",
-                       value.c_str());
-          opts.parse_ok = false;
-        } else {
-          opts.scale = f;
-        }
-      }
-      continue;
+    if (!spec->apply(opts, value)) {
+      std::fprintf(stderr, "error: bad value for %s: '%s'\n", spec->name, value.c_str());
+      opts.parse_ok = false;
     }
-    if (std::strcmp(argv[i], "--latency-budget") == 0) {
-      opts.latency_budget = true;
-      continue;
-    }
-    if (std::strcmp(argv[i], "--verify") == 0) {
-      opts.verify = true;
-      continue;
-    }
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      opts.help = true;
-      continue;
-    }
-    std::fprintf(stderr, "error: unknown argument '%s' (see --help)\n", argv[i]);
-    opts.parse_ok = false;
   }
   return opts;
 }
@@ -149,6 +200,21 @@ bool maybe_verify(topo::Scenario& scenario, const char* tag) {
   return report.clean();
 }
 
+ShardedRun::ShardedRun(topo::Scenario& scenario, sim::Duration parent_link_delay,
+                       sim::Duration lookahead)
+    : scenario_(&scenario) {
+  const BenchOptions& opts = current_bench_options();
+  std::size_t shards =
+      opts.shards > 0 ? opts.shards : scenario.mgmt->natural_shard_count();
+  sim::ShardedSimulator::Options engine_opts;
+  engine_opts.threads = opts.threads;
+  engine_opts.lookahead = lookahead;
+  engine_ = std::make_unique<sim::ShardedSimulator>(shards, engine_opts);
+  scenario.mgmt->bind_shards(*engine_, parent_link_delay);
+}
+
+ShardedRun::~ShardedRun() { scenario_->mgmt->unbind_shards(); }
+
 int bench_main(int argc, char** argv, void (*run)()) {
   g_options = parse_bench_args(argc, argv);
   if (g_options.help) {
@@ -161,7 +227,17 @@ int bench_main(int argc, char** argv, void (*run)()) {
   }
   if (g_options.trace_capacity > 0)
     obs::default_tracer().set_capacity(g_options.trace_capacity);
+  auto started = std::chrono::steady_clock::now();
   run();
+  double total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+  // Wall-clock gauges for speedup reporting. Determinism checks comparing
+  // exports across --threads values must strip bench_wall_ms series.
+  obs::MetricsRegistry& reg = obs::default_registry();
+  reg.gauge("bench_wall_ms", {{"phase", "total"}})->set(total_ms);
+  reg.gauge("bench_wall_ms", {{"phase", "sim"}})
+      ->set(sim::ShardedSimulator::process_wall_ms());
   if (g_options.latency_budget) {
     std::printf("\n%s",
                 obs::latency_budget_table(

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "softmow/softmow.h"
 
@@ -20,16 +21,32 @@ struct BenchOptions {
   bool verify = false;          ///< --verify: static-verify each scenario built
   std::size_t trace_capacity = 0;  ///< --trace-capacity <n>: ring size (0 = default)
   double scale = 1.0;           ///< --scale <f>: shrink paper-scale params (CI smoke)
+  std::size_t threads = 1;      ///< --threads <n>: sharded-engine worker threads
+  std::size_t shards = 0;       ///< --shards <n>: shard override (0 = topology's natural count)
   bool help = false;            ///< --help: print usage and exit 0
   bool parse_ok = true;         ///< false: unknown flag / bad value; exit non-zero
 };
 
-/// Prints the shared option set to `out`.
+/// One declaratively registered flag. The single registry drives parsing
+/// *and* the generated --help for all bench binaries — adding a flag is one
+/// table entry, not thirteen copies of an if-chain.
+struct OptionSpec {
+  const char* name;         ///< e.g. "--scale"
+  const char* placeholder;  ///< value placeholder ("<f>"); nullptr = boolean flag
+  const char* help;         ///< description; '\n' starts an indented continuation
+  /// Stores (and validates) the value; booleans receive "". False = bad value.
+  bool (*apply)(BenchOptions& opts, const std::string& value);
+};
+
+/// The shared flag registry, in --help display order.
+const std::vector<OptionSpec>& bench_option_registry();
+
+/// Prints the shared option set to `out` (generated from the registry).
 void print_bench_usage(std::FILE* out, const char* argv0);
 
-/// Parses the shared options. Unknown flags and malformed values set
-/// `parse_ok = false` (bench_main exits 2); `--help` sets `help`
-/// (bench_main prints usage and exits 0).
+/// Parses the shared options against the registry. Unknown flags and
+/// malformed values set `parse_ok = false` (bench_main exits 2); `--help`
+/// sets `help` (bench_main prints usage and exits 0).
 BenchOptions parse_bench_args(int argc, char** argv);
 
 /// The options of the running bench (set by bench_main before run()), so
@@ -48,9 +65,34 @@ bool maybe_verify(topo::Scenario& scenario, const char* tag = "");
 bool export_metrics(const BenchOptions& opts);
 
 /// parse + run + export: the standard bench main body. Also applies
-/// `--trace-capacity`, prints the `--latency-budget` table after run(), and
-/// honours `--help` / unknown-flag exits.
+/// `--trace-capacity`, prints the `--latency-budget` table after run(),
+/// honours `--help` / unknown-flag exits, and exports wall-clock gauges:
+/// bench_wall_ms{phase=total} (the whole run() body) and
+/// bench_wall_ms{phase=sim} (time inside sharded-engine runs — the part
+/// `--threads` accelerates). Determinism diffs strip bench_wall_ms.
 int bench_main(int argc, char** argv, void (*run)());
+
+/// RAII harness for engine-driven bench phases: builds a
+/// sim::ShardedSimulator sized from the scenario's hierarchy (or the
+/// `--shards` override) with `--threads` workers, binds the scenario's
+/// controllers/hub onto it, and unbinds on destruction so later synchronous
+/// phases are unaffected. `parent_link_delay` is the one-way parent<->child
+/// control-channel latency and must be >= `lookahead`.
+class ShardedRun {
+ public:
+  explicit ShardedRun(topo::Scenario& scenario,
+                      sim::Duration parent_link_delay = sim::Duration::millis(1.0),
+                      sim::Duration lookahead = sim::Duration::millis(1.0));
+  ~ShardedRun();
+  ShardedRun(const ShardedRun&) = delete;
+  ShardedRun& operator=(const ShardedRun&) = delete;
+
+  [[nodiscard]] sim::ShardedSimulator& engine() { return *engine_; }
+
+ private:
+  topo::Scenario* scenario_;
+  std::unique_ptr<sim::ShardedSimulator> engine_;
+};
 
 /// Paper-scale parameters (§7.1). Deterministic under `seed`. Honours the
 /// running bench's `--scale` factor (CI smoke runs shrink the scenario while

@@ -62,11 +62,28 @@ void run() {
 
   // Re-run one steady-state discovery round everywhere so counts reflect a
   // periodic round, not bootstrap specifics; levels run concurrently (§4.1).
+  // The round executes on the sharded engine — one shard per leaf region
+  // plus the root's — preserving the legacy phase order (leaves drain, then
+  // the root's round) so every count below is engine- and thread-invariant.
   for (reca::Controller* c : mp.all_controllers()) {
     c->discovery().stats_mutable() = nos::DiscoveryStats{};
   }
-  for (reca::Controller* leaf : mp.leaves()) leaf->run_link_discovery();
-  mp.root().run_link_discovery();
+  {
+    ShardedRun sharded(*scenario, kChannelRtt * 0.5);
+    sim::ShardedSimulator& engine = sharded.engine();
+    for (reca::Controller* leaf : mp.leaves()) {
+      engine.schedule(leaf->shard(), sim::Duration{},
+                      [leaf] { leaf->run_link_discovery(); });
+    }
+    engine.run();
+    reca::Controller* root = &mp.root();
+    engine.schedule(root->shard(), sim::Duration{}, [root] { root->run_link_discovery(); });
+    engine.run();
+    std::printf("engine: %llu events in %llu windows over %zu shards\n",
+                static_cast<unsigned long long>(engine.events_executed()),
+                static_cast<unsigned long long>(engine.windows_executed()),
+                engine.shard_count());
+  }
   maybe_verify(*scenario);
 
   obs::Tracer& tracer = obs::default_tracer();

@@ -83,22 +83,27 @@ Result<void> FlowTable::install(FlowRule rule) {
                   std::to_string(r.cookie) + " (same priority and match)"};
     }
   }
-  remove_by_cookie(rule.cookie);
+  (void)remove_by_cookie(rule.cookie);  // replace-by-cookie: absence is fine
   rules_.push_back(std::move(rule));
   sort_rules();
   return Ok();
 }
 
-std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+Result<std::size_t> FlowTable::remove_by_cookie(std::uint64_t cookie) {
   std::size_t before = rules_.size();
   std::erase_if(rules_, [cookie](const FlowRule& r) { return r.cookie == cookie; });
-  return before - rules_.size();
+  std::size_t removed = before - rules_.size();
+  if (removed == 0)
+    return {ErrorCode::kNotFound, "no rule with cookie " + std::to_string(cookie)};
+  return removed;
 }
 
-std::size_t FlowTable::remove_by_match(const Match& match) {
+Result<std::size_t> FlowTable::remove_by_match(const Match& match) {
   std::size_t before = rules_.size();
   std::erase_if(rules_, [&match](const FlowRule& r) { return r.match == match; });
-  return before - rules_.size();
+  std::size_t removed = before - rules_.size();
+  if (removed == 0) return {ErrorCode::kNotFound, "no rule matching " + match.str()};
+  return removed;
 }
 
 void FlowTable::clear() { rules_.clear(); }

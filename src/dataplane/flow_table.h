@@ -87,9 +87,11 @@ class FlowTable {
   /// broken by cookie order, leaving one of the two silently shadowed.
   Result<void> install(FlowRule rule);
   /// Removes all rules with this cookie; returns how many were removed.
-  std::size_t remove_by_cookie(std::uint64_t cookie);
-  /// Removes rules whose match equals `match` exactly.
-  std::size_t remove_by_match(const Match& match);
+  /// Fails (kNotFound) when no rule carries the cookie.
+  Result<std::size_t> remove_by_cookie(std::uint64_t cookie);
+  /// Removes rules whose match equals `match` exactly; returns how many.
+  /// Fails (kNotFound) when nothing matched.
+  Result<std::size_t> remove_by_match(const Match& match);
   void clear();
 
   /// Highest-priority matching rule (ties: higher specificity, then lower

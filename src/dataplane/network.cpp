@@ -49,8 +49,11 @@ Endpoint PhysicalNetwork::attach_port(SwitchId sw_id, PeerKind kind) {
   return Endpoint{sw_id, p};
 }
 
-LinkId PhysicalNetwork::connect(SwitchId a, SwitchId b, sim::Duration latency,
-                                double bandwidth_kbps) {
+Result<LinkId> PhysicalNetwork::connect(SwitchId a, SwitchId b, sim::Duration latency,
+                                        double bandwidth_kbps) {
+  if (sw(a) == nullptr) return {ErrorCode::kNotFound, "no such switch " + a.str()};
+  if (sw(b) == nullptr) return {ErrorCode::kNotFound, "no such switch " + b.str()};
+  if (a == b) return {ErrorCode::kInvalidArgument, "self-loop on " + a.str()};
   Endpoint ea = attach_port(a, PeerKind::kSwitch);
   Endpoint eb = attach_port(b, PeerKind::kSwitch);
   LinkId id = link_ids_.allocate();
@@ -60,6 +63,18 @@ LinkId PhysicalNetwork::connect(SwitchId a, SwitchId b, sim::Duration latency,
   sw(a)->port(ea.port)->link = id;
   sw(b)->port(eb.port)->link = id;
   return id;
+}
+
+Result<void> PhysicalNetwork::remove_link(LinkId id) {
+  auto it = links_.find(id);
+  if (it == links_.end()) return {ErrorCode::kNotFound, "no such link " + id.str()};
+  const Link& l = it->second;
+  if (Switch* s = sw(l.a.sw)) s->remove_port(l.a.port);
+  if (Switch* s = sw(l.b.sw)) s->remove_port(l.b.port);
+  link_by_endpoint_.erase(l.a);
+  link_by_endpoint_.erase(l.b);
+  links_.erase(it);
+  return Ok();
 }
 
 EgressId PhysicalNetwork::add_egress(SwitchId sw_id, GeoPoint location, std::string peer_name) {
@@ -79,7 +94,7 @@ BsGroupId PhysicalNetwork::add_bs_group(SwitchId core_sw, BsGroupTopology topolo
   // Radio-side port first so uplink packets enter at port 1.
   Endpoint radio = attach_port(access, PeerKind::kBsGroup);
   sw(access)->port(radio.port)->bs_group = gid;
-  LinkId uplink = connect(access, core_sw, sim::Duration::millis(1), 1e6);
+  LinkId uplink = *connect(access, core_sw, sim::Duration::millis(1), 1e6);
   Endpoint core_attach = links_.at(uplink).b;  // the core switch's end
 
   BsGroup g;
@@ -114,16 +129,16 @@ Result<void> PhysicalNetwork::rehome_bs_group(BsGroupId group, SwitchId new_core
   if (sw(new_core_sw) == nullptr) return {ErrorCode::kNotFound, "no such switch"};
   BsGroup& g = git->second;
 
-  // Tear down the old access uplink.
-  const Link* old = link_at(g.core_attach);
-  if (old != nullptr) {
-    LinkId old_id = old->id;
-    link_by_endpoint_.erase(old->a);
-    link_by_endpoint_.erase(old->b);
-    links_.erase(old_id);
+  // Tear down the old access uplink. (remove_link would also delete the
+  // access switch's radio-side uplink port; the rehomed uplink below re-adds
+  // ports on both ends, so the net port count is unchanged.)
+  if (const Link* old = link_at(g.core_attach)) {
+    auto removed = remove_link(old->id);
+    if (!removed.ok()) return removed;
   }
-  LinkId uplink = connect(g.access_switch, new_core_sw, sim::Duration::millis(1), 1e6);
-  g.core_attach = links_.at(uplink).b;
+  auto uplink = connect(g.access_switch, new_core_sw, sim::Duration::millis(1), 1e6);
+  if (!uplink.ok()) return uplink.error();
+  g.core_attach = links_.at(*uplink).b;
   return Ok();
 }
 

@@ -60,9 +60,14 @@ class PhysicalNetwork {
   // --- construction --------------------------------------------------------
   SwitchId add_switch(GeoPoint location = {});
   /// Wires a bidirectional link between two new ports of `a` and `b`.
-  LinkId connect(SwitchId a, SwitchId b,
-                 sim::Duration latency = sim::Duration::millis(5),
-                 double bandwidth_kbps = 1e6);
+  /// Fails (kNotFound) on an unknown switch, (kInvalidArgument) on a self-loop.
+  Result<LinkId> connect(SwitchId a, SwitchId b,
+                         sim::Duration latency = sim::Duration::millis(5),
+                         double bandwidth_kbps = 1e6);
+  /// Unwires a link and deletes its two ports (kNotFound when unknown).
+  /// Link observers do NOT fire: removal is a management-plane rewiring, not
+  /// a failure the data plane should report as a port-status transition.
+  Result<void> remove_link(LinkId id);
   /// Flags a new port of `sw` as an Internet egress point.
   EgressId add_egress(SwitchId sw, GeoPoint location = {}, std::string peer_name = {});
   /// Creates a BS group with its access switch, wired to a new port of

@@ -66,6 +66,8 @@ class Switch {
 
   /// Adds the next-numbered port; returns its ID (ports number from 1).
   PortId add_port(PeerKind peer = PeerKind::kNone);
+  /// Deletes a port (link unwiring); false when the port does not exist.
+  bool remove_port(PortId id) { return ports_.erase(id) > 0; }
   [[nodiscard]] Port* port(PortId id);
   [[nodiscard]] const Port* port(PortId id) const;
   [[nodiscard]] const std::map<PortId, Port>& ports() const { return ports_; }

@@ -170,6 +170,53 @@ void ManagementPlane::recompute_borders() {
   if (root_) root_->abstraction().set_border_gbs({});
 }
 
+std::size_t ManagementPlane::natural_shard_count() const {
+  if (leaves_.empty()) return 1;
+  return leaves_.size() + (mids_.empty() ? 0 : 1) + 1;
+}
+
+void ManagementPlane::bind_shards(sim::ShardedSimulator& engine,
+                                  sim::Duration parent_link_delay) {
+  const std::size_t total = engine.shard_count();
+  // Non-leaf controllers take the top shards; whatever remains is folded
+  // across the leaves round-robin. A 1-shard engine degenerates to the
+  // sequential schedule with everything on shard 0.
+  const std::size_t nonleaf_levels = 1 + (mids_.empty() ? 0 : 1);
+  const std::size_t leaf_budget = total > nonleaf_levels ? total - nonleaf_levels : 1;
+  const sim::ShardId root_shard = total - 1;
+  const sim::ShardId mid_shard =
+      mids_.empty() ? root_shard : std::min<sim::ShardId>(total - 1, leaf_budget);
+  auto leaf_shard = [&](std::size_t i) -> sim::ShardId { return i % leaf_budget; };
+
+  // Children before parents: a parent's device resolver reads each child's
+  // shard(), which bind_shards sets.
+  for (std::size_t i = 0; i < leaves_.size(); ++i)
+    leaves_[i]->bind_shards(&engine, leaf_shard(i), parent_link_delay);
+  auto child_resolver = [](Controller* parent) {
+    return [parent](SwitchId gswitch) -> sim::ShardId {
+      Controller* child = parent->child_by_gswitch(gswitch);
+      return child != nullptr ? child->shard() : parent->shard();
+    };
+  };
+  for (auto& mid : mids_)
+    mid->bind_shards(&engine, mid_shard, parent_link_delay, child_resolver(mid.get()));
+  if (root_)
+    root_->bind_shards(&engine, root_shard, parent_link_delay, child_resolver(root_.get()));
+
+  // Physical frame transit (discovery probes crossing inter-switch links)
+  // runs on the owning leaf's shard.
+  std::unordered_map<SwitchId, sim::ShardId> owners;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    for (SwitchId sw : leaves_[i]->devices()) owners[sw] = leaf_shard(i);
+  }
+  hub_->bind_shards(&engine, std::move(owners));
+}
+
+void ManagementPlane::unbind_shards() {
+  for (Controller* c : all_controllers()) c->unbind_shards();
+  hub_->unbind_shards();
+}
+
 void ManagementPlane::refresh_topology() {
   obs::Tracer& tracer = obs::default_tracer();
   obs::TraceContext root_span =
@@ -247,7 +294,11 @@ Result<void> ManagementPlane::reassign_gbs(Controller& initiator, GBsId gbs,
   if (ue_transfer_hook_) ue_transfer_hook_(group, source_leaf, *target_leaf);
 
   // (iii) Source disconnects; target takes the master role.
-  source_leaf.nib().remove_gbs(gbs);
+  if (auto removed = source_leaf.nib().remove_gbs(gbs); !removed.ok()) {
+    SOFTMOW_LOG(LogLevel::kWarn, "mgmt")
+        << "source leaf " << source_leaf.name() << " had no G-BS record for " << gbs.str()
+        << ": " << removed.error().message;
+  }
   source_leaf.release_physical_switch(*hub_, access);
   southbound::RoleRequest promote;
   promote.xid = Xid{0};

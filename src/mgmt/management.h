@@ -69,6 +69,24 @@ class ManagementPlane {
   /// maintenance, and after reconfiguration).
   void refresh_topology();
 
+  // --- sharded execution -------------------------------------------------------
+  /// Event shards the bootstrapped hierarchy naturally wants: one per leaf
+  /// region, plus one shared by the middle level (when present), plus one
+  /// for the root — shard count is a function of the topology, never of the
+  /// thread count, so per-shard observability is thread-count-invariant.
+  [[nodiscard]] std::size_t natural_shard_count() const;
+  /// Binds every controller's channels and the hub's frame transit onto
+  /// `engine`: leaf i runs on shard i (folded modulo the engine's leaf
+  /// budget when the engine was built with fewer shards), mids share the
+  /// next shard, the root takes the last. `parent_link_delay` is the
+  /// one-way parent<->child control-channel propagation time; it must be
+  /// >= the engine's lookahead for clamp-free conservative execution.
+  /// Bind after bootstrap; rebind after adopting new devices.
+  void bind_shards(sim::ShardedSimulator& engine, sim::Duration parent_link_delay);
+  /// Detaches everything from the engine (channels fall back to synchronous
+  /// delivery). Safe to call when not bound.
+  void unbind_shards();
+
   /// Recomputes border G-BS sets at every controller from the current
   /// group->leaf assignment and the group adjacency.
   void recompute_borders();

@@ -5,6 +5,8 @@
 // physical ones).
 #pragma once
 
+#include <span>
+
 #include "core/ids.h"
 #include "core/result.h"
 #include "southbound/messages.h"
@@ -17,6 +19,17 @@ class DeviceBus {
 
   /// Sends `msg` to the device that owns switch `sw`.
   virtual Result<void> send(SwitchId sw, const southbound::Message& msg) = 0;
+
+  /// Sends every message in `batch` to the device that owns `sw` as one
+  /// delivery unit, stopping at the first failure. The default loops over
+  /// send(); transports that can amortize the handoff (southbound channels
+  /// riding the sharded engine) override it.
+  virtual Result<void> send_batch(SwitchId sw, std::span<const southbound::Message> batch) {
+    for (const southbound::Message& m : batch) {
+      if (auto sent = send(sw, m); !sent.ok()) return sent;
+    }
+    return Ok();
+  }
 };
 
 }  // namespace softmow::nos

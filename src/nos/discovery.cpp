@@ -73,20 +73,21 @@ void DiscoveryModule::run_link_discovery() {
   std::uint64_t frames = 0;
   for (SwitchId sw : nib_->switches()) {
     const SwitchRecord* rec = nib_->sw(sw);
+    // One batch per switch: every probe frame leaving this device shares a
+    // single southbound delivery (and a single shard handoff under the
+    // sharded engine).
+    std::vector<southbound::Message> batch;
     for (const auto& [pid, desc] : rec->ports) {
       if (desc.peer != dataplane::PeerKind::kSwitch || !desc.up) continue;
       southbound::DiscoveryPayload payload;
       payload.stack.push_back(southbound::DiscoveryStackEntry{self_, sw, pid});
       payload.ctx = round;
-      southbound::PacketOut out;
-      out.sw = sw;
-      out.port = pid;
-      out.body = std::move(payload);
       ++stats_.frames_sent;
       ++frames;
       frames_sent_metric_->inc();
-      (void)bus_->send(sw, out);
+      batch.push_back(southbound::PacketOut{sw, pid, std::move(payload)});
     }
+    if (!batch.empty()) (void)bus_->send_batch(sw, batch);
   }
   tracer.close_span(round, sim::TimePoint::zero(), std::to_string(frames) + " frames");
 }

@@ -22,11 +22,11 @@ void Nib::upsert_switch(SwitchRecord rec) {
   bump();
 }
 
-void Nib::remove_switch(SwitchId id) {
-  if (switches_.erase(id) > 0) {
-    remove_links_of(id);
-    bump();
-  }
+Result<void> Nib::remove_switch(SwitchId id) {
+  if (switches_.erase(id) == 0) return {ErrorCode::kNotFound, "no such switch " + id.str()};
+  remove_links_of(id);
+  bump();
+  return Ok();
 }
 
 Result<void> Nib::set_vfabric(SwitchId id, std::vector<southbound::VFabricEntry> entries) {
@@ -81,11 +81,16 @@ void Nib::upsert_link(Endpoint a, Endpoint b, EdgeMetrics metrics) {
   bump();
 }
 
-void Nib::remove_link(Endpoint a, Endpoint b) {
+Result<void> Nib::remove_link(Endpoint a, Endpoint b) {
   normalize(a, b);
   auto before = links_.size();
   std::erase_if(links_, [&](const LinkRecord& l) { return l.a == a && l.b == b; });
-  if (links_.size() != before) bump();
+  if (links_.size() == before)
+    return {ErrorCode::kNotFound,
+            "no link " + a.sw.str() + ":" + a.port.str() + " <-> " + b.sw.str() + ":" +
+                b.port.str()};
+  bump();
+  return Ok();
 }
 
 void Nib::remove_links_of(SwitchId sw) {
@@ -138,14 +143,15 @@ Result<void> Nib::reserve_link_bandwidth(Endpoint at, double kbps) {
   return {ErrorCode::kNotFound, "no link at endpoint"};
 }
 
-void Nib::release_link_bandwidth(Endpoint at, double kbps) {
+Result<void> Nib::release_link_bandwidth(Endpoint at, double kbps) {
   for (LinkRecord& l : links_) {
     if (l.a == at || l.b == at) {
       l.metrics.bandwidth_kbps += kbps;
       bump();
-      return;
+      return Ok();
     }
   }
+  return {ErrorCode::kNotFound, "no link at " + at.sw.str() + ":" + at.port.str()};
 }
 
 Result<void> Nib::adjust_middlebox_utilization(MiddleboxId id, double capacity_fraction) {
@@ -181,8 +187,10 @@ void Nib::upsert_gbs(southbound::GBsAnnounce info) {
   bump();
 }
 
-void Nib::remove_gbs(GBsId id) {
-  if (gbs_.erase(id) > 0) bump();
+Result<void> Nib::remove_gbs(GBsId id) {
+  if (gbs_.erase(id) == 0) return {ErrorCode::kNotFound, "no such G-BS " + id.str()};
+  bump();
+  return Ok();
 }
 
 const southbound::GBsAnnounce* Nib::gbs(GBsId id) const {
@@ -199,15 +207,18 @@ std::vector<GBsId> Nib::gbs_list() const {
 
 void Nib::upsert_middlebox(southbound::GMiddleboxAnnounce info) {
   if (info.withdrawn) {
-    remove_middlebox(info.gmb);
+    (void)remove_middlebox(info.gmb);
     return;
   }
   middleboxes_[info.gmb] = std::move(info);
   bump();
 }
 
-void Nib::remove_middlebox(MiddleboxId id) {
-  if (middleboxes_.erase(id) > 0) bump();
+Result<void> Nib::remove_middlebox(MiddleboxId id) {
+  if (middleboxes_.erase(id) == 0)
+    return {ErrorCode::kNotFound, "no such middlebox " + id.str()};
+  bump();
+  return Ok();
 }
 
 const southbound::GMiddleboxAnnounce* Nib::middlebox(MiddleboxId id) const {

@@ -53,7 +53,8 @@ class Nib {
  public:
   // --- switches -------------------------------------------------------------
   void upsert_switch(SwitchRecord rec);
-  void remove_switch(SwitchId id);
+  /// Drops a switch and every link incident to it (kNotFound when unknown).
+  Result<void> remove_switch(SwitchId id);
   [[nodiscard]] const SwitchRecord* sw(SwitchId id) const;
   [[nodiscard]] SwitchRecord* sw_mutable(SwitchId id);
   /// Replaces a G-switch's vFabric (on a VFabricUpdate from the child).
@@ -65,7 +66,8 @@ class Nib {
   // --- links ----------------------------------------------------------------
   /// Records a discovered link (idempotent; endpoints normalized).
   void upsert_link(Endpoint a, Endpoint b, EdgeMetrics metrics);
-  void remove_link(Endpoint a, Endpoint b);
+  /// Forgets a discovered link (kNotFound when the pair is not recorded).
+  Result<void> remove_link(Endpoint a, Endpoint b);
   /// Removes every link incident to `sw`.
   void remove_links_of(SwitchId sw);
   /// Removes every link incident to the exact endpoint `e`.
@@ -77,7 +79,7 @@ class Nib {
   /// bandwidth; reservations reduce it, releases restore it. Fails without
   /// side effects when the link is unknown or too thin (§3.2).
   Result<void> reserve_link_bandwidth(Endpoint at, double kbps);
-  void release_link_bandwidth(Endpoint at, double kbps);
+  Result<void> release_link_bandwidth(Endpoint at, double kbps);
 
   /// Middlebox load accounting: shifts utilization by `capacity_fraction`
   /// (positive = busier). Clamped to [0, 1].
@@ -90,13 +92,13 @@ class Nib {
 
   // --- G-BSes (radio attachment points in this view) --------------------------
   void upsert_gbs(southbound::GBsAnnounce info);
-  void remove_gbs(GBsId id);
+  Result<void> remove_gbs(GBsId id);
   [[nodiscard]] const southbound::GBsAnnounce* gbs(GBsId id) const;
   [[nodiscard]] std::vector<GBsId> gbs_list() const;
 
   // --- middleboxes -----------------------------------------------------------
   void upsert_middlebox(southbound::GMiddleboxAnnounce info);
-  void remove_middlebox(MiddleboxId id);
+  Result<void> remove_middlebox(MiddleboxId id);
   [[nodiscard]] const southbound::GMiddleboxAnnounce* middlebox(MiddleboxId id) const;
   [[nodiscard]] std::vector<MiddleboxId> middleboxes() const;
   [[nodiscard]] std::vector<MiddleboxId> middleboxes_of_type(dataplane::MiddleboxType t) const;

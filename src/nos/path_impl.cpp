@@ -94,8 +94,9 @@ Result<void> PathImplementer::acquire_resources(InstalledPath& p) {
 
 void PathImplementer::release_resources(InstalledPath& p) {
   if (nib_ == nullptr) return;
+  // The link may legitimately be gone by teardown time (failure recovery).
   for (Endpoint at : p.reserved_links)
-    nib_->release_link_bandwidth(at, p.options.reserve_kbps);
+    (void)nib_->release_link_bandwidth(at, p.options.reserve_kbps);
   p.reserved_links.clear();
   for (auto& [mb, fraction] : p.reserved_middleboxes)
     (void)nib_->adjust_middlebox_utilization(mb, -fraction);
@@ -105,6 +106,32 @@ void PathImplementer::release_resources(InstalledPath& p) {
 Result<void> PathImplementer::install_rules(InstalledPath& p) {
   using dataplane::FlowRule;
   const std::vector<RouteHop>& hops = p.route.hops;
+
+  // FlowMods for consecutive hops on the same switch share one southbound
+  // batch, so a setup costs one delivery per switch instead of one per rule
+  // (and one shard handoff under the sharded engine).
+  std::vector<southbound::Message> batch;
+  std::vector<std::pair<SwitchId, std::uint64_t>> batch_rules;
+  SwitchId batch_sw{};
+  auto rollback = [&] {
+    for (auto& [sw, cookie] : p.rules) {
+      southbound::FlowMod rm;
+      rm.op = southbound::FlowMod::Op::kRemoveByCookie;
+      rm.sw = sw;
+      rm.cookie = cookie;
+      (void)bus_->send(sw, rm);
+    }
+    p.rules.clear();
+  };
+  auto flush = [&]() -> Result<void> {
+    if (batch.empty()) return Ok();
+    auto sent = bus_->send_batch(batch_sw, batch);
+    if (sent.ok())
+      for (auto& r : batch_rules) p.rules.push_back(r);
+    batch.clear();
+    batch_rules.clear();
+    return sent;
+  };
 
   for (std::size_t i = 0; i < hops.size(); ++i) {
     const RouteHop& hop = hops[i];
@@ -184,20 +211,19 @@ Result<void> PathImplementer::install_rules(InstalledPath& p) {
     mod.sw = hop.sw;
     mod.rule = rule;
     mod.reserve_kbps = p.options.reserve_kbps;
-    auto sent = bus_->send(hop.sw, mod);
-    if (!sent.ok()) {
-      // Roll back what was installed so far.
-      for (auto& [sw, cookie] : p.rules) {
-        southbound::FlowMod rm;
-        rm.op = southbound::FlowMod::Op::kRemoveByCookie;
-        rm.sw = sw;
-        rm.cookie = cookie;
-        (void)bus_->send(sw, rm);
+    if (!batch.empty() && batch_sw != hop.sw) {
+      if (auto sent = flush(); !sent.ok()) {
+        rollback();
+        return sent;
       }
-      p.rules.clear();
-      return sent;
     }
-    p.rules.emplace_back(hop.sw, rule.cookie);
+    batch_sw = hop.sw;
+    batch.push_back(std::move(mod));
+    batch_rules.emplace_back(hop.sw, rule.cookie);
+  }
+  if (auto sent = flush(); !sent.ok()) {
+    rollback();
+    return sent;
   }
   p.active = true;
   return Ok();
@@ -208,12 +234,21 @@ Result<void> PathImplementer::deactivate(PathId id) {
   if (it == paths_.end()) return {ErrorCode::kNotFound, "no such path"};
   InstalledPath& p = it->second;
   if (!p.active) return Ok();
-  for (auto& [sw, cookie] : p.rules) {
-    southbound::FlowMod rm;
-    rm.op = southbound::FlowMod::Op::kRemoveByCookie;
-    rm.sw = sw;
-    rm.cookie = cookie;
-    (void)bus_->send(sw, rm);
+  // Teardown batches per switch too (rules are in install order, so
+  // same-switch runs are adjacent).
+  std::size_t i = 0;
+  while (i < p.rules.size()) {
+    SwitchId sw = p.rules[i].first;
+    std::vector<southbound::Message> batch;
+    while (i < p.rules.size() && p.rules[i].first == sw) {
+      southbound::FlowMod rm;
+      rm.op = southbound::FlowMod::Op::kRemoveByCookie;
+      rm.sw = sw;
+      rm.cookie = p.rules[i].second;
+      batch.push_back(std::move(rm));
+      ++i;
+    }
+    (void)bus_->send_batch(sw, batch);
   }
   p.rules.clear();
   p.active = false;

@@ -2,8 +2,8 @@
 // counters, gauges and fixed-bucket histograms.
 //
 // Design constraints (this code runs inside tight simulation loops):
-//   * the hot path is a plain pointer increment — registration returns a
-//     stable handle (Counter*/Gauge*/Histogram*) and instruments hold it;
+//   * the hot path is a relaxed atomic increment on a stable handle
+//     (Counter*/Gauge*/Histogram*) that instruments hold after registration;
 //   * no heap allocation after registration: counters are single integers,
 //     histograms pre-size their bucket vector when registered;
 //   * registration is get-or-create on (name, labels), so independent
@@ -11,13 +11,23 @@
 //     contributions merge (e.g. every southbound::Channel increments the
 //     same per-direction counter).
 //
+// Thread-safety: cells use relaxed atomics so shard worker threads of
+// sim::ShardedSimulator can increment shared series concurrently — integer
+// increments commute, so totals are schedule-independent. Histogram sums are
+// doubles, whose addition does *not* commute bit-exactly: for reproducible
+// exports, a histogram series must be observed from at most one shard during
+// a parallel phase (stations are named per controller, which makes their
+// series shard-unique). Registration and snapshots take the registry mutex.
+//
 // Most call sites use the process-wide default_registry(); experiments that
 // need isolation construct their own MetricsRegistry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,27 +39,32 @@ namespace softmow::obs {
 /// unbounded populations.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-/// Monotonically increasing integer. Hot path: `c->inc()` is `++value`.
+/// Monotonically increasing integer. Hot path: `c->inc()` is one relaxed
+/// atomic add, safe from any shard thread.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written floating-point value (queue depths, cross-region weight).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  [[nodiscard]] double value() const { return value_; }
-  void reset() { value_ = 0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket histogram: bucket upper bounds are chosen at registration
@@ -63,11 +78,12 @@ class Histogram {
   /// +inf overflow bucket.
   void observe(double v);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
   [[nodiscard]] const std::vector<double>& upper_bounds() const { return upper_bounds_; }
-  /// Per-bucket counts; size is upper_bounds().size() + 1 (overflow last).
-  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  /// Snapshot of per-bucket counts; size is upper_bounds().size() + 1
+  /// (overflow last).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
   /// Cumulative count of samples <= upper_bounds()[i].
   [[nodiscard]] std::uint64_t cumulative(std::size_t i) const;
   void reset();
@@ -77,9 +93,9 @@ class Histogram {
 
  private:
   std::vector<double> upper_bounds_;
-  std::vector<std::uint64_t> buckets_;  // one per bound + overflow
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // one per bound + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -139,6 +155,9 @@ class MetricsRegistry {
 
   static Labels normalized(Labels labels);
 
+  // Guards registration and snapshots (cell *values* are atomics and need
+  // no lock on the increment path).
+  mutable std::mutex mu_;
   // Deques give pointer stability; maps give deterministic snapshot order.
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;

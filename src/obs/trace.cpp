@@ -142,6 +142,18 @@ void Tracer::set_capacity(std::size_t capacity) {
   }
 }
 
+void Tracer::merge_from(Tracer& src) {
+  if (&src == this) return;
+  for (TraceSpan& s : src.spans_) push_span(std::move(s));
+  for (TraceEvent& e : src.events_) push_event(std::move(e));
+  src.spans_.clear();
+  src.events_.clear();
+  dropped_spans_ += src.dropped_spans_;
+  dropped_events_ += src.dropped_events_;
+  src.dropped_spans_ = 0;
+  src.dropped_events_ = 0;
+}
+
 void Tracer::clear() {
   events_.clear();
   spans_.clear();
@@ -150,7 +162,18 @@ void Tracer::clear() {
   dropped_events_ = 0;
 }
 
+namespace {
+thread_local Tracer* t_thread_tracer = nullptr;
+}  // namespace
+
+Tracer* set_thread_tracer(Tracer* tracer) {
+  Tracer* prev = t_thread_tracer;
+  t_thread_tracer = tracer;
+  return prev;
+}
+
 Tracer& default_tracer() {
+  if (t_thread_tracer != nullptr) return *t_thread_tracer;
   static Tracer tracer;
   return tracer;
 }

@@ -180,6 +180,21 @@ class Tracer {
   [[nodiscard]] std::vector<const TraceSpan*> children_of(std::uint64_t span_id) const;
   [[nodiscard]] std::size_t open_span_count() const { return open_.size(); }
 
+  // --- sharded execution ----------------------------------------------------
+  /// Starts span/trace-id allocation at `base` instead of 1. The sharded
+  /// simulator gives each shard tracer a disjoint id range so spans recorded
+  /// concurrently on different shards stay globally unique and deterministic
+  /// regardless of thread interleaving. Call before recording anything.
+  void set_id_base(std::uint64_t base) { next_id_ = base; }
+
+  /// Moves every *closed* span and event out of `src` and appends them here
+  /// (oldest evicted first if this tracer's capacity overflows). Dropped
+  /// counts transfer too. `src` keeps its id counter and any still-open
+  /// spans, so it can continue recording and be merged again later. Merging
+  /// shard tracers in shard-index order yields a deterministic combined
+  /// stream for the exporters.
+  void merge_from(Tracer& src);
+
   // --- capacity -------------------------------------------------------------
   /// Caps closed spans and events (each) at `capacity`; excess drops oldest
   /// first. Shrinking applies immediately.
@@ -207,7 +222,28 @@ class Tracer {
   Counter* dropped_events_metric_;  ///< trace_dropped_total{buffer=events}
 };
 
-/// Process-wide tracer paired with obs::default_registry().
+/// The calling thread's ambient tracer: the thread-local override installed
+/// by set_thread_tracer() when one is active (shard workers point it at
+/// their shard's tracer), otherwise the process-wide tracer paired with
+/// obs::default_registry().
 Tracer& default_tracer();
+
+/// Installs `tracer` as this thread's default_tracer() (nullptr restores
+/// the process-wide tracer). Returns the previous override. A Tracer itself
+/// is single-threaded; the override is how each shard worker routes ambient
+/// recording to the shard-owned tracer it is currently executing.
+Tracer* set_thread_tracer(Tracer* tracer);
+
+/// RAII guard around set_thread_tracer().
+class ThreadTracerScope {
+ public:
+  explicit ThreadTracerScope(Tracer* tracer) : prev_(set_thread_tracer(tracer)) {}
+  ~ThreadTracerScope() { set_thread_tracer(prev_); }
+  ThreadTracerScope(const ThreadTracerScope&) = delete;
+  ThreadTracerScope& operator=(const ThreadTracerScope&) = delete;
+
+ private:
+  Tracer* prev_;
+};
 
 }  // namespace softmow::obs

@@ -40,7 +40,9 @@ void Controller::adopt_physical_switch(southbound::Hub& hub, SwitchId sw,
 void Controller::release_physical_switch(southbound::Hub& hub, SwitchId sw) {
   if (southbound::SwitchAgent* agent = hub.agent(sw)) agent->disconnect(id_);
   device_channels_.erase(sw);
-  nib_.remove_switch(sw);
+  // Releasing a switch the NIB never learned about (disconnect raced the
+  // FeaturesReply) is fine — there is simply nothing to forget.
+  (void)nib_.remove_switch(sw);
 }
 
 void Controller::adopt_child(Controller& child) {
@@ -76,6 +78,37 @@ Result<void> Controller::send(SwitchId sw, const Message& msg) {
     return {ErrorCode::kNotFound, name_ + " has no device " + sw.str()};
   it->second->send_to_device(msg);
   return Ok();
+}
+
+Result<void> Controller::send_batch(SwitchId sw, std::span<const Message> batch) {
+  if (batch.empty()) return Ok();
+  auto it = device_channels_.find(sw);
+  if (it == device_channels_.end())
+    return {ErrorCode::kNotFound, name_ + " has no device " + sw.str()};
+  it->second->send_to_device_batch(std::vector<Message>(batch.begin(), batch.end()));
+  return Ok();
+}
+
+void Controller::bind_shards(sim::ShardedSimulator* engine, sim::ShardId self_shard,
+                             sim::Duration cross_shard_delay,
+                             const std::function<sim::ShardId(SwitchId)>& shard_of_device) {
+  shard_ = self_shard;
+  for (auto& [sw, ch] : device_channels_) {
+    sim::ShardId device_shard = shard_of_device ? shard_of_device(sw) : self_shard;
+    southbound::Channel::ShardBinding binding;
+    binding.engine = engine;
+    binding.controller_shard = self_shard;
+    binding.device_shard = device_shard;
+    binding.to_device_delay =
+        device_shard == self_shard ? sim::Duration{} : cross_shard_delay;
+    binding.to_controller_delay = binding.to_device_delay;
+    ch->bind_shards(binding);
+  }
+}
+
+void Controller::unbind_shards() {
+  shard_ = 0;
+  for (auto& ch : owned_channels_) ch->unbind_shards();
 }
 
 std::pair<std::size_t, std::size_t> Controller::repair_paths() {

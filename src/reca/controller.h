@@ -64,6 +64,25 @@ class Controller : public nos::DeviceBus {
 
   // --- DeviceBus ----------------------------------------------------------------
   Result<void> send(SwitchId sw, const southbound::Message& msg) override;
+  /// One delivery unit down the device channel — a single engine handoff
+  /// (and a single batch count) for the whole vector.
+  Result<void> send_batch(SwitchId sw, std::span<const southbound::Message> batch) override;
+
+  // --- shard affinity (sim::ShardedSimulator) ---------------------------------
+  /// Binds every adopted device channel onto `engine`: this controller's
+  /// side runs on `self_shard`; each device side runs on
+  /// `shard_of_device(sw)` (self for physical switches, the child's shard
+  /// for child G-switches). Cross-shard channels model `cross_shard_delay`
+  /// of propagation each way; same-shard channels deliver without delay.
+  void bind_shards(sim::ShardedSimulator* engine, sim::ShardId self_shard,
+                   sim::Duration cross_shard_delay,
+                   const std::function<sim::ShardId(SwitchId)>& shard_of_device = {});
+  /// Detaches every owned channel from the engine (back to synchronous
+  /// delivery).
+  void unbind_shards();
+  /// The event shard this controller executes on (meaningful after
+  /// bind_shards; 0 otherwise).
+  [[nodiscard]] sim::ShardId shard() const { return shard_; }
 
   // --- northbound API (§4) -----------------------------------------------------
   /// (path, match fields) = Routing(request, service policy) — §4.2.
@@ -143,6 +162,7 @@ class Controller : public nos::DeviceBus {
   std::unordered_map<std::uint64_t, std::function<void(const southbound::AppMessage&)>>
       pending_child_requests_;
   std::uint64_t messages_handled_ = 0;
+  sim::ShardId shard_ = 0;
   obs::Counter* messages_metric_;  ///< controller_messages_total{level}
 };
 

@@ -1,0 +1,261 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace softmow::sim {
+
+namespace {
+
+// Shard execution context of the calling thread. Set for the duration of
+// execute_shard(); components reached from an event use it to find the
+// shard they run on (e.g. southbound channels deciding same-shard vs.
+// cross-shard delivery).
+thread_local ShardId t_current_shard = 0;
+thread_local bool t_in_shard_event = false;
+
+// Process-wide run() wall-clock, in nanoseconds (a bench may build several
+// engines across scenarios; the harness exports the sum).
+std::atomic<std::uint64_t> g_engine_wall_ns{0};
+
+// Disjoint span-id ranges per shard: the process tracer allocates upward
+// from 1, shard s from (s + 1) << 40 — no overlap until 2^40 spans, far
+// beyond the bounded ring.
+constexpr std::uint64_t kShardIdStride = std::uint64_t{1} << 40;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(std::size_t shards) : ShardedSimulator(shards, Options{}) {}
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, Options opts)
+    : threads_(opts.threads == 0 ? 1 : opts.threads),
+      lookahead_(opts.lookahead),
+      events_counter_(obs::default_registry().counter("sim_events_executed_total")) {
+  assert(shards > 0 && "need at least one shard");
+  assert(lookahead_ > Duration{} && "lookahead must be positive");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->tracer = std::make_unique<obs::Tracer>();
+    shard->tracer->set_id_base((static_cast<std::uint64_t>(s) + 1) * kShardIdStride);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+ShardId ShardedSimulator::current_shard() { return t_current_shard; }
+
+bool ShardedSimulator::in_shard_event() { return t_in_shard_event; }
+
+double ShardedSimulator::process_wall_ms() {
+  return static_cast<double>(g_engine_wall_ns.load(std::memory_order_relaxed)) / 1e6;
+}
+
+void ShardedSimulator::schedule(ShardId shard, Duration delay, Callback fn) {
+  assert(shard < shards_.size());
+  TimePoint base = (t_in_shard_event && t_current_shard < shards_.size())
+                       ? shards_[t_current_shard]->now
+                       : shards_[shard]->now;
+  schedule_at(shard, base + delay, std::move(fn));
+}
+
+void ShardedSimulator::schedule_at(ShardId shard, TimePoint when, Callback fn) {
+  assert(shard < shards_.size());
+  Shard& dest = *shards_[shard];
+  if (t_in_shard_event && t_current_shard != shard) {
+    // Cross-shard from inside an event: conservative synchronization only
+    // holds if the delivery is at least `lookahead` ahead of the sender, so
+    // clamp and route through the destination mailbox.
+    Shard& src = *shards_[t_current_shard];
+    TimePoint earliest = src.now + lookahead_;
+    if (when < earliest) {
+      when = earliest;
+      clamps_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cross_posts_.fetch_add(1, std::memory_order_relaxed);
+    Mail mail{when, t_current_shard, src.send_seq++, std::move(fn),
+              obs::default_tracer().current()};
+    std::lock_guard<std::mutex> lock(dest.mail_mu);
+    dest.mailbox.push_back(std::move(mail));
+    return;
+  }
+  assert(when >= dest.now && "cannot schedule into a shard's past");
+  dest.queue.push(Event{when, dest.seq++, std::move(fn), obs::default_tracer().current()});
+}
+
+void ShardedSimulator::post(ShardId to, Duration delay, Callback fn) {
+  assert(to < shards_.size());
+  TimePoint base = t_in_shard_event ? shards_[t_current_shard]->now : shards_[to]->now;
+  schedule_at(to, base + delay, std::move(fn));
+}
+
+TimePoint ShardedSimulator::now(ShardId shard) const {
+  assert(shard < shards_.size());
+  return shards_[shard]->now;
+}
+
+bool ShardedSimulator::idle() const {
+  for (const auto& s : shards_) {
+    if (!s->queue.empty()) return false;
+    std::lock_guard<std::mutex> lock(s->mail_mu);
+    if (!s->mailbox.empty()) return false;
+  }
+  return true;
+}
+
+void ShardedSimulator::deliver_mail() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::vector<Mail> mail;
+    {
+      std::lock_guard<std::mutex> lock(s.mail_mu);
+      mail.swap(s.mailbox);
+    }
+    if (mail.empty()) continue;
+    // (delivery time, sender shard, sender sequence) is a total order that
+    // does not depend on which worker executed the sender — the key to
+    // thread-count-invariant schedules.
+    std::sort(mail.begin(), mail.end(), [](const Mail& a, const Mail& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.src != b.src) return a.src < b.src;
+      return a.src_seq < b.src_seq;
+    });
+    for (Mail& m : mail)
+      s.queue.push(Event{m.when, s.seq++, std::move(m.fn), m.ctx});
+  }
+}
+
+void ShardedSimulator::execute_shard(std::size_t index, TimePoint horizon) {
+  Shard& s = *shards_[index];
+  obs::ThreadTracerScope tracer_scope(s.tracer.get());
+  ShardId prev_shard = t_current_shard;
+  bool prev_in_event = t_in_shard_event;
+  t_current_shard = index;
+  t_in_shard_event = true;
+  while (!s.queue.empty() && s.queue.top().when < horizon) {
+    Event ev = s.queue.top();
+    s.queue.pop();
+    s.now = ev.when;
+    ++s.executed;
+    events_counter_->inc();
+    obs::Tracer::ScopedContext scoped(*s.tracer, ev.ctx);
+    ev.fn();
+  }
+  t_current_shard = prev_shard;
+  t_in_shard_event = prev_in_event;
+}
+
+void ShardedSimulator::start_workers() {
+  // Each worker starts from the epoch current at spawn time: epoch_ persists
+  // across run() calls, so a fresh pool must neither mistake the previous
+  // run's last epoch for new work nor (if spawned late) skip this run's
+  // first window.
+  std::uint64_t spawn_epoch;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    shutdown_ = false;
+    spawn_epoch = epoch_;
+  }
+  workers_.reserve(threads_);
+  for (std::size_t t = 0; t < threads_; ++t)
+    workers_.emplace_back([this, spawn_epoch] { worker_loop(spawn_epoch); });
+}
+
+void ShardedSimulator::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ShardedSimulator::worker_loop(std::uint64_t seen_epoch) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    for (;;) {
+      std::size_t i = next_work_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= window_work_.size()) break;
+      execute_shard(window_work_[i], window_horizon_);
+    }
+    {
+      // threads_ (not workers_.size()): the vector is still growing on the
+      // coordinator thread while early workers run their first wait.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      ++finished_;
+      if (finished_ == threads_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardedSimulator::run_window_parallel() {
+  next_work_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    finished_ = 0;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  done_cv_.wait(lock, [this] { return finished_ == threads_; });
+}
+
+std::uint64_t ShardedSimulator::run() {
+  auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t before = executed_total_;
+  // The caller's tracer, resolved before any shard override: shard streams
+  // merge back into it so exporters see one deterministic timeline.
+  obs::Tracer& target = obs::default_tracer();
+  running_ = true;
+  const bool parallel = threads_ > 1 && shards_.size() > 1;
+  if (parallel) start_workers();
+  for (;;) {
+    deliver_mail();
+    bool any = false;
+    TimePoint window_start;
+    for (const auto& s : shards_) {
+      if (s->queue.empty()) continue;
+      TimePoint t = s->queue.top().when;
+      if (!any || t < window_start) {
+        window_start = t;
+        any = true;
+      }
+    }
+    if (!any) break;
+    const TimePoint horizon = window_start + lookahead_;
+    window_work_.clear();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!shards_[i]->queue.empty() && shards_[i]->queue.top().when < horizon)
+        window_work_.push_back(i);
+    }
+    window_horizon_ = horizon;
+    ++windows_;
+    if (parallel) {
+      run_window_parallel();
+    } else {
+      for (std::size_t i : window_work_) execute_shard(i, horizon);
+    }
+  }
+  if (parallel) stop_workers();
+  running_ = false;
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->executed;
+  executed_total_ = total;
+  for (auto& s : shards_) target.merge_from(*s->tracer);
+  auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
+  wall_ms_ += static_cast<double>(wall_ns) / 1e6;
+  g_engine_wall_ns.fetch_add(static_cast<std::uint64_t>(wall_ns), std::memory_order_relaxed);
+  return executed_total_ - before;
+}
+
+}  // namespace softmow::sim

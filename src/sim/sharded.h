@@ -1,0 +1,186 @@
+// Region-sharded parallel discrete-event engine.
+//
+// SoftMoW's regions are independent control domains joined only by
+// bounded-latency parent links (§3, §4.1), so the event timeline decomposes
+// into one shard per leaf region plus one shard per non-leaf controller
+// level. Shards execute on a worker-thread pool under *conservative*
+// synchronization: in each window the coordinator computes
+//
+//     W = min over shards of (earliest pending event)
+//     H = W + lookahead
+//
+// and every shard executes its events with `when < H`. Cross-shard work is
+// handed off through per-shard mailboxes stamped with a delivery time at
+// least `lookahead` in the future — exactly the inter-region propagation
+// delay already modeled by the topology and the southbound channels — so a
+// message sent during a window can never land inside it, and no shard ever
+// receives an event from its past.
+//
+// Determinism: the window schedule is a pure function of the event timeline
+// (thread count only sizes the pool). Mailboxes are drained at window
+// barriers sorted by (delivery time, sender shard, sender sequence), and
+// each shard executes its queue in (when, seq) order, so at a fixed seed the
+// engine executes the *identical* event sequence for any `--threads` value —
+// including 1, where shards run inline on the calling thread. The
+// single-queue `Simulator` remains the 1-shard degenerate case and the
+// reference oracle for equivalence tests.
+//
+// Observability: each shard owns an obs::Tracer with a disjoint id range,
+// installed as the worker's thread-local default_tracer() while the shard
+// runs; after run() the shard tracers merge into the caller's tracer in
+// shard-index order, so exported traces and critical-path tables are
+// byte-identical across thread counts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/time.h"
+
+namespace softmow::sim {
+
+/// Index of one event shard (a leaf region or a non-leaf controller level).
+using ShardId = std::size_t;
+
+class ShardedSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  struct Options {
+    /// Worker threads executing shards within a window. 1 = run shards
+    /// inline on the calling thread (same schedule, no pool).
+    std::size_t threads = 1;
+    /// Conservative synchronization horizon: the minimum cross-shard
+    /// propagation delay. Must be > 0.
+    Duration lookahead = Duration::millis(1.0);
+  };
+
+  explicit ShardedSimulator(std::size_t shards);
+  ShardedSimulator(std::size_t shards, Options opts);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Schedules `fn` on `shard`, `delay` after that shard's clock. Events at
+  /// the same instant run in scheduling order (stable FIFO per shard). The
+  /// ambient trace context is captured and restored around the callback.
+  /// From inside a running event this is safe only for the executing shard
+  /// (or via post() for others).
+  void schedule(ShardId shard, Duration delay, Callback fn);
+  void schedule_at(ShardId shard, TimePoint when, Callback fn);
+
+  /// Cross-shard handoff, callable from inside a running event: delivers
+  /// `fn` to shard `to` at `delay` after the sending shard's current time,
+  /// clamped up to `lookahead` when crossing shards (counted in
+  /// lookahead_clamps). Same-shard posts are plain schedules.
+  void post(ShardId to, Duration delay, Callback fn);
+
+  [[nodiscard]] TimePoint now(ShardId shard) const;
+  [[nodiscard]] bool idle() const;
+
+  /// Runs windows until every shard queue and mailbox drains, then merges
+  /// the shard tracers into the caller's default_tracer(). Returns events
+  /// executed by this call and accumulates wall-clock into wall_ms().
+  std::uint64_t run();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_total_; }
+  [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
+  [[nodiscard]] std::uint64_t cross_shard_posts() const { return cross_posts_; }
+  [[nodiscard]] std::uint64_t lookahead_clamps() const { return clamps_; }
+  /// Wall-clock milliseconds spent inside run() so far (the parallel phase
+  /// `--threads` accelerates; exported as bench_wall_ms{phase=sim}).
+  [[nodiscard]] double wall_ms() const { return wall_ms_; }
+
+  /// The shard the calling thread is currently executing an event for.
+  /// Valid only when in_shard_event().
+  [[nodiscard]] static ShardId current_shard();
+  [[nodiscard]] static bool in_shard_event();
+
+  /// Process-wide sum of every engine's run() wall-clock, for the bench
+  /// harness (a bench may build several engines across scenarios).
+  [[nodiscard]] static double process_wall_ms();
+
+  [[nodiscard]] obs::Tracer& shard_tracer(ShardId shard) { return *shards_[shard]->tracer; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+    obs::TraceContext ctx;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  /// A cross-shard message awaiting delivery at a window barrier. Sorted by
+  /// (when, src, src_seq) before delivery so the destination's execution
+  /// order never depends on which worker ran the sender.
+  struct Mail {
+    TimePoint when;
+    ShardId src;
+    std::uint64_t src_seq;
+    Callback fn;
+    obs::TraceContext ctx;
+  };
+  struct Shard {
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    TimePoint now;
+    std::uint64_t seq = 0;       ///< local schedule order (FIFO ties)
+    std::uint64_t send_seq = 0;  ///< cross-shard send order
+    std::uint64_t executed = 0;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::mutex mail_mu;
+    std::vector<Mail> mailbox;
+  };
+
+  void deliver_mail();
+  void execute_shard(std::size_t index, TimePoint horizon);
+  void worker_loop(std::uint64_t seen_epoch);
+  void run_window_parallel();
+  void start_workers();
+  void stop_workers();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t threads_;
+  Duration lookahead_;
+  bool running_ = false;
+  std::uint64_t executed_total_ = 0;
+  std::uint64_t windows_ = 0;
+  std::atomic<std::uint64_t> cross_posts_{0};
+  std::atomic<std::uint64_t> clamps_{0};
+  double wall_ms_ = 0;
+  obs::Counter* events_counter_;  ///< sim_events_executed_total (shared with Simulator)
+
+  // Worker pool (parallel runs only). Workers rendezvous with the
+  // coordinator at window barriers through epoch_/finished_ under pool_mu_;
+  // shard ownership within a window is claimed via next_work_.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::size_t> window_work_;
+  TimePoint window_horizon_;
+  std::atomic<std::size_t> next_work_{0};
+  std::uint64_t epoch_ = 0;
+  std::size_t finished_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace softmow::sim

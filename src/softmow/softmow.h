@@ -25,6 +25,7 @@
 #include "obs/metrics.h"        // IWYU pragma: export
 #include "obs/trace.h"          // IWYU pragma: export
 
+#include "sim/sharded.h"           // IWYU pragma: export
 #include "sim/simulator.h"         // IWYU pragma: export
 #include "sim/time.h"              // IWYU pragma: export
 

@@ -34,23 +34,100 @@ Channel::Channel(MessageCounter* counter)
       to_device_metric_(obs::default_registry().counter("southbound_messages_total",
                                                         {{"direction", "to_device"}})),
       to_controller_metric_(obs::default_registry().counter("southbound_messages_total",
-                                                            {{"direction", "to_controller"}})) {}
+                                                            {{"direction", "to_controller"}})),
+      to_device_batches_metric_(obs::default_registry().counter(
+          "southbound_batches_total", {{"direction", "to_device"}})),
+      to_controller_batches_metric_(obs::default_registry().counter(
+          "southbound_batches_total", {{"direction", "to_controller"}})) {}
+
+bool Channel::engine_active() const {
+  return binding_.engine != nullptr && binding_.engine->running() &&
+         sim::ShardedSimulator::in_shard_event();
+}
+
+void Channel::count_send(bool to_device, std::uint64_t messages) {
+  if (to_device) {
+    sent_to_device_ += messages;
+    to_device_metric_->inc(messages);
+    to_device_batches_metric_->inc();
+  } else {
+    sent_to_controller_ += messages;
+    to_controller_metric_->inc(messages);
+    to_controller_batches_metric_->inc();
+  }
+  if (counter_ != nullptr) {
+    (to_device ? counter_->to_device : counter_->to_controller)
+        .fetch_add(messages, std::memory_order_relaxed);
+    counter_->batches.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Channel::deliver_direct(const Message& m, bool to_device) {
+  if (!connected_) return;
+  Handler& h = to_device ? to_device_ : to_controller_;
+  if (h) {
+    h(m);
+  } else {
+    SOFTMOW_LOG(LogLevel::kDebug, "channel")
+        << "dropping " << message_name(m) << " (no handler bound)";
+  }
+}
 
 void Channel::send_to_device(Message m) {
   if (!connected_) return;
-  ++sent_to_device_;
-  to_device_metric_->inc();
-  if (counter_ != nullptr) ++counter_->to_device;
+  count_send(/*to_device=*/true, 1);
+  if (engine_active()) {
+    // The engine captures the ambient trace context at post time and
+    // restores it around the callback — same causality rule as the pump.
+    binding_.engine->post(binding_.device_shard, binding_.to_device_delay,
+                          [this, msg = std::move(m)] { deliver_direct(msg, true); });
+    return;
+  }
   pending_.push_back(Pending{std::move(m), true, obs::default_tracer().current()});
   pump();
 }
 
 void Channel::send_to_controller(Message m) {
   if (!connected_) return;
-  ++sent_to_controller_;
-  to_controller_metric_->inc();
-  if (counter_ != nullptr) ++counter_->to_controller;
+  count_send(/*to_device=*/false, 1);
+  if (engine_active()) {
+    binding_.engine->post(binding_.controller_shard, binding_.to_controller_delay,
+                          [this, msg = std::move(m)] { deliver_direct(msg, false); });
+    return;
+  }
   pending_.push_back(Pending{std::move(m), false, obs::default_tracer().current()});
+  pump();
+}
+
+void Channel::send_to_device_batch(std::vector<Message> batch) {
+  if (!connected_ || batch.empty()) return;
+  count_send(/*to_device=*/true, batch.size());
+  if (engine_active()) {
+    // One engine event delivers the whole batch: a single cross-shard
+    // handoff regardless of batch size.
+    binding_.engine->post(binding_.device_shard, binding_.to_device_delay,
+                          [this, msgs = std::move(batch)] {
+                            for (const Message& m : msgs) deliver_direct(m, true);
+                          });
+    return;
+  }
+  obs::TraceContext ctx = obs::default_tracer().current();
+  for (Message& m : batch) pending_.push_back(Pending{std::move(m), true, ctx});
+  pump();
+}
+
+void Channel::send_to_controller_batch(std::vector<Message> batch) {
+  if (!connected_ || batch.empty()) return;
+  count_send(/*to_device=*/false, batch.size());
+  if (engine_active()) {
+    binding_.engine->post(binding_.controller_shard, binding_.to_controller_delay,
+                          [this, msgs = std::move(batch)] {
+                            for (const Message& m : msgs) deliver_direct(m, false);
+                          });
+    return;
+  }
+  obs::TraceContext ctx = obs::default_tracer().current();
+  for (Message& m : batch) pending_.push_back(Pending{std::move(m), false, ctx});
   pump();
 }
 

@@ -1,24 +1,38 @@
 // Bidirectional control channel between a controller and a device (physical
 // switch agent or child RecA agent).
 //
-// Delivery is queued-and-flattened: a handler that sends further messages
-// never recurses into nested delivery; messages drain FIFO per channel.
+// Delivery has two modes. Unbound (the default, and always during
+// bootstrap), it is queued-and-flattened: a handler that sends further
+// messages never recurses into nested delivery; messages drain FIFO per
+// channel, synchronously inside send. Bound to a running
+// sim::ShardedSimulator (bind_shards), sends instead post delivery events
+// into the receiving side's shard with the channel's propagation delay —
+// same-shard hops stay immediate-order events, cross-shard hops ride the
+// engine's mailboxes — so control traffic between regions executes in
+// parallel yet deterministically.
+//
+// Batched sends (send_to_*_batch) deliver a whole vector of messages as ONE
+// engine event / pump group, amortizing the cross-shard handoff; the
+// registry counts messages and batches separately
+// (`southbound_messages_total` / `southbound_batches_total`, by direction).
 // Control-plane message volume — the "east-west" load the region
 // optimization of §5.3 minimizes — is reported per direction through the
-// obs metrics registry (`southbound_messages_total{direction=...}`); the
-// per-experiment MessageCounter remains as a thin scoped view for callers
-// that need a delta isolated to one Hub.
+// obs metrics registry; the per-experiment MessageCounter remains as a thin
+// scoped view for callers that need a delta isolated to one Hub.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/sharded.h"
 #include "southbound/messages.h"
 
 namespace softmow::southbound {
@@ -26,18 +40,38 @@ namespace softmow::southbound {
 /// Receives messages arriving at one side of a channel.
 using Handler = std::function<void(const Message&)>;
 
-/// Counts messages by direction; shared by all channels of one experiment.
+/// Counts messages and delivery batches by direction; shared by all
+/// channels of one experiment (fields are atomics so shard threads can
+/// bump them concurrently). A plain send counts as a batch of one, so
+/// `to_device + to_controller` over `batches` is the amortization factor.
 /// Deprecated in favour of the registry series
 /// `southbound_messages_total{direction=to_device|to_controller}`, which
 /// every channel feeds unconditionally; kept as a thin per-Hub view.
 struct MessageCounter {
-  std::uint64_t to_device = 0;
-  std::uint64_t to_controller = 0;
-  [[nodiscard]] std::uint64_t total() const { return to_device + to_controller; }
+  std::atomic<std::uint64_t> to_device{0};
+  std::atomic<std::uint64_t> to_controller{0};
+  std::atomic<std::uint64_t> batches{0};
+  [[nodiscard]] std::uint64_t total() const {
+    return to_device.load(std::memory_order_relaxed) +
+           to_controller.load(std::memory_order_relaxed);
+  }
 };
 
 class Channel {
  public:
+  /// Routes one channel's deliveries onto a sharded engine: each side's
+  /// handler runs on its owning shard, `delay` ahead of the sender's clock
+  /// (the modeled controller-switch / parent-child propagation time). Only
+  /// consulted while the engine is running and the sender is executing a
+  /// shard event; otherwise sends fall back to the synchronous pump.
+  struct ShardBinding {
+    sim::ShardedSimulator* engine = nullptr;
+    sim::ShardId controller_shard = 0;
+    sim::ShardId device_shard = 0;
+    sim::Duration to_device_delay;      ///< controller -> device propagation
+    sim::Duration to_controller_delay;  ///< device -> controller propagation
+  };
+
   Channel();
   explicit Channel(MessageCounter* counter);
 
@@ -49,12 +83,20 @@ class Channel {
   [[nodiscard]] bool controller_bound() const { return static_cast<bool>(to_controller_); }
   [[nodiscard]] bool device_bound() const { return static_cast<bool>(to_device_); }
 
+  void bind_shards(const ShardBinding& binding) { binding_ = binding; }
+  void unbind_shards() { binding_ = ShardBinding{}; }
+  [[nodiscard]] bool shard_bound() const { return binding_.engine != nullptr; }
+
   /// Controller -> device. The sender's ambient trace context is captured
   /// with the message and restored around the receiving handler, so delivery
-  /// through the flattened queue preserves causality.
+  /// through the flattened queue (or the engine event) preserves causality.
   void send_to_device(Message m);
   /// Device -> controller.
   void send_to_controller(Message m);
+  /// Controller -> device, one delivery unit for the whole vector.
+  void send_to_device_batch(std::vector<Message> batch);
+  /// Device -> controller, one delivery unit for the whole vector.
+  void send_to_controller_batch(std::vector<Message> batch);
 
   /// Drops all undelivered messages (used by failure-injection tests).
   void disconnect();
@@ -65,6 +107,12 @@ class Channel {
 
  private:
   void pump();
+  /// True when sends must route through the bound engine (engine running
+  /// and the caller is inside a shard event).
+  [[nodiscard]] bool engine_active() const;
+  void count_send(bool to_device, std::uint64_t messages);
+  /// Runs the receiving handler for one message (engine-event body).
+  void deliver_direct(const Message& m, bool to_device);
 
   Handler to_controller_;
   Handler to_device_;
@@ -76,11 +124,16 @@ class Channel {
   std::deque<Pending> pending_;
   bool pumping_ = false;
   bool connected_ = true;
+  // Each side of the channel sends from exactly one shard, so each field
+  // below has a single writer even in parallel runs.
   std::uint64_t sent_to_device_ = 0;
   std::uint64_t sent_to_controller_ = 0;
   MessageCounter* counter_ = nullptr;
+  ShardBinding binding_;
   obs::Counter* to_device_metric_;      ///< southbound_messages_total{direction=to_device}
   obs::Counter* to_controller_metric_;  ///< southbound_messages_total{direction=to_controller}
+  obs::Counter* to_device_batches_metric_;      ///< southbound_batches_total{...}
+  obs::Counter* to_controller_batches_metric_;  ///< southbound_batches_total{...}
 };
 
 }  // namespace softmow::southbound

@@ -14,6 +14,31 @@ SwitchAgent* Hub::agent(SwitchId sw) {
   return raw;
 }
 
+SwitchAgent* Hub::find_agent(SwitchId sw) const {
+  auto it = agents_.find(sw);
+  return it == agents_.end() ? nullptr : it->second.get();
+}
+
+void Hub::bind_shards(sim::ShardedSimulator* engine,
+                      std::unordered_map<SwitchId, sim::ShardId> owners) {
+  engine_ = engine;
+  owners_ = std::move(owners);
+}
+
+void Hub::unbind_shards() {
+  engine_ = nullptr;
+  owners_.clear();
+}
+
+bool Hub::engine_active() const {
+  return engine_ != nullptr && engine_->running() && sim::ShardedSimulator::in_shard_event();
+}
+
+sim::ShardId Hub::owner_of(SwitchId sw) const {
+  auto it = owners_.find(sw);
+  return it == owners_.end() ? sim::ShardId{0} : it->second;
+}
+
 void Hub::notify_port_status(Endpoint at, bool up) {
   SwitchAgent* a = agent(at.sw);
   if (a == nullptr) return;
@@ -124,8 +149,10 @@ void SwitchAgent::handle(const Message& msg) {
               << sw_.str() << " rejected flow-mod: " << installed.error().message;
         }
         break;
-      case FlowMod::Op::kRemoveByCookie: s->table().remove_by_cookie(mod->cookie); break;
-      case FlowMod::Op::kRemoveByMatch: s->table().remove_by_match(mod->rule.match); break;
+      // Removal of an already-gone rule is not an error at the device: the
+      // controller may retransmit teardowns (rollback after a failed setup).
+      case FlowMod::Op::kRemoveByCookie: (void)s->table().remove_by_cookie(mod->cookie); break;
+      case FlowMod::Op::kRemoveByMatch: (void)s->table().remove_by_match(mod->rule.match); break;
     }
     return;
   }
@@ -145,6 +172,19 @@ void SwitchAgent::handle(const Message& msg) {
       p.meta.latency_us = link->latency.to_micros();
       p.meta.bandwidth_kbps = link->available_kbps();
       p.meta.filled = true;
+      if (hub_->engine_active()) {
+        // Physical transit over the engine: the frame lands on the peer
+        // switch's owning shard after the link latency — cross-region links
+        // become cross-shard mailbox hops.
+        Hub* hub = hub_;
+        Endpoint to = *peer;
+        hub_->engine()->post(hub_->owner_of(to.sw), link->latency,
+                             [hub, to, frame = std::move(p)] {
+                               if (SwitchAgent* a = hub->find_agent(to.sw))
+                                 a->receive_frame(to, frame);
+                             });
+        return;
+      }
       if (SwitchAgent* peer_agent = hub_->agent(peer->sw)) peer_agent->receive_frame(*peer, p);
       return;
     }

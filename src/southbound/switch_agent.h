@@ -32,10 +32,27 @@ class Hub {
     });
   }
 
-  /// Creates (or returns) the agent for `sw`.
+  /// Creates (or returns) the agent for `sw`. Not safe during a parallel
+  /// engine run (may insert); shard-event code paths use find_agent().
   SwitchAgent* agent(SwitchId sw);
+  /// Lookup without creating — safe from concurrent shard events, where
+  /// every adopted switch's agent already exists.
+  [[nodiscard]] SwitchAgent* find_agent(SwitchId sw) const;
   [[nodiscard]] dataplane::PhysicalNetwork* net() { return net_; }
   [[nodiscard]] MessageCounter& counter() { return counter_; }
+
+  /// Routes physical frame transit over the sharded engine: a discovery
+  /// frame leaving a switch is delivered to the peer switch's owning shard
+  /// after the link latency, instead of synchronously in the sender's
+  /// stack. `owners` maps every adopted switch to its region's shard.
+  void bind_shards(sim::ShardedSimulator* engine,
+                   std::unordered_map<SwitchId, sim::ShardId> owners);
+  void unbind_shards();
+  [[nodiscard]] sim::ShardedSimulator* engine() { return engine_; }
+  /// True when frame transit must be posted onto the engine.
+  [[nodiscard]] bool engine_active() const;
+  /// Shard owning `sw` (shard 0 when unmapped).
+  [[nodiscard]] sim::ShardId owner_of(SwitchId sw) const;
 
   /// Punts every PacketIn captured in a delivery report to the controllers
   /// of the switch that generated it.
@@ -47,6 +64,8 @@ class Hub {
   dataplane::PhysicalNetwork* net_;
   std::unordered_map<SwitchId, std::unique_ptr<SwitchAgent>> agents_;
   MessageCounter counter_;
+  sim::ShardedSimulator* engine_ = nullptr;
+  std::unordered_map<SwitchId, sim::ShardId> owners_;
 };
 
 class SwitchAgent {

@@ -55,10 +55,10 @@ WanTopology generate_wan(PhysicalNetwork& net, const WanParams& params) {
         SwitchId a = members[s];
         SwitchId b = members[(s + 1) % members.size()];
         if (members.size() == 2 && s == 1) break;  // avoid a double link
-        net.connect(a, b, sim::Duration::millis(1), params.link_bandwidth_kbps);
+        (void)net.connect(a, b, sim::Duration::millis(1), params.link_bandwidth_kbps);
       }
       if (members.size() >= 4)
-        net.connect(members[0], members[members.size() / 2], sim::Duration::millis(1),
+        (void)net.connect(members[0], members[members.size() / 2], sim::Duration::millis(1),
                     params.link_bandwidth_kbps);
     }
   }
@@ -72,7 +72,7 @@ WanTopology generate_wan(PhysicalNetwork& net, const WanParams& params) {
     // Border routers: a random member of each POP.
     SwitchId sa = rng.choice(topo.pop_members[a]);
     SwitchId sb = rng.choice(topo.pop_members[b]);
-    net.connect(sa, sb, latency, params.link_bandwidth_kbps);
+    (void)net.connect(sa, sb, latency, params.link_bandwidth_kbps);
   };
 
   for (std::size_t p = 0; p < params.pops; ++p) {
@@ -103,8 +103,9 @@ WanTopology generate_wan(PhysicalNetwork& net, const WanParams& params) {
       }
     }
     if (unreachable_pop == params.pops) break;  // unreachable switch w/o POP: impossible
-    net.connect(rng.choice(topo.pop_members[0]), rng.choice(topo.pop_members[unreachable_pop]),
-                latency, params.link_bandwidth_kbps);
+    (void)net.connect(rng.choice(topo.pop_members[0]),
+                      rng.choice(topo.pop_members[unreachable_pop]), latency,
+                      params.link_bandwidth_kbps);
   }
   return topo;
 }

@@ -29,14 +29,14 @@ class FailureTest : public ::testing::Test {
     s3 = net.add_switch({2, 0});
     s3b = net.add_switch({2, 2});
     s4 = net.add_switch({3, 0});
-    l_s1_s2 = net.connect(s1, s2);
-    l_s1_s2b = net.connect(s1, s2b);
-    net.connect(s1, s2c);
-    net.connect(s2c, s2);
-    l_s2_s3 = net.connect(s2, s3);
-    l_s2b_s3b = net.connect(s2b, s3b);
-    net.connect(s3, s4);
-    net.connect(s3b, s4);
+    l_s1_s2 = *net.connect(s1, s2);
+    l_s1_s2b = *net.connect(s1, s2b);
+    (void)net.connect(s1, s2c);
+    (void)net.connect(s2c, s2);
+    l_s2_s3 = *net.connect(s2, s3);
+    l_s2b_s3b = *net.connect(s2b, s3b);
+    (void)net.connect(s3, s4);
+    (void)net.connect(s3b, s4);
     group_a = net.add_bs_group(s1, dataplane::BsGroupTopology::kRing, {0, 1});
     group_b = net.add_bs_group(s4, dataplane::BsGroupTopology::kRing, {3, 1});
     bs_a = net.add_base_station(group_a, {0, 1});

@@ -15,8 +15,8 @@ class ServiceChainTest : public ::testing::Test {
     s1 = net.add_switch();
     s2 = net.add_switch();
     s3 = net.add_switch();
-    net.connect(s1, s2);
-    net.connect(s2, s3);
+    (void)net.connect(s1, s2);
+    (void)net.connect(s2, s3);
     group = net.add_bs_group(s1);
     bs = net.add_base_station(group, {});
     egress = net.add_egress(s3);

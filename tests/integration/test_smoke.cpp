@@ -24,9 +24,9 @@ class Fig5Test : public ::testing::Test {
     s2 = net.add_switch({1, 0});
     s3 = net.add_switch({2, 0});
     s4 = net.add_switch({3, 0});
-    net.connect(s1, s2);
-    net.connect(s2, s3);  // the cross-region link
-    net.connect(s3, s4);
+    (void)net.connect(s1, s2);
+    (void)net.connect(s2, s3);  // the cross-region link
+    (void)net.connect(s3, s4);
     group_a = net.add_bs_group(s1, dataplane::BsGroupTopology::kRing, {0, 1});
     group_b = net.add_bs_group(s4, dataplane::BsGroupTopology::kRing, {3, 1});
     bs_a = net.add_base_station(group_a, {0, 1});

@@ -66,7 +66,7 @@ class AgentFixture : public ::testing::Test {
   void SetUp() override {
     a = net.add_switch();
     b = net.add_switch();
-    link = net.connect(a, b);
+    link = *net.connect(a, b);
     hub = std::make_unique<Hub>(&net);
   }
 

@@ -169,11 +169,11 @@ TEST(FlowTable, RemoveByCookieAndMatch) {
   b.match.ue = UeId{2};
   ASSERT_TRUE(t.install(a).ok());
   ASSERT_TRUE(t.install(b).ok());
-  EXPECT_EQ(t.remove_by_cookie(1), 1u);
-  EXPECT_EQ(t.remove_by_cookie(1), 0u);
+  EXPECT_EQ(*t.remove_by_cookie(1), 1u);
+  EXPECT_EQ(t.remove_by_cookie(1).code(), ErrorCode::kNotFound);
   Match m;
   m.ue = UeId{2};
-  EXPECT_EQ(t.remove_by_match(m), 1u);
+  EXPECT_EQ(*t.remove_by_match(m), 1u);
   EXPECT_EQ(t.size(), 0u);
 }
 

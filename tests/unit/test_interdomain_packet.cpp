@@ -30,7 +30,7 @@ class InterdomainFixture : public ::testing::Test {
   void SetUp() override {
     s1 = net.add_switch();
     s2 = net.add_switch();
-    net.connect(s1, s2);
+    (void)net.connect(s1, s2);
     group = net.add_bs_group(s1);
     net.add_base_station(group, {});
     egress = net.add_egress(s2);

@@ -15,8 +15,8 @@ class MgmtFixture : public ::testing::Test {
     s1 = net.add_switch();
     s2 = net.add_switch();
     s3 = net.add_switch();
-    net.connect(s1, s2);
-    net.connect(s2, s3);
+    (void)net.connect(s1, s2);
+    (void)net.connect(s2, s3);
     // Groups: a, b in region west (a adjacent to c across the border);
     // c in region east.
     a = net.add_bs_group(s1);

@@ -15,9 +15,9 @@ class MobilityFixture : public ::testing::Test {
     s2 = net.add_switch({1, 0});
     s3 = net.add_switch({2, 0});
     s4 = net.add_switch({3, 0});
-    net.connect(s1, s2);
-    net.connect(s2, s3);
-    net.connect(s3, s4);
+    (void)net.connect(s1, s2);
+    (void)net.connect(s2, s3);
+    (void)net.connect(s3, s4);
     group_a = net.add_bs_group(s1, dataplane::BsGroupTopology::kRing, {0, 1});
     group_b = net.add_bs_group(s2, dataplane::BsGroupTopology::kRing, {1, 1});
     group_c = net.add_bs_group(s4, dataplane::BsGroupTopology::kRing, {3, 1});

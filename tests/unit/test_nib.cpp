@@ -28,7 +28,7 @@ TEST(Nib, SwitchUpsertAndRemove) {
   EXPECT_EQ(nib.total_ports(), 5u);
   ASSERT_NE(nib.sw(SwitchId{1}), nullptr);
   EXPECT_NE(nib.sw(SwitchId{1})->port(PortId{2}), nullptr);
-  nib.remove_switch(SwitchId{1});
+  ASSERT_TRUE(nib.remove_switch(SwitchId{1}).ok());
   EXPECT_EQ(nib.sw(SwitchId{1}), nullptr);
 }
 
@@ -41,7 +41,7 @@ TEST(Nib, LinkEndpointsNormalized) {
   EXPECT_EQ(nib.links().size(), 1u);
   EXPECT_TRUE(nib.endpoint_linked(a));
   EXPECT_TRUE(nib.endpoint_linked(b));
-  nib.remove_link(a, b);
+  ASSERT_TRUE(nib.remove_link(a, b).ok());
   EXPECT_TRUE(nib.links().empty());
 }
 
@@ -50,7 +50,7 @@ TEST(Nib, RemoveSwitchDropsItsLinks) {
   nib.upsert_switch(make_switch(1, 2));
   nib.upsert_switch(make_switch(2, 2));
   nib.upsert_link({SwitchId{1}, PortId{1}}, {SwitchId{2}, PortId{1}}, {});
-  nib.remove_switch(SwitchId{2});
+  ASSERT_TRUE(nib.remove_switch(SwitchId{2}).ok());
   EXPECT_TRUE(nib.links().empty());
 }
 

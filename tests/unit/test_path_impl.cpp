@@ -211,7 +211,7 @@ TEST(RouteIntact, DetectsMissingAndDownPieces) {
   EXPECT_FALSE(route_intact(nib, route));
   nib.set_links_at_up({SwitchId{2}, PortId{2}}, true);
   EXPECT_TRUE(route_intact(nib, route));
-  nib.remove_switch(SwitchId{2});
+  ASSERT_TRUE(nib.remove_switch(SwitchId{2}).ok());
   EXPECT_FALSE(route_intact(nib, route));
 }
 

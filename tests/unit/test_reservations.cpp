@@ -25,7 +25,7 @@ TEST(NibReservations, ReserveReleaseCycle) {
   EXPECT_TRUE(nib.reserve_link_bandwidth(at, 600).ok());
   EXPECT_DOUBLE_EQ(nib.links()[0].metrics.bandwidth_kbps, 400);
   EXPECT_EQ(nib.reserve_link_bandwidth(at, 600).code(), ErrorCode::kExhausted);
-  nib.release_link_bandwidth(at, 600);
+  EXPECT_TRUE(nib.release_link_bandwidth(at, 600).ok());
   EXPECT_DOUBLE_EQ(nib.links()[0].metrics.bandwidth_kbps, 1000);
   EXPECT_EQ(nib.reserve_link_bandwidth({SwitchId{9}, PortId{1}}, 1).code(),
             ErrorCode::kNotFound);
@@ -125,7 +125,7 @@ TEST_F(PathReservationTest, ReactivateReacquiresBandwidth) {
   // Someone else grabs most of the link; reactivation must fail cleanly.
   ASSERT_TRUE(nib.reserve_link_bandwidth({SwitchId{1}, PortId{2}}, 800).ok());
   EXPECT_EQ(paths.reactivate(*id).code(), ErrorCode::kExhausted);
-  nib.release_link_bandwidth({SwitchId{1}, PortId{2}}, 800);
+  EXPECT_TRUE(nib.release_link_bandwidth({SwitchId{1}, PortId{2}}, 800).ok());
   EXPECT_TRUE(paths.reactivate(*id).ok());
   EXPECT_DOUBLE_EQ(available(0), 600);
 }
@@ -161,9 +161,9 @@ class HierarchyReservationTest : public ::testing::Test {
     s2 = net.add_switch();
     s3 = net.add_switch();
     s4 = net.add_switch();
-    net.connect(s1, s2, sim::Duration::millis(5), 1000);  // thin west spine
-    net.connect(s2, s3, sim::Duration::millis(5), 1e6);
-    net.connect(s3, s4, sim::Duration::millis(5), 1e6);
+    (void)net.connect(s1, s2, sim::Duration::millis(5), 1000);  // thin west spine
+    (void)net.connect(s2, s3, sim::Duration::millis(5), 1e6);
+    (void)net.connect(s3, s4, sim::Duration::millis(5), 1e6);
     group_a = net.add_bs_group(s1);
     group_b = net.add_bs_group(s4);
     bs_a = net.add_base_station(group_a, {});

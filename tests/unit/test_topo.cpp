@@ -332,7 +332,7 @@ TEST(LteBaselineTest, SamplesInternalPlusExternal) {
   dataplane::PhysicalNetwork net;
   SwitchId a = net.add_switch({0, 0});
   SwitchId b = net.add_switch({1, 0});
-  net.connect(a, b);
+  (void)net.connect(a, b);
   BsGroupId g = net.add_bs_group(a);
   EgressId pgw = net.add_egress(b, {1, 0});
 
@@ -356,7 +356,7 @@ TEST(LteBaselineTest, FlatDiscoveryCountScalesWithTopology) {
   SwitchId a = net.add_switch();
   SwitchId b = net.add_switch();
   std::uint64_t before = baseline::flat_discovery_message_count(net);
-  net.connect(a, b);
+  (void)net.connect(a, b);
   std::uint64_t after = baseline::flat_discovery_message_count(net);
   EXPECT_GT(after, before);
 }

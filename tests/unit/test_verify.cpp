@@ -38,8 +38,8 @@ class VerifierTest : public ::testing::Test {
     a = net.add_switch({0, 0});
     b = net.add_switch({1, 0});
     c = net.add_switch({2, 0});
-    ab = net.connect(a, b, sim::Duration::millis(5), 1000);
-    bc = net.connect(b, c, sim::Duration::millis(5), 1000);
+    ab = *net.connect(a, b, sim::Duration::millis(5), 1000);
+    bc = *net.connect(b, c, sim::Duration::millis(5), 1000);
     group = net.add_bs_group(a);
     net.add_base_station(group, {0, 1});
     egress = net.add_egress(c);

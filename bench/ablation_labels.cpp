@@ -24,7 +24,7 @@ struct ModeResult {
 };
 
 ModeResult run_mode(reca::LabelMode mode) {
-  topo::ScenarioParams params = topo::small_scenario_params(5);
+  topo::ScenarioParams params = topo::small_scenario_params(current_bench_options().seed * 5);
   params.regions = 4;
   params.with_mid_level = true;  // 3 levels: the depth where stacking hurts
   params.label_mode = mode;

@@ -69,6 +69,28 @@ const std::vector<OptionSpec>& bench_option_registry() {
          o.scale = f;
          return true;
        }},
+      {"--seed", "<n>",
+       "master seed for scenario synthesis\n(default 1; deterministic per seed)",
+       [](BenchOptions& o, const std::string& v) {
+         std::size_t n = 0;
+         if (!parse_positive_size(v, &n)) return false;
+         o.seed = n;
+         return true;
+       }},
+      {"--faults", "<name>",
+       "fault plan for fault-injection benches:\nlink-flap, switch-crash, controller-crash,\nimpair, mixed",
+       [](BenchOptions& o, const std::string& v) {
+         o.faults = v;
+         return true;
+       }},
+      {"--fault-seed", "<n>",
+       "seed for fault-plan target selection\n(default 1)",
+       [](BenchOptions& o, const std::string& v) {
+         std::size_t n = 0;
+         if (!parse_positive_size(v, &n)) return false;
+         o.fault_seed = n;
+         return true;
+       }},
       {"--threads", "<n>",
        "worker threads for sharded-engine phases\n(default 1: inline, same schedule)",
        [](BenchOptions& o, const std::string& v) { return parse_positive_size(v, &o.threads); }},

@@ -21,6 +21,9 @@ struct BenchOptions {
   bool verify = false;          ///< --verify: static-verify each scenario built
   std::size_t trace_capacity = 0;  ///< --trace-capacity <n>: ring size (0 = default)
   double scale = 1.0;           ///< --scale <f>: shrink paper-scale params (CI smoke)
+  std::uint64_t seed = 1;       ///< --seed <n>: master seed for scenario synthesis
+  std::string faults;           ///< --faults <name>: fault plan (fault benches)
+  std::uint64_t fault_seed = 1; ///< --fault-seed <n>: fault-plan target selection
   std::size_t threads = 1;      ///< --threads <n>: sharded-engine worker threads
   std::size_t shards = 0;       ///< --shards <n>: shard override (0 = topology's natural count)
   bool help = false;            ///< --help: print usage and exit 0
@@ -94,12 +97,14 @@ class ShardedRun {
   std::unique_ptr<sim::ShardedSimulator> engine_;
 };
 
-/// Paper-scale parameters (§7.1). Deterministic under `seed`. Honours the
-/// running bench's `--scale` factor (CI smoke runs shrink the scenario while
-/// keeping its shape).
-inline topo::ScenarioParams paper_scale_params(std::uint64_t seed = 1,
+/// Paper-scale parameters (§7.1). Deterministic under `seed`; pass 0 (the
+/// default) to use the bench's global `--seed` flag. Honours the running
+/// bench's `--scale` factor (CI smoke runs shrink the scenario while keeping
+/// its shape).
+inline topo::ScenarioParams paper_scale_params(std::uint64_t seed = 0,
                                                std::size_t regions = 4,
                                                bool originate = true) {
+  if (seed == 0) seed = current_bench_options().seed;
   double f = current_bench_options().scale;
   auto scaled = [f](std::size_t n, std::size_t floor_at) {
     auto s = static_cast<std::size_t>(static_cast<double>(n) * f);

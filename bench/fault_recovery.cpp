@@ -1,0 +1,160 @@
+// Fault recovery — MTTR vs hierarchy level (§6).
+//
+// Injects a deterministic fault plan (link flaps, switch crash/restart,
+// controller failover, southbound channel impairment) into the paper-scale
+// scenario bound to the sharded engine, drives the self-healing control
+// plane back to a verified-clean data plane, and reports the modeled
+// mean-time-to-repair per fault: the recursive hierarchy (each level queues
+// only the recovery messages it actually handled) against a flat-controller
+// baseline (one station serves every message).
+//
+// Deterministic by construction: targets are drawn from sorted candidate
+// lists under --fault-seed, mutations land at engine barriers, recovery
+// traffic rides the engine's conservative windows and MTTR is modeled, never
+// measured — the output is byte-identical for any --threads.
+//
+//   $ ./fault_recovery --faults mixed --fault-seed 1 --threads 4
+#include <cstdlib>
+
+#include "bench/common.h"
+
+namespace softmow::bench {
+namespace {
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", ms);
+  return buf;
+}
+
+std::string fmt_x(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", x);
+  return buf;
+}
+
+/// Registers a handful of live bearers per region as liveness probes: their
+/// uplink flows are re-injected around every fault to count disrupted
+/// bearers and blackholed packets, and again after the plan to prove the
+/// data plane actually serves traffic post-recovery.
+void attach_probes(topo::Scenario& scenario, faults::RecoveryCoordinator& coord) {
+  auto& mp = *scenario.mgmt;
+  std::uint64_t next_ue = 1;
+  for (const auto& region : scenario.partition.group_regions) {
+    std::size_t added = 0;
+    for (BsGroupId group : region) {
+      if (added >= 3) break;
+      const auto* bs_group = scenario.net.bs_group(group);
+      reca::Controller* leaf = mp.leaf_of_group(group);
+      if (bs_group == nullptr || bs_group->members.empty() || leaf == nullptr) continue;
+      BsId bs = bs_group->members.front();
+      apps::MobilityApp& mobility = scenario.apps->mobility(*leaf);
+      UeId ue{next_ue++};
+      if (!mobility.ue_attach(ue, bs).ok()) continue;
+      apps::BearerRequest request;
+      request.ue = ue;
+      request.bs = bs;
+      request.dst_prefix = PrefixId{17};
+      if (!mobility.request_bearer(request).ok()) {
+        (void)mobility.ue_detach(ue);
+        continue;
+      }
+      coord.add_probe({ue, bs, request.dst_prefix});
+      ++added;
+    }
+  }
+}
+
+void run() {
+  const BenchOptions& opts = current_bench_options();
+  const std::string plan_name = opts.faults.empty() ? "mixed" : opts.faults;
+
+  print_header("Fault recovery — MTTR vs hierarchy level",
+               "§6: reconfiguration keeps failures local — a recursive hierarchy "
+               "repairs each fault at the lowest capable level");
+
+  auto scenario = topo::build_scenario(paper_scale_params());
+  auto& mp = *scenario->mgmt;
+
+  faults::FaultScenario plan =
+      faults::make_fault_plan(plan_name, *scenario, opts.fault_seed);
+  if (plan.events.empty()) {
+    std::fprintf(stderr, "unknown or empty fault plan '%s'; known plans:",
+                 plan_name.c_str());
+    for (const auto& name : faults::fault_plan_names())
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+
+  ShardedRun sharded(*scenario);
+  faults::RecoveryCoordinator coord(*scenario, &sharded.engine());
+  coord.harden();
+  attach_probes(*scenario, coord);
+  std::printf("plan '%s' (fault seed %llu): %zu events over %zu leaf regions; "
+              "%zu baseline probe failures\n",
+              plan.name.c_str(), (unsigned long long)opts.fault_seed,
+              plan.events.size(), mp.leaf_count(), coord.probe_failures());
+
+  faults::FaultInjector injector(*scenario, &sharded.engine());
+  std::vector<faults::FaultRecord> records = injector.run(plan, coord);
+
+  std::printf("\n--- per-fault recovery (modeled, §7.3 queueing) ---\n");
+  TextTable table({"fault", "level", "msgs", "recursive ms", "flat ms", "speedup",
+                   "repaired", "resyncs", "disrupted", "verify"});
+  for (const faults::FaultRecord& rec : records) {
+    table.add_row({rec.event.str(), "L" + std::to_string(rec.resolved_level),
+                   std::to_string(rec.recovery_messages), fmt_ms(rec.mttr_ms),
+                   fmt_ms(rec.mttr_flat_ms), fmt_x(rec.speedup()),
+                   std::to_string(rec.repaired), std::to_string(rec.resyncs),
+                   std::to_string(rec.bearers_disrupted),
+                   std::to_string(rec.verify_findings)});
+  }
+  table.print();
+
+  // The headline: how far up the hierarchy each repair had to climb, and
+  // what the same message load would have cost a flat controller.
+  std::printf("\n--- MTTR vs hierarchy level (recursive vs flat baseline) ---\n");
+  TextTable by_level({"resolved at", "faults", "mean recursive ms", "mean flat ms",
+                      "mean speedup"});
+  int max_level = 1;
+  for (const faults::FaultRecord& rec : records)
+    if (rec.resolved_level > max_level) max_level = rec.resolved_level;
+  for (int level = 1; level <= max_level; ++level) {
+    double recursive = 0, flat = 0, speedup = 0;
+    std::size_t n = 0;
+    for (const faults::FaultRecord& rec : records) {
+      if (rec.resolved_level != level) continue;
+      recursive += rec.mttr_ms;
+      flat += rec.mttr_flat_ms;
+      speedup += rec.speedup();
+      ++n;
+    }
+    if (n == 0) continue;
+    double dn = static_cast<double>(n);
+    by_level.add_row({"level " + std::to_string(level), std::to_string(n),
+                      fmt_ms(recursive / dn), fmt_ms(flat / dn),
+                      fmt_x(speedup / dn)});
+  }
+  by_level.print();
+
+  std::size_t residual_probe_failures = coord.probe_failures();
+  verify::VerifyReport report = mp.verify_data_plane();
+  std::printf("\nfaults injected: %llu, recoveries completed: %zu\n",
+              (unsigned long long)injector.injected(), records.size());
+  std::printf("probes failing after recovery: %zu\n", residual_probe_failures);
+  std::printf("post-recovery verify findings: %zu\n", report.findings.size());
+  maybe_verify(*scenario, "post-recovery");
+  std::printf("takeaway: every fault repairs at the lowest level that can see it — "
+              "leaves re-route and resync their own regions while the root only "
+              "mediates inter-region damage, so the recursive MTTR stays flat while "
+              "the flat-baseline model pays for the whole message volume in one "
+              "queue.\n");
+}
+
+}  // namespace
+}  // namespace softmow::bench
+
+int main(int argc, char** argv) {
+  return softmow::bench::bench_main(argc, argv, softmow::bench::run);
+}

@@ -16,7 +16,7 @@ void run() {
   print_header("Live replay — trace-shaped load through the real control plane",
                "the §7 trace exercises §5's applications end to end");
 
-  topo::ScenarioParams params = topo::small_scenario_params(33);
+  topo::ScenarioParams params = topo::small_scenario_params(current_bench_options().seed * 33);
   params.regions = 4;
   params.trace.duration_minutes = 6 * 60;
   params.trace.peak_bearers_per_min = 20000;

@@ -8,6 +8,15 @@ using nos::ExternalRoute;
 using southbound::AppMessage;
 
 InterdomainApp::InterdomainApp(reca::Controller* controller) : controller_(controller) {
+  register_handlers();
+}
+
+void InterdomainApp::rebind(reca::Controller* controller) {
+  controller_ = controller;
+  register_handlers();
+}
+
+void InterdomainApp::register_handlers() {
   // Routes arriving from children (already translated into this
   // controller's ID space by the child's RecA before sending).
   controller_->register_child_app_handler(

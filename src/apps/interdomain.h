@@ -45,6 +45,10 @@ class InterdomainApp {
   /// and (if non-root) prepares upward propagation.
   explicit InterdomainApp(reca::Controller* controller);
 
+  /// Re-attaches to a replacement controller instance after failover (§6);
+  /// routes themselves live in the NIB, which the promotion restored.
+  void rebind(reca::Controller* controller);
+
   /// Leaf-side origination: selects routes for every egress port in the NIB
   /// against `provider` and installs + propagates them.
   void originate(const ExternalPathProvider& provider);
@@ -52,6 +56,7 @@ class InterdomainApp {
   [[nodiscard]] std::uint64_t routes_installed() const { return routes_installed_; }
 
  private:
+  void register_handlers();
   void install_and_propagate(nos::ExternalRoute route);
 
   reca::Controller* controller_;

@@ -45,6 +45,12 @@ MobilityApp::MobilityApp(reca::Controller* controller, const dataplane::Physical
   register_handlers();
 }
 
+void MobilityApp::rebind(reca::Controller* controller) {
+  controller_ = controller;
+  register_handlers();
+  if (reactive_) enable_reactive_bearers();
+}
+
 void MobilityApp::register_handlers() {
   // --- requests arriving from children (delegations travelling up) ----------
   controller_->register_child_app_handler(
@@ -228,6 +234,7 @@ void MobilityApp::register_handlers() {
 }
 
 void MobilityApp::enable_reactive_bearers() {
+  reactive_ = true;
   controller_->set_packet_in_handler(
       [this](SwitchId sw, PortId in_port, const Packet& pkt) {
         (void)sw;

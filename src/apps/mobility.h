@@ -137,6 +137,12 @@ class MobilityApp {
   /// base stations to BS groups (the radio side is not in the NIB).
   MobilityApp(reca::Controller* controller, const dataplane::PhysicalNetwork* net);
 
+  /// Re-attaches to a replacement controller instance after failover (§6):
+  /// the UE table, bearers and handover log survive — they are the "reliable
+  /// storage" state — while eastbound handlers (and the reactive Packet-In
+  /// hook, if it was on) re-register on the promoted instance.
+  void rebind(reca::Controller* controller);
+
   // --- UE lifecycle (leaf-level entry points, §5.1) --------------------------
   Result<void> ue_attach(UeId ue, BsId bs);
   Result<void> ue_detach(UeId ue);
@@ -222,6 +228,7 @@ class MobilityApp {
   const dataplane::PhysicalNetwork* net_;
   std::map<UeId, UeRecord> ues_;
   std::uint64_t next_bearer_ = 1;
+  bool reactive_ = false;  ///< reactive bearers enabled (survives rebind)
   std::uint64_t reactive_bearers_ = 0;
   MobilityStats stats_;
   WeightedAdjacency<GBsId> handover_log_;

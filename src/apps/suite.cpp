@@ -24,6 +24,12 @@ AppSuite::AppSuite(mgmt::ManagementPlane& mgmt) : mgmt_(mgmt) {
       });
 }
 
+void AppSuite::rebind(reca::Controller& c) {
+  if (auto it = mobility_.find(c.id()); it != mobility_.end()) it->second->rebind(&c);
+  if (auto it = interdomain_.find(c.id()); it != interdomain_.end()) it->second->rebind(&c);
+  if (auto it = region_opt_.find(c.id()); it != region_opt_.end()) it->second->rebind(&c);
+}
+
 RegionOptApp* AppSuite::region_opt(reca::Controller& c) {
   auto it = region_opt_.find(c.id());
   return it == region_opt_.end() ? nullptr : it->second.get();

@@ -32,6 +32,11 @@ class AppSuite {
   /// Leaf-side interdomain origination + recursive propagation to the root.
   void originate_interdomain(const ExternalPathProvider& provider);
 
+  /// Re-attaches every app of `c`'s ControllerId to the (promoted)
+  /// replacement instance after a failover. App state — UE tables, bearers,
+  /// handover logs — survives; only the controller wiring is refreshed.
+  void rebind(reca::Controller& c);
+
   /// The leaf mobility app currently serving `group`.
   [[nodiscard]] MobilityApp& leaf_mobility_of_group(BsGroupId group);
 

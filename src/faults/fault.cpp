@@ -1,0 +1,38 @@
+#include "faults/fault.h"
+
+namespace softmow::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kSwitchCrash: return "switch-crash";
+    case FaultKind::kSwitchRestart: return "switch-restart";
+    case FaultKind::kControllerCrash: return "controller-crash";
+    case FaultKind::kChannelImpair: return "channel-impair";
+    case FaultKind::kChannelClear: return "channel-clear";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::str() const {
+  std::string out = fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      out += " " + link.str();
+      break;
+    case FaultKind::kSwitchCrash:
+    case FaultKind::kSwitchRestart:
+      out += " " + sw.str();
+      break;
+    case FaultKind::kControllerCrash:
+    case FaultKind::kChannelImpair:
+    case FaultKind::kChannelClear:
+      out += " leaf" + std::to_string(leaf);
+      break;
+  }
+  return out;
+}
+
+}  // namespace softmow::faults

@@ -1,0 +1,371 @@
+#include "faults/recovery.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/log.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace softmow::faults {
+
+using sim::Duration;
+using sim::TimePoint;
+
+RecoveryCoordinator::RecoveryCoordinator(topo::Scenario& scenario,
+                                         sim::ShardedSimulator* engine,
+                                         RecoveryOptions opts)
+    : scenario_(&scenario), engine_(engine), opts_(opts) {
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  for (std::size_t i = 0; i < mp.leaf_count(); ++i) {
+    standbys_.push_back(std::make_unique<mgmt::HotStandby>(mp.leaf(i), mp.hub()));
+  }
+  obs::MetricsRegistry& reg = obs::default_registry();
+  disrupted_metric_ = reg.counter("fault_bearers_disrupted_total");
+  blackholed_metric_ = reg.counter("fault_blackholed_packets_total");
+  disruption_ms_ =
+      reg.histogram("bearer_disruption_ms", obs::Histogram::exponential_bounds(1.0, 2.0, 24));
+}
+
+void RecoveryCoordinator::harden() {
+  for (reca::Controller* c : scenario_->mgmt->all_controllers()) {
+    c->set_self_healing(true);
+    c->set_reliable_delivery(true, opts_.retry);
+  }
+}
+
+void RecoveryCoordinator::add_probe(BearerProbe probe) { probes_.push_back(probe); }
+
+std::size_t RecoveryCoordinator::probe_failures() {
+  std::size_t fails = 0;
+  for (const BearerProbe& p : probes_) {
+    Packet pkt;
+    pkt.ue = p.ue;
+    pkt.dst_prefix = p.dst;
+    auto report = scenario_->net.inject_uplink(pkt, p.bs);
+    if (report.outcome != dataplane::DeliveryReport::Outcome::kExternal) ++fails;
+  }
+  return fails;
+}
+
+void RecoveryCoordinator::checkpoint(sim::TimePoint at) {
+  for (auto& standby : standbys_) standby->sync(at);
+}
+
+namespace {
+
+/// Order-insensitive-enough digest of one switch's rules: any install or
+/// removal changes it, which is what dirty tracking needs.
+std::uint64_t table_digest(const dataplane::FlowTable& table) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const dataplane::FlowRule& rule : table.rules()) {
+    h ^= rule.cookie * 0x9e3779b97f4a7c15ull +
+         static_cast<std::uint64_t>(rule.priority) * 0x100000001b3ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::map<SwitchId, std::uint64_t> rule_digests(dataplane::PhysicalNetwork& net) {
+  std::map<SwitchId, std::uint64_t> out;
+  for (SwitchId id : net.all_switches()) {
+    const dataplane::Switch* sw = net.sw(id);
+    if (sw != nullptr) out[id] = table_digest(sw->table());
+  }
+  return out;
+}
+
+}  // namespace
+
+RecoveryCoordinator::Baseline RecoveryCoordinator::capture_baseline() const {
+  Baseline base;
+  for (reca::Controller* c : scenario_->mgmt->all_controllers()) {
+    base.messages[c->id()] = c->messages_handled();
+  }
+  base.rule_digest = rule_digests(scenario_->net);
+  base.resyncs = resync_counter_total();
+  return base;
+}
+
+std::uint64_t RecoveryCoordinator::resync_counter_total() const {
+  std::uint64_t total = 0;
+  const obs::MetricsRegistry& reg = obs::default_registry();
+  int top = scenario_->mgmt->root().level();
+  for (int level = 1; level <= top; ++level) {
+    const obs::Counter* c =
+        reg.find_counter("path_resyncs_total", {{"level", std::to_string(level)}});
+    if (c != nullptr) total += c->value();
+  }
+  return total;
+}
+
+Duration RecoveryCoordinator::detection_for(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      return opts_.link_detect;
+    case FaultKind::kSwitchCrash:
+    case FaultKind::kSwitchRestart:
+      return opts_.crash_detect;
+    case FaultKind::kControllerCrash:
+      return opts_.controller_detect;
+    case FaultKind::kChannelImpair:
+    case FaultKind::kChannelClear:
+      return opts_.retry.base_timeout;
+  }
+  return opts_.link_detect;
+}
+
+void RecoveryCoordinator::drain_engine() {
+  if (engine_ != nullptr) (void)engine_->run();
+}
+
+void RecoveryCoordinator::apply_mutation(const FaultEvent& ev) {
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+      (void)scenario_->net.set_link_up(ev.link, false);
+      break;
+    case FaultKind::kLinkUp:
+      (void)scenario_->net.set_link_up(ev.link, true);
+      break;
+    case FaultKind::kSwitchCrash:
+      if (southbound::SwitchAgent* agent = mp.hub().agent(ev.sw)) agent->crash();
+      break;
+    case FaultKind::kSwitchRestart:
+      break;  // dispatched as an engine event so the resync rides the shards
+    case FaultKind::kControllerCrash:
+      break;  // the failover *is* the recovery
+    case FaultKind::kChannelImpair: {
+      reca::Controller& leaf = mp.leaf(ev.leaf);
+      leaf.set_reliable_delivery(true, opts_.retry);
+      leaf.set_device_impairment(ev.impair, plan_seed_);
+      break;
+    }
+    case FaultKind::kChannelClear:
+      mp.leaf(ev.leaf).clear_device_impairment();
+      break;
+  }
+}
+
+void RecoveryCoordinator::dispatch_recovery(const FaultEvent& ev, FaultRecord& rec,
+                                            const obs::TraceContext& /*span*/) {
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      // Self-healing leaves already re-routed inside the PortStatus handler;
+      // refresh the logical planes bottom-up, then let every level repair
+      // the paths the topology change broke in *its* region (§6).
+      mp.refresh_topology();
+      for (reca::Controller* c : mp.leaves()) {
+        auto [r, f] = c->repair_paths();
+        rec.repaired += r;
+        rec.failed += f;
+      }
+      for (reca::Controller* c : mp.mids()) {
+        auto [r, f] = c->repair_paths();
+        rec.repaired += r;
+        rec.failed += f;
+      }
+      auto [r, f] = mp.root().repair_paths();
+      rec.repaired += r;
+      rec.failed += f;
+      break;
+    }
+    case FaultKind::kSwitchRestart: {
+      southbound::SwitchAgent* agent = mp.hub().agent(ev.sw);
+      if (engine_ != nullptr) {
+        engine_->schedule(mp.hub().owner_of(ev.sw), engine_->lookahead(),
+                          [agent] { agent->restart(); });
+      } else {
+        agent->restart();
+      }
+      break;
+    }
+    case FaultKind::kControllerCrash: {
+      mp.fail_over_leaf(ev.leaf, *standbys_[ev.leaf], ev.at, opts_.promote_duration);
+      reca::Controller& fresh = mp.leaf(ev.leaf);
+      scenario_->apps->rebind(fresh);
+      if (engine_ != nullptr) mp.bind_shards(*engine_, opts_.parent_link_delay);
+      standbys_[ev.leaf] = std::make_unique<mgmt::HotStandby>(fresh, mp.hub());
+      standbys_[ev.leaf]->sync(ev.at + opts_.promote_duration);
+      break;
+    }
+    case FaultKind::kChannelImpair:
+    case FaultKind::kChannelClear: {
+      // Resync sweep: re-push every installed rule of the leaf through the
+      // (possibly lossy) channels; reliable delivery retries until the
+      // barrier acks come back.
+      reca::Controller* leaf = &mp.leaf(ev.leaf);
+      FaultRecord* recp = &rec;
+      auto sweep = [leaf, recp] {
+        for (SwitchId sw : leaf->devices()) {
+          if (leaf->paths().resync_switch(sw) != 0) ++recp->resyncs;
+        }
+      };
+      if (engine_ != nullptr) {
+        engine_->schedule(leaf->shard(), engine_->lookahead(), sweep);
+      } else {
+        sweep();
+      }
+      break;
+    }
+    case FaultKind::kSwitchCrash:
+      break;  // handled in execute(): opens an outage, no recovery yet
+  }
+}
+
+void RecoveryCoordinator::finish_record(const FaultEvent& ev, FaultRecord& rec,
+                                        const Baseline& base,
+                                        const obs::TraceContext& span) {
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+
+  std::map<int, std::uint64_t> level_max;
+  std::uint64_t total = 0;
+  for (reca::Controller* c : mp.all_controllers()) {
+    std::uint64_t cur = c->messages_handled();
+    auto it = base.messages.find(c->id());
+    std::uint64_t prev = it == base.messages.end() ? 0 : it->second;
+    // A promoted controller restarts its counter; its whole count is new work.
+    std::uint64_t delta = cur >= prev ? cur - prev : cur;
+    if (delta == 0) continue;
+    total += delta;
+    std::uint64_t& mx = level_max[c->level()];
+    if (delta > mx) mx = delta;
+    if (c->level() > rec.resolved_level) rec.resolved_level = c->level();
+  }
+  rec.recovery_messages = total;
+  rec.resyncs += static_cast<std::size_t>(resync_counter_total() - base.resyncs);
+
+  const char* kind_name = fault_kind_name(ev.kind);
+  Duration detect = detection_for(ev.kind);
+  rec.detection_ms = detect.to_millis();
+
+  Duration outage{};
+  if (ev.kind == FaultKind::kSwitchRestart) {
+    auto it = crashed_at_.find(ev.sw);
+    if (it != crashed_at_.end()) {
+      outage = ev.at - it->second;
+      crashed_at_.erase(it);
+    }
+  }
+
+  // Recursive hierarchy: levels converge in parallel within a level and
+  // sequentially across levels (bottom-up), each behind one channel RTT —
+  // the Fig. 10 queueing model applied to the recovery message load.
+  Duration queue_total{};
+  int levels = 0;
+  for (const auto& [level, mx] : level_max) {
+    sim::QueueingStation station(opts_.service_per_message,
+                                 std::string("fault-") + kind_name + "-l" +
+                                     std::to_string(level),
+                                 level);
+    TimePoint done = TimePoint::zero();
+    for (std::uint64_t i = 0; i < mx; ++i) done = station.submit(TimePoint::zero());
+    queue_total = queue_total + (done - TimePoint::zero());
+    ++levels;
+  }
+  if (levels == 0) levels = 1;
+  Duration mttr =
+      outage + detect + queue_total + opts_.channel_rtt * static_cast<double>(levels);
+
+  // Flat baseline: one controller serves the entire recovery load, and it
+  // sits where the root sits — every control-channel exchange with a
+  // physical switch crosses the full hierarchy depth of parent links, while
+  // a leaf is one local RTT from its own region.
+  sim::QueueingStation flat(opts_.service_per_message,
+                            std::string("fault-") + kind_name + "-flat", 0);
+  TimePoint flat_done = TimePoint::zero();
+  for (std::uint64_t i = 0; i < total; ++i) flat_done = flat.submit(TimePoint::zero());
+  double depth = static_cast<double>(mp.root().level() > 0 ? mp.root().level() : 1);
+  Duration mttr_flat =
+      outage + detect + (flat_done - TimePoint::zero()) + opts_.channel_rtt * depth;
+
+  rec.mttr_ms = mttr.to_millis();
+  rec.mttr_flat_ms = mttr_flat.to_millis();
+
+  obs::Histogram* recovery_hist = obs::default_registry().histogram(
+      "recovery_ms", obs::Histogram::exponential_bounds(1.0, 2.0, 24),
+      {{"kind", kind_name}});
+  recovery_hist->observe(rec.mttr_ms);
+  for (std::size_t i = 0; i < rec.bearers_disrupted; ++i) disruption_ms_->observe(rec.mttr_ms);
+
+  obs::Tracer& tracer = obs::default_tracer();
+  tracer.span_under(span, ev.at, ev.at + detect, "fault.detect", 0, "faults",
+                    obs::SpanKind::kPropagate);
+  tracer.span_under(span, ev.at + detect, ev.at + detect + queue_total, "fault.repair",
+                    rec.resolved_level, "faults", obs::SpanKind::kProcess,
+                    std::to_string(total) + " messages");
+  char detail[128];
+  std::snprintf(detail, sizeof(detail), "mttr %.1fms recursive / %.1fms flat (L%d)",
+                rec.mttr_ms, rec.mttr_flat_ms, rec.resolved_level);
+  tracer.close_span(span, ev.at + mttr, detail);
+}
+
+std::optional<FaultRecord> RecoveryCoordinator::execute(const FaultEvent& ev) {
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  obs::Tracer& tracer = obs::default_tracer();
+  FaultRecord rec;
+  rec.event = ev;
+
+  obs::TraceContext span =
+      tracer.open_span_under({}, ev.at, "fault.recover", 0, "faults");
+  tracer.event_under(span, ev.at, std::string("fault.") + fault_kind_name(ev.kind), 0,
+                     "faults", ev.str());
+  {
+    obs::Tracer::ScopedContext scoped(tracer, span);
+    apply_mutation(ev);
+  }
+
+  rec.bearers_disrupted = probe_failures();
+  rec.blackholed = rec.bearers_disrupted;
+  if (rec.bearers_disrupted != 0) {
+    disrupted_metric_->inc(rec.bearers_disrupted);
+    blackholed_metric_->inc(rec.blackholed);
+  }
+
+  if (ev.kind == FaultKind::kSwitchCrash) {
+    crashed_at_[ev.sw] = ev.at;
+    tracer.close_span(span, ev.at + detection_for(ev.kind), "outage open");
+    return std::nullopt;
+  }
+
+  Baseline base = capture_baseline();
+  {
+    obs::Tracer::ScopedContext scoped(tracer, span);
+    dispatch_recovery(ev, rec, span);
+    drain_engine();
+  }
+  finish_record(ev, rec, base, span);
+
+  rec.probe_failures = probe_failures();
+
+  // Incremental re-verification over the switches this recovery touched.
+  // While a switch outage is still open its wiped TCAM *should* fail
+  // verification, so defer those switches until the outage closes.
+  std::set<SwitchId> dirty_set = std::move(pending_dirty_);
+  pending_dirty_.clear();
+  std::map<SwitchId, std::uint64_t> digests = rule_digests(scenario_->net);
+  for (const auto& [sw, digest] : digests) {
+    auto it = base.rule_digest.find(sw);
+    if (it == base.rule_digest.end() || it->second != digest) dirty_set.insert(sw);
+  }
+  if (ev.sw.valid()) dirty_set.insert(ev.sw);
+  if (crashed_at_.empty()) {
+    std::vector<SwitchId> dirty(dirty_set.begin(), dirty_set.end());
+    verify::VerifyReport report = mp.reverify_data_plane(dirty);
+    rec.verify_findings = report.findings.size();
+    if (!report.clean()) {
+      SOFTMOW_LOG(LogLevel::kWarn, "faults")
+          << "post-recovery verification found " << report.findings.size()
+          << " issue(s) after " << ev.str();
+    }
+  } else {
+    pending_dirty_ = std::move(dirty_set);  // re-verify once the outage closes
+  }
+  return rec;
+}
+
+}  // namespace softmow::faults

@@ -1,0 +1,154 @@
+#include "faults/scenario.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/log.h"
+#include "core/rng.h"
+
+namespace softmow::faults {
+
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_ms(double ms) { return TimePoint::zero() + Duration::millis(ms); }
+
+/// Core-to-core links whose endpoints both keep degree >= 3 without the
+/// link, sorted by id — failing one leaves the routing service alternatives,
+/// so repair (not just teardown) is the expected recovery.
+std::vector<LinkId> flappable_links(dataplane::PhysicalNetwork& net) {
+  std::set<SwitchId> core;
+  for (SwitchId sw : net.core_switches()) core.insert(sw);
+  std::map<SwitchId, std::size_t> degree;
+  std::vector<LinkId> all = net.links();
+  for (LinkId id : all) {
+    const dataplane::Link* l = net.link(id);
+    if (l == nullptr) continue;
+    ++degree[l->a.sw];
+    ++degree[l->b.sw];
+  }
+  std::vector<LinkId> out;
+  for (LinkId id : all) {
+    const dataplane::Link* l = net.link(id);
+    if (l == nullptr || !l->up) continue;
+    if (!core.contains(l->a.sw) || !core.contains(l->b.sw)) continue;
+    if (degree[l->a.sw] < 3 || degree[l->b.sw] < 3) continue;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end(), [](LinkId a, LinkId b) { return a.value < b.value; });
+  return out;
+}
+
+/// Adopted physical switches of leaf `i`, sorted (devices() order is the
+/// controller's map order, already sorted by id).
+std::vector<SwitchId> leaf_devices(topo::Scenario& s, std::size_t i) {
+  return s.mgmt->leaf(i).devices();
+}
+
+southbound::Impairment lossy_profile() {
+  southbound::Impairment profile;
+  profile.drop = 0.25;
+  profile.duplicate = 0.05;
+  profile.delay = 0.10;
+  profile.jitter = Duration::millis(2);
+  return profile;
+}
+
+FaultEvent link_event(double ms, FaultKind kind, LinkId link) {
+  FaultEvent ev;
+  ev.at = at_ms(ms);
+  ev.kind = kind;
+  ev.link = link;
+  return ev;
+}
+
+FaultEvent switch_event(double ms, FaultKind kind, SwitchId sw) {
+  FaultEvent ev;
+  ev.at = at_ms(ms);
+  ev.kind = kind;
+  ev.sw = sw;
+  return ev;
+}
+
+FaultEvent leaf_event(double ms, FaultKind kind, std::size_t leaf) {
+  FaultEvent ev;
+  ev.at = at_ms(ms);
+  ev.kind = kind;
+  ev.leaf = leaf;
+  if (kind == FaultKind::kChannelImpair) ev.impair = lossy_profile();
+  return ev;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fault_plan_names() {
+  static const std::vector<std::string> names = {
+      "link-flap", "switch-crash", "controller-crash", "impair", "mixed"};
+  return names;
+}
+
+FaultScenario make_fault_plan(const std::string& name, topo::Scenario& scenario,
+                              std::uint64_t seed) {
+  FaultScenario plan;
+  plan.name = name;
+  plan.seed = seed;
+  Rng rng(seed * 7919 + 17);
+
+  std::vector<LinkId> links = flappable_links(scenario.net);
+  std::size_t leaves = scenario.mgmt->leaf_count();
+  auto pick_link = [&](std::size_t salt) {
+    return links[(rng.uniform_u64(0, links.size() - 1) + salt) % links.size()];
+  };
+  auto pick_leaf = [&] { return rng.uniform_u64(0, leaves - 1); };
+  auto pick_switch = [&](std::size_t leaf) {
+    std::vector<SwitchId> devices = leaf_devices(scenario, leaf);
+    return devices[rng.uniform_u64(0, devices.size() - 1)];
+  };
+  if (links.empty() || leaves == 0) {
+    SOFTMOW_LOG(LogLevel::kWarn, "faults")
+        << "scenario too small for fault plan '" << name << "'";
+    return plan;
+  }
+
+  if (name == "link-flap") {
+    LinkId first = pick_link(0);
+    LinkId second = pick_link(1);
+    plan.events.push_back(link_event(100, FaultKind::kLinkDown, first));
+    plan.events.push_back(link_event(400, FaultKind::kLinkUp, first));
+    plan.events.push_back(link_event(700, FaultKind::kLinkDown, second));
+    plan.events.push_back(link_event(1000, FaultKind::kLinkUp, second));
+  } else if (name == "switch-crash") {
+    SwitchId sw = pick_switch(pick_leaf());
+    plan.events.push_back(switch_event(100, FaultKind::kSwitchCrash, sw));
+    plan.events.push_back(switch_event(500, FaultKind::kSwitchRestart, sw));
+  } else if (name == "controller-crash") {
+    plan.events.push_back(leaf_event(100, FaultKind::kControllerCrash, pick_leaf()));
+  } else if (name == "impair") {
+    std::size_t leaf = pick_leaf();
+    plan.events.push_back(leaf_event(100, FaultKind::kChannelImpair, leaf));
+    plan.events.push_back(leaf_event(600, FaultKind::kChannelClear, leaf));
+  } else if (name == "mixed") {
+    // One of everything, interleaved: a flap mid-crash, a controller loss
+    // and a lossy-channel window — at least three distinct fault kinds in
+    // flight over the same run (the MTTR table's input).
+    LinkId link = pick_link(0);
+    std::size_t crash_leaf = pick_leaf();
+    SwitchId sw = pick_switch((crash_leaf + 1) % leaves);
+    std::size_t impair_leaf = (crash_leaf + leaves / 2) % leaves;
+    plan.events.push_back(link_event(100, FaultKind::kLinkDown, link));
+    plan.events.push_back(switch_event(200, FaultKind::kSwitchCrash, sw));
+    plan.events.push_back(link_event(400, FaultKind::kLinkUp, link));
+    plan.events.push_back(switch_event(500, FaultKind::kSwitchRestart, sw));
+    plan.events.push_back(leaf_event(700, FaultKind::kControllerCrash, crash_leaf));
+    plan.events.push_back(leaf_event(900, FaultKind::kChannelImpair, impair_leaf));
+    plan.events.push_back(leaf_event(1400, FaultKind::kChannelClear, impair_leaf));
+  } else {
+    SOFTMOW_LOG(LogLevel::kWarn, "faults") << "unknown fault plan '" << name << "'";
+  }
+  return plan;
+}
+
+}  // namespace softmow::faults

@@ -1,0 +1,25 @@
+// Catalog of deterministic fault plans over a built topo::Scenario. Targets
+// (which link, which switch, which leaf) are drawn with a seeded Rng from
+// sorted candidate lists, so a (name, scenario, seed) triple always yields
+// the same plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+#include "topo/scenario.h"
+
+namespace softmow::faults {
+
+/// Plan names make_fault_plan understands, in documentation order:
+/// "link-flap", "switch-crash", "controller-crash", "impair", "mixed".
+[[nodiscard]] const std::vector<std::string>& fault_plan_names();
+
+/// Builds the named plan against `scenario`. Unknown names yield an empty
+/// plan (events.empty()); callers treat that as a usage error.
+[[nodiscard]] FaultScenario make_fault_plan(const std::string& name,
+                                            topo::Scenario& scenario,
+                                            std::uint64_t seed);
+
+}  // namespace softmow::faults

@@ -46,13 +46,15 @@ void HotStandby::sync(sim::TimePoint at) {
       middleboxes_.push_back(*master_->nib().middlebox(id));
     routes_ = master_->nib().all_external_routes();
     border_gbs_ = master_->abstraction().border_gbs();
+    paths_ = master_->paths().snapshot();
   });
   checkpoints_metric_->inc();
   sync_us_metric_->observe(us);
   obs::default_tracer().event(at, "failover.checkpoint", level_, name_);
 }
 
-std::unique_ptr<reca::Controller> HotStandby::promote(sim::TimePoint at) {
+std::unique_ptr<reca::Controller> HotStandby::promote(
+    sim::TimePoint at, std::optional<sim::Duration> modeled_duration) {
   // The promotion is a root span: adoption and re-discovery triggered inside
   // attach beneath it, and its duration is the measured wall-clock cost
   // mapped onto the sim clock starting at `at`.
@@ -70,6 +72,7 @@ std::unique_ptr<reca::Controller> HotStandby::promote(sim::TimePoint at) {
       standby->nib().upsert_middlebox(m);
     for (const nos::ExternalRoute& r : routes_) standby->nib().upsert_external_route(r);
     standby->abstraction().set_border_gbs(border_gbs_);
+    standby->paths().restore(paths_);
 
     // Seize the master role on every device (the old master, if alive, is
     // demoted to slave by the role machinery) and redo discovery.
@@ -81,7 +84,7 @@ std::unique_ptr<reca::Controller> HotStandby::promote(sim::TimePoint at) {
   ++promotions_;
   promotions_metric_->inc();
   promote_us_metric_->observe(us);
-  tracer.close_span(root, at + sim::Duration::micros(us),
+  tracer.close_span(root, at + modeled_duration.value_or(sim::Duration::micros(us)),
                     std::to_string(devices_.size()) + " devices");
   return standby;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,13 @@ class HotStandby {
 
   /// Master failed: builds the standby controller from the latest
   /// checkpoint, seizes the master role on all devices and re-discovers.
-  /// The returned controller answers to the same ControllerId.
-  std::unique_ptr<reca::Controller> promote(sim::TimePoint at = sim::TimePoint::zero());
+  /// The returned controller answers to the same ControllerId. The
+  /// promotion span normally closes after the measured wall-clock cost;
+  /// pass `modeled_duration` to use a fixed simulated cost instead, keeping
+  /// exported traces identical across runs (fault-injection scenarios).
+  std::unique_ptr<reca::Controller> promote(
+      sim::TimePoint at = sim::TimePoint::zero(),
+      std::optional<sim::Duration> modeled_duration = std::nullopt);
   [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
 
  private:
@@ -52,6 +58,10 @@ class HotStandby {
   std::vector<southbound::GMiddleboxAnnounce> middleboxes_;
   std::vector<nos::ExternalRoute> routes_;
   std::set<GBsId> border_gbs_;
+  /// Installed paths + label/cookie allocators: without this the promoted
+  /// controller could not tear down, repair, or resync the rules the dead
+  /// master left in the data plane (and would re-mint colliding labels).
+  nos::PathImplementer::Snapshot paths_;
   std::uint64_t checkpoints_ = 0;
   std::uint64_t promotions_ = 0;
   reca::Controller* master_;

@@ -231,6 +231,40 @@ void ManagementPlane::refresh_topology() {
   tracer.close_span(root_span, sim::TimePoint::zero());
 }
 
+Controller& ManagementPlane::fail_over_leaf(std::size_t i, HotStandby& standby,
+                                            sim::TimePoint at,
+                                            std::optional<sim::Duration> modeled_duration) {
+  Controller& dead = *leaves_.at(i);
+  Controller* parent = mids_.empty() ? root_.get() : mids_.at(leaf_to_mid_.at(i)).get();
+  SwitchId gswitch = dead.abstraction().gswitch_id();
+
+  // Sever the parent's channel into the dead instance before it is
+  // destroyed: handlers bound on that channel capture the dead controller,
+  // so anything still delivered there would touch freed state. Disconnect
+  // makes further deliveries count as southbound_dropped_total{disconnected}.
+  if (parent != nullptr) {
+    if (southbound::Channel* stale = parent->device_channel(gswitch)) stale->disconnect();
+  }
+
+  bool self_heal = dead.self_healing();
+  bool reliable = dead.reliable_delivery();
+  auto promoted = standby.promote(at, modeled_duration);
+  promoted->set_self_healing(self_heal);
+  promoted->set_reliable_delivery(reliable);
+
+  // Same ControllerId => same G-switch id: re-adoption overwrites the
+  // parent's child maps in place and the hierarchy keeps its shape.
+  leaves_[i] = std::move(promoted);
+  Controller& fresh = *leaves_[i];
+  if (parent != nullptr) parent->adopt_child(fresh);
+  recompute_borders();
+  refresh_topology();
+  SOFTMOW_LOG(LogLevel::kInfo, "mgmt")
+      << "failed over leaf " << fresh.name() << " (" << fresh.devices().size()
+      << " devices readopted)";
+  return fresh;
+}
+
 bool ManagementPlane::controller_in_subtree(Controller& scope, Controller& c) const {
   if (&scope == &c) return true;
   for (Controller* child : scope.children()) {

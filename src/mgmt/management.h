@@ -17,6 +17,7 @@
 #include "core/result.h"
 #include "core/weighted_adjacency.h"
 #include "dataplane/network.h"
+#include "mgmt/failover.h"
 #include "reca/controller.h"
 #include "southbound/switch_agent.h"
 #include "verify/verifier.h"
@@ -68,6 +69,17 @@ class ManagementPlane {
   /// Re-runs abstraction refresh + link discovery bottom-up (periodic
   /// maintenance, and after reconfiguration).
   void refresh_topology();
+
+  /// §6 controller failure: replaces leaf `i` with `standby`'s promotion.
+  /// The parent's stale channel to the dead instance is severed first (its
+  /// undelivered messages count as dropped), the promoted controller
+  /// re-attaches under the same G-switch identity, and borders/abstractions
+  /// refresh bottom-up. Hardening toggles (self-healing, reliable delivery)
+  /// carry over. The caller re-binds applications and shards afterwards.
+  /// Returns the new leaf.
+  reca::Controller& fail_over_leaf(
+      std::size_t i, HotStandby& standby, sim::TimePoint at = sim::TimePoint::zero(),
+      std::optional<sim::Duration> modeled_duration = std::nullopt);
 
   // --- sharded execution -------------------------------------------------------
   /// Event shards the bootstrapped hierarchy naturally wants: one per leaf

@@ -103,8 +103,78 @@ void PathImplementer::release_resources(InstalledPath& p) {
   p.reserved_middleboxes.clear();
 }
 
-Result<void> PathImplementer::install_rules(InstalledPath& p) {
+dataplane::FlowRule PathImplementer::build_hop_rule(const InstalledPath& p,
+                                                    std::size_t i,
+                                                    std::uint64_t cookie) {
   using dataplane::FlowRule;
+  const std::vector<RouteHop>& hops = p.route.hops;
+  const RouteHop& hop = hops[i];
+  FlowRule rule;
+  rule.cookie = cookie;
+  rule.priority = p.options.priority;
+
+  bool is_first = i == 0;
+  bool is_last = i + 1 == hops.size();
+
+  if (is_first && is_last) {
+    // Degenerate single-switch path: translate the outer-label intent
+    // directly, with no local label at all.
+    rule.match = p.classifier;
+    rule.match.in_port = hop.in;
+    if (p.options.version != 0)
+      rule.actions.push_back(dataplane::set_version(p.options.version));
+    if (p.options.outer_pop && p.options.outer_push) {
+      if (p.options.outer_push->value != p.classifier.label.value_or(~0u))
+        rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
+      // else: keep the outer label untouched
+    } else if (p.options.outer_pop) {
+      rule.actions.push_back(dataplane::pop_label());
+    } else if (p.options.outer_push) {
+      rule.actions.push_back(dataplane::push_label(*p.options.outer_push));
+    } else {
+      // Stacking mode, degenerate single-switch path: apply the parent's
+      // pops/pushes directly.
+      for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
+        rule.actions.push_back(dataplane::pop_label());
+      for (const Label& under : p.options.push_under)
+        rule.actions.push_back(dataplane::push_label(under));
+    }
+  } else if (is_first) {
+    // Classification at the flow's first switch (§4.3: the access switch
+    // performs fine-grained classification and pushes the local label).
+    // When translating a parent rule (outer_pop), the parent's label is
+    // swapped for the local one so at most one label rides any link.
+    rule.match = p.classifier;
+    rule.match.in_port = hop.in;
+    if (p.options.version != 0)
+      rule.actions.push_back(dataplane::set_version(p.options.version));
+    if (p.options.outer_pop) {
+      rule.actions.push_back(dataplane::swap_label(p.label));
+    } else {
+      for (const Label& under : p.options.push_under)
+        rule.actions.push_back(dataplane::push_label(under));
+      rule.actions.push_back(dataplane::push_label(p.label));
+    }
+  } else if (is_last) {
+    rule.match.label = p.label.value;
+    rule.match.in_port = hop.in;
+    if (p.options.outer_push) {
+      // Pop the local label and push back the ancestor's (§4.3).
+      rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
+    } else if (p.options.pop_at_exit) {
+      rule.actions.push_back(dataplane::pop_label());
+      for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
+        rule.actions.push_back(dataplane::pop_label());
+    }
+  } else {
+    rule.match.label = p.label.value;
+    rule.match.in_port = hop.in;
+  }
+  rule.actions.push_back(dataplane::output(hop.out));
+  return rule;
+}
+
+Result<void> PathImplementer::install_rules(InstalledPath& p) {
   const std::vector<RouteHop>& hops = p.route.hops;
 
   // FlowMods for consecutive hops on the same switch share one southbound
@@ -135,68 +205,7 @@ Result<void> PathImplementer::install_rules(InstalledPath& p) {
 
   for (std::size_t i = 0; i < hops.size(); ++i) {
     const RouteHop& hop = hops[i];
-    FlowRule rule;
-    rule.cookie = allocate_cookie();
-    rule.priority = p.options.priority;
-
-    bool is_first = i == 0;
-    bool is_last = i + 1 == hops.size();
-
-    if (is_first && is_last) {
-      // Degenerate single-switch path: translate the outer-label intent
-      // directly, with no local label at all.
-      rule.match = p.classifier;
-      rule.match.in_port = hop.in;
-      if (p.options.version != 0)
-        rule.actions.push_back(dataplane::set_version(p.options.version));
-      if (p.options.outer_pop && p.options.outer_push) {
-        if (p.options.outer_push->value != p.classifier.label.value_or(~0u))
-          rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
-        // else: keep the outer label untouched
-      } else if (p.options.outer_pop) {
-        rule.actions.push_back(dataplane::pop_label());
-      } else if (p.options.outer_push) {
-        rule.actions.push_back(dataplane::push_label(*p.options.outer_push));
-      } else {
-        // Stacking mode, degenerate single-switch path: apply the parent's
-        // pops/pushes directly.
-        for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
-          rule.actions.push_back(dataplane::pop_label());
-        for (const Label& under : p.options.push_under)
-          rule.actions.push_back(dataplane::push_label(under));
-      }
-    } else if (is_first) {
-      // Classification at the flow's first switch (§4.3: the access switch
-      // performs fine-grained classification and pushes the local label).
-      // When translating a parent rule (outer_pop), the parent's label is
-      // swapped for the local one so at most one label rides any link.
-      rule.match = p.classifier;
-      rule.match.in_port = hop.in;
-      if (p.options.version != 0)
-        rule.actions.push_back(dataplane::set_version(p.options.version));
-      if (p.options.outer_pop) {
-        rule.actions.push_back(dataplane::swap_label(p.label));
-      } else {
-        for (const Label& under : p.options.push_under)
-          rule.actions.push_back(dataplane::push_label(under));
-        rule.actions.push_back(dataplane::push_label(p.label));
-      }
-    } else if (is_last) {
-      rule.match.label = p.label.value;
-      rule.match.in_port = hop.in;
-      if (p.options.outer_push) {
-        // Pop the local label and push back the ancestor's (§4.3).
-        rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
-      } else if (p.options.pop_at_exit) {
-        rule.actions.push_back(dataplane::pop_label());
-        for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
-          rule.actions.push_back(dataplane::pop_label());
-      }
-    } else {
-      rule.match.label = p.label.value;
-      rule.match.in_port = hop.in;
-    }
-    rule.actions.push_back(dataplane::output(hop.out));
+    dataplane::FlowRule rule = build_hop_rule(p, i, allocate_cookie());
 
     flowmods_metric_->inc();
     for (const dataplane::Action& a : rule.actions) {
@@ -265,6 +274,45 @@ Result<void> PathImplementer::reactivate(PathId id) {
   auto installed = install_rules(it->second);
   if (!installed.ok()) release_resources(it->second);
   return installed;
+}
+
+std::size_t PathImplementer::resync_switch(SwitchId sw) {
+  std::size_t pushed = 0;
+  for (auto& [id, p] : paths_) {
+    // Only fully-installed active paths have a stable hop<->cookie pairing
+    // (rules are pushed in hop order, so rules[i] programs route.hops[i]).
+    if (!p.active || p.rules.size() != p.route.hops.size()) continue;
+    std::vector<southbound::Message> batch;
+    for (std::size_t i = 0; i < p.route.hops.size(); ++i) {
+      if (!(p.route.hops[i].sw == sw)) continue;
+      southbound::FlowMod mod;
+      mod.op = southbound::FlowMod::Op::kAdd;
+      mod.sw = sw;
+      mod.rule = build_hop_rule(p, i, p.rules[i].second);
+      mod.reserve_kbps = p.options.reserve_kbps;
+      batch.push_back(std::move(mod));
+      flowmods_metric_->inc();
+    }
+    if (batch.empty()) continue;
+    if (bus_->send_batch(sw, batch).ok()) pushed += batch.size();
+  }
+  return pushed;
+}
+
+PathImplementer::Snapshot PathImplementer::snapshot() const {
+  Snapshot snap;
+  snap.next_label = next_label_;
+  snap.next_cookie = next_cookie_;
+  snap.next_path = next_path_;
+  snap.paths = paths_;
+  return snap;
+}
+
+void PathImplementer::restore(Snapshot snap) {
+  next_label_ = snap.next_label;
+  next_cookie_ = snap.next_cookie;
+  next_path_ = snap.next_path;
+  paths_ = std::move(snap.paths);
 }
 
 const InstalledPath* PathImplementer::path(PathId id) const {

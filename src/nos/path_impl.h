@@ -98,6 +98,25 @@ class PathImplementer {
   /// Re-installs a deactivated path (bearer re-activation).
   Result<void> reactivate(PathId id);
 
+  /// Re-pushes the rules of every *active* path crossing `sw`, rebuilt from
+  /// the stored route with their original cookies — re-installing a rule
+  /// under its own cookie is idempotent at the flow table, so this repairs a
+  /// wiped or partially-programmed switch (crash restart, retry exhaustion)
+  /// without disturbing its neighbours. Returns the number of rules pushed.
+  std::size_t resync_switch(SwitchId sw);
+
+  /// Checkpoint of every installed path plus the allocator positions —
+  /// what a hot standby must carry to keep programming the data plane
+  /// coherently after promotion (same labels, same cookies, no reuse).
+  struct Snapshot {
+    std::uint64_t next_label = 1;
+    std::uint64_t next_cookie = 1;
+    std::uint64_t next_path = 1;
+    std::map<PathId, InstalledPath> paths;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(Snapshot snap);
+
   [[nodiscard]] const InstalledPath* path(PathId id) const;
   [[nodiscard]] std::vector<PathId> paths() const;
   [[nodiscard]] std::size_t active_count() const;
@@ -108,6 +127,11 @@ class PathImplementer {
  private:
   Label allocate_label();
   std::uint64_t allocate_cookie() { return next_cookie_++; }
+  /// Builds the rule for hop `i` of `p` under `cookie` (§4.3 classify /
+  /// transit / pop structure). Pure: shared by first install and resync.
+  [[nodiscard]] static dataplane::FlowRule build_hop_rule(const InstalledPath& p,
+                                                          std::size_t i,
+                                                          std::uint64_t cookie);
   Result<void> install_rules(InstalledPath& p);
   Result<void> acquire_resources(InstalledPath& p);
   void release_resources(InstalledPath& p);

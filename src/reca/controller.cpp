@@ -1,5 +1,6 @@
 #include "reca/controller.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "core/log.h"
@@ -24,6 +25,12 @@ Controller::Controller(ControllerId id, int level, std::string name, LabelMode l
             label_mode),
       messages_metric_(obs::default_registry().counter(
           "controller_messages_total", {{"level", std::to_string(level)}})) {
+  obs::MetricsRegistry& reg = obs::default_registry();
+  const obs::Labels by_level{{"level", std::to_string(level)}};
+  retries_metric_ = reg.counter("southbound_retries_total", by_level);
+  retry_exhausted_metric_ = reg.counter("southbound_retry_exhausted_total", by_level);
+  repairs_metric_ = reg.counter("path_repairs_total", by_level);
+  resyncs_metric_ = reg.counter("path_resyncs_total", by_level);
   nib_.subscribe([this] { abstraction_.mark_dirty(); });
 }
 
@@ -85,14 +92,100 @@ Result<void> Controller::send_batch(SwitchId sw, std::span<const Message> batch)
   auto it = device_channels_.find(sw);
   if (it == device_channels_.end())
     return {ErrorCode::kNotFound, name_ + " has no device " + sw.str()};
+  if (reliable_)
+    return send_reliable(sw, it->second, std::vector<Message>(batch.begin(), batch.end()));
   it->second->send_to_device_batch(std::vector<Message>(batch.begin(), batch.end()));
   return Ok();
+}
+
+void Controller::set_reliable_delivery(bool on) { set_reliable_delivery(on, RetryPolicy{}); }
+
+void Controller::set_reliable_delivery(bool on, RetryPolicy policy) {
+  reliable_ = on;
+  retry_policy_ = policy;
+  if (!on) pending_acks_.clear();
+}
+
+bool Controller::engine_event_context() const {
+  return engine_ != nullptr && engine_->running() && sim::ShardedSimulator::in_shard_event();
+}
+
+Result<void> Controller::send_reliable(SwitchId sw, southbound::Channel* ch,
+                                       std::vector<Message> msgs) {
+  // Namespaced xid: high word is the controller, so the switch's broadcast
+  // BarrierReply is claimed only by the controller that asked for it.
+  std::uint64_t xid = (id_.value << 32) | (barrier_seq_++ & 0xffffffffULL);
+  msgs.push_back(southbound::BarrierRequest{Xid{xid}});
+  pending_acks_.emplace(
+      xid, PendingAck{sw, std::move(msgs), 1, retry_policy_.base_timeout});
+  if (engine_event_context()) {
+    auto p = pending_acks_.find(xid);
+    ch->send_to_device_batch(std::vector<Message>(p->second.batch));
+    arm_retry_timer(xid);
+    return Ok();
+  }
+  // Synchronous pump: each attempt's round trip (including the BarrierReply)
+  // completes inside the send, so the ack is observable right after it.
+  for (int attempt = 1;; ++attempt) {
+    auto p = pending_acks_.find(xid);
+    if (p == pending_acks_.end()) return Ok();  // acked
+    ch->send_to_device_batch(std::vector<Message>(p->second.batch));
+    if (pending_acks_.find(xid) == pending_acks_.end()) return Ok();
+    if (attempt >= retry_policy_.max_attempts) {
+      pending_acks_.erase(xid);
+      retry_exhausted_metric_->inc();
+      SOFTMOW_LOG(LogLevel::kWarn, "controller")
+          << name_ << " gave up on barrier " << xid << " to " << sw.str();
+      return Ok();  // best-effort beyond this point; a resync sweep repairs
+    }
+    retries_metric_->inc();
+  }
+}
+
+void Controller::arm_retry_timer(std::uint64_t xid) {
+  auto it = pending_acks_.find(xid);
+  if (it == pending_acks_.end()) return;
+  engine_->schedule(shard_, it->second.timeout, [this, xid] {
+    auto p = pending_acks_.find(xid);
+    if (p == pending_acks_.end()) return;  // acked while the timer ran
+    if (p->second.attempts >= retry_policy_.max_attempts) {
+      retry_exhausted_metric_->inc();
+      SOFTMOW_LOG(LogLevel::kWarn, "controller")
+          << name_ << " gave up on barrier " << xid << " to " << p->second.sw.str();
+      pending_acks_.erase(p);
+      return;
+    }
+    ++p->second.attempts;
+    retries_metric_->inc();
+    p->second.timeout =
+        std::min(p->second.timeout * retry_policy_.backoff, retry_policy_.max_timeout);
+    auto ch = device_channels_.find(p->second.sw);
+    if (ch != device_channels_.end())
+      ch->second->send_to_device_batch(std::vector<Message>(p->second.batch));
+    arm_retry_timer(xid);
+  });
+}
+
+southbound::Channel* Controller::device_channel(SwitchId sw) const {
+  auto it = device_channels_.find(sw);
+  return it == device_channels_.end() ? nullptr : it->second;
+}
+
+void Controller::set_device_impairment(const southbound::Impairment& profile,
+                                       std::uint64_t seed) {
+  for (auto& [sw, ch] : device_channels_)
+    ch->impair(profile, seed * 1000003ULL + sw.value);
+}
+
+void Controller::clear_device_impairment() {
+  for (auto& [sw, ch] : device_channels_) ch->clear_impairment();
 }
 
 void Controller::bind_shards(sim::ShardedSimulator* engine, sim::ShardId self_shard,
                              sim::Duration cross_shard_delay,
                              const std::function<sim::ShardId(SwitchId)>& shard_of_device) {
   shard_ = self_shard;
+  engine_ = engine;
   for (auto& [sw, ch] : device_channels_) {
     sim::ShardId device_shard = shard_of_device ? shard_of_device(sw) : self_shard;
     southbound::Channel::ShardBinding binding;
@@ -108,6 +201,7 @@ void Controller::bind_shards(sim::ShardedSimulator* engine, sim::ShardId self_sh
 
 void Controller::unbind_shards() {
   shard_ = 0;
+  engine_ = nullptr;
   for (auto& ch : owned_channels_) ch->unbind_shards();
 }
 
@@ -137,6 +231,7 @@ std::pair<std::size_t, std::size_t> Controller::repair_paths() {
     if (replacement.ok()) ++repaired;
     else ++failed;
   }
+  repairs_metric_->inc(repaired);
   return {repaired, failed};
 }
 
@@ -173,12 +268,26 @@ void Controller::handle_device_message(Channel* ch, const Message& msg) {
   messages_metric_->inc();
 
   if (const auto* hello = std::get_if<southbound::Hello>(&msg)) {
+    // A Hello on a switch we already adopted is a reconnect after a crash:
+    // its tables rebooted empty, so once the FeaturesReply refreshes the
+    // NIB we must re-push every rule our active paths placed there.
+    if (device_channels_.count(hello->sw) != 0) pending_resync_.insert(hello->sw);
     device_channels_[hello->sw] = ch;
     discovery_.on_hello(hello->sw);
     return;
   }
   if (const auto* features = std::get_if<southbound::FeaturesReply>(&msg)) {
     discovery_.on_features_reply(*features);
+    if (pending_resync_.erase(features->sw) != 0) {
+      std::size_t pushed = paths_.resync_switch(features->sw);
+      if (pushed != 0) resyncs_metric_->inc();
+      SOFTMOW_LOG(LogLevel::kInfo, "controller")
+          << name_ << " resynced " << pushed << " rules to " << features->sw.str();
+    }
+    return;
+  }
+  if (const auto* barrier = std::get_if<southbound::BarrierReply>(&msg)) {
+    pending_acks_.erase(barrier->xid.value);
     return;
   }
   if (const auto* in = std::get_if<southbound::PacketIn>(&msg)) {
@@ -227,6 +336,9 @@ void Controller::handle_device_message(Channel* ch, const Message& msg) {
         nib_.set_links_at_up(at, status->desc.up);
       }
       abstraction_.mark_dirty();
+      // Self-healing (§6): re-route the paths this failure broke without
+      // waiting for an operator-driven repair pass.
+      if (self_heal_ && !status->desc.up) (void)repair_paths();
     }
     return;
   }
@@ -260,7 +372,7 @@ void Controller::handle_device_message(Channel* ch, const Message& msg) {
     }
     return;
   }
-  // RoleReply / BarrierReply / EchoReply and others need no action here.
+  // RoleReply / EchoReply and others need no action here.
 }
 
 }  // namespace softmow::reca

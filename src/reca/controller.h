@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,41 @@ class Controller : public nos::DeviceBus {
   /// One delivery unit down the device channel — a single engine handoff
   /// (and a single batch count) for the whole vector.
   Result<void> send_batch(SwitchId sw, std::span<const southbound::Message> batch) override;
+
+  // --- fault hardening ---------------------------------------------------------
+  /// Timeout/backoff parameters for reliable batch delivery.
+  struct RetryPolicy {
+    int max_attempts = 4;
+    sim::Duration base_timeout = sim::Duration::millis(50);
+    double backoff = 2.0;  ///< timeout multiplier per retry, capped below
+    sim::Duration max_timeout = sim::Duration::millis(400);
+  };
+  /// Turns batch sends into reliable exchanges: each batch is extended with
+  /// a BarrierRequest carrying a controller-namespaced xid, and the whole
+  /// unit is retransmitted with bounded exponential backoff until the
+  /// BarrierReply arrives or attempts are exhausted. Retransmission is safe
+  /// because FlowMods are cookie-keyed — a re-installed rule replaces itself.
+  /// Under a bound engine, timers are shard events; in synchronous pump mode
+  /// each attempt's round trip completes inside the send.
+  void set_reliable_delivery(bool on);
+  void set_reliable_delivery(bool on, RetryPolicy policy);
+  [[nodiscard]] bool reliable_delivery() const { return reliable_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// §6 automatic recovery: when enabled, a PortStatus reporting a dead link
+  /// immediately triggers repair_paths() — broken paths re-route without an
+  /// operator in the loop. Off by default (tests and experiments that stage
+  /// repairs explicitly keep their timing).
+  void set_self_healing(bool on) { self_heal_ = on; }
+  [[nodiscard]] bool self_healing() const { return self_heal_; }
+
+  /// The live channel to an adopted device, if any (fault injection and
+  /// failover plumbing).
+  [[nodiscard]] southbound::Channel* device_channel(SwitchId sw) const;
+  /// Applies one impairment profile to every adopted device channel, each
+  /// with a seed forked per device so runs stay deterministic.
+  void set_device_impairment(const southbound::Impairment& profile, std::uint64_t seed);
+  void clear_device_impairment();
 
   // --- shard affinity (sim::ShardedSimulator) ---------------------------------
   /// Binds every adopted device channel onto `engine`: this controller's
@@ -141,6 +177,18 @@ class Controller : public nos::DeviceBus {
  private:
   void handle_device_message(southbound::Channel* ch, const southbound::Message& msg);
 
+  /// One barrier-acknowledged delivery unit awaiting its BarrierReply.
+  struct PendingAck {
+    SwitchId sw;
+    std::vector<southbound::Message> batch;  ///< includes the trailing barrier
+    int attempts = 1;
+    sim::Duration timeout;
+  };
+  Result<void> send_reliable(SwitchId sw, southbound::Channel* ch,
+                             std::vector<southbound::Message> msgs);
+  void arm_retry_timer(std::uint64_t xid);
+  [[nodiscard]] bool engine_event_context() const;
+
   ControllerId id_;
   int level_;
   std::string name_;
@@ -163,7 +211,20 @@ class Controller : public nos::DeviceBus {
       pending_child_requests_;
   std::uint64_t messages_handled_ = 0;
   sim::ShardId shard_ = 0;
-  obs::Counter* messages_metric_;  ///< controller_messages_total{level}
+  sim::ShardedSimulator* engine_ = nullptr;  ///< set while shard-bound (retry timers)
+
+  bool reliable_ = false;
+  RetryPolicy retry_policy_;
+  std::uint64_t barrier_seq_ = 1;  ///< low word of the namespaced barrier xid
+  std::map<std::uint64_t, PendingAck> pending_acks_;
+  bool self_heal_ = false;
+  std::set<SwitchId> pending_resync_;  ///< reconnected devices awaiting FeaturesReply
+
+  obs::Counter* messages_metric_;         ///< controller_messages_total{level}
+  obs::Counter* retries_metric_;          ///< southbound_retries_total{level}
+  obs::Counter* retry_exhausted_metric_;  ///< southbound_retry_exhausted_total{level}
+  obs::Counter* repairs_metric_;          ///< path_repairs_total{level}
+  obs::Counter* resyncs_metric_;          ///< path_resyncs_total{level}
 };
 
 }  // namespace softmow::reca

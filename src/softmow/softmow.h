@@ -62,6 +62,11 @@
 #include "mgmt/failover.h"     // IWYU pragma: export
 #include "mgmt/management.h"   // IWYU pragma: export
 
+#include "faults/fault.h"     // IWYU pragma: export
+#include "faults/injector.h"  // IWYU pragma: export
+#include "faults/recovery.h"  // IWYU pragma: export
+#include "faults/scenario.h"  // IWYU pragma: export
+
 #include "topo/bs_group_inference.h"  // IWYU pragma: export
 #include "topo/iplane_model.h"        // IWYU pragma: export
 #include "topo/lte_trace.h"           // IWYU pragma: export

@@ -27,6 +27,24 @@ const char* message_name(const Message& m) {
   return std::visit(Visitor{}, m);
 }
 
+namespace {
+
+/// Satellite of the fault subsystem: every silently lost message is now
+/// accounted for, keyed by why it was lost, so fault runs can assert on
+/// `southbound_dropped_total{reason}` instead of grepping debug logs.
+void count_dropped(const char* reason, std::uint64_t n = 1) {
+  obs::default_registry()
+      .counter("southbound_dropped_total", {{"reason", reason}})
+      ->inc(n);
+}
+
+obs::Counter* impairment_counter(const char* effect) {
+  return obs::default_registry().counter("southbound_impairments_total",
+                                         {{"effect", effect}});
+}
+
+}  // namespace
+
 Channel::Channel() : Channel(nullptr) {}
 
 Channel::Channel(MessageCounter* counter)
@@ -63,70 +81,157 @@ void Channel::count_send(bool to_device, std::uint64_t messages) {
 }
 
 void Channel::deliver_direct(const Message& m, bool to_device) {
-  if (!connected_) return;
+  if (!connected_) {
+    count_dropped("disconnected");
+    return;
+  }
   Handler& h = to_device ? to_device_ : to_controller_;
   if (h) {
     h(m);
   } else {
+    count_dropped("no_handler");
     SOFTMOW_LOG(LogLevel::kDebug, "channel")
         << "dropping " << message_name(m) << " (no handler bound)";
   }
 }
 
+Channel::Fate Channel::roll_impairment(bool to_device, std::uint64_t messages) {
+  Fate fate;
+  if (!impair_.any()) return fate;
+  Rng& rng = to_device ? impair_down_ : impair_up_;
+  if (impair_.drop > 0 && rng.bernoulli(impair_.drop)) {
+    fate.dropped = true;
+    count_dropped("impaired", messages);
+    impairment_counter("drop")->inc();
+    return fate;
+  }
+  if (impair_.duplicate > 0 && rng.bernoulli(impair_.duplicate)) {
+    fate.duplicated = true;
+    impairment_counter("duplicate")->inc();
+  }
+  if (impair_.delay > 0 && rng.bernoulli(impair_.delay)) {
+    fate.extra = impair_.jitter;
+    impairment_counter("delay")->inc();
+  }
+  return fate;
+}
+
+void Channel::impair(const Impairment& profile, std::uint64_t seed) {
+  impair_ = profile;
+  // Distinct streams per direction; each side sends from one shard, so the
+  // streams stay single-writer under parallel execution.
+  impair_down_ = Rng(seed * 2 + 1);
+  impair_up_ = Rng(seed * 2 + 2);
+}
+
 void Channel::send_to_device(Message m) {
-  if (!connected_) return;
+  if (!connected_) {
+    count_dropped("disconnected");
+    return;
+  }
   count_send(/*to_device=*/true, 1);
+  Fate fate = roll_impairment(/*to_device=*/true, 1);
+  if (fate.dropped) return;
   if (engine_active()) {
     // The engine captures the ambient trace context at post time and
     // restores it around the callback — same causality rule as the pump.
-    binding_.engine->post(binding_.device_shard, binding_.to_device_delay,
+    sim::Duration delay = binding_.to_device_delay + fate.extra;
+    if (fate.duplicated) {
+      binding_.engine->post(binding_.device_shard, delay,
+                            [this, msg = m] { deliver_direct(msg, true); });
+    }
+    binding_.engine->post(binding_.device_shard, delay,
                           [this, msg = std::move(m)] { deliver_direct(msg, true); });
     return;
   }
-  pending_.push_back(Pending{std::move(m), true, obs::default_tracer().current()});
+  obs::TraceContext ctx = obs::default_tracer().current();
+  if (fate.duplicated) pending_.push_back(Pending{m, true, ctx});
+  pending_.push_back(Pending{std::move(m), true, ctx});
   pump();
 }
 
 void Channel::send_to_controller(Message m) {
-  if (!connected_) return;
+  if (!connected_) {
+    count_dropped("disconnected");
+    return;
+  }
   count_send(/*to_device=*/false, 1);
+  Fate fate = roll_impairment(/*to_device=*/false, 1);
+  if (fate.dropped) return;
   if (engine_active()) {
-    binding_.engine->post(binding_.controller_shard, binding_.to_controller_delay,
+    sim::Duration delay = binding_.to_controller_delay + fate.extra;
+    if (fate.duplicated) {
+      binding_.engine->post(binding_.controller_shard, delay,
+                            [this, msg = m] { deliver_direct(msg, false); });
+    }
+    binding_.engine->post(binding_.controller_shard, delay,
                           [this, msg = std::move(m)] { deliver_direct(msg, false); });
     return;
   }
-  pending_.push_back(Pending{std::move(m), false, obs::default_tracer().current()});
+  obs::TraceContext ctx = obs::default_tracer().current();
+  if (fate.duplicated) pending_.push_back(Pending{m, false, ctx});
+  pending_.push_back(Pending{std::move(m), false, ctx});
   pump();
 }
 
 void Channel::send_to_device_batch(std::vector<Message> batch) {
-  if (!connected_ || batch.empty()) return;
+  if (!connected_) {
+    count_dropped("disconnected", batch.size());
+    return;
+  }
+  if (batch.empty()) return;
   count_send(/*to_device=*/true, batch.size());
+  Fate fate = roll_impairment(/*to_device=*/true, batch.size());
+  if (fate.dropped) return;
   if (engine_active()) {
     // One engine event delivers the whole batch: a single cross-shard
     // handoff regardless of batch size.
-    binding_.engine->post(binding_.device_shard, binding_.to_device_delay,
+    sim::Duration delay = binding_.to_device_delay + fate.extra;
+    if (fate.duplicated) {
+      binding_.engine->post(binding_.device_shard, delay, [this, msgs = batch] {
+        for (const Message& m : msgs) deliver_direct(m, true);
+      });
+    }
+    binding_.engine->post(binding_.device_shard, delay,
                           [this, msgs = std::move(batch)] {
                             for (const Message& m : msgs) deliver_direct(m, true);
                           });
     return;
   }
   obs::TraceContext ctx = obs::default_tracer().current();
+  if (fate.duplicated) {
+    for (const Message& m : batch) pending_.push_back(Pending{m, true, ctx});
+  }
   for (Message& m : batch) pending_.push_back(Pending{std::move(m), true, ctx});
   pump();
 }
 
 void Channel::send_to_controller_batch(std::vector<Message> batch) {
-  if (!connected_ || batch.empty()) return;
+  if (!connected_) {
+    count_dropped("disconnected", batch.size());
+    return;
+  }
+  if (batch.empty()) return;
   count_send(/*to_device=*/false, batch.size());
+  Fate fate = roll_impairment(/*to_device=*/false, batch.size());
+  if (fate.dropped) return;
   if (engine_active()) {
-    binding_.engine->post(binding_.controller_shard, binding_.to_controller_delay,
+    sim::Duration delay = binding_.to_controller_delay + fate.extra;
+    if (fate.duplicated) {
+      binding_.engine->post(binding_.controller_shard, delay, [this, msgs = batch] {
+        for (const Message& m : msgs) deliver_direct(m, false);
+      });
+    }
+    binding_.engine->post(binding_.controller_shard, delay,
                           [this, msgs = std::move(batch)] {
                             for (const Message& m : msgs) deliver_direct(m, false);
                           });
     return;
   }
   obs::TraceContext ctx = obs::default_tracer().current();
+  if (fate.duplicated) {
+    for (const Message& m : batch) pending_.push_back(Pending{m, false, ctx});
+  }
   for (Message& m : batch) pending_.push_back(Pending{std::move(m), false, ctx});
   pump();
 }
@@ -144,6 +249,7 @@ void Channel::pump() {
       obs::Tracer::ScopedContext scoped(obs::default_tracer(), entry.ctx);
       h(entry.msg);
     } else {
+      count_dropped("no_handler");
       SOFTMOW_LOG(LogLevel::kDebug, "channel")
           << "dropping " << message_name(entry.msg) << " (no handler bound)";
     }
@@ -153,6 +259,7 @@ void Channel::pump() {
 
 void Channel::disconnect() {
   connected_ = false;
+  if (!pending_.empty()) count_dropped("disconnected", pending_.size());
   pending_.clear();
 }
 

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/sharded.h"
@@ -55,6 +56,20 @@ struct MessageCounter {
     return to_device.load(std::memory_order_relaxed) +
            to_controller.load(std::memory_order_relaxed);
   }
+};
+
+/// Seeded southbound impairment profile (fault injection). Probabilities
+/// apply per *delivery unit* — a batch is lost, duplicated or delayed as a
+/// whole, matching the one-event batching contract. Drop and duplicate work
+/// in both delivery modes; delay adds in-flight latency (and hence reorders
+/// against unimpaired units) only under a bound engine — the synchronous
+/// pump has no timeline to delay against.
+struct Impairment {
+  double drop = 0;       ///< P(delivery unit silently lost in flight)
+  double duplicate = 0;  ///< P(delivery unit delivered twice)
+  double delay = 0;      ///< P(delivery unit held back by `jitter`)
+  sim::Duration jitter;  ///< extra in-flight latency for delayed units
+  [[nodiscard]] bool any() const { return drop > 0 || duplicate > 0 || delay > 0; }
 };
 
 class Channel {
@@ -102,10 +117,26 @@ class Channel {
   void disconnect();
   [[nodiscard]] bool connected() const { return connected_; }
 
+  /// Applies `profile` to everything sent from now on. Each direction rolls
+  /// an independent stream derived from `seed` (each side of a channel sends
+  /// from exactly one shard, so the streams have a single consumer even in
+  /// parallel runs) — a fixed scenario impairs the same delivery units for
+  /// any worker-thread count.
+  void impair(const Impairment& profile, std::uint64_t seed);
+  void clear_impairment() { impair_ = Impairment{}; }
+  [[nodiscard]] bool impaired() const { return impair_.any(); }
+
   [[nodiscard]] std::uint64_t sent_to_device() const { return sent_to_device_; }
   [[nodiscard]] std::uint64_t sent_to_controller() const { return sent_to_controller_; }
 
  private:
+  /// What the impairment profile decided for one delivery unit.
+  struct Fate {
+    bool dropped = false;
+    bool duplicated = false;
+    sim::Duration extra;  ///< additional in-flight latency (engine mode)
+  };
+
   void pump();
   /// True when sends must route through the bound engine (engine running
   /// and the caller is inside a shard event).
@@ -113,6 +144,8 @@ class Channel {
   void count_send(bool to_device, std::uint64_t messages);
   /// Runs the receiving handler for one message (engine-event body).
   void deliver_direct(const Message& m, bool to_device);
+  /// Rolls the impairment dice for one delivery unit of `messages` messages.
+  Fate roll_impairment(bool to_device, std::uint64_t messages);
 
   Handler to_controller_;
   Handler to_device_;
@@ -130,6 +163,9 @@ class Channel {
   std::uint64_t sent_to_controller_ = 0;
   MessageCounter* counter_ = nullptr;
   ShardBinding binding_;
+  Impairment impair_;
+  Rng impair_down_{0};  ///< controller -> device impairment stream
+  Rng impair_up_{0};    ///< device -> controller impairment stream
   obs::Counter* to_device_metric_;      ///< southbound_messages_total{direction=to_device}
   obs::Counter* to_controller_metric_;  ///< southbound_messages_total{direction=to_controller}
   obs::Counter* to_device_batches_metric_;      ///< southbound_batches_total{...}

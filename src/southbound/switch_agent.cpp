@@ -1,8 +1,19 @@
 #include "southbound/switch_agent.h"
 
 #include "core/log.h"
+#include "obs/metrics.h"
 
 namespace softmow::southbound {
+
+namespace {
+
+void count_agent_dropped(const char* reason, std::uint64_t n = 1) {
+  obs::default_registry()
+      .counter("southbound_dropped_total", {{"reason", reason}})
+      ->inc(n);
+}
+
+}  // namespace
 
 SwitchAgent* Hub::agent(SwitchId sw) {
   auto it = agents_.find(sw);
@@ -96,7 +107,24 @@ std::vector<PortDesc> SwitchAgent::port_descs() const {
   return out;
 }
 
+void SwitchAgent::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  // Flow tables are volatile: a crashed switch reboots empty (§6).
+  if (dataplane::Switch* s = sw_ptr()) s->table().clear();
+}
+
+void SwitchAgent::restart() {
+  if (alive_) return;
+  alive_ = true;
+  for (auto& [c, ch] : channels_) ch->send_to_controller(Hello{sw_});
+}
+
 void SwitchAgent::send_to_controllers(const Message& msg) {
+  if (!alive_) {
+    count_agent_dropped("switch_down");
+    return;
+  }
   dataplane::Switch* s = sw_ptr();
   if (s == nullptr) return;
   for (ControllerId c : s->event_receivers()) {
@@ -124,6 +152,10 @@ void SwitchAgent::punt(const dataplane::PacketInEvent& ev) {
 }
 
 void SwitchAgent::handle(const Message& msg) {
+  if (!alive_) {
+    count_agent_dropped("switch_down");
+    return;
+  }
   dataplane::PhysicalNetwork* net = hub_->net();
   dataplane::Switch* s = sw_ptr();
   if (s == nullptr) return;
@@ -164,6 +196,7 @@ void SwitchAgent::handle(const Message& msg) {
       const dataplane::Link* link = net->link_at(from);
       auto peer = net->peer_of(from);
       if (!peer || link == nullptr) {
+        count_agent_dropped("unwired_port");
         SOFTMOW_LOG(LogLevel::kTrace, "agent")
             << sw_.str() << " discovery frame out unwired/down port " << out->port.str();
         return;  // frame lost; no link here (§4.1.2: message dropped)

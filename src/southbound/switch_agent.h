@@ -95,6 +95,16 @@ class SwitchAgent {
   /// Reports a port transition to the controllers (§6).
   void send_port_status(const PortStatus& status) { send_to_controllers(status); }
 
+  /// Fault injection: the switch dies. Its flow tables are wiped (volatile
+  /// TCAM) and every message to or from it is dropped
+  /// (`southbound_dropped_total{reason=switch_down}`) until restart().
+  void crash();
+  /// The switch boots again with empty tables and re-announces itself with
+  /// a fresh Hello on every connected channel — the controller answers with
+  /// a FeaturesRequest and resyncs the rules it owns here.
+  void restart();
+  [[nodiscard]] bool alive() const { return alive_; }
+
  private:
   [[nodiscard]] dataplane::Switch* sw_ptr();
   void send_to_controllers(const Message& msg);
@@ -102,6 +112,7 @@ class SwitchAgent {
 
   Hub* hub_;
   SwitchId sw_;
+  bool alive_ = true;
   std::map<ControllerId, Channel*> channels_;
 };
 

@@ -203,6 +203,58 @@ TEST_F(FailureTest, ConsistentUpdatesOldLabelKeepsWorkingUntilTeardown) {
   EXPECT_EQ(after.outcome, DeliveryReport::Outcome::kExternal);
 }
 
+TEST_F(FailureTest, LinkFlapDuringPathSetup) {
+  // §6 hardening: with self-healing on, a PortStatus link-down triggers
+  // repair_paths() inside the notification itself — a flap landing between
+  // two bearer setups never needs a manual repair call and never leaves the
+  // verifier dirty.
+  for (reca::Controller* c : mp->all_controllers()) c->set_self_healing(true);
+
+  UeId ue{11};
+  ASSERT_TRUE(bearer_for(ue).ok());
+  ASSERT_EQ(send(ue).outcome, DeliveryReport::Outcome::kExternal);
+
+  // Down-flap the direct west spine mid-setup...
+  ASSERT_TRUE(net.set_link_up(l_s1_s2, false).ok());
+  EXPECT_EQ(send(ue).outcome, DeliveryReport::Outcome::kExternal)
+      << "self-healing should have re-routed inside the PortStatus handler";
+
+  // ...a second bearer sets up against the degraded topology...
+  UeId ue2{12};
+  ASSERT_TRUE(bearer_for(ue2).ok());
+  EXPECT_EQ(send(ue2).outcome, DeliveryReport::Outcome::kExternal);
+
+  // ...and the up-flap restores capacity without disturbing either flow.
+  ASSERT_TRUE(net.set_link_up(l_s1_s2, true).ok());
+  EXPECT_EQ(send(ue).outcome, DeliveryReport::Outcome::kExternal);
+  EXPECT_EQ(send(ue2).outcome, DeliveryReport::Outcome::kExternal);
+  EXPECT_TRUE(mp->verify_data_plane().clean());
+}
+
+TEST_F(FailureTest, SwitchCrashWithResync) {
+  UeId ue{13};
+  ASSERT_TRUE(bearer_for(ue).ok());
+  ASSERT_EQ(send(ue).outcome, DeliveryReport::Outcome::kExternal);
+
+  // Crash the radio-port switch: its TCAM is wiped and the agent drops off
+  // the southbound channel.
+  southbound::SwitchAgent* agent = mp->hub().agent(s1);
+  ASSERT_NE(agent, nullptr);
+  std::size_t rules_before = net.sw(s1)->table().size();
+  ASSERT_GT(rules_before, 0u);
+  agent->crash();
+  EXPECT_EQ(net.sw(s1)->table().size(), 0u);
+  EXPECT_NE(send(ue).outcome, DeliveryReport::Outcome::kExternal)
+      << "a crashed first hop cannot classify the flow";
+
+  // Restart: the agent re-handshakes and the leaf resyncs every stored rule
+  // of its active fully-installed paths onto the blank table.
+  agent->restart();
+  EXPECT_EQ(net.sw(s1)->table().size(), rules_before);
+  EXPECT_EQ(send(ue).outcome, DeliveryReport::Outcome::kExternal);
+  EXPECT_TRUE(mp->verify_data_plane().clean());
+}
+
 TEST_F(FailureTest, StandbyPromotionRestoresControlPlane) {
   auto& west = mp->leaf(0);
   mgmt::HotStandby standby(west, mp->hub());

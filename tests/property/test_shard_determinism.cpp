@@ -101,6 +101,87 @@ TEST(ShardDeterminism, ShardFoldingPreservesControlPlaneCounts) {
   }
 }
 
+struct FaultRunResult {
+  std::vector<std::string> records;               ///< one line per FaultRecord
+  std::map<std::string, std::uint64_t> messages;  ///< controller -> handled
+  std::vector<std::string> metrics;  ///< snapshot lines sans wall-clock series
+};
+
+/// Serializes a metric sample with full precision; doubles print as %.17g so
+/// any cross-thread divergence (even 1 ulp) breaks the comparison.
+std::string sample_line(const obs::MetricSample& s) {
+  char num[64];
+  std::string line = s.name;
+  for (const auto& [k, v] : s.labels) line += "{" + k + "=" + v + "}";
+  std::snprintf(num, sizeof num, " c=%llu g=%.17g h=%llu/%.17g",
+                (unsigned long long)s.counter_value, s.gauge_value,
+                (unsigned long long)s.hist_count, s.hist_sum);
+  line += num;
+  for (std::uint64_t b : s.bucket_counts) line += "," + std::to_string(b);
+  return line;
+}
+
+/// Builds the scenario fresh, binds it to a `threads`-worker engine and runs
+/// the whole "mixed" fault plan (link flap + switch crash/restart +
+/// controller failover + channel impairment) through the recovery
+/// coordinator. Everything observable must be thread-count invariant.
+FaultRunResult run_fault_plan(std::size_t threads) {
+  topo::ScenarioParams params = topo::small_scenario_params();
+  params.seed = 5;
+  auto scenario = topo::build_scenario(params);
+  auto& mp = *scenario->mgmt;
+  obs::default_registry().reset_values();
+
+  sim::ShardedSimulator::Options opts;
+  opts.threads = threads;
+  sim::ShardedSimulator engine(mp.natural_shard_count(), opts);
+  const sim::Duration parent_delay = sim::Duration::millis(5);
+  mp.bind_shards(engine, parent_delay);
+
+  faults::RecoveryOptions ropts;
+  ropts.parent_link_delay = parent_delay;  // failover rebinds identically
+  faults::RecoveryCoordinator coord(*scenario, &engine, ropts);
+  coord.harden();
+  faults::FaultInjector injector(*scenario, &engine);
+  faults::FaultScenario plan = faults::make_fault_plan("mixed", *scenario, 3);
+  std::vector<faults::FaultRecord> records = injector.run(plan, coord);
+  mp.unbind_shards();
+
+  FaultRunResult r;
+  for (const faults::FaultRecord& rec : records) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%s L%d msgs=%llu det=%.6f mttr=%.6f flat=%.6f rep=%zu "
+                  "fail=%zu rs=%zu dis=%zu bh=%zu pf=%zu vf=%zu",
+                  rec.event.str().c_str(), rec.resolved_level,
+                  (unsigned long long)rec.recovery_messages, rec.detection_ms,
+                  rec.mttr_ms, rec.mttr_flat_ms, rec.repaired, rec.failed,
+                  rec.resyncs, rec.bearers_disrupted, rec.blackholed,
+                  rec.probe_failures, rec.verify_findings);
+    r.records.emplace_back(line);
+  }
+  for (reca::Controller* c : mp.all_controllers())
+    r.messages[c->name()] = c->messages_handled();
+  for (const obs::MetricSample& s : obs::default_registry().snapshot()) {
+    // The only wall-clock series the fault path touches: standby sync /
+    // promotion timing. Everything else must match bit-for-bit.
+    if (s.name == "failover_sync_us" || s.name == "failover_promote_us") continue;
+    r.metrics.push_back(sample_line(s));
+  }
+  return r;
+}
+
+TEST(ShardDeterminism, FaultPlanEventForEventAcrossThreadCounts) {
+  FaultRunResult baseline = run_fault_plan(1);
+  ASSERT_FALSE(baseline.records.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    FaultRunResult r = run_fault_plan(threads);
+    EXPECT_EQ(baseline.records, r.records) << threads << " threads";
+    EXPECT_EQ(baseline.messages, r.messages) << threads << " threads";
+    EXPECT_EQ(baseline.metrics, r.metrics) << threads << " threads";
+  }
+}
+
 TEST(ShardDeterminism, RepeatedRunsAreStable) {
   // Same seed, same thread count, fresh scenario each time: identical
   // everything (guards against iteration-order or uninitialized-state leaks

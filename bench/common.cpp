@@ -78,7 +78,7 @@ const std::vector<OptionSpec>& bench_option_registry() {
          return true;
        }},
       {"--faults", "<name>",
-       "fault plan for fault-injection benches:\nlink-flap, switch-crash, controller-crash,\nimpair, mixed",
+       "fault plan for fault-injection benches:\nlink-flap, switch-crash, controller-crash,\nimpair, mixed, rogue-rule",
        [](BenchOptions& o, const std::string& v) {
          o.faults = v;
          return true;
@@ -97,6 +97,21 @@ const std::vector<OptionSpec>& bench_option_registry() {
       {"--shards", "<n>",
        "override the engine's shard count\n(default 0: one per region + one per level)",
        [](BenchOptions& o, const std::string& v) { return parse_nonneg_size(v, &o.shards); }},
+      {"--encap", "<mode>",
+       "slicing encapsulation: tags (SoftCell\npolicy tags) or labels (per-path §4.3)",
+       [](BenchOptions& o, const std::string& v) {
+         if (v != "tags" && v != "labels") return false;
+         o.encap = v;
+         return true;
+       }},
+      {"--slices", "<n>",
+       "tenant count for slicing benches\n(default 4, max 32)",
+       [](BenchOptions& o, const std::string& v) {
+         std::size_t n = 0;
+         if (!parse_positive_size(v, &n) || n > 32) return false;
+         o.slices = n;
+         return true;
+       }},
       {"--verify", nullptr,
        "run the static data-plane verifier on each\nscenario the bench builds",
        [](BenchOptions& o, const std::string&) {
@@ -201,9 +216,14 @@ bool export_metrics(const BenchOptions& opts) {
 
 namespace {
 BenchOptions g_options;
+std::function<void(verify::ControlState&)> g_verify_annotator;
 }  // namespace
 
 const BenchOptions& current_bench_options() { return g_options; }
+
+void set_verify_annotator(std::function<void(verify::ControlState&)> annotator) {
+  g_verify_annotator = std::move(annotator);
+}
 
 bool maybe_verify(topo::Scenario& scenario, const char* tag) {
   if (!current_bench_options().verify) return true;
@@ -214,6 +234,7 @@ bool maybe_verify(topo::Scenario& scenario, const char* tag) {
     state = verify::collect_control_state(controllers);
   }
   if (scenario.apps) state.bearers = scenario.apps->bearer_claims();
+  if (g_verify_annotator) g_verify_annotator(state);
   verify::VerifyReport report =
       verify::verify_data_plane(scenario.net, &state, scenario.mgmt->verify_options());
   std::printf("%s%s%s\n", tag, *tag != '\0' ? ": " : "", report.summary().c_str());

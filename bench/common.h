@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +27,8 @@ struct BenchOptions {
   std::uint64_t fault_seed = 1; ///< --fault-seed <n>: fault-plan target selection
   std::size_t threads = 1;      ///< --threads <n>: sharded-engine worker threads
   std::size_t shards = 0;       ///< --shards <n>: shard override (0 = topology's natural count)
+  std::string encap = "tags";   ///< --encap tags|labels: slicing encapsulation scheme
+  std::size_t slices = 4;       ///< --slices <n>: tenant count for slicing benches
   bool help = false;            ///< --help: print usage and exit 0
   bool parse_ok = true;         ///< false: unknown flag / bad value; exit non-zero
 };
@@ -61,6 +64,12 @@ const BenchOptions& current_bench_options();
 /// bearer cross-checks) and prints the report summary. Findings land in the
 /// default metrics registry either way. Returns true when clean or skipped.
 bool maybe_verify(topo::Scenario& scenario, const char* tag = "");
+
+/// Hook applied to the control state maybe_verify collects, before the
+/// verifier runs. The slicing benches install the slice manager's UE->slice
+/// map here so `--verify` also enforces tenant-isolation invariants. Pass
+/// nullptr to clear.
+void set_verify_annotator(std::function<void(verify::ControlState&)> annotator);
 
 /// Writes the default registry (and tracer, for JSON) to the requested
 /// paths, plus the Chrome trace for `--trace-chrome`. No-op for unset

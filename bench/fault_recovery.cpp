@@ -103,7 +103,9 @@ void run() {
   TextTable table({"fault", "level", "msgs", "recursive ms", "flat ms", "speedup",
                    "repaired", "resyncs", "disrupted", "verify"});
   for (const faults::FaultRecord& rec : records) {
-    table.add_row({rec.event.str(), "L" + std::to_string(rec.resolved_level),
+    std::string lvl = "L";  // built piecewise: GCC 12 -Wrestrict FP on char*+string&&
+    lvl += std::to_string(rec.resolved_level);
+    table.add_row({rec.event.str(), lvl,
                    std::to_string(rec.recovery_messages), fmt_ms(rec.mttr_ms),
                    fmt_ms(rec.mttr_flat_ms), fmt_x(rec.speedup()),
                    std::to_string(rec.repaired), std::to_string(rec.resyncs),
@@ -132,7 +134,9 @@ void run() {
     }
     if (n == 0) continue;
     double dn = static_cast<double>(n);
-    by_level.add_row({"level " + std::to_string(level), std::to_string(n),
+    std::string lvl_name = "level ";
+    lvl_name += std::to_string(level);
+    by_level.add_row({lvl_name, std::to_string(n),
                       fmt_ms(recursive / dn), fmt_ms(flat / dn),
                       fmt_x(speedup / dn)});
   }

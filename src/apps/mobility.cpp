@@ -362,6 +362,17 @@ Result<BearerId> MobilityApp::setup_local_bearer(UeRecord& rec, const BearerRequ
   nos::PathSetupOptions options;
   // Guaranteed-bit-rate bearers reserve their floor along the path (§3.2).
   options.reserve_kbps = request.qos.min_bandwidth_kbps;
+  // Sliced bearer under tag encapsulation: classify onto the shared
+  // (slice, clause, ingress, egress) policy tag so same-aggregate bearers
+  // share transit rules (SoftCell compression) instead of a per-path label.
+  if (controller_->tag_allocator() != nullptr && request.slice.valid() &&
+      !route->hops.empty()) {
+    Endpoint egress{route->hops.back().sw, route->hops.back().out};
+    options.shared_tag =
+        Label{controller_->tag_allocator()->tag_for(request.slice, request.policy_clause,
+                                                    routing.source, egress),
+              static_cast<std::uint8_t>(controller_->level())};
+  }
   auto path = controller_->path_setup(*route, classifier, options);
   if (!path.ok()) return path.error();
 
@@ -476,6 +487,17 @@ Result<BearerOutcome> MobilityApp::serve_bearer(const BearerDelegation& delegati
   classifier.dst_prefix = delegation.request.dst_prefix;
   nos::PathSetupOptions options;
   options.reserve_kbps = delegation.request.qos.min_bandwidth_kbps;
+  // Delegated sliced bearer: the ancestor tags with the *originating* slice
+  // (carried in the delegation), aggregating same-tag bearers onto shared
+  // G-switch rules — children then translate one aggregate, not N paths.
+  if (controller_->tag_allocator() != nullptr && delegation.request.slice.valid() &&
+      !route->hops.empty()) {
+    Endpoint egress{route->hops.back().sw, route->hops.back().out};
+    options.shared_tag = Label{
+        controller_->tag_allocator()->tag_for(delegation.request.slice,
+                                              delegation.request.policy_clause, *source, egress),
+        static_cast<std::uint8_t>(controller_->level())};
+  }
   auto path = controller_->path_setup(*route, classifier, options);
   if (!path.ok()) return path.error();
 

@@ -45,6 +45,11 @@ struct BearerRequest {
   PathConstraints qos;
   nos::ServicePolicy policy;
   Metric objective = Metric::kHops;
+  /// Owning tenant under multi-tenant slicing (invalid = unsliced). Carried
+  /// through delegation so ancestors tag with the originating slice.
+  SliceId slice;
+  /// Policy clause within the slice (dimension of the SoftCell tag).
+  std::uint32_t policy_clause = 0;
 };
 
 struct BearerRecord {

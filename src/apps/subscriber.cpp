@@ -75,22 +75,29 @@ void PcrfApp::set_rule(SubscriberClass tier, ApplicationClass app, Policy policy
   rules_[{tier, app}] = std::move(policy);
 }
 
-PcrfApp::Policy PcrfApp::policy_for(SubscriberClass tier, ApplicationClass app) const {
+Result<PcrfApp::Policy> PcrfApp::policy_for(SubscriberClass tier, ApplicationClass app) const {
+  if (tier == SubscriberClass::kBlocked)
+    return Error{ErrorCode::kPermission, "blocked subscribers receive no policy"};
+  if (static_cast<std::uint8_t>(tier) > static_cast<std::uint8_t>(SubscriberClass::kBlocked))
+    return Error{ErrorCode::kInvalidArgument, "unknown subscriber class"};
+  if (static_cast<std::uint8_t>(app) > static_cast<std::uint8_t>(ApplicationClass::kBulk))
+    return Error{ErrorCode::kInvalidArgument, "unknown application class"};
   auto it = rules_.find({tier, app});
   if (it != rules_.end()) return it->second;
-  return Policy{};  // best-effort default
+  return Policy{};  // valid but unconfigured pair: best-effort default
 }
 
-BearerRequest PcrfApp::make_request(const SubscriberProfile& profile, BsId bs, PrefixId dst,
-                                    ApplicationClass app) const {
-  Policy policy = policy_for(profile.tier, app);
+Result<BearerRequest> PcrfApp::make_request(const SubscriberProfile& profile, BsId bs,
+                                            PrefixId dst, ApplicationClass app) const {
+  auto policy = policy_for(profile.tier, app);
+  if (!policy.ok()) return policy.error();
   BearerRequest request;
   request.ue = profile.ue;
   request.bs = bs;
   request.dst_prefix = dst;
-  request.qos = policy.qos;
-  request.policy = policy.service;
-  request.objective = policy.objective;
+  request.qos = policy->qos;
+  request.policy = policy->service;
+  request.objective = policy->objective;
   return request;
 }
 
@@ -118,7 +125,9 @@ Result<BearerId> SubscriberFrontend::open_bearer(UeId ue, PrefixId dst,
   if (profile == nullptr) return Error{ErrorCode::kPermission, "subscriber not provisioned"};
   const UeRecord* record = mobility_->ue(ue);
   if (record == nullptr) return Error{ErrorCode::kNotFound, "UE not attached"};
-  return mobility_->request_bearer(pcrf_->make_request(*profile, record->bs, dst, app));
+  auto request = pcrf_->make_request(*profile, record->bs, dst, app);
+  if (!request.ok()) return request.error();
+  return mobility_->request_bearer(*request);
 }
 
 }  // namespace softmow::apps

@@ -84,11 +84,16 @@ class PcrfApp {
 
   /// Installs/overrides the rule for a (tier, app) pair.
   void set_rule(SubscriberClass tier, ApplicationClass app, Policy policy);
-  [[nodiscard]] Policy policy_for(SubscriberClass tier, ApplicationClass app) const;
+  /// The policy for a (tier, app) pair. Typed failures instead of a silent
+  /// best-effort default: kPermission for blocked subscribers (no policy may
+  /// ever be derived for them) and kInvalidArgument for out-of-range enum
+  /// values (corrupt or version-skewed requests). A merely *unconfigured*
+  /// valid pair still falls back to the best-effort default policy.
+  [[nodiscard]] Result<Policy> policy_for(SubscriberClass tier, ApplicationClass app) const;
 
-  /// Fills a bearer request from the policy tables.
-  [[nodiscard]] BearerRequest make_request(const SubscriberProfile& profile, BsId bs,
-                                           PrefixId dst, ApplicationClass app) const;
+  /// Fills a bearer request from the policy tables; fails like policy_for.
+  [[nodiscard]] Result<BearerRequest> make_request(const SubscriberProfile& profile, BsId bs,
+                                                   PrefixId dst, ApplicationClass app) const;
 
   // --- charging (the "C" in PCRF) -------------------------------------------
   void meter(UeId ue, ApplicationClass app, std::uint64_t bytes);

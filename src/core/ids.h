@@ -40,8 +40,15 @@ struct Id {
   }
 
   [[nodiscard]] std::string str() const {
-    if (!valid()) return std::string(Tag::prefix()) + "<invalid>";
-    return std::string(Tag::prefix()) + std::to_string(value);
+    // Built piecewise: GCC 12 emits a -Wrestrict false positive on the
+    // char*+string(&&) concatenation chain under heavy inlining.
+    std::string s(Tag::prefix());
+    if (!valid()) {
+      s += "<invalid>";
+    } else {
+      s += std::to_string(value);
+    }
+    return s;
   }
 };
 
@@ -61,6 +68,7 @@ struct BearerTag     { static constexpr const char* prefix() { return "br";  } }
 struct PrefixTag     { static constexpr const char* prefix() { return "px";  } };
 struct XidTag        { static constexpr const char* prefix() { return "x";   } };
 struct EgressTag     { static constexpr const char* prefix() { return "eg";  } };
+struct SliceTag      { static constexpr const char* prefix() { return "sl";  } };
 
 /// Identifies a physical switch or a gigantic (logical) switch.
 using SwitchId = Id<SwitchTag>;
@@ -92,6 +100,8 @@ using PrefixId = Id<PrefixTag>;
 using Xid = Id<XidTag>;
 /// An Internet egress point (peering with an ISP / content provider).
 using EgressId = Id<EgressTag>;
+/// A network slice (virtual operator tenant sharing the physical WAN).
+using SliceId = Id<SliceTag>;
 
 /// A (switch, port) pair — one end of a link.
 template <class SwitchIdT = SwitchId>

@@ -50,6 +50,10 @@ struct Packet {
     PortId in_port;
     PortId out_port;
     std::size_t label_depth_on_entry = 0;
+    /// Outermost label on entry (value 0 when the stack was empty); lets
+    /// audits decode policy tags the packet carried mid-flight even though
+    /// the exit switch pops them before delivery.
+    Label top_label_on_entry{};
   };
   std::vector<HopRecord> trace;
 

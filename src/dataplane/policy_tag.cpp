@@ -1,0 +1,59 @@
+#include "dataplane/policy_tag.h"
+
+#include <sstream>
+
+namespace softmow::dataplane {
+
+namespace {
+constexpr std::uint32_t kSliceShift = 26;
+constexpr std::uint32_t kClauseShift = 21;
+constexpr std::uint32_t kEgressShift = 11;
+constexpr std::uint32_t kSliceMask = PolicyTag::kMaxSlices - 1;
+constexpr std::uint32_t kClauseMask = PolicyTag::kMaxClauses - 1;
+constexpr std::uint32_t kEgressMask = PolicyTag::kMaxEgressAggs - 1;
+constexpr std::uint32_t kIngressMask = PolicyTag::kMaxIngressAggs - 1;
+}  // namespace
+
+std::string PolicyTag::str() const {
+  std::ostringstream os;
+  os << "tag{" << slice << " clause=" << clause << " in_agg=" << ingress_agg
+     << " out_agg=" << egress_agg << "}";
+  return os.str();
+}
+
+std::uint32_t encode_tag(const PolicyTag& tag) {
+  std::uint32_t slice = static_cast<std::uint32_t>(tag.slice.valid() ? tag.slice.value : 0);
+  return PolicyTag::kMarkerBit | ((slice & kSliceMask) << kSliceShift) |
+         ((tag.clause & kClauseMask) << kClauseShift) |
+         ((tag.egress_agg & kEgressMask) << kEgressShift) | (tag.ingress_agg & kIngressMask);
+}
+
+std::optional<PolicyTag> decode_tag(std::uint32_t value) {
+  if (!is_policy_tag(value)) return std::nullopt;
+  PolicyTag tag;
+  tag.slice = SliceId{(value >> kSliceShift) & kSliceMask};
+  tag.clause = (value >> kClauseShift) & kClauseMask;
+  tag.egress_agg = (value >> kEgressShift) & kEgressMask;
+  tag.ingress_agg = value & kIngressMask;
+  return tag;
+}
+
+std::uint32_t TagAllocator::tag_for(SliceId slice, std::uint32_t clause, Endpoint ingress,
+                                    Endpoint egress) {
+  auto intern = [](std::map<Endpoint, std::uint32_t>& aggs, Endpoint e,
+                   std::uint32_t cap) -> std::uint32_t {
+    auto it = aggs.find(e);
+    if (it != aggs.end()) return it->second;
+    std::uint32_t id = static_cast<std::uint32_t>(aggs.size()) % cap;
+    aggs.emplace(e, id);
+    return id;
+  };
+  PolicyTag tag;
+  tag.slice = slice;
+  tag.clause = clause;
+  tag.ingress_agg = intern(ingress_aggs_, ingress, PolicyTag::kMaxIngressAggs);
+  tag.egress_agg = intern(egress_aggs_, egress, PolicyTag::kMaxEgressAggs);
+  return encode_tag(tag);
+}
+
+}  // namespace softmow::dataplane

@@ -50,7 +50,8 @@ std::vector<ControllerId> Switch::event_receivers() const {
 
 Forwarding Switch::process(Packet& pkt, PortId arrival_port, BsGroupId origin_group) {
   ++packets_processed_;
-  pkt.trace.push_back(Packet::HopRecord{id_, arrival_port, PortId{}, pkt.label_depth()});
+  pkt.trace.push_back(Packet::HopRecord{id_, arrival_port, PortId{}, pkt.label_depth(),
+                                        pkt.labels.empty() ? Label{} : pkt.labels.back()});
 
   FlowRule* rule = table_.lookup(pkt, arrival_port, origin_group);
   if (rule == nullptr) {

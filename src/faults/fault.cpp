@@ -11,25 +11,30 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kControllerCrash: return "controller-crash";
     case FaultKind::kChannelImpair: return "channel-impair";
     case FaultKind::kChannelClear: return "channel-clear";
+    case FaultKind::kRogueRule: return "rogue-rule";
   }
   return "unknown";
 }
 
 std::string FaultEvent::str() const {
+  // Appended piecewise: GCC 12 -Wrestrict false positive on char*+string&&.
   std::string out = fault_kind_name(kind);
+  out += ' ';
   switch (kind) {
     case FaultKind::kLinkDown:
     case FaultKind::kLinkUp:
-      out += " " + link.str();
+      out += link.str();
       break;
     case FaultKind::kSwitchCrash:
     case FaultKind::kSwitchRestart:
-      out += " " + sw.str();
+    case FaultKind::kRogueRule:
+      out += sw.str();
       break;
     case FaultKind::kControllerCrash:
     case FaultKind::kChannelImpair:
     case FaultKind::kChannelClear:
-      out += " leaf" + std::to_string(leaf);
+      out += "leaf";
+      out += std::to_string(leaf);
       break;
   }
   return out;

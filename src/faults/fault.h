@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/ids.h"
+#include "dataplane/flow_table.h"
 #include "sim/time.h"
 #include "southbound/channel.h"
 
@@ -27,6 +28,9 @@ enum class FaultKind : std::uint8_t {
   kControllerCrash,  ///< leaf controller dies: hot standby promotes (§6)
   kChannelImpair,    ///< southbound channels of one leaf drop/dup/delay
   kChannelClear,     ///< impairment lifted
+  kRogueRule,        ///< rule injected into a switch TCAM behind the
+                     ///< controller's back (e.g. a cross-tenant policy tag);
+                     ///< the owning leaf removes it by cookie once audited
 };
 
 /// Stable metric/label tag ("link-down", "switch-crash", ...).
@@ -37,9 +41,10 @@ struct FaultEvent {
   sim::TimePoint at;
   FaultKind kind = FaultKind::kLinkDown;
   LinkId link;           ///< kLinkDown / kLinkUp
-  SwitchId sw;           ///< kSwitchCrash / kSwitchRestart
+  SwitchId sw;           ///< kSwitchCrash / kSwitchRestart / kRogueRule target
   std::size_t leaf = 0;  ///< kControllerCrash / kChannelImpair / kChannelClear
   southbound::Impairment impair;  ///< kChannelImpair profile
+  dataplane::FlowRule rogue;      ///< kRogueRule payload (installed verbatim)
 
   [[nodiscard]] std::string str() const;
 };

@@ -1,5 +1,6 @@
 #include "faults/recovery.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -113,6 +114,8 @@ Duration RecoveryCoordinator::detection_for(FaultKind kind) const {
     case FaultKind::kChannelImpair:
     case FaultKind::kChannelClear:
       return opts_.retry.base_timeout;
+    case FaultKind::kRogueRule:
+      return opts_.audit_detect;
   }
   return opts_.link_detect;
 }
@@ -145,6 +148,14 @@ void RecoveryCoordinator::apply_mutation(const FaultEvent& ev) {
     }
     case FaultKind::kChannelClear:
       mp.leaf(ev.leaf).clear_device_impairment();
+      break;
+    case FaultKind::kRogueRule:
+      // Straight into the TCAM, bypassing every controller — the control
+      // plane's own books stay clean, which is exactly why only an audit
+      // (probe or static scan) can catch it.
+      if (dataplane::Switch* sw = scenario_->net.sw(ev.sw)) {
+        (void)sw->table().install(ev.rogue);
+      }
       break;
   }
 }
@@ -214,6 +225,36 @@ void RecoveryCoordinator::dispatch_recovery(const FaultEvent& ev, FaultRecord& r
     }
     case FaultKind::kSwitchCrash:
       break;  // handled in execute(): opens an outage, no recovery yet
+    case FaultKind::kRogueRule: {
+      // The audit names the (switch, cookie); the leaf that owns the switch
+      // deletes the rule through its own southbound channel so the removal
+      // is counted (and paid for) like any other recovery message.
+      reca::Controller* owner = nullptr;
+      for (reca::Controller* c : mp.leaves()) {
+        std::vector<SwitchId> devices = c->devices();
+        if (std::find(devices.begin(), devices.end(), ev.sw) != devices.end()) {
+          owner = c;
+          break;
+        }
+      }
+      if (owner == nullptr) break;
+      southbound::FlowMod del;
+      del.op = southbound::FlowMod::Op::kRemoveByCookie;
+      del.sw = ev.sw;
+      del.cookie = ev.rogue.cookie;
+      SwitchId sw = ev.sw;
+      FaultRecord* recp = &rec;
+      auto remove = [owner, sw, del, recp] {
+        (void)owner->send(sw, southbound::Message{del});
+        ++recp->repaired;
+      };
+      if (engine_ != nullptr) {
+        engine_->schedule(owner->shard(), engine_->lookahead(), remove);
+      } else {
+        remove();
+      }
+      break;
+    }
   }
 }
 

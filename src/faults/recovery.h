@@ -35,6 +35,8 @@ struct RecoveryOptions {
   sim::Duration link_detect = sim::Duration::millis(15);
   sim::Duration crash_detect = sim::Duration::millis(90);
   sim::Duration controller_detect = sim::Duration::millis(200);
+  /// Interval of the periodic slice-isolation audit that spots rogue rules.
+  sim::Duration audit_detect = sim::Duration::millis(120);
   /// Modeled standby-promotion cost (keeps the failover span deterministic).
   sim::Duration promote_duration = sim::Duration::millis(50);
   /// Must match the ShardedRun / ManagementPlane::bind_shards value so a

@@ -6,6 +6,7 @@
 
 #include "core/log.h"
 #include "core/rng.h"
+#include "dataplane/policy_tag.h"
 
 namespace softmow::faults {
 
@@ -73,6 +74,45 @@ FaultEvent switch_event(double ms, FaultKind kind, SwitchId sw) {
   return ev;
 }
 
+/// Forges a cross-tenant copy of a tagged access classifier: same match,
+/// higher priority, but the policy tag's slice bits flipped to a
+/// neighbouring tenant. Returns nullopt when no tagged classifier exists
+/// (untagged scenarios have no tenant boundary to violate).
+std::optional<FaultEvent> rogue_rule_event(double ms, topo::Scenario& scenario) {
+  for (SwitchId sw_id : scenario.net.all_switches()) {
+    if (!scenario.net.is_access_switch(sw_id)) continue;
+    const dataplane::Switch* sw = scenario.net.sw(sw_id);
+    if (sw == nullptr) continue;
+    for (const dataplane::FlowRule& rule : sw->table().rules()) {
+      if (!rule.match.ue) continue;
+      dataplane::FlowRule rogue = rule;
+      bool tagged = false;
+      for (dataplane::Action& a : rogue.actions) {
+        if (a.type != dataplane::ActionType::kPushLabel &&
+            a.type != dataplane::ActionType::kSwapLabel)
+          continue;
+        std::optional<dataplane::PolicyTag> tag = dataplane::decode_tag(a.label.value);
+        if (!tag) continue;
+        tag->slice = SliceId{tag->slice.value ^ 1};
+        a.label.value = dataplane::encode_tag(*tag);
+        tagged = true;
+      }
+      if (!tagged) continue;
+      rogue.cookie = (1ull << 62) | 0xbadc00c1eull;
+      rogue.priority = rule.priority + 100;  // shadow the legitimate classifier
+      rogue.packet_count = 0;
+      rogue.byte_count = 0;
+      FaultEvent ev;
+      ev.at = at_ms(ms);
+      ev.kind = FaultKind::kRogueRule;
+      ev.sw = sw_id;
+      ev.rogue = rogue;
+      return ev;
+    }
+  }
+  return std::nullopt;
+}
+
 FaultEvent leaf_event(double ms, FaultKind kind, std::size_t leaf) {
   FaultEvent ev;
   ev.at = at_ms(ms);
@@ -86,7 +126,7 @@ FaultEvent leaf_event(double ms, FaultKind kind, std::size_t leaf) {
 
 const std::vector<std::string>& fault_plan_names() {
   static const std::vector<std::string> names = {
-      "link-flap", "switch-crash", "controller-crash", "impair", "mixed"};
+      "link-flap", "switch-crash", "controller-crash", "impair", "mixed", "rogue-rule"};
   return names;
 }
 
@@ -145,6 +185,13 @@ FaultScenario make_fault_plan(const std::string& name, topo::Scenario& scenario,
     plan.events.push_back(leaf_event(700, FaultKind::kControllerCrash, crash_leaf));
     plan.events.push_back(leaf_event(900, FaultKind::kChannelImpair, impair_leaf));
     plan.events.push_back(leaf_event(1400, FaultKind::kChannelClear, impair_leaf));
+  } else if (name == "rogue-rule") {
+    if (std::optional<FaultEvent> ev = rogue_rule_event(100, scenario)) {
+      plan.events.push_back(*ev);
+    } else {
+      SOFTMOW_LOG(LogLevel::kWarn, "faults")
+          << "no tagged classifier to forge a rogue rule from; plan is empty";
+    }
   } else {
     SOFTMOW_LOG(LogLevel::kWarn, "faults") << "unknown fault plan '" << name << "'";
   }

@@ -1,5 +1,10 @@
 #include "mgmt/audit.h"
 
+#include <algorithm>
+#include <set>
+
+#include "dataplane/policy_tag.h"
+
 namespace softmow::mgmt {
 
 using dataplane::DeliveryReport;
@@ -58,6 +63,103 @@ AuditReport audit_data_plane(dataplane::PhysicalNetwork& net) {
       if (!ok || depth > 1 || stack_residue) {
         report.findings.push_back(
             AuditFinding{sw_id, rule.cookie, result.outcome, depth});
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// The slice a rule's actions tag packets with, if any action applies a
+/// policy tag.
+std::optional<SliceId> tag_slice_of(const dataplane::FlowRule& rule) {
+  for (const dataplane::Action& a : rule.actions) {
+    if (a.type != dataplane::ActionType::kPushLabel &&
+        a.type != dataplane::ActionType::kSwapLabel)
+      continue;
+    if (auto tag = dataplane::decode_tag(a.label.value)) return tag->slice;
+  }
+  return std::nullopt;
+}
+
+/// Finds the rule on `sw` that applies tag `tag` (the culprit behind a
+/// mid-flight tag observation). Falls back to cookie 0 when the rule was
+/// removed between probe and scan.
+std::uint64_t cookie_applying_tag(const dataplane::Switch* sw, std::uint32_t tag) {
+  if (sw == nullptr) return 0;
+  for (const dataplane::FlowRule& rule : sw->table().rules()) {
+    for (const dataplane::Action& a : rule.actions) {
+      if ((a.type == dataplane::ActionType::kPushLabel ||
+           a.type == dataplane::ActionType::kSwapLabel) &&
+          a.label.value == tag)
+        return rule.cookie;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+SliceAuditReport audit_slice_isolation(dataplane::PhysicalNetwork& net,
+                                       const std::map<UeId, SliceId>& ue_slices) {
+  SliceAuditReport report;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;  // (sw, cookie) dedup
+  auto add_finding = [&](SwitchId sw, std::uint64_t cookie, SliceId expected, SliceId found) {
+    if (!seen.insert({sw.value, cookie}).second) return;
+    report.findings.push_back(SliceAuditFinding{sw, cookie, expected, found});
+  };
+
+  // Pass 1 — static scan: a rule that pins a subscriber of slice A but tags
+  // with slice B is a cross-tenant leak regardless of whether traffic hits it.
+  for (SwitchId sw_id : net.all_switches()) {
+    const dataplane::Switch* sw = net.sw(sw_id);
+    if (sw == nullptr) continue;
+    for (const dataplane::FlowRule& rule : sw->table().rules()) {
+      ++report.rules_scanned;
+      if (!rule.match.ue) continue;
+      auto it = ue_slices.find(*rule.match.ue);
+      if (it == ue_slices.end()) continue;
+      std::optional<SliceId> tagged = tag_slice_of(rule);
+      if (tagged && !(*tagged == it->second))
+        add_finding(sw_id, rule.cookie, it->second, *tagged);
+    }
+  }
+
+  // Pass 2 — probe walk: inject from every access classifier of a known
+  // tenant and verify each tag the packet carries decodes to that tenant.
+  for (SwitchId sw_id : net.all_switches()) {
+    if (!net.is_access_switch(sw_id)) continue;
+    const dataplane::Switch* access = net.sw(sw_id);
+    const dataplane::Port* radio = access->port(PortId{1});
+    if (radio == nullptr || radio->peer != dataplane::PeerKind::kBsGroup) continue;
+    BsGroupId group = radio->bs_group;
+
+    for (const dataplane::FlowRule& rule : access->table().rules()) {
+      const dataplane::Match& match = rule.match;
+      if (match.label.has_value()) continue;
+      if (match.in_port && !(*match.in_port == PortId{1})) continue;
+      if (!match.ue) continue;
+      auto it = ue_slices.find(*match.ue);
+      if (it == ue_slices.end()) continue;
+      SliceId expected = it->second;
+
+      Packet probe;
+      probe.ue = *match.ue;
+      probe.dst_prefix = match.dst_prefix.value_or(PrefixId{0});
+      if (match.version) probe.version = *match.version;
+      if (match.bs_group && !(*match.bs_group == group)) continue;
+
+      ++report.probes_sent;
+      auto result = net.inject_at(probe, Endpoint{sw_id, PortId{1}}, group);
+      for (const Packet::HopRecord& hop : result.packet.trace) {
+        auto tag = dataplane::decode_tag(hop.top_label_on_entry.value);
+        if (!tag) continue;
+        ++report.tagged_hops_checked;
+        SliceId found = tag->slice;
+        if (!(found == expected))
+          add_finding(hop.sw, cookie_applying_tag(net.sw(hop.sw), hop.top_label_on_entry.value),
+                      expected, found);
       }
     }
   }

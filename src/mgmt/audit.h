@@ -9,6 +9,7 @@
 // repair bug shows up as a concrete (access switch, cookie) finding.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "dataplane/network.h"
@@ -41,5 +42,36 @@ struct AuditReport {
 /// Probes every access-switch classification rule. Note: probes traverse
 /// real rules, so per-rule packet counters advance.
 [[nodiscard]] AuditReport audit_data_plane(dataplane::PhysicalNetwork& net);
+
+// --- multi-tenant slice isolation -----------------------------------------
+
+struct SliceAuditFinding {
+  SwitchId sw;                ///< switch carrying the offending rule
+  std::uint64_t cookie = 0;   ///< cookie of the rule that applied the tag
+  SliceId expected;           ///< slice owning the matched subscriber
+  SliceId found;              ///< slice the tag decodes to
+};
+
+struct SliceAuditReport {
+  std::size_t rules_scanned = 0;
+  std::size_t probes_sent = 0;
+  std::size_t tagged_hops_checked = 0;
+  /// Rules whose match pins a subscriber of one slice but whose actions
+  /// apply a policy tag of another (static table scan), plus probes that
+  /// were observed carrying a foreign slice's tag mid-flight.
+  std::vector<SliceAuditFinding> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Cross-checks the physical rule tables and live probe behaviour against
+/// the tenant map: no rule may tag one slice's subscriber with another
+/// slice's policy tag, and no probe may ever be carried under a foreign
+/// tag. Two passes — a static scan over every switch's table (catches rules
+/// no probe happens to exercise) and a probe walk from every access
+/// classifier whose UE is in `ue_slices` (catches misrouting the static
+/// scan cannot see). Duplicate (switch, cookie) findings are reported once.
+[[nodiscard]] SliceAuditReport audit_slice_isolation(
+    dataplane::PhysicalNetwork& net, const std::map<UeId, SliceId>& ue_slices);
 
 }  // namespace softmow::mgmt

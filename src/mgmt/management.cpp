@@ -378,6 +378,7 @@ verify::VerifyReport ManagementPlane::verify_data_plane() {
   std::vector<const reca::Controller*> controllers;
   for (reca::Controller* c : all_controllers()) controllers.push_back(c);
   verify::ControlState state = verify::collect_control_state(controllers);
+  if (slice_annotator_) slice_annotator_(state);
   verifier_ = std::make_unique<verify::StaticVerifier>(net_, verify_options());
   return verifier_->verify(&state);
 }
@@ -386,6 +387,7 @@ verify::VerifyReport ManagementPlane::reverify_data_plane(const std::vector<Swit
   std::vector<const reca::Controller*> controllers;
   for (reca::Controller* c : all_controllers()) controllers.push_back(c);
   verify::ControlState state = verify::collect_control_state(controllers);
+  if (slice_annotator_) slice_annotator_(state);
   if (!verifier_) verifier_ = std::make_unique<verify::StaticVerifier>(net_, verify_options());
   return verifier_->reverify(dirty, &state);
 }

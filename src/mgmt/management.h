@@ -137,6 +137,12 @@ class ManagementPlane {
   /// Incremental pass after rules changed on `dirty` switches; falls back to
   /// a full pass on first use.
   verify::VerifyReport reverify_data_plane(const std::vector<SwitchId>& dirty);
+  /// Hook run over the collected control state before each verify pass;
+  /// the slicing subsystem installs one that fills `ControlState.ue_slices`
+  /// so the verifier can enforce per-tenant isolation invariants.
+  void set_slice_annotator(std::function<void(verify::ControlState&)> annotator) {
+    slice_annotator_ = std::move(annotator);
+  }
   /// Leaf index currently controlling `g`.
   [[nodiscard]] std::size_t leaf_index_of_group(BsGroupId g) const {
     return group_to_leaf_.at(g);
@@ -166,6 +172,7 @@ class ManagementPlane {
   UeTransferHook ue_rehome_hook_;
   std::uint64_t next_controller_ = 1;
   std::unique_ptr<verify::StaticVerifier> verifier_;  ///< walk caches for reverify
+  std::function<void(verify::ControlState&)> slice_annotator_;
 };
 
 }  // namespace softmow::mgmt

@@ -50,23 +50,156 @@ Result<PathId> PathImplementer::setup(const ComputedRoute& route,
 
   InstalledPath p;
   p.id = PathId{next_path_++};
-  p.label = allocate_label();
   p.classifier = std::move(classifier);
   p.route = route;
   p.options = options;
 
+  bool tagged = options.shared_tag.has_value() && route.hops.size() > 1;
+  if (tagged) {
+    p.label = *options.shared_tag;
+    auto agg = ensure_aggregate(p.label, p.route, p.options);
+    if (!agg.ok()) return agg.error();
+    // Attach to the aggregate's route: it is the route actually programmed
+    // (an existing aggregate may predate — and outlive — the offered one).
+    p.route = aggregates_.at(p.label.value).route;
+  } else {
+    // Single-switch tagged routes degenerate to plain paths: there is no
+    // transit state to share and the local classifier says it all.
+    p.options.shared_tag.reset();
+    p.label = allocate_label();
+  }
+
   // Resources first: failing admission must not leave half a path behind.
   auto acquired = acquire_resources(p);
-  if (!acquired.ok()) return acquired.error();
-  auto installed = install_rules(p);
+  if (!acquired.ok()) {
+    if (tagged) gc_aggregate(p.label.value);
+    return acquired.error();
+  }
+  auto installed = tagged ? install_classifier(p) : install_rules(p);
   if (!installed.ok()) {
     release_resources(p);
+    if (tagged) gc_aggregate(p.label.value);
     return installed.error();
   }
+  if (tagged) ++aggregates_.at(p.label.value).refs;
   PathId id = p.id;
   paths_.emplace(id, std::move(p));
   setups_metric_->inc();
   return id;
+}
+
+Result<void> PathImplementer::ensure_aggregate(Label tag, const ComputedRoute& route,
+                                               const PathSetupOptions& options) {
+  auto [it, inserted] = aggregates_.try_emplace(tag.value);
+  TagAggregate& agg = it->second;
+  if (inserted) {
+    agg.tag = tag;
+    agg.route = route;
+    agg.options = options;
+    auto installed = install_aggregate_rules(agg);
+    if (!installed.ok()) {
+      aggregates_.erase(it);
+      return installed;
+    }
+    return Ok();
+  }
+  // Existing aggregate whose route broke (failure repair): adopt the fresh
+  // route offered by the first repaired path and rebuild the shared rules in
+  // place. Other attached paths refresh their stored route on their own
+  // repair pass.
+  if (agg.rules.empty() || (nib_ != nullptr && !route_intact(*nib_, agg.route))) {
+    remove_aggregate_rules(agg);
+    agg.route = route;
+    agg.options = options;
+    return install_aggregate_rules(agg);
+  }
+  return Ok();
+}
+
+Result<void> PathImplementer::install_aggregate_rules(TagAggregate& agg) {
+  const std::vector<RouteHop>& hops = agg.route.hops;
+  std::vector<southbound::Message> batch;
+  std::vector<std::pair<SwitchId, std::uint64_t>> batch_rules;
+  SwitchId batch_sw{};
+  auto flush = [&]() -> Result<void> {
+    if (batch.empty()) return Ok();
+    auto sent = bus_->send_batch(batch_sw, batch);
+    if (sent.ok())
+      for (auto& r : batch_rules) agg.rules.push_back(r);
+    batch.clear();
+    batch_rules.clear();
+    return sent;
+  };
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    dataplane::FlowRule rule =
+        build_rule({}, agg.tag, agg.route, agg.options, i, shared_tag_cookie(agg.tag.value, i));
+    flowmods_metric_->inc();
+    southbound::FlowMod mod;
+    mod.op = southbound::FlowMod::Op::kAdd;
+    mod.sw = hops[i].sw;
+    mod.rule = rule;
+    if (!batch.empty() && batch_sw != hops[i].sw) {
+      if (auto sent = flush(); !sent.ok()) {
+        remove_aggregate_rules(agg);
+        return sent;
+      }
+    }
+    batch_sw = hops[i].sw;
+    batch.push_back(std::move(mod));
+    batch_rules.emplace_back(hops[i].sw, rule.cookie);
+  }
+  if (auto sent = flush(); !sent.ok()) {
+    remove_aggregate_rules(agg);
+    return sent;
+  }
+  return Ok();
+}
+
+void PathImplementer::remove_aggregate_rules(TagAggregate& agg) {
+  std::size_t i = 0;
+  while (i < agg.rules.size()) {
+    SwitchId sw = agg.rules[i].first;
+    std::vector<southbound::Message> batch;
+    while (i < agg.rules.size() && agg.rules[i].first == sw) {
+      southbound::FlowMod rm;
+      rm.op = southbound::FlowMod::Op::kRemoveByCookie;
+      rm.sw = sw;
+      rm.cookie = agg.rules[i].second;
+      batch.push_back(std::move(rm));
+      ++i;
+    }
+    (void)bus_->send_batch(sw, batch);
+  }
+  agg.rules.clear();
+}
+
+Result<void> PathImplementer::install_classifier(InstalledPath& p) {
+  dataplane::FlowRule rule = build_hop_rule(p, 0, allocate_cookie());
+  flowmods_metric_->inc();
+  for (const dataplane::Action& a : rule.actions) {
+    if (a.type == dataplane::ActionType::kPushLabel ||
+        a.type == dataplane::ActionType::kSwapLabel)
+      label_push_metric_->inc();
+  }
+  SwitchId sw = p.route.hops[0].sw;
+  southbound::FlowMod mod;
+  mod.op = southbound::FlowMod::Op::kAdd;
+  mod.sw = sw;
+  mod.rule = rule;
+  mod.reserve_kbps = p.options.reserve_kbps;
+  southbound::Message one[] = {std::move(mod)};
+  auto sent = bus_->send_batch(sw, one);
+  if (!sent.ok()) return sent;
+  p.rules.emplace_back(sw, rule.cookie);
+  p.active = true;
+  return Ok();
+}
+
+void PathImplementer::gc_aggregate(std::uint32_t tag_value) {
+  auto it = aggregates_.find(tag_value);
+  if (it == aggregates_.end() || it->second.refs != 0) return;
+  remove_aggregate_rules(it->second);
+  aggregates_.erase(it);
 }
 
 Result<void> PathImplementer::acquire_resources(InstalledPath& p) {
@@ -106,12 +239,19 @@ void PathImplementer::release_resources(InstalledPath& p) {
 dataplane::FlowRule PathImplementer::build_hop_rule(const InstalledPath& p,
                                                     std::size_t i,
                                                     std::uint64_t cookie) {
+  return build_rule(p.classifier, p.label, p.route, p.options, i, cookie);
+}
+
+dataplane::FlowRule PathImplementer::build_rule(const dataplane::Match& classifier, Label label,
+                                                const ComputedRoute& route,
+                                                const PathSetupOptions& options, std::size_t i,
+                                                std::uint64_t cookie) {
   using dataplane::FlowRule;
-  const std::vector<RouteHop>& hops = p.route.hops;
+  const std::vector<RouteHop>& hops = route.hops;
   const RouteHop& hop = hops[i];
   FlowRule rule;
   rule.cookie = cookie;
-  rule.priority = p.options.priority;
+  rule.priority = options.priority;
 
   bool is_first = i == 0;
   bool is_last = i + 1 == hops.size();
@@ -119,55 +259,56 @@ dataplane::FlowRule PathImplementer::build_hop_rule(const InstalledPath& p,
   if (is_first && is_last) {
     // Degenerate single-switch path: translate the outer-label intent
     // directly, with no local label at all.
-    rule.match = p.classifier;
+    rule.match = classifier;
     rule.match.in_port = hop.in;
-    if (p.options.version != 0)
-      rule.actions.push_back(dataplane::set_version(p.options.version));
-    if (p.options.outer_pop && p.options.outer_push) {
-      if (p.options.outer_push->value != p.classifier.label.value_or(~0u))
-        rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
+    if (options.version != 0)
+      rule.actions.push_back(dataplane::set_version(options.version));
+    if (options.outer_pop && options.outer_push) {
+      if (options.outer_push->value != classifier.label.value_or(~0u))
+        rule.actions.push_back(dataplane::swap_label(*options.outer_push));
       // else: keep the outer label untouched
-    } else if (p.options.outer_pop) {
+    } else if (options.outer_pop) {
       rule.actions.push_back(dataplane::pop_label());
-    } else if (p.options.outer_push) {
-      rule.actions.push_back(dataplane::push_label(*p.options.outer_push));
+    } else if (options.outer_push) {
+      rule.actions.push_back(dataplane::push_label(*options.outer_push));
     } else {
       // Stacking mode, degenerate single-switch path: apply the parent's
       // pops/pushes directly.
-      for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
+      for (int pop = 0; pop < options.extra_pops_at_exit; ++pop)
         rule.actions.push_back(dataplane::pop_label());
-      for (const Label& under : p.options.push_under)
+      for (const Label& under : options.push_under)
         rule.actions.push_back(dataplane::push_label(under));
     }
   } else if (is_first) {
     // Classification at the flow's first switch (§4.3: the access switch
-    // performs fine-grained classification and pushes the local label).
+    // performs fine-grained classification and pushes the local label —
+    // or the shared policy tag, under tag encapsulation).
     // When translating a parent rule (outer_pop), the parent's label is
     // swapped for the local one so at most one label rides any link.
-    rule.match = p.classifier;
+    rule.match = classifier;
     rule.match.in_port = hop.in;
-    if (p.options.version != 0)
-      rule.actions.push_back(dataplane::set_version(p.options.version));
-    if (p.options.outer_pop) {
-      rule.actions.push_back(dataplane::swap_label(p.label));
+    if (options.version != 0)
+      rule.actions.push_back(dataplane::set_version(options.version));
+    if (options.outer_pop) {
+      rule.actions.push_back(dataplane::swap_label(label));
     } else {
-      for (const Label& under : p.options.push_under)
+      for (const Label& under : options.push_under)
         rule.actions.push_back(dataplane::push_label(under));
-      rule.actions.push_back(dataplane::push_label(p.label));
+      rule.actions.push_back(dataplane::push_label(label));
     }
   } else if (is_last) {
-    rule.match.label = p.label.value;
+    rule.match.label = label.value;
     rule.match.in_port = hop.in;
-    if (p.options.outer_push) {
+    if (options.outer_push) {
       // Pop the local label and push back the ancestor's (§4.3).
-      rule.actions.push_back(dataplane::swap_label(*p.options.outer_push));
-    } else if (p.options.pop_at_exit) {
+      rule.actions.push_back(dataplane::swap_label(*options.outer_push));
+    } else if (options.pop_at_exit) {
       rule.actions.push_back(dataplane::pop_label());
-      for (int pop = 0; pop < p.options.extra_pops_at_exit; ++pop)
+      for (int pop = 0; pop < options.extra_pops_at_exit; ++pop)
         rule.actions.push_back(dataplane::pop_label());
     }
   } else {
-    rule.match.label = p.label.value;
+    rule.match.label = label.value;
     rule.match.in_port = hop.in;
   }
   rule.actions.push_back(dataplane::output(hop.out));
@@ -262,26 +403,63 @@ Result<void> PathImplementer::deactivate(PathId id) {
   p.rules.clear();
   p.active = false;
   release_resources(p);
+  if (p.options.shared_tag) {
+    auto agg = aggregates_.find(p.label.value);
+    if (agg != aggregates_.end() && agg->second.refs > 0) {
+      --agg->second.refs;
+      gc_aggregate(p.label.value);
+    }
+  }
   return Ok();
 }
 
 Result<void> PathImplementer::reactivate(PathId id) {
   auto it = paths_.find(id);
   if (it == paths_.end()) return {ErrorCode::kNotFound, "no such path"};
-  if (it->second.active) return Ok();
-  auto acquired = acquire_resources(it->second);
-  if (!acquired.ok()) return acquired;
-  auto installed = install_rules(it->second);
-  if (!installed.ok()) release_resources(it->second);
+  InstalledPath& p = it->second;
+  if (p.active) return Ok();
+  bool tagged = p.options.shared_tag.has_value();
+  if (tagged) {
+    auto agg = ensure_aggregate(p.label, p.route, p.options);
+    if (!agg.ok()) return agg;
+    p.route = aggregates_.at(p.label.value).route;
+  }
+  auto acquired = acquire_resources(p);
+  if (!acquired.ok()) {
+    if (tagged) gc_aggregate(p.label.value);
+    return acquired;
+  }
+  auto installed = tagged ? install_classifier(p) : install_rules(p);
+  if (!installed.ok()) {
+    release_resources(p);
+    if (tagged) gc_aggregate(p.label.value);
+    return installed;
+  }
+  if (tagged) ++aggregates_.at(p.label.value).refs;
   return installed;
 }
 
 std::size_t PathImplementer::resync_switch(SwitchId sw) {
   std::size_t pushed = 0;
   for (auto& [id, p] : paths_) {
+    if (!p.active) continue;
+    if (p.options.shared_tag) {
+      // Tagged paths own only their first-hop classifier; shared rules are
+      // resynced once per aggregate below.
+      if (p.rules.size() != 1 || !(p.route.hops[0].sw == sw)) continue;
+      southbound::FlowMod mod;
+      mod.op = southbound::FlowMod::Op::kAdd;
+      mod.sw = sw;
+      mod.rule = build_hop_rule(p, 0, p.rules[0].second);
+      mod.reserve_kbps = p.options.reserve_kbps;
+      flowmods_metric_->inc();
+      southbound::Message one[] = {std::move(mod)};
+      if (bus_->send_batch(sw, one).ok()) ++pushed;
+      continue;
+    }
     // Only fully-installed active paths have a stable hop<->cookie pairing
     // (rules are pushed in hop order, so rules[i] programs route.hops[i]).
-    if (!p.active || p.rules.size() != p.route.hops.size()) continue;
+    if (p.rules.size() != p.route.hops.size()) continue;
     std::vector<southbound::Message> batch;
     for (std::size_t i = 0; i < p.route.hops.size(); ++i) {
       if (!(p.route.hops[i].sw == sw)) continue;
@@ -290,6 +468,20 @@ std::size_t PathImplementer::resync_switch(SwitchId sw) {
       mod.sw = sw;
       mod.rule = build_hop_rule(p, i, p.rules[i].second);
       mod.reserve_kbps = p.options.reserve_kbps;
+      batch.push_back(std::move(mod));
+      flowmods_metric_->inc();
+    }
+    if (batch.empty()) continue;
+    if (bus_->send_batch(sw, batch).ok()) pushed += batch.size();
+  }
+  for (auto& [tag_value, agg] : aggregates_) {
+    std::vector<southbound::Message> batch;
+    for (std::size_t i = 1; i < agg.route.hops.size(); ++i) {
+      if (!(agg.route.hops[i].sw == sw)) continue;
+      southbound::FlowMod mod;
+      mod.op = southbound::FlowMod::Op::kAdd;
+      mod.sw = sw;
+      mod.rule = build_rule({}, agg.tag, agg.route, agg.options, i, shared_tag_cookie(tag_value, i));
       batch.push_back(std::move(mod));
       flowmods_metric_->inc();
     }
@@ -305,6 +497,7 @@ PathImplementer::Snapshot PathImplementer::snapshot() const {
   snap.next_cookie = next_cookie_;
   snap.next_path = next_path_;
   snap.paths = paths_;
+  snap.aggregates = aggregates_;
   return snap;
 }
 
@@ -313,6 +506,14 @@ void PathImplementer::restore(Snapshot snap) {
   next_cookie_ = snap.next_cookie;
   next_path_ = snap.next_path;
   paths_ = std::move(snap.paths);
+  aggregates_ = std::move(snap.aggregates);
+}
+
+std::vector<std::pair<SwitchId, std::uint64_t>> PathImplementer::shared_rules() const {
+  std::vector<std::pair<SwitchId, std::uint64_t>> out;
+  for (const auto& [tag_value, agg] : aggregates_)
+    for (const auto& r : agg.rules) out.push_back(r);
+  return out;
 }
 
 const InstalledPath* PathImplementer::path(PathId id) const {

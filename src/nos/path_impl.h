@@ -58,6 +58,16 @@ struct PathSetupOptions {
   /// Stacking baseline: after popping the local label at the exit, also pop
   /// this many outer labels beneath it (translates parent rules that pop).
   int extra_pops_at_exit = 0;
+
+  // --- SoftCell-style policy-tag aggregation (slicing encapsulation) --------
+  /// When set, the path classifies onto this shared policy tag instead of a
+  /// freshly allocated per-path label: all paths carrying the same tag value
+  /// share one set of transit/exit rules (a *tag aggregate*), and only the
+  /// first-hop classifier is per-path — core rule state grows with the
+  /// number of (slice, clause, ingress, egress) combinations, not with the
+  /// number of bearers. Ignored for single-switch routes (no transit state
+  /// to share).
+  std::optional<Label> shared_tag;
 };
 
 struct InstalledPath {
@@ -79,6 +89,28 @@ struct InstalledPath {
 /// `nib` (§6: after failures, "the controller finds affected local paths and
 /// implements alternative shortest paths").
 [[nodiscard]] bool route_intact(const Nib& nib, const ComputedRoute& route);
+
+/// Shared transit/exit rules of one policy tag, refcounted across the paths
+/// classifying onto it. The classifier of each attached path is per-path;
+/// everything from the second hop on is installed once per aggregate under
+/// deterministic shared cookies, so reinstall (resync, repair) is an
+/// idempotent same-cookie replace at the flow table.
+struct TagAggregate {
+  Label tag;
+  ComputedRoute route;
+  PathSetupOptions options;
+  /// (switch, cookie) per shared rule (hops 1..n-1), for teardown/resync.
+  std::vector<std::pair<SwitchId, std::uint64_t>> rules;
+  std::size_t refs = 0;
+};
+
+/// Deterministic cookie for shared rule `hop` of tag value `tag`: bit 63
+/// marks shared-aggregate cookies so they never collide with the monotone
+/// per-path cookie sequence.
+[[nodiscard]] constexpr std::uint64_t shared_tag_cookie(std::uint32_t tag, std::size_t hop) {
+  return (1ull << 63) | (static_cast<std::uint64_t>(tag) << 16) |
+         (static_cast<std::uint64_t>(hop) & 0xffff);
+}
 
 class PathImplementer {
  public:
@@ -113,6 +145,7 @@ class PathImplementer {
     std::uint64_t next_cookie = 1;
     std::uint64_t next_path = 1;
     std::map<PathId, InstalledPath> paths;
+    std::map<std::uint32_t, TagAggregate> aggregates;
   };
   [[nodiscard]] Snapshot snapshot() const;
   void restore(Snapshot snap);
@@ -124,17 +157,42 @@ class PathImplementer {
   /// Labels allocated so far (monotone; labels are not recycled).
   [[nodiscard]] std::uint64_t labels_allocated() const { return next_label_; }
 
+  /// Live tag aggregates (policy-tag encapsulation), keyed by tag value.
+  [[nodiscard]] const std::map<std::uint32_t, TagAggregate>& aggregates() const {
+    return aggregates_;
+  }
+  /// (switch, cookie) of every shared aggregate rule currently installed —
+  /// folded into the verifier's live-rule set alongside per-path rules.
+  [[nodiscard]] std::vector<std::pair<SwitchId, std::uint64_t>> shared_rules() const;
+
  private:
   Label allocate_label();
   std::uint64_t allocate_cookie() { return next_cookie_++; }
-  /// Builds the rule for hop `i` of `p` under `cookie` (§4.3 classify /
-  /// transit / pop structure). Pure: shared by first install and resync.
+  /// Builds the rule for hop `i` (§4.3 classify / transit / pop structure).
+  /// Pure: shared by first install, resync, and aggregate rebuild.
+  [[nodiscard]] static dataplane::FlowRule build_rule(const dataplane::Match& classifier,
+                                                      Label label, const ComputedRoute& route,
+                                                      const PathSetupOptions& options,
+                                                      std::size_t i, std::uint64_t cookie);
   [[nodiscard]] static dataplane::FlowRule build_hop_rule(const InstalledPath& p,
                                                           std::size_t i,
                                                           std::uint64_t cookie);
   Result<void> install_rules(InstalledPath& p);
   Result<void> acquire_resources(InstalledPath& p);
   void release_resources(InstalledPath& p);
+
+  // --- tag-aggregate plumbing ----------------------------------------------
+  /// Finds or creates the aggregate for `tag`; rebuilds its shared rules in
+  /// place when its stored route broke (failure repair: the first path of an
+  /// aggregate to be repaired brings the fresh route along).
+  Result<void> ensure_aggregate(Label tag, const ComputedRoute& route,
+                                const PathSetupOptions& options);
+  Result<void> install_aggregate_rules(TagAggregate& agg);
+  void remove_aggregate_rules(TagAggregate& agg);
+  /// Installs the per-path classifier of a tagged path (its only rule).
+  Result<void> install_classifier(InstalledPath& p);
+  /// Drops the aggregate (shared rules included) once no path references it.
+  void gc_aggregate(std::uint32_t tag_value);
 
   DeviceBus* bus_;
   Nib* nib_;
@@ -144,6 +202,7 @@ class PathImplementer {
   std::uint64_t next_cookie_ = 1;
   std::uint64_t next_path_ = 1;
   std::map<PathId, InstalledPath> paths_;
+  std::map<std::uint32_t, TagAggregate> aggregates_;
   // Per-level registry handles (shared across same-level controllers).
   obs::Counter* setups_metric_;       ///< path_setups_total{level}
   obs::Counter* flowmods_metric_;     ///< flowmods_sent_total{level}

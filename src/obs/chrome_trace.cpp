@@ -122,7 +122,8 @@ JsonValue chrome_trace_json(const Tracer& tracer) {
   for (const auto& [key, tid] : tracks.tracks()) {
     const auto& [level, scope] = key;
     JsonValue args = JsonValue::object();
-    std::string name = "L" + std::to_string(level);
+    std::string name = "L";
+    name += std::to_string(level);  // built piecewise: GCC 12 -Wrestrict FP on char*+string&&
     if (!scope.empty()) name += " " + scope;
     args.set("name", JsonValue::string(name));
     events.push_back(metadata_event("thread_name", tid, std::move(args)));

@@ -19,6 +19,7 @@
 
 #include "core/ids.h"
 #include "core/result.h"
+#include "dataplane/policy_tag.h"
 #include "nos/device_bus.h"
 #include "nos/discovery.h"
 #include "nos/nib.h"
@@ -174,6 +175,14 @@ class Controller : public nos::DeviceBus {
   /// controller_messages_total{level=...}.
   [[nodiscard]] std::uint64_t messages_handled() const { return messages_handled_; }
 
+  // --- slicing (policy-tag encapsulation) --------------------------------------
+  /// Wires the deployment-wide policy-tag allocator (owned by the slicing
+  /// subsystem). When set, slice-aware applications classify bearers onto
+  /// shared SoftCell-style tags instead of per-path labels; when null
+  /// (default) the §4.3 per-path label scheme is used unchanged.
+  void set_tag_allocator(dataplane::TagAllocator* allocator) { tag_allocator_ = allocator; }
+  [[nodiscard]] dataplane::TagAllocator* tag_allocator() const { return tag_allocator_; }
+
  private:
   void handle_device_message(southbound::Channel* ch, const southbound::Message& msg);
 
@@ -219,6 +228,7 @@ class Controller : public nos::DeviceBus {
   std::map<std::uint64_t, PendingAck> pending_acks_;
   bool self_heal_ = false;
   std::set<SwitchId> pending_resync_;  ///< reconnected devices awaiting FeaturesReply
+  dataplane::TagAllocator* tag_allocator_ = nullptr;  ///< not owned; null = labels
 
   obs::Counter* messages_metric_;         ///< controller_messages_total{level}
   obs::Counter* retries_metric_;          ///< southbound_retries_total{level}

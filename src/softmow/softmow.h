@@ -32,6 +32,7 @@
 #include "dataplane/entities.h"    // IWYU pragma: export
 #include "dataplane/flow_table.h"  // IWYU pragma: export
 #include "dataplane/network.h"     // IWYU pragma: export
+#include "dataplane/policy_tag.h"  // IWYU pragma: export
 #include "dataplane/sswitch.h"     // IWYU pragma: export
 
 #include "southbound/channel.h"      // IWYU pragma: export
@@ -66,6 +67,8 @@
 #include "faults/injector.h"  // IWYU pragma: export
 #include "faults/recovery.h"  // IWYU pragma: export
 #include "faults/scenario.h"  // IWYU pragma: export
+
+#include "slice/slice.h"  // IWYU pragma: export
 
 #include "topo/bs_group_inference.h"  // IWYU pragma: export
 #include "topo/iplane_model.h"        // IWYU pragma: export

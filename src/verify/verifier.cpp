@@ -4,6 +4,7 @@
 #include <deque>
 #include <sstream>
 
+#include "dataplane/policy_tag.h"
 #include "obs/metrics.h"
 #include "reca/controller.h"
 #include "verify/rule_graph.h"
@@ -26,6 +27,8 @@ const char* to_string(Invariant invariant) {
     case Invariant::kOrphanRule: return "orphan-rule";
     case Invariant::kPathlessBearer: return "pathless-bearer";
     case Invariant::kMixedVersion: return "mixed-version";
+    case Invariant::kCrossSlice: return "cross-slice";
+    case Invariant::kTagMismatch: return "tag-mismatch";
   }
   return "?";
 }
@@ -33,6 +36,7 @@ const char* to_string(Invariant invariant) {
 std::string Finding::str() const {
   std::ostringstream os;
   os << "[" << to_string(invariant) << "] " << sw.str() << " cookie=" << cookie;
+  if (slice.valid()) os << " slice=" << slice.str();
   if (origin_switch.valid())
     os << " (class " << origin_switch.str() << "/" << origin_cookie << ")";
   if (!detail.empty()) os << ": " << detail;
@@ -55,7 +59,8 @@ std::string VerifyReport::summary() const {
     os << " [loops=" << loops << " blackholes=" << blackholes
        << " label=" << label_violations << " stack=" << unbalanced_stacks
        << " shadowed=" << shadowed_rules << " orphans=" << orphan_rules
-       << " bearers=" << pathless_bearers << " versions=" << mixed_versions << "]";
+       << " bearers=" << pathless_bearers << " versions=" << mixed_versions
+       << " cross-slice=" << cross_slices << " tag-mismatch=" << tag_mismatches << "]";
   }
   return os.str();
 }
@@ -71,6 +76,8 @@ ControlState collect_control_state(const std::vector<const reca::Controller*>& c
       if (p == nullptr || !p->active) continue;
       for (const auto& [sw, cookie] : p->rules) state.live_rules.emplace(sw, cookie);
     }
+    // Shared tag-aggregate rules are as live as per-path ones.
+    for (const auto& [sw, cookie] : paths.shared_rules()) state.live_rules.emplace(sw, cookie);
   }
   return state;
 }
@@ -101,6 +108,7 @@ struct Branch {
   std::uint64_t last_cookie = 0;        ///< rule that forwarded us here
   std::uint64_t last_node = 0;          ///< its graph-node key (0 = entry)
   std::vector<std::uint32_t> versions;  ///< distinct non-zero versions seen
+  std::uint32_t last_tag = 0;           ///< last policy tag put on the wire
 };
 
 void note_version(Branch& b, std::uint32_t v) {
@@ -118,8 +126,9 @@ StaticVerifier::WalkResult StaticVerifier::walk_class(SwitchId origin,
   auto report = [&](Invariant inv, SwitchId sw, std::uint64_t cookie, std::string detail) {
     if (!reported.emplace(static_cast<int>(inv), sw.value, cookie).second) return;
     result.findings.push_back(
-        Finding{inv, sw, cookie, origin, seed.cookie, std::move(detail)});
+        Finding{inv, sw, cookie, origin, seed.cookie, SliceId{}, std::move(detail)});
   };
+  if (seed.match.ue) result.origin_ue = *seed.match.ue;
 
   const dataplane::Switch* origin_switch = net_->sw(origin);
   if (origin_switch == nullptr) return result;
@@ -227,6 +236,10 @@ StaticVerifier::WalkResult StaticVerifier::walk_class(SwitchId origin,
         switch (a.type) {
           case ActionType::kPushLabel:
             b.header.labels.push_back(a.label);
+            if (dataplane::is_policy_tag(a.label)) {
+              result.tags.push_back(TagObservation{b.at.sw, fired->cookie, a.label.value});
+              b.last_tag = a.label.value;
+            }
             break;
           case ActionType::kPopLabel:
             if (b.header.labels.empty()) {
@@ -244,6 +257,10 @@ StaticVerifier::WalkResult StaticVerifier::walk_class(SwitchId origin,
               action_error = true;
             } else {
               b.header.labels.back() = a.label;
+              if (dataplane::is_policy_tag(a.label)) {
+                result.tags.push_back(TagObservation{b.at.sw, fired->cookie, a.label.value});
+                b.last_tag = a.label.value;
+              }
             }
             break;
           case ActionType::kOutput:
@@ -291,6 +308,9 @@ StaticVerifier::WalkResult StaticVerifier::walk_class(SwitchId origin,
                      " label(s) still on the stack");
         } else {
           result.delivered = true;
+          if (b.last_tag != 0)
+            result.delivered_tags.push_back(
+                TagObservation{b.at.sw, fired->cookie, b.last_tag});
         }
         break;
       }
@@ -330,6 +350,7 @@ std::vector<Finding> StaticVerifier::per_switch_findings(SwitchId sw,
       for (std::size_t i = 0; i < j; ++i) {
         if (!dominates(rules[i].match, rules[j].match)) continue;
         out.push_back(Finding{Invariant::kShadowedRule, sw, rules[j].cookie, SwitchId{}, 0,
+                              SliceId{},
                               "unreachable: dominated by cookie " +
                                   std::to_string(rules[i].cookie) + " at priority " +
                                   std::to_string(rules[i].priority)});
@@ -341,7 +362,7 @@ std::vector<Finding> StaticVerifier::per_switch_findings(SwitchId sw,
   if (state != nullptr && state->have_live_rules) {
     for (const FlowRule& rule : rules) {
       if (state->live_rules.count({sw, rule.cookie}) != 0) continue;
-      out.push_back(Finding{Invariant::kOrphanRule, sw, rule.cookie, SwitchId{}, 0,
+      out.push_back(Finding{Invariant::kOrphanRule, sw, rule.cookie, SwitchId{}, 0, SliceId{},
                             "installed rule backs no live path (controller drift)"});
     }
   }
@@ -374,8 +395,41 @@ VerifyReport StaticVerifier::assemble(const ControlState* state) const {
     for (const ControlState::BearerClaim& claim : state->bearers) {
       if (!claim.active || claim.path_installed) continue;
       report.findings.push_back(Finding{Invariant::kPathlessBearer, SwitchId{}, 0, SwitchId{}, 0,
+                                        SliceId{},
                                         "bearer " + claim.bearer.str() + " of " + claim.ue.str() +
                                             " is active but no installed path backs it"});
+    }
+  }
+
+  // --- per-slice isolation (multi-tenant slicing) ----------------------------
+  // Walk-cached tag observations are pure functions of the rule tables; the
+  // tenant cross-check runs here so cached walks stay valid when only the
+  // control state changes.
+  if (state != nullptr && state->have_slices) {
+    std::set<std::tuple<int, std::uint64_t, std::uint64_t>> reported;
+    for (const auto& [key, walk] : walks_) {
+      if (!walk.origin_ue.valid()) continue;
+      auto owner = state->ue_slices.find(walk.origin_ue);
+      if (owner == state->ue_slices.end()) continue;  // unsliced traffic
+      SliceId slice = owner->second;
+      for (const TagObservation& obs : walk.tags) {
+        auto tag = dataplane::decode_tag(obs.tag);
+        if (!tag || tag->slice == slice) continue;
+        if (!reported.emplace(0, obs.sw.value, obs.cookie).second) continue;
+        report.findings.push_back(
+            Finding{Invariant::kCrossSlice, obs.sw, obs.cookie, key.sw, key.cookie, tag->slice,
+                    "traffic of " + walk.origin_ue.str() + " (" + slice.str() +
+                        ") carries " + tag->slice.str() + "'s tag"});
+      }
+      for (const TagObservation& obs : walk.delivered_tags) {
+        auto tag = dataplane::decode_tag(obs.tag);
+        if (!tag || tag->slice == slice) continue;
+        if (!reported.emplace(1, obs.sw.value, obs.cookie).second) continue;
+        report.findings.push_back(
+            Finding{Invariant::kTagMismatch, obs.sw, obs.cookie, key.sw, key.cookie, tag->slice,
+                    "delivered under " + tag->slice.str() + "'s tag; origin slice is " +
+                        slice.str()});
+      }
     }
   }
 
@@ -387,6 +441,8 @@ VerifyReport StaticVerifier::assemble(const ControlState* state) const {
   report.orphan_rules = report.count(Invariant::kOrphanRule);
   report.pathless_bearers = report.count(Invariant::kPathlessBearer);
   report.mixed_versions = report.count(Invariant::kMixedVersion);
+  report.cross_slices = report.count(Invariant::kCrossSlice);
+  report.tag_mismatches = report.count(Invariant::kTagMismatch);
 
   obs::MetricsRegistry& reg = obs::default_registry();
   reg.counter("verify_runs_total")->inc();
@@ -396,7 +452,8 @@ VerifyReport StaticVerifier::assemble(const ControlState* state) const {
   for (Invariant inv :
        {Invariant::kLoop, Invariant::kBlackhole, Invariant::kLabelDepth,
         Invariant::kUnbalancedStack, Invariant::kShadowedRule, Invariant::kOrphanRule,
-        Invariant::kPathlessBearer, Invariant::kMixedVersion}) {
+        Invariant::kPathlessBearer, Invariant::kMixedVersion, Invariant::kCrossSlice,
+        Invariant::kTagMismatch}) {
     reg.gauge("verify_findings", {{"invariant", to_string(inv)}})
         ->set(static_cast<double>(report.count(inv)));
   }

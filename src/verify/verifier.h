@@ -58,6 +58,8 @@ enum class Invariant : std::uint8_t {
   kOrphanRule,      ///< installed rule maps to no live path (NIB drift)
   kPathlessBearer,  ///< active bearer with no installed path behind it
   kMixedVersion,    ///< class observes pre- and post-update rules (§6)
+  kCrossSlice,      ///< walk of one tenant's UE carries another tenant's tag
+  kTagMismatch,     ///< delivered under a tag that decodes to the wrong slice
 };
 const char* to_string(Invariant invariant);
 
@@ -70,6 +72,9 @@ struct Finding {
   /// Invalid/0 for per-rule findings (shadowed, orphan) and bearer findings.
   SwitchId origin_switch;
   std::uint64_t origin_cookie = 0;
+  /// Isolation findings only: the *offending* tag's slice — together with
+  /// (sw, cookie) the exact triple a tenant escalation names.
+  SliceId slice;
   std::string detail;
 
   [[nodiscard]] std::string str() const;
@@ -107,6 +112,12 @@ struct ControlState {
     bool path_installed = false;  ///< an active path actually backs it
   };
   std::vector<BearerClaim> bearers;
+
+  /// Tenant ownership of subscribers (supplied by the slicing subsystem).
+  /// When `have_slices`, every policy tag a UE's traffic carries must decode
+  /// to that UE's slice; UEs absent from the map are unsliced and exempt.
+  bool have_slices = false;
+  std::map<UeId, SliceId> ue_slices;
 };
 
 /// Collects live path rules from leaf controllers (non-leaf controllers
@@ -132,6 +143,13 @@ struct VerifyReport {
   std::size_t orphan_rules = 0;
   std::size_t pathless_bearers = 0;
   std::size_t mixed_versions = 0;
+  std::size_t cross_slices = 0;
+  std::size_t tag_mismatches = 0;
+
+  /// Per-slice isolation violations (the slicing SLO: must be zero).
+  [[nodiscard]] std::size_t isolation_violations() const {
+    return cross_slices + tag_mismatches;
+  }
 
   std::vector<Finding> findings;
 
@@ -167,11 +185,22 @@ class StaticVerifier {
       return cookie < o.cookie;
     }
   };
+  /// A policy tag the walk put on (or found on) the wire, and the rule that
+  /// did it. State-independent, so it caches with the walk; the slice
+  /// cross-check against ControlState happens at assemble time.
+  struct TagObservation {
+    SwitchId sw;
+    std::uint64_t cookie = 0;
+    std::uint32_t tag = 0;
+  };
   struct WalkResult {
     std::set<SwitchId> touched;
     std::vector<Finding> findings;
     std::set<std::pair<std::uint64_t, std::uint64_t>> edges;  ///< graph edges (node keys)
     bool delivered = false;
+    UeId origin_ue;                           ///< classifier's concrete UE, if any
+    std::vector<TagObservation> tags;         ///< every tag pushed/swapped en route
+    std::vector<TagObservation> delivered_tags;  ///< last tag at each delivery
   };
 
   /// Classifier rules on `sw` (the equivalence-class seeds there).

@@ -112,12 +112,21 @@ struct FaultRunResult {
 std::string sample_line(const obs::MetricSample& s) {
   char num[64];
   std::string line = s.name;
-  for (const auto& [k, v] : s.labels) line += "{" + k + "=" + v + "}";
+  for (const auto& [k, v] : s.labels) {
+    line += '{';  // built piecewise: GCC 12 -Wrestrict FP on char*+string&&
+    line += k;
+    line += '=';
+    line += v;
+    line += '}';
+  }
   std::snprintf(num, sizeof num, " c=%llu g=%.17g h=%llu/%.17g",
                 (unsigned long long)s.counter_value, s.gauge_value,
                 (unsigned long long)s.hist_count, s.hist_sum);
   line += num;
-  for (std::uint64_t b : s.bucket_counts) line += "," + std::to_string(b);
+  for (std::uint64_t b : s.bucket_counts) {
+    line += ',';
+    line += std::to_string(b);
+  }
   return line;
 }
 

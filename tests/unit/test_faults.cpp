@@ -22,11 +22,27 @@ std::vector<std::string> plan_signature(const faults::FaultScenario& plan) {
   return sig;
 }
 
+/// Two tagged tenants with one open bearer each, so slice-aware plans
+/// ("rogue-rule" needs a tagged classifier to forge) have material to work on.
+std::unique_ptr<slice::SliceManager> add_tagged_tenants(topo::Scenario& scenario) {
+  auto mgr = std::make_unique<slice::SliceManager>(scenario, slice::SliceManager::Options{});
+  for (const char* name : {"a", "b"}) {
+    slice::SliceSpec spec;
+    spec.name = name;
+    SliceId id = *mgr->add_slice(spec);
+    EXPECT_TRUE(mgr->provision(id, 1).ok());
+    EXPECT_TRUE(mgr->open_bearer(id, mgr->subscribers(id).front(), PrefixId{17}).ok());
+  }
+  return mgr;
+}
+
 TEST(FaultPlans, DeterministicForNameScenarioSeed) {
   // Same (name, scenario params, seed) on two independently built scenarios
   // must target the same links/switches/leaves at the same times.
   auto first = topo::build_scenario(topo::small_scenario_params(11));
   auto second = topo::build_scenario(topo::small_scenario_params(11));
+  auto first_slices = add_tagged_tenants(*first);
+  auto second_slices = add_tagged_tenants(*second);
   for (const std::string& name : faults::fault_plan_names()) {
     faults::FaultScenario a = faults::make_fault_plan(name, *first, 5);
     faults::FaultScenario b = faults::make_fault_plan(name, *second, 5);

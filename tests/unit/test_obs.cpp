@@ -33,7 +33,11 @@ TEST(MetricsRegistry, HandlesStayValidAsRegistryGrows) {
   Counter* first = reg.counter("first");
   first->inc();
   // Force many registrations; `first` must not be invalidated.
-  for (int i = 0; i < 1000; ++i) reg.counter("c" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "c";  // built piecewise: GCC 12 -Wrestrict FP on char*+string&&
+    name += std::to_string(i);
+    reg.counter(name);
+  }
   first->inc();
   EXPECT_EQ(first->value(), 2u);
   EXPECT_EQ(reg.series_count(), 1001u);
@@ -253,8 +257,12 @@ TEST(Tracer, RingBufferCapacityDropsOldestAndCounts) {
   EXPECT_EQ(tracer.capacity(), 4u);
   for (int i = 0; i < 10; ++i) {
     sim::TimePoint at = sim::TimePoint::at(sim::Duration::millis(i));
-    tracer.span(at, at + sim::Duration::millis(1), "s" + std::to_string(i), 0);
-    tracer.event(at, "e" + std::to_string(i), 0);
+    std::string span_name = "s";  // built piecewise: GCC 12 -Wrestrict FP
+    span_name += std::to_string(i);
+    std::string event_name = "e";
+    event_name += std::to_string(i);
+    tracer.span(at, at + sim::Duration::millis(1), span_name, 0);
+    tracer.event(at, event_name, 0);
   }
   ASSERT_EQ(tracer.spans().size(), 4u);
   ASSERT_EQ(tracer.events().size(), 4u);

@@ -33,22 +33,57 @@ TEST(Hss, AttachAuthorization) {
 TEST(Pcrf, DefaultRulesEncodeOperatorPolicy) {
   PcrfApp pcrf;
   auto voip = pcrf.policy_for(SubscriberClass::kBasic, ApplicationClass::kVoip);
-  EXPECT_EQ(voip.objective, Metric::kLatency);
-  ASSERT_TRUE(voip.qos.max_latency_us.has_value());
+  ASSERT_TRUE(voip.ok());
+  EXPECT_EQ(voip->objective, Metric::kLatency);
+  ASSERT_TRUE(voip->qos.max_latency_us.has_value());
 
   auto premium_video = pcrf.policy_for(SubscriberClass::kPremium, ApplicationClass::kVideo);
-  ASSERT_EQ(premium_video.service.chain.size(), 1u);
-  EXPECT_EQ(premium_video.service.chain[0], dataplane::MiddleboxType::kVideoTranscoder);
-  EXPECT_GT(premium_video.qos.min_bandwidth_kbps, 0);
+  ASSERT_TRUE(premium_video.ok());
+  ASSERT_EQ(premium_video->service.chain.size(), 1u);
+  EXPECT_EQ(premium_video->service.chain[0], dataplane::MiddleboxType::kVideoTranscoder);
+  EXPECT_GT(premium_video->qos.min_bandwidth_kbps, 0);
 
   auto iot = pcrf.policy_for(SubscriberClass::kIot, ApplicationClass::kDefault);
-  ASSERT_EQ(iot.service.chain.size(), 1u);
-  EXPECT_EQ(iot.service.chain[0], dataplane::MiddleboxType::kFirewall);
+  ASSERT_TRUE(iot.ok());
+  ASSERT_EQ(iot->service.chain.size(), 1u);
+  EXPECT_EQ(iot->service.chain[0], dataplane::MiddleboxType::kFirewall);
 
-  // Unknown pair falls back to best-effort.
+  // Unconfigured valid pair falls back to best-effort.
   auto fallback = pcrf.policy_for(SubscriberClass::kPremium, ApplicationClass::kBulk);
-  EXPECT_TRUE(fallback.service.empty());
-  EXPECT_FALSE(fallback.qos.max_latency_us.has_value());
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_TRUE(fallback->service.empty());
+  EXPECT_FALSE(fallback->qos.max_latency_us.has_value());
+}
+
+TEST(Pcrf, BlockedSubscribersGetNoPolicy) {
+  PcrfApp pcrf;
+  auto blocked = pcrf.policy_for(SubscriberClass::kBlocked, ApplicationClass::kVoip);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.code(), ErrorCode::kPermission);
+
+  // make_request refuses too: a blocked subscriber must never yield a
+  // bearer request carrying the best-effort default policy.
+  SubscriberProfile profile{UeId{9}, SubscriberClass::kBlocked, "x"};
+  auto request = pcrf.make_request(profile, BsId{1}, PrefixId{2}, ApplicationClass::kDefault);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.code(), ErrorCode::kPermission);
+}
+
+TEST(Pcrf, UnknownEnumValuesAreInvalidArguments) {
+  PcrfApp pcrf;
+  auto bad_app = pcrf.policy_for(SubscriberClass::kBasic, static_cast<ApplicationClass>(200));
+  ASSERT_FALSE(bad_app.ok());
+  EXPECT_EQ(bad_app.code(), ErrorCode::kInvalidArgument);
+
+  auto bad_tier = pcrf.policy_for(static_cast<SubscriberClass>(77), ApplicationClass::kVoip);
+  ASSERT_FALSE(bad_tier.ok());
+  EXPECT_EQ(bad_tier.code(), ErrorCode::kInvalidArgument);
+
+  SubscriberProfile profile{UeId{9}, SubscriberClass::kBasic, "x"};
+  auto request =
+      pcrf.make_request(profile, BsId{1}, PrefixId{2}, static_cast<ApplicationClass>(200));
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.code(), ErrorCode::kInvalidArgument);
 }
 
 TEST(Pcrf, RuleOverrideAndRequestSynthesis) {
@@ -58,11 +93,12 @@ TEST(Pcrf, RuleOverrideAndRequestSynthesis) {
   pcrf.set_rule(SubscriberClass::kBasic, ApplicationClass::kBulk, strict);
   SubscriberProfile profile{UeId{7}, SubscriberClass::kBasic, "x"};
   auto request = pcrf.make_request(profile, BsId{3}, PrefixId{5}, ApplicationClass::kBulk);
-  EXPECT_EQ(request.ue, UeId{7});
-  EXPECT_EQ(request.bs, BsId{3});
-  EXPECT_EQ(request.dst_prefix, PrefixId{5});
-  ASSERT_TRUE(request.qos.max_hops.has_value());
-  EXPECT_DOUBLE_EQ(*request.qos.max_hops, 9);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->ue, UeId{7});
+  EXPECT_EQ(request->bs, BsId{3});
+  EXPECT_EQ(request->dst_prefix, PrefixId{5});
+  ASSERT_TRUE(request->qos.max_hops.has_value());
+  EXPECT_DOUBLE_EQ(*request->qos.max_hops, 9);
 }
 
 TEST(Pcrf, ChargingMetersPerSubscriber) {

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "analysis/shard_check.h"
 #include "obs/chrome_trace.h"
 #include "obs/critical_path.h"
 #include "obs/export.h"
@@ -116,6 +118,12 @@ const std::vector<OptionSpec>& bench_option_registry() {
        "run the static data-plane verifier on each\nscenario the bench builds",
        [](BenchOptions& o, const std::string&) {
          o.verify = true;
+         return true;
+       }},
+      {"--shard-check", nullptr,
+       "audit shard ownership + happens-before\nover the run; non-zero exit on findings\n(engine hooks need -DSOFTMOW_SHARD_CHECK=ON)",
+       [](BenchOptions& o, const std::string&) {
+         o.shard_check = true;
          return true;
        }},
       {"--help", nullptr, "show this message and exit",
@@ -270,6 +278,16 @@ int bench_main(int argc, char** argv, void (*run)()) {
   }
   if (g_options.trace_capacity > 0)
     obs::default_tracer().set_capacity(g_options.trace_capacity);
+  // The checker session must span run() so engine instrumentation (ownership
+  // hooks, handoff scopes, delivery audits) reports into it.
+  std::optional<analysis::ShardChecker> checker;
+  if (g_options.shard_check) {
+    if (!analysis::ShardChecker::instrumented())
+      std::fprintf(stderr,
+                   "--shard-check: engine hooks compiled out; rebuild with "
+                   "-DSOFTMOW_SHARD_CHECK=ON for ownership coverage\n");
+    checker.emplace();
+  }
   auto started = std::chrono::steady_clock::now();
   run();
   double total_ms = std::chrono::duration<double, std::milli>(
@@ -287,7 +305,18 @@ int bench_main(int argc, char** argv, void (*run)()) {
                     obs::analyze_root_operations(obs::default_tracer()))
                     .c_str());
   }
-  return export_metrics(g_options) ? 0 : 1;
+  bool shard_check_failed = false;
+  if (checker.has_value()) {
+    analysis::AnalysisReport report = checker->report();
+    for (const analysis::Finding& f : report.findings)
+      std::printf("shard-check: %s\n", f.str().c_str());
+    std::printf("%s\n", report.summary().c_str());
+    shard_check_failed = !report.clean();
+    checker.reset();
+  }
+  bool exported = export_metrics(g_options);
+  if (shard_check_failed) return 3;
+  return exported ? 0 : 1;
 }
 
 InternalCostTable compute_internal_costs(topo::Scenario& scenario) {

@@ -29,6 +29,7 @@ struct BenchOptions {
   std::size_t shards = 0;       ///< --shards <n>: shard override (0 = topology's natural count)
   std::string encap = "tags";   ///< --encap tags|labels: slicing encapsulation scheme
   std::size_t slices = 4;       ///< --slices <n>: tenant count for slicing benches
+  bool shard_check = false;     ///< --shard-check: race/determinism audit over run()
   bool help = false;            ///< --help: print usage and exit 0
   bool parse_ok = true;         ///< false: unknown flag / bad value; exit non-zero
 };

@@ -1,0 +1,61 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace softmow::analysis {
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kForeignWrite: return "foreign-write";
+    case FindingKind::kForeignRead: return "foreign-read";
+    case FindingKind::kLateDelivery: return "late-delivery";
+  }
+  return "?";
+}
+
+namespace {
+std::string shard_str(std::size_t shard) {
+  return shard == kNoShard ? "-" : std::to_string(shard);
+}
+}  // namespace
+
+std::string Finding::str() const {
+  std::ostringstream os;
+  os << to_string(kind) << " " << structure << "#" << instance;
+  if (kind == FindingKind::kLateDelivery) {
+    os << " dst-shard=" << shard_str(owner) << " src-shard=" << shard_str(accessor)
+       << " send-seq=" << event_seq << " delivery=" << when_ns << "ns";
+  } else {
+    os << " owner-shard=" << shard_str(owner) << " from-shard=" << shard_str(accessor)
+       << " event-seq=" << event_seq << " t=" << when_ns << "ns";
+  }
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+std::string AnalysisReport::summary() const {
+  std::ostringstream os;
+  os << "analysis: " << findings.size() << " finding(s)";
+  for (const auto& [kind, n] : counts) os << ", " << to_string(kind) << "=" << n;
+  os << "; checked " << accesses_checked << " access(es), " << handoffs << " handoff(s), "
+     << deliveries_checked << " delivery(ies), " << windows_audited << " window(s)";
+  return os.str();
+}
+
+void AnalysisReport::add(Finding finding) {
+  ++counts[finding.kind];
+  findings.push_back(std::move(finding));
+}
+
+void AnalysisReport::sort_findings() {
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+    if (a.accessor != b.accessor) return a.accessor < b.accessor;
+    if (a.structure != b.structure) return a.structure < b.structure;
+    if (a.instance != b.instance) return a.instance < b.instance;
+    return a.event_seq < b.event_seq;
+  });
+}
+
+}  // namespace softmow::analysis

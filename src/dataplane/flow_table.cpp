@@ -76,6 +76,7 @@ std::string FlowRule::str() const {
 }
 
 Result<void> FlowTable::install(FlowRule rule) {
+  SHARD_CHECKED(guard_, kWrite);
   for (const FlowRule& r : rules_) {
     if (r.cookie != rule.cookie && r.priority == rule.priority && r.match == rule.match) {
       return {ErrorCode::kConflict,
@@ -90,6 +91,7 @@ Result<void> FlowTable::install(FlowRule rule) {
 }
 
 Result<std::size_t> FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  SHARD_CHECKED(guard_, kWrite);
   std::size_t before = rules_.size();
   std::erase_if(rules_, [cookie](const FlowRule& r) { return r.cookie == cookie; });
   std::size_t removed = before - rules_.size();
@@ -99,6 +101,7 @@ Result<std::size_t> FlowTable::remove_by_cookie(std::uint64_t cookie) {
 }
 
 Result<std::size_t> FlowTable::remove_by_match(const Match& match) {
+  SHARD_CHECKED(guard_, kWrite);
   std::size_t before = rules_.size();
   std::erase_if(rules_, [&match](const FlowRule& r) { return r.match == match; });
   std::size_t removed = before - rules_.size();
@@ -106,7 +109,10 @@ Result<std::size_t> FlowTable::remove_by_match(const Match& match) {
   return removed;
 }
 
-void FlowTable::clear() { rules_.clear(); }
+void FlowTable::clear() {
+  SHARD_CHECKED(guard_, kWrite);
+  rules_.clear();
+}
 
 void FlowTable::sort_rules() {
   std::stable_sort(rules_.begin(), rules_.end(), [](const FlowRule& a, const FlowRule& b) {
@@ -118,6 +124,7 @@ void FlowTable::sort_rules() {
 }
 
 FlowRule* FlowTable::lookup(const Packet& pkt, PortId arrival_port, BsGroupId origin_group) {
+  SHARD_CHECKED(guard_, kWrite);  // lookups advance rule counters
   for (FlowRule& r : rules_) {
     if (r.match.matches(pkt, arrival_port, origin_group)) {
       ++r.packet_count;

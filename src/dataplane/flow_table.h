@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/shard_guard.h"
 #include "core/ids.h"
 #include "core/packet.h"
 #include "core/result.h"
@@ -102,9 +103,15 @@ class FlowTable {
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
   [[nodiscard]] const std::vector<FlowRule>& rules() const { return rules_; }
 
+  /// Shard-ownership tag; identity is set by the owning Switch, the owner
+  /// by mgmt::bind_shards when the hierarchy is pinned to an engine. A rule
+  /// install that skips the southbound mailbox handoff fires here.
+  [[nodiscard]] analysis::ShardGuard& guard() { return guard_; }
+
  private:
   void sort_rules();
   std::vector<FlowRule> rules_;  ///< kept sorted by (priority desc, specificity desc, cookie)
+  analysis::ShardGuard guard_{"flowtable", 0};
 };
 
 }  // namespace softmow::dataplane

@@ -38,22 +38,64 @@ std::optional<PolicyTag> decode_tag(std::uint32_t value) {
   return tag;
 }
 
+std::uint32_t TagAllocator::Side::intern(Endpoint e) {
+  auto it = ids.find(e);
+  if (it != ids.end()) return it->second;
+  std::uint32_t id;
+  if (!free_ids.empty()) {
+    // Smallest recycled id first: the same arrival order always reuses the
+    // same ids, keeping tags deterministic across runs and thread counts.
+    id = *free_ids.begin();
+    free_ids.erase(free_ids.begin());
+  } else {
+    id = next++ % cap;
+  }
+  ids.emplace(e, id);
+  endpoints[id] = e;
+  return id;
+}
+
+bool TagAllocator::Side::release(std::uint32_t id) {
+  auto it = live.find(id);
+  if (it == live.end() || it->second == 0) return false;
+  if (--it->second > 0) return false;
+  live.erase(it);
+  auto ep = endpoints.find(id);
+  if (ep == endpoints.end()) return false;
+  ids.erase(ep->second);
+  endpoints.erase(ep);
+  free_ids.insert(id);
+  return true;
+}
+
 std::uint32_t TagAllocator::tag_for(SliceId slice, std::uint32_t clause, Endpoint ingress,
                                     Endpoint egress) {
-  auto intern = [](std::map<Endpoint, std::uint32_t>& aggs, Endpoint e,
-                   std::uint32_t cap) -> std::uint32_t {
-    auto it = aggs.find(e);
-    if (it != aggs.end()) return it->second;
-    std::uint32_t id = static_cast<std::uint32_t>(aggs.size()) % cap;
-    aggs.emplace(e, id);
-    return id;
-  };
   PolicyTag tag;
   tag.slice = slice;
   tag.clause = clause;
-  tag.ingress_agg = intern(ingress_aggs_, ingress, PolicyTag::kMaxIngressAggs);
-  tag.egress_agg = intern(egress_aggs_, egress, PolicyTag::kMaxEgressAggs);
+  tag.ingress_agg = ingress_.intern(ingress);
+  tag.egress_agg = egress_.intern(egress);
   return encode_tag(tag);
+}
+
+std::uint32_t TagAllocator::retag(std::uint32_t tag, Endpoint ingress, Endpoint egress) {
+  auto decoded = decode_tag(tag);
+  if (!decoded) return tag;
+  return tag_for(decoded->slice, decoded->clause, ingress, egress);
+}
+
+void TagAllocator::retain(std::uint32_t tag) {
+  auto decoded = decode_tag(tag);
+  if (!decoded) return;
+  ingress_.retain(decoded->ingress_agg);
+  egress_.retain(decoded->egress_agg);
+}
+
+void TagAllocator::release(std::uint32_t tag) {
+  auto decoded = decode_tag(tag);
+  if (!decoded) return;
+  if (ingress_.release(decoded->ingress_agg)) ++recycled_;
+  if (egress_.release(decoded->egress_agg)) ++recycled_;
 }
 
 }  // namespace softmow::dataplane

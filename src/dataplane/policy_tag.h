@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "core/ids.h"
@@ -70,19 +71,57 @@ struct PolicyTag {
 /// allocator is shared by every controller of a deployment (the slicing
 /// subsystem owns it); allocation order is the deterministic bearer-setup
 /// order, so tags are stable across runs and thread counts.
+///
+/// Tag-space garbage collection: each live TagAggregate holds one reference
+/// (retain/release, called by nos::PathImplementer) on the tag's ingress and
+/// egress aggregate ids. When the last aggregate using an id drains, the
+/// endpoint is forgotten and the id returns to a smallest-first free list,
+/// so a week-long churn of bearer arrivals cannot exhaust the 10/11-bit id
+/// spaces. Recycling is deterministic (std::set ordering), and a recycled id
+/// can be re-issued to a different endpoint — which is why path reactivation
+/// must re-derive its tag through retag() instead of trusting a stored one.
 class TagAllocator {
  public:
   /// Tag for (slice, clause, ingress endpoint, egress endpoint). Endpoint
-  /// aggregates are interned on first use. Returns a marker-bit label value.
+  /// aggregates are interned on first use (recycled ids first, then the next
+  /// dense id). Returns a marker-bit label value.
   [[nodiscard]] std::uint32_t tag_for(SliceId slice, std::uint32_t clause, Endpoint ingress,
                                       Endpoint egress);
 
-  [[nodiscard]] std::size_t ingress_aggregates() const { return ingress_aggs_.size(); }
-  [[nodiscard]] std::size_t egress_aggregates() const { return egress_aggs_.size(); }
+  /// Re-derives the current tag carrying `tag`'s (slice, clause) for the
+  /// given endpoints. Differs from `tag` exactly when an aggregate id the
+  /// old value referenced drained and was recycled since.
+  [[nodiscard]] std::uint32_t retag(std::uint32_t tag, Endpoint ingress, Endpoint egress);
+
+  /// One live TagAggregate started/stopped using `tag`'s aggregate ids.
+  void retain(std::uint32_t tag);
+  void release(std::uint32_t tag);
+
+  [[nodiscard]] std::size_t ingress_aggregates() const { return ingress_.ids.size(); }
+  [[nodiscard]] std::size_t egress_aggregates() const { return egress_.ids.size(); }
+  /// Aggregate ids recycled so far (both directions) — the GC's work proof.
+  [[nodiscard]] std::uint64_t ids_recycled() const { return recycled_; }
 
  private:
-  std::map<Endpoint, std::uint32_t> ingress_aggs_;
-  std::map<Endpoint, std::uint32_t> egress_aggs_;
+  /// One direction's id space (ingress or egress aggregates).
+  struct Side {
+    std::map<Endpoint, std::uint32_t> ids;        ///< endpoint -> aggregate id
+    std::map<std::uint32_t, Endpoint> endpoints;  ///< reverse, for recycling
+    std::map<std::uint32_t, std::size_t> live;    ///< id -> live aggregates
+    std::set<std::uint32_t> free_ids;             ///< recycled, smallest first
+    std::uint32_t next = 0;
+    std::uint32_t cap;
+
+    explicit Side(std::uint32_t cap_) : cap(cap_) {}
+    std::uint32_t intern(Endpoint e);
+    void retain(std::uint32_t id) { ++live[id]; }
+    /// True when the id drained and was recycled.
+    bool release(std::uint32_t id);
+  };
+
+  Side ingress_{PolicyTag::kMaxIngressAggs};
+  Side egress_{PolicyTag::kMaxEgressAggs};
+  std::uint64_t recycled_ = 0;
 };
 
 }  // namespace softmow::dataplane

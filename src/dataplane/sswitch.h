@@ -60,7 +60,7 @@ struct Forwarding {
 
 class Switch {
  public:
-  explicit Switch(SwitchId id) : id_(id) {}
+  explicit Switch(SwitchId id) : id_(id) { table_.guard().set_identity("flowtable", id.value); }
 
   [[nodiscard]] SwitchId id() const { return id_; }
 

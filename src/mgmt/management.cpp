@@ -205,15 +205,27 @@ void ManagementPlane::bind_shards(sim::ShardedSimulator& engine,
 
   // Physical frame transit (discovery probes crossing inter-switch links)
   // runs on the owning leaf's shard.
+  // Each physical flow table is also pinned to the shard of the leaf
+  // programming it: a rule write that skipped the southbound mailbox handoff
+  // (e.g. a direct cross-region install) becomes an exact-blame checker
+  // finding.
   std::unordered_map<SwitchId, sim::ShardId> owners;
   for (std::size_t i = 0; i < leaves_.size(); ++i) {
-    for (SwitchId sw : leaves_[i]->devices()) owners[sw] = leaf_shard(i);
+    for (SwitchId sw : leaves_[i]->devices()) {
+      owners[sw] = leaf_shard(i);
+      if (dataplane::Switch* dev = net_->sw(sw); dev != nullptr)
+        dev->table().guard().set_owner(leaf_shard(i));
+    }
   }
   hub_->bind_shards(&engine, std::move(owners));
 }
 
 void ManagementPlane::unbind_shards() {
   for (Controller* c : all_controllers()) c->unbind_shards();
+  for (SwitchId sw : net_->all_switches()) {
+    if (dataplane::Switch* dev = net_->sw(sw); dev != nullptr)
+      dev->table().guard().clear_owner();
+  }
   hub_->unbind_shards();
 }
 

@@ -10,6 +10,7 @@ const southbound::PortDesc* SwitchRecord::port(PortId p) const {
 }
 
 void Nib::bump() {
+  SHARD_CHECKED(guard_, kWrite);
   ++version_;
   if (notifying_) return;  // avoid re-entrant notification storms
   notifying_ = true;
@@ -43,6 +44,7 @@ const SwitchRecord* Nib::sw(SwitchId id) const {
 }
 
 SwitchRecord* Nib::sw_mutable(SwitchId id) {
+  SHARD_CHECKED(guard_, kWrite);  // mutable escape hatch: callers intend to write
   auto it = switches_.find(id);
   return it == switches_.end() ? nullptr : &it->second;
 }
@@ -242,6 +244,7 @@ std::vector<MiddleboxId> Nib::middleboxes_of_type(dataplane::MiddleboxType t) co
 }
 
 void Nib::upsert_external_route(ExternalRoute r) {
+  SHARD_CHECKED(guard_, kWrite);  // route upserts bypass bump() by design
   auto& routes = external_routes_[r.prefix];
   for (ExternalRoute& e : routes) {
     if (e.egress == r.egress) {

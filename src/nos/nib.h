@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/shard_guard.h"
 #include "core/graph.h"
 #include "core/ids.h"
 #include "core/result.h"
@@ -119,6 +120,11 @@ class Nib {
   [[nodiscard]] std::uint64_t version() const { return version_; }
   void subscribe(std::function<void()> on_change);
 
+  /// Shard-ownership tag. Every mutator funnels through bump() (and the
+  /// non-bumping external-route upsert), so a single check there catches any
+  /// off-shard NIB write. Identity/owner are set by the owning controller.
+  [[nodiscard]] analysis::ShardGuard& guard() { return guard_; }
+
  private:
   void bump();
 
@@ -130,6 +136,7 @@ class Nib {
   std::uint64_t version_ = 0;
   std::vector<std::function<void()>> subscribers_;
   bool notifying_ = false;
+  analysis::ShardGuard guard_{"nib", 0};
 };
 
 }  // namespace softmow::nos

@@ -45,6 +45,7 @@ Label PathImplementer::allocate_label() {
 Result<PathId> PathImplementer::setup(const ComputedRoute& route,
                                       dataplane::Match classifier,
                                       PathSetupOptions options) {
+  SHARD_CHECKED(guard_, kWrite);
   if (route.hops.empty())
     return Error{ErrorCode::kInvalidArgument, "route has no switch traversals"};
 
@@ -101,6 +102,7 @@ Result<void> PathImplementer::ensure_aggregate(Label tag, const ComputedRoute& r
       aggregates_.erase(it);
       return installed;
     }
+    if (tag_allocator_ != nullptr) tag_allocator_->retain(tag.value);
     return Ok();
   }
   // Existing aggregate whose route broke (failure repair): adopt the fresh
@@ -200,6 +202,9 @@ void PathImplementer::gc_aggregate(std::uint32_t tag_value) {
   if (it == aggregates_.end() || it->second.refs != 0) return;
   remove_aggregate_rules(it->second);
   aggregates_.erase(it);
+  // Last path using the aggregate drained: let the allocator recycle the
+  // tag's aggregate ids once nothing live references them.
+  if (tag_allocator_ != nullptr) tag_allocator_->release(tag_value);
 }
 
 Result<void> PathImplementer::acquire_resources(InstalledPath& p) {
@@ -380,6 +385,7 @@ Result<void> PathImplementer::install_rules(InstalledPath& p) {
 }
 
 Result<void> PathImplementer::deactivate(PathId id) {
+  SHARD_CHECKED(guard_, kWrite);
   auto it = paths_.find(id);
   if (it == paths_.end()) return {ErrorCode::kNotFound, "no such path"};
   InstalledPath& p = it->second;
@@ -414,12 +420,25 @@ Result<void> PathImplementer::deactivate(PathId id) {
 }
 
 Result<void> PathImplementer::reactivate(PathId id) {
+  SHARD_CHECKED(guard_, kWrite);
   auto it = paths_.find(id);
   if (it == paths_.end()) return {ErrorCode::kNotFound, "no such path"};
   InstalledPath& p = it->second;
   if (p.active) return Ok();
   bool tagged = p.options.shared_tag.has_value();
   if (tagged) {
+    if (tag_allocator_ != nullptr && !p.route.hops.empty()) {
+      // The tag's aggregate ids may have drained and been recycled to other
+      // endpoints while this path was down: re-derive the current tag for
+      // the same (slice, clause, endpoints) instead of trusting the stale
+      // value (which could now alias a different aggregate).
+      Endpoint egress{p.route.hops.back().sw, p.route.hops.back().out};
+      std::uint32_t fresh = tag_allocator_->retag(p.label.value, p.route.source, egress);
+      if (fresh != p.label.value) {
+        p.label.value = fresh;
+        p.options.shared_tag = p.label;
+      }
+    }
     auto agg = ensure_aggregate(p.label, p.route, p.options);
     if (!agg.ok()) return agg;
     p.route = aggregates_.at(p.label.value).route;
@@ -440,6 +459,7 @@ Result<void> PathImplementer::reactivate(PathId id) {
 }
 
 std::size_t PathImplementer::resync_switch(SwitchId sw) {
+  SHARD_CHECKED(guard_, kWrite);
   std::size_t pushed = 0;
   for (auto& [id, p] : paths_) {
     if (!p.active) continue;
@@ -502,6 +522,14 @@ PathImplementer::Snapshot PathImplementer::snapshot() const {
 }
 
 void PathImplementer::restore(Snapshot snap) {
+  SHARD_CHECKED(guard_, kWrite);
+  // Rebase the allocator's refcounts onto the restored aggregate set (a
+  // promoted standby replaces the whole map; the allocator is shared and
+  // survives the failover).
+  if (tag_allocator_ != nullptr) {
+    for (const auto& [tag_value, agg] : aggregates_) tag_allocator_->release(tag_value);
+    for (const auto& [tag_value, agg] : snap.aggregates) tag_allocator_->retain(tag_value);
+  }
   next_label_ = snap.next_label;
   next_cookie_ = snap.next_cookie;
   next_path_ = snap.next_path;

@@ -17,10 +17,12 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/shard_guard.h"
 #include "core/ids.h"
 #include "core/packet.h"
 #include "core/result.h"
 #include "dataplane/flow_table.h"
+#include "dataplane/policy_tag.h"
 #include "nos/device_bus.h"
 #include "nos/routing.h"
 #include "obs/metrics.h"
@@ -165,6 +167,16 @@ class PathImplementer {
   /// folded into the verifier's live-rule set alongside per-path rules.
   [[nodiscard]] std::vector<std::pair<SwitchId, std::uint64_t>> shared_rules() const;
 
+  /// Tag-space GC hook (not owned; null = no allocator bookkeeping): each
+  /// live TagAggregate retains its tag's aggregate ids, gc_aggregate
+  /// releases them, and reactivation re-derives a path's tag through
+  /// retag() — a drained id may have been recycled to another endpoint.
+  void set_tag_allocator(dataplane::TagAllocator* allocator) { tag_allocator_ = allocator; }
+
+  /// Shard-ownership tag; identity is set by the owning controller, the
+  /// owner by Controller::bind_shards.
+  [[nodiscard]] analysis::ShardGuard& guard() { return guard_; }
+
  private:
   Label allocate_label();
   std::uint64_t allocate_cookie() { return next_cookie_++; }
@@ -196,6 +208,7 @@ class PathImplementer {
 
   DeviceBus* bus_;
   Nib* nib_;
+  dataplane::TagAllocator* tag_allocator_ = nullptr;
   std::uint32_t controller_tag_;
   std::uint8_t level_;
   std::uint64_t next_label_ = 1;
@@ -207,6 +220,7 @@ class PathImplementer {
   obs::Counter* setups_metric_;       ///< path_setups_total{level}
   obs::Counter* flowmods_metric_;     ///< flowmods_sent_total{level}
   obs::Counter* label_push_metric_;   ///< label_pushes_total{level}
+  analysis::ShardGuard guard_{"paths", 0};
 };
 
 }  // namespace softmow::nos

@@ -21,6 +21,7 @@ Tracer::Tracer(MetricsRegistry* registry) {
 }
 
 void Tracer::push_span(TraceSpan span) {
+  SHARD_CHECKED(guard_, kWrite);
   spans_.push_back(std::move(span));
   while (spans_.size() > capacity_) {
     spans_.pop_front();
@@ -30,6 +31,7 @@ void Tracer::push_span(TraceSpan span) {
 }
 
 void Tracer::push_event(TraceEvent ev) {
+  SHARD_CHECKED(guard_, kWrite);
   events_.push_back(std::move(ev));
   while (events_.size() > capacity_) {
     events_.pop_front();
@@ -89,6 +91,7 @@ TraceContext Tracer::open_span_under(TraceContext parent, sim::TimePoint begin,
   s.parent_id = parent.valid() ? parent.span_id : 0;
   s.kind = kind;
   TraceContext ctx = s.context();
+  SHARD_CHECKED(guard_, kWrite);
   open_.emplace(s.span_id, std::move(s));
   return ctx;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/shard_guard.h"
 #include "sim/time.h"
 
 namespace softmow::obs {
@@ -205,6 +206,11 @@ class Tracer {
 
   void clear();
 
+  /// Shard-ownership tag for the ring (a Tracer is single-threaded; the
+  /// sharded simulator pins each shard tracer to its shard). Identity and
+  /// owner are set by whoever owns the tracer; unowned tracers are exempt.
+  [[nodiscard]] analysis::ShardGuard& guard() { return guard_; }
+
  private:
   std::uint64_t fresh_id() { return next_id_++; }
   void push_span(TraceSpan span);
@@ -220,6 +226,7 @@ class Tracer {
   std::uint64_t dropped_events_ = 0;
   Counter* dropped_spans_metric_;   ///< trace_dropped_total{buffer=spans}
   Counter* dropped_events_metric_;  ///< trace_dropped_total{buffer=events}
+  analysis::ShardGuard guard_{"tracer", 0};
 };
 
 /// The calling thread's ambient tracer: the thread-local override installed

@@ -32,6 +32,8 @@ Controller::Controller(ControllerId id, int level, std::string name, LabelMode l
   repairs_metric_ = reg.counter("path_repairs_total", by_level);
   resyncs_metric_ = reg.counter("path_resyncs_total", by_level);
   nib_.subscribe([this] { abstraction_.mark_dirty(); });
+  nib_.guard().set_identity("nib", id.value);
+  paths_.guard().set_identity("paths", id.value);
 }
 
 void Controller::adopt_physical_switch(southbound::Hub& hub, SwitchId sw,
@@ -186,6 +188,10 @@ void Controller::bind_shards(sim::ShardedSimulator* engine, sim::ShardId self_sh
                              const std::function<sim::ShardId(SwitchId)>& shard_of_device) {
   shard_ = self_shard;
   engine_ = engine;
+  // Pin this controller's mutable state to its shard for the checker: any
+  // engine event mutating it from another shard is a race finding.
+  nib_.guard().set_owner(self_shard);
+  paths_.guard().set_owner(self_shard);
   for (auto& [sw, ch] : device_channels_) {
     sim::ShardId device_shard = shard_of_device ? shard_of_device(sw) : self_shard;
     southbound::Channel::ShardBinding binding;
@@ -202,6 +208,8 @@ void Controller::bind_shards(sim::ShardedSimulator* engine, sim::ShardId self_sh
 void Controller::unbind_shards() {
   shard_ = 0;
   engine_ = nullptr;
+  nib_.guard().clear_owner();
+  paths_.guard().clear_owner();
   for (auto& ch : owned_channels_) ch->unbind_shards();
 }
 

@@ -180,7 +180,10 @@ class Controller : public nos::DeviceBus {
   /// subsystem). When set, slice-aware applications classify bearers onto
   /// shared SoftCell-style tags instead of per-path labels; when null
   /// (default) the §4.3 per-path label scheme is used unchanged.
-  void set_tag_allocator(dataplane::TagAllocator* allocator) { tag_allocator_ = allocator; }
+  void set_tag_allocator(dataplane::TagAllocator* allocator) {
+    tag_allocator_ = allocator;
+    paths_.set_tag_allocator(allocator);  // tag-space GC: retain/release/retag
+  }
   [[nodiscard]] dataplane::TagAllocator* tag_allocator() const { return tag_allocator_; }
 
  private:

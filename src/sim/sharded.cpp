@@ -39,6 +39,14 @@ ShardedSimulator::ShardedSimulator(std::size_t shards, Options opts)
     auto shard = std::make_unique<Shard>();
     shard->tracer = std::make_unique<obs::Tracer>();
     shard->tracer->set_id_base((static_cast<std::uint64_t>(s) + 1) * kShardIdStride);
+    // A shard's queue/mailbox and tracer ring are owned by the shard itself
+    // for the engine's whole life: events append spans only to their own
+    // shard's ring, and cross-shard scheduling goes through the mailbox
+    // handoff below.
+    shard->guard.set_identity("mailbox", s);
+    shard->guard.set_owner(s);
+    shard->tracer->guard().set_identity("tracer", s);
+    shard->tracer->guard().set_owner(s);
     shards_.push_back(std::move(shard));
   }
 }
@@ -70,18 +78,23 @@ void ShardedSimulator::schedule_at(ShardId shard, TimePoint when, Callback fn) {
     // clamp and route through the destination mailbox.
     Shard& src = *shards_[t_current_shard];
     TimePoint earliest = src.now + lookahead_;
-    if (when < earliest) {
+    if (when < earliest && !clamp_disabled_for_test_) {
       when = earliest;
       clamps_.fetch_add(1, std::memory_order_relaxed);
     }
     cross_posts_.fetch_add(1, std::memory_order_relaxed);
     Mail mail{when, t_current_shard, src.send_seq++, std::move(fn),
               obs::default_tracer().current()};
+    // The one sanctioned way to touch another shard's state from inside an
+    // event: the guard access below is counted as a handoff, not a finding.
+    analysis::HandoffScope handoff(shard);
+    SHARD_CHECKED(dest.guard, kWrite);
     std::lock_guard<std::mutex> lock(dest.mail_mu);
     dest.mailbox.push_back(std::move(mail));
     return;
   }
   assert(when >= dest.now && "cannot schedule into a shard's past");
+  SHARD_CHECKED(dest.guard, kWrite);
   dest.queue.push(Event{when, dest.seq++, std::move(fn), obs::default_tracer().current()});
 }
 
@@ -106,8 +119,8 @@ bool ShardedSimulator::idle() const {
 }
 
 void ShardedSimulator::deliver_mail() {
-  for (auto& sp : shards_) {
-    Shard& s = *sp;
+  for (std::size_t index = 0; index < shards_.size(); ++index) {
+    Shard& s = *shards_[index];
     std::vector<Mail> mail;
     {
       std::lock_guard<std::mutex> lock(s.mail_mu);
@@ -122,8 +135,14 @@ void ShardedSimulator::deliver_mail() {
       if (a.src != b.src) return a.src < b.src;
       return a.src_seq < b.src_seq;
     });
-    for (Mail& m : mail)
+    for (Mail& m : mail) {
+      // Happens-before audit: a message stamped before the destination's
+      // executed clock would mean an event already ran with this message
+      // still pending — the conservative-window invariant broke.
+      analysis::note_delivery(index, m.when.since_start().to_nanos(), m.src, m.src_seq,
+                              s.audit_now_ns);
       s.queue.push(Event{m.when, s.seq++, std::move(m.fn), m.ctx});
+    }
   }
 }
 
@@ -138,11 +157,16 @@ void ShardedSimulator::execute_shard(std::size_t index, TimePoint horizon) {
     Event ev = s.queue.top();
     s.queue.pop();
     s.now = ev.when;
+    if constexpr (analysis::kShardCheckCompiled)
+      s.audit_now_ns = ev.when.since_start().to_nanos();
     ++s.executed;
     events_counter_->inc();
     obs::Tracer::ScopedContext scoped(*s.tracer, ev.ctx);
+    // Stamp the event identity the checker blames foreign accesses on.
+    analysis::set_event_context(index, ev.when.since_start().to_nanos(), ev.seq);
     ev.fn();
   }
+  analysis::clear_event_context();
   t_current_shard = prev_shard;
   t_in_shard_event = prev_in_event;
 }
@@ -215,6 +239,11 @@ std::uint64_t ShardedSimulator::run() {
   // merge back into it so exporters see one deterministic timeline.
   obs::Tracer& target = obs::default_tracer();
   running_ = true;
+  // New run, new audit epoch: the happens-before window audit only compares
+  // deliveries against events executed *within this run* (see Shard::audit_now_ns).
+  if constexpr (analysis::kShardCheckCompiled) {
+    for (auto& s : shards_) s->audit_now_ns = -1;
+  }
   const bool parallel = threads_ > 1 && shards_.size() > 1;
   if (parallel) start_workers();
   for (;;) {
@@ -238,6 +267,8 @@ std::uint64_t ShardedSimulator::run() {
     }
     window_horizon_ = horizon;
     ++windows_;
+    analysis::note_window(windows_, window_start.since_start().to_nanos(),
+                          horizon.since_start().to_nanos());
     if (parallel) {
       run_window_parallel();
     } else {

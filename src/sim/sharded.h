@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/shard_guard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/time.h"
@@ -116,6 +117,11 @@ class ShardedSimulator {
 
   [[nodiscard]] obs::Tracer& shard_tracer(ShardId shard) { return *shards_[shard]->tracer; }
 
+  /// TEST ONLY: disables the cross-shard lookahead clamp so a message can be
+  /// stamped into a destination's past — the seeded violation the analysis
+  /// checker's late-delivery audit must catch. Never set outside tests.
+  void set_clamp_disabled_for_test(bool disabled) { clamp_disabled_for_test_ = disabled; }
+
  private:
   struct Event {
     TimePoint when;
@@ -145,9 +151,20 @@ class ShardedSimulator {
     std::uint64_t seq = 0;       ///< local schedule order (FIFO ties)
     std::uint64_t send_seq = 0;  ///< cross-shard send order
     std::uint64_t executed = 0;
+    /// Latest event time executed in the *current* run() (ns; -1 = none yet).
+    /// The happens-before audit compares mail stamps against this instead of
+    /// `now`: benches reuse one engine across run() phases, and a later
+    /// phase's low-clocked mail is not a causality violation against events
+    /// a finished phase already executed. Maintained only when the checker
+    /// is compiled in.
+    std::int64_t audit_now_ns = -1;
     std::unique_ptr<obs::Tracer> tracer;
     std::mutex mail_mu;
     std::vector<Mail> mailbox;
+    /// Ownership tag for the shard's event queue + mailbox: owned by the
+    /// shard itself from construction; the mailbox push in schedule_at is
+    /// the sanctioned cross-shard handoff (HandoffScope).
+    analysis::ShardGuard guard;
   };
 
   void deliver_mail();
@@ -160,6 +177,7 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t threads_;
   Duration lookahead_;
+  bool clamp_disabled_for_test_ = false;
   bool running_ = false;
   std::uint64_t executed_total_ = 0;
   std::uint64_t windows_ = 0;

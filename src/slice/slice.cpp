@@ -176,6 +176,7 @@ Result<BearerId> SliceManager::open_bearer(SliceId id, UeId ue, PrefixId dst) {
 
 Result<BearerId> SliceManager::open_bearer(SliceId id, UeId ue, PrefixId dst,
                                            apps::ApplicationClass app) {
+  SHARD_CHECKED(guard_, kWrite);
   Tenant* t = tenant(id);
   if (t == nullptr) return {ErrorCode::kNotFound, "unknown slice"};
   auto owner = ue_slices_.find(ue);
@@ -231,6 +232,7 @@ Result<BearerId> SliceManager::open_bearer(SliceId id, UeId ue, PrefixId dst,
 }
 
 Result<void> SliceManager::close_bearer(SliceId id, UeId ue, BearerId bearer) {
+  SHARD_CHECKED(guard_, kWrite);
   Tenant* t = tenant(id);
   if (t == nullptr) return {ErrorCode::kNotFound, "unknown slice"};
   auto it = t->open_kbps.find({ue, bearer});

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/shard_guard.h"
 #include "apps/subscriber.h"
 #include "core/ids.h"
 #include "core/result.h"
@@ -125,6 +126,12 @@ class SliceManager {
   /// starts without the tag allocator hook).
   void rewire_encapsulation();
 
+  /// Shard-ownership tag over the per-tenant budget/bearer bookkeeping
+  /// (open_kbps, reserved_kbps). Unowned by default: bearer churn driven
+  /// synchronously between engine runs is exempt; pin it to a shard before
+  /// driving churn from engine events.
+  [[nodiscard]] analysis::ShardGuard& guard() { return guard_; }
+
  private:
   struct Tenant {
     SliceId id;
@@ -158,6 +165,7 @@ class SliceManager {
   dataplane::TagAllocator tags_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
   std::map<UeId, SliceId> ue_slices_;
+  analysis::ShardGuard guard_{"slice_budgets", 0};
 };
 
 /// The per-bearer bandwidth demand (kbps) a traffic class reserves when the

@@ -25,6 +25,10 @@
 #include "obs/metrics.h"        // IWYU pragma: export
 #include "obs/trace.h"          // IWYU pragma: export
 
+#include "analysis/report.h"       // IWYU pragma: export
+#include "analysis/shard_check.h"  // IWYU pragma: export
+#include "analysis/shard_guard.h"  // IWYU pragma: export
+
 #include "sim/sharded.h"           // IWYU pragma: export
 #include "sim/simulator.h"         // IWYU pragma: export
 #include "sim/time.h"              // IWYU pragma: export

@@ -1,0 +1,170 @@
+// determinism_lint library: each hazard class fires on a minimal repro, the
+// comment/string stripper prevents false positives from docs, and the
+// allowlist suppresses exactly what it names.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace softmow::tools {
+namespace {
+
+std::vector<LintCheck> checks_of(const std::vector<LintFinding>& findings) {
+  std::vector<LintCheck> out;
+  out.reserve(findings.size());
+  for (const LintFinding& f : findings) out.push_back(f.check);
+  return out;
+}
+
+bool has_check(const std::vector<LintFinding>& findings, LintCheck check) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [check](const LintFinding& f) { return f.check == check; });
+}
+
+TEST(Lint, WallClockNowIsFlagged) {
+  auto findings = lint_source("x.cpp", R"(
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::system_clock::now();
+    auto c = std::chrono::high_resolution_clock::now();
+  )");
+  ASSERT_EQ(findings.size(), 3u);
+  for (const LintFinding& f : findings) {
+    EXPECT_EQ(f.check, LintCheck::kWallClock);
+    EXPECT_EQ(f.file, "x.cpp");
+  }
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].snippet.find("steady_clock"), std::string::npos);
+}
+
+TEST(Lint, LibcRandFamilyIsFlagged) {
+  auto findings = lint_source("x.cpp", R"(
+    int a = rand();
+    srand(42);
+    long b = random();
+    double c = drand48();
+  )");
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(has_check(findings, LintCheck::kLibcRand));
+}
+
+TEST(Lint, RandLikeIdentifiersAreNotFlagged) {
+  // Member calls, qualified names and substrings must not trip the matcher.
+  auto findings = lint_source("x.cpp", R"(
+    double x = rng.rand();
+    auto y = my_rand(1);
+    auto z = core::rand(seed);
+    int operand(int);
+  )");
+  EXPECT_TRUE(findings.empty()) << findings.front().str();
+}
+
+TEST(Lint, RandomDeviceAndUnseededEnginesAreFlagged) {
+  auto findings = lint_source("x.cpp", R"(
+    std::random_device rd;
+    std::mt19937_64 engine;
+    std::mt19937 small{};
+    std::default_random_engine basic;
+  )");
+  auto checks = checks_of(findings);
+  EXPECT_EQ(std::count(checks.begin(), checks.end(), LintCheck::kRandomDevice), 1);
+  EXPECT_EQ(std::count(checks.begin(), checks.end(), LintCheck::kUnseededRng), 3);
+}
+
+TEST(Lint, SeededEnginesAreNotFlagged) {
+  auto findings = lint_source("x.cpp", R"(
+    std::mt19937_64 engine(seed);
+    std::mt19937_64 forked{fork_seed(base, 7)};
+  )");
+  EXPECT_FALSE(has_check(findings, LintCheck::kUnseededRng));
+}
+
+TEST(Lint, PointerKeyedOrderedContainersAreFlagged) {
+  auto findings = lint_source("x.cpp", R"(
+    std::map<Node*, int> by_node;
+    std::set<const Channel*> live;
+    std::map<std::string, Node*> values_are_fine;
+    std::unordered_map<Node*, int> hashed_is_a_different_check;
+  )");
+  auto checks = checks_of(findings);
+  EXPECT_EQ(std::count(checks.begin(), checks.end(), LintCheck::kPointerKey), 2);
+}
+
+TEST(Lint, UnorderedIterationWhereDeclaredInFile) {
+  auto findings = lint_source("x.cpp", R"(
+    std::unordered_map<int, int> table_;
+    std::map<int, int> ordered_;
+    void f() {
+      for (const auto& [k, v] : table_) use(k, v);
+      for (const auto& [k, v] : ordered_) use(k, v);
+      for (auto& kv : obj.table_) use(kv);
+    }
+  )");
+  auto checks = checks_of(findings);
+  EXPECT_EQ(std::count(checks.begin(), checks.end(), LintCheck::kUnorderedIteration), 2)
+      << "member access through an object must still resolve the leaf name";
+}
+
+TEST(Lint, CommentsAndStringsNeverTrip) {
+  auto findings = lint_source("x.cpp", R"lint(
+    // std::chrono::steady_clock::now() documented here
+    /* rand() in a block comment
+       std::random_device too */
+    const char* msg = "call rand() then steady_clock::now()";
+    char c = 'r';
+    (void)msg; (void)c;
+  )lint");
+  EXPECT_TRUE(findings.empty()) << findings.front().str();
+}
+
+TEST(Lint, AllowlistSuppressesByFileAndByLine) {
+  auto findings = lint_source("src/sim/engine.cpp", R"(
+    auto a = std::chrono::steady_clock::now();
+    int b = rand();
+  )");
+  ASSERT_EQ(findings.size(), 2u);
+
+  Allowlist allow = Allowlist::parse(R"(
+    # audited: wall-clock feeds reporting only
+    src/sim/engine.cpp:wall-clock
+    src/sim/engine.cpp:3:libc-rand
+  )");
+  EXPECT_EQ(apply_allowlist(findings, allow), 0u);
+  EXPECT_TRUE(findings[0].allowlisted);
+  EXPECT_TRUE(findings[1].allowlisted);
+
+  // A line-pinned entry for the wrong line does not suppress.
+  Allowlist wrong_line = Allowlist::parse("src/sim/engine.cpp:99:libc-rand\n");
+  EXPECT_EQ(apply_allowlist(findings, wrong_line), 2u);
+  EXPECT_FALSE(findings[1].allowlisted);
+
+  // Entries never bleed across files or checks.
+  Allowlist other = Allowlist::parse("src/nos/other.cpp:wall-clock\n"
+                                     "src/sim/engine.cpp:unordered-iteration\n");
+  EXPECT_EQ(apply_allowlist(findings, other), 2u);
+}
+
+TEST(Lint, FindingStrCarriesBlame) {
+  auto findings = lint_source("a.cpp", "int x = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].str(), "a.cpp:1: [libc-rand] int x = rand();");
+}
+
+TEST(Lint, RepoEngineSourceOnlyHasAllowlistedWallClock) {
+  // The real engine file: its only hazards are the two audited wall-clock
+  // reads feeding events/sec reporting (see tools/determinism_lint.allow).
+  std::vector<LintFinding> findings;
+  for (const char* candidate :
+       {"src/sim/sharded.cpp", "../src/sim/sharded.cpp", "../../src/sim/sharded.cpp",
+        "../../../src/sim/sharded.cpp"}) {
+    findings = lint_file(candidate);
+    if (!findings.empty()) break;
+  }
+  if (findings.empty()) {
+    GTEST_SKIP() << "source tree not reachable from test cwd";
+  }
+  for (const LintFinding& f : findings) EXPECT_EQ(f.check, LintCheck::kWallClock) << f.str();
+}
+
+}  // namespace
+}  // namespace softmow::tools

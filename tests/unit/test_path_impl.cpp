@@ -168,6 +168,89 @@ TEST(PathImplementer, ReactivateReinstalls) {
   EXPECT_EQ(paths.active_count(), 1u);
 }
 
+TEST(PathImplementerTagGc, DrainingLastBearerReturnsRuleCountToBaseline) {
+  // Tag-space GC (slicing encapsulation): two bearers share one tag
+  // aggregate; draining both must remove the shared transit rules AND hand
+  // the tag's aggregate ids back to the allocator.
+  RecordingBus bus;
+  dataplane::TagAllocator alloc;
+  PathImplementer paths(&bus, 1, 1);
+  paths.set_tag_allocator(&alloc);
+
+  ComputedRoute route = three_hop_route();
+  std::uint32_t tag = alloc.tag_for(SliceId{2}, 3, route.source, route.exit);
+  PathSetupOptions options;
+  options.shared_tag = Label{tag, 1};
+
+  auto a = paths.setup(route, ue_classifier(1), options);
+  auto b = paths.setup(route, ue_classifier(2), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(paths.aggregates().size(), 1u);
+  EXPECT_EQ(alloc.ingress_aggregates(), 1u);
+  EXPECT_EQ(alloc.egress_aggregates(), 1u);
+
+  // Net rule count across the data plane: adds minus removes must return to
+  // zero once the last bearer of the aggregate drains.
+  auto net_rules = [&bus] {
+    long net = 0;
+    for (const auto& m : bus.mods)
+      net += m.op == southbound::FlowMod::Op::kAdd ? 1 : -1;
+    return net;
+  };
+  ASSERT_GT(net_rules(), 0);
+
+  ASSERT_TRUE(paths.deactivate(*a).ok());
+  EXPECT_EQ(paths.aggregates().size(), 1u) << "second bearer still references the tag";
+  EXPECT_EQ(alloc.ids_recycled(), 0u);
+
+  ASSERT_TRUE(paths.deactivate(*b).ok());
+  EXPECT_EQ(paths.aggregates().size(), 0u);
+  EXPECT_EQ(net_rules(), 0) << "every installed rule must have been removed";
+  EXPECT_EQ(alloc.ingress_aggregates(), 0u);
+  EXPECT_EQ(alloc.egress_aggregates(), 0u);
+  EXPECT_EQ(alloc.ids_recycled(), 2u);
+}
+
+TEST(PathImplementerTagGc, ReactivationRederivesTagThroughAllocator) {
+  // While a tagged path sits deactivated its aggregate ids can drain and be
+  // recycled to other endpoints; reactivate() must re-derive the tag so the
+  // path never aliases a foreign aggregate's transit rules.
+  RecordingBus bus;
+  dataplane::TagAllocator alloc;
+  PathImplementer paths(&bus, 1, 1);
+  paths.set_tag_allocator(&alloc);
+
+  ComputedRoute route = three_hop_route();
+  std::uint32_t tag = alloc.tag_for(SliceId{2}, 3, route.source, route.exit);
+  PathSetupOptions options;
+  options.shared_tag = Label{tag, 1};
+  auto id = paths.setup(route, ue_classifier(1), options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(paths.deactivate(*id).ok());  // ids drain and recycle
+
+  // A different endpoint pair claims the recycled ingress/egress ids.
+  ComputedRoute other;
+  other.hops = {RouteHop{SwitchId{5}, PortId{1}, PortId{2}},
+                RouteHop{SwitchId{6}, PortId{1}, PortId{9}}};
+  other.source = Endpoint{SwitchId{5}, PortId{1}};
+  other.exit = Endpoint{SwitchId{6}, PortId{9}};
+  std::uint32_t squatter = alloc.tag_for(SliceId{2}, 3, other.source, other.exit);
+  PathSetupOptions squat_options;
+  squat_options.shared_tag = Label{squatter, 1};
+  ASSERT_TRUE(paths.setup(other, ue_classifier(9), squat_options).ok());
+  EXPECT_EQ(squatter, tag) << "recycling must re-issue the drained ids";
+
+  ASSERT_TRUE(paths.reactivate(*id).ok());
+  const InstalledPath* p = paths.path(*id);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->label.value, squatter) << "reactivated path must not alias the squatter";
+  auto decoded = dataplane::decode_tag(p->label.value);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->slice.value, 2u);
+  EXPECT_EQ(decoded->clause, 3u);
+  EXPECT_EQ(paths.aggregates().size(), 2u);
+}
+
 TEST(PathImplementer, LabelsAreUniquePerPathAndTagged) {
   RecordingBus bus;
   PathImplementer paths(&bus, /*controller_tag=*/5, /*level=*/2);

@@ -102,5 +102,92 @@ TEST(TagAllocator, DeterministicAcrossInstances) {
   EXPECT_EQ(from_a, from_b);
 }
 
+TEST(TagAllocatorGc, ReleasingLastReferenceRecyclesAggregateIds) {
+  TagAllocator alloc;
+  Endpoint ingress{SwitchId{1}, PortId{1}};
+  Endpoint egress{SwitchId{9}, PortId{2}};
+  std::uint32_t tag = alloc.tag_for(SliceId{0}, 4, ingress, egress);
+  alloc.retain(tag);
+  alloc.retain(tag);  // two live aggregates share the tag's ids
+  EXPECT_EQ(alloc.ingress_aggregates(), 1u);
+
+  alloc.release(tag);
+  EXPECT_EQ(alloc.ingress_aggregates(), 1u) << "still one live reference";
+  EXPECT_EQ(alloc.ids_recycled(), 0u);
+
+  alloc.release(tag);
+  EXPECT_EQ(alloc.ingress_aggregates(), 0u) << "last reference drained";
+  EXPECT_EQ(alloc.egress_aggregates(), 0u);
+  EXPECT_EQ(alloc.ids_recycled(), 2u);  // one ingress + one egress id
+}
+
+TEST(TagAllocatorGc, RecycledIdsAreReissuedSmallestFirst) {
+  TagAllocator alloc;
+  Endpoint egress{SwitchId{99}, PortId{1}};
+  // Intern ingress ids 0, 1, 2.
+  std::vector<std::uint32_t> tags;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    tags.push_back(
+        alloc.tag_for(SliceId{0}, 0, Endpoint{SwitchId{i}, PortId{1}}, egress));
+    alloc.retain(tags.back());
+  }
+  // Drain ids 1 then 0 (recycle order must not matter: reuse is smallest-first).
+  alloc.release(tags[1]);
+  alloc.release(tags[0]);
+  EXPECT_EQ(alloc.ingress_aggregates(), 1u);
+
+  // A new endpoint takes ingress id 0, the next takes 1 — deterministic reuse.
+  std::uint32_t fresh_a =
+      alloc.tag_for(SliceId{0}, 0, Endpoint{SwitchId{50}, PortId{1}}, egress);
+  std::uint32_t fresh_b =
+      alloc.tag_for(SliceId{0}, 0, Endpoint{SwitchId{51}, PortId{1}}, egress);
+  ASSERT_TRUE(decode_tag(fresh_a).has_value());
+  EXPECT_EQ(decode_tag(fresh_a)->ingress_agg, 0u);
+  EXPECT_EQ(decode_tag(fresh_b)->ingress_agg, 1u);
+}
+
+TEST(TagAllocatorGc, RetagRederivesAfterRecycling) {
+  // A stored tag can go stale: its aggregate id drains and is re-issued to a
+  // *different* endpoint. retag() must re-derive through the allocator so a
+  // reactivated path never aliases another endpoint's transit rules.
+  TagAllocator alloc;
+  Endpoint egress{SwitchId{99}, PortId{1}};
+  Endpoint original{SwitchId{1}, PortId{1}};
+  std::uint32_t stored = alloc.tag_for(SliceId{3}, 7, original, egress);
+  alloc.retain(stored);
+  alloc.release(stored);  // path deactivated: ingress id 0 recycled
+
+  // Another bearer grabs the recycled ingress id 0 for a different endpoint.
+  std::uint32_t squatter =
+      alloc.tag_for(SliceId{3}, 7, Endpoint{SwitchId{2}, PortId{1}}, egress);
+  alloc.retain(squatter);
+  EXPECT_EQ(decode_tag(squatter)->ingress_agg, 0u);
+
+  // Reactivation re-derives: the original endpoint now interns a new id, and
+  // the (slice, clause) dimensions survive the re-derivation.
+  std::uint32_t fresh = alloc.retag(stored, original, egress);
+  EXPECT_NE(fresh, squatter);
+  auto decoded = decode_tag(fresh);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->slice.value, 3u);
+  EXPECT_EQ(decoded->clause, 7u);
+  EXPECT_NE(decoded->ingress_agg, 0u);
+}
+
+TEST(TagAllocatorGc, ChurnDoesNotExhaustIdSpace) {
+  // More open/close cycles than the 10-bit egress space could hold without
+  // GC: every cycle fully drains, so the allocator stays at one live id.
+  TagAllocator alloc;
+  Endpoint ingress{SwitchId{1}, PortId{1}};
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    std::uint32_t tag = alloc.tag_for(SliceId{0}, 0, ingress,
+                                      Endpoint{SwitchId{1000 + i}, PortId{2}});
+    alloc.retain(tag);
+    alloc.release(tag);
+    ASSERT_LE(alloc.egress_aggregates(), 1u) << "cycle " << i;
+  }
+  EXPECT_GE(alloc.ids_recycled(), 3000u);
+}
+
 }  // namespace
 }  // namespace softmow

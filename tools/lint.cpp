@@ -1,0 +1,267 @@
+#include "lint.h"
+
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace softmow::tools {
+namespace {
+
+/// Blanks comments and string/char literals in-place (preserving line
+/// structure) so the regex passes only see code. Handles `//`, `/* */`
+/// spanning lines, and escaped quotes; raw strings are treated as plain
+/// strings, which is fine for a heuristic scanner.
+std::string strip_non_code(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+struct LineCheck {
+  LintCheck check;
+  std::regex pattern;
+};
+
+const std::vector<LineCheck>& line_checks() {
+  static const std::vector<LineCheck> kChecks = {
+      {LintCheck::kWallClock,
+       std::regex(R"((system_clock|steady_clock|high_resolution_clock)\s*::\s*now)")},
+      {LintCheck::kLibcRand, std::regex(R"((^|[^\w:.])(rand|srand|random|drand48)\s*\()")},
+      {LintCheck::kRandomDevice, std::regex(R"(\brandom_device\b)")},
+      // Default-constructed engine: type then identifier then `;` or `{}` —
+      // any parenthesised/braced seed argument defeats the match.
+      {LintCheck::kUnseededRng,
+       std::regex(R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?)\s+\w+\s*(;|\{\s*\}))")},
+      // map/set (incl. multi) whose KEY slot is a pointer type. The key ends
+      // at the first top-level comma or `>`; `[^<>,]*\*` keeps the match
+      // inside the first template argument.
+      {LintCheck::kPointerKey,
+       std::regex(R"(\b(multi)?(map|set)<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*\s*[,>])")},
+  };
+  return kChecks;
+}
+
+/// Variables/members declared in this file as unordered containers. Matches
+/// `unordered_map<...> name` with the identifier right after the closing
+/// angle bracket — good enough for the repo's declaration style.
+std::set<std::string> unordered_names(const std::string& code) {
+  std::set<std::string> names;
+  static const std::regex kDecl(R"(\bunordered_(map|set)\s*<[^;{}]*>\s*&?\s*(\w+)\s*[;={(])");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[2].str());
+  }
+  return names;
+}
+
+}  // namespace
+
+const char* to_string(LintCheck check) {
+  switch (check) {
+    case LintCheck::kUnorderedIteration: return "unordered-iteration";
+    case LintCheck::kWallClock: return "wall-clock";
+    case LintCheck::kLibcRand: return "libc-rand";
+    case LintCheck::kRandomDevice: return "random-device";
+    case LintCheck::kUnseededRng: return "unseeded-rng";
+    case LintCheck::kPointerKey: return "pointer-key";
+  }
+  return "unknown";
+}
+
+std::string LintFinding::str() const {
+  std::string out = file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": [";
+  out += to_string(check);
+  out += "] ";
+  out += snippet;
+  if (allowlisted) out += "  (allowlisted)";
+  return out;
+}
+
+Allowlist Allowlist::parse(std::string_view text) {
+  Allowlist list;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = trim(raw.substr(0, raw.find('#')));
+    if (line.empty()) continue;
+    // Split on ':' — 2 fields = file:check, 3 fields = file:line:check.
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t colon = line.find(':', pos);
+      if (colon == std::string::npos) {
+        parts.push_back(line.substr(pos));
+        break;
+      }
+      parts.push_back(line.substr(pos, colon - pos));
+      pos = colon + 1;
+    }
+    Entry e;
+    if (parts.size() == 2) {
+      e.file = trim(parts[0]);
+      e.check = trim(parts[1]);
+    } else if (parts.size() == 3) {
+      e.file = trim(parts[0]);
+      e.line = std::atoi(parts[1].c_str());
+      e.check = trim(parts[2]);
+    } else {
+      continue;  // malformed entry: never silently widen suppression
+    }
+    if (!e.file.empty() && !e.check.empty()) list.entries_.push_back(std::move(e));
+  }
+  return list;
+}
+
+Allowlist Allowlist::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool Allowlist::allows(const LintFinding& f) const {
+  for (const Entry& e : entries_) {
+    if (f.file.find(e.file) == std::string::npos) continue;
+    if (e.line >= 0 && e.line != f.line) continue;
+    if (e.check != to_string(f.check)) continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<LintFinding> lint_source(const std::string& path, std::string_view content) {
+  std::vector<LintFinding> findings;
+  const std::string code = strip_non_code(content);
+  const std::set<std::string> unordered = unordered_names(code);
+
+  // Range-for whose sequence expression bottoms out in a name declared as an
+  // unordered container in this file: `for (auto& kv : table_)`,
+  // `for (... : obj.members)`, `for (... : ptr->index_)`.
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;)]*:\s*([\w.\->]+)\s*\))");
+
+  std::istringstream raw_in{std::string(content)};
+  std::istringstream code_in{code};
+  std::string raw_line;
+  std::string code_line;
+  int lineno = 0;
+  while (std::getline(code_in, code_line)) {
+    std::getline(raw_in, raw_line);
+    ++lineno;
+    for (const LineCheck& lc : line_checks()) {
+      if (std::regex_search(code_line, lc.pattern)) {
+        findings.push_back({path, lineno, lc.check, trim(raw_line), false});
+      }
+    }
+    std::smatch m;
+    if (!unordered.empty() && std::regex_search(code_line, m, kRangeFor)) {
+      // Reduce `a.b->c` to its final component before the membership test.
+      std::string expr = m[1].str();
+      std::size_t cut = expr.find_last_of(".>");
+      std::string leaf = cut == std::string::npos ? expr : expr.substr(cut + 1);
+      if (unordered.count(leaf) != 0) {
+        findings.push_back(
+            {path, lineno, LintCheck::kUnorderedIteration, trim(raw_line), false});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<LintFinding> lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str());
+}
+
+std::size_t apply_allowlist(std::vector<LintFinding>& findings, const Allowlist& allow) {
+  std::size_t violations = 0;
+  for (LintFinding& f : findings) {
+    f.allowlisted = allow.allows(f);
+    if (!f.allowlisted) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace softmow::tools

@@ -1,0 +1,91 @@
+// determinism_lint — scans C++ sources for determinism hazards (see lint.h
+// for the check catalogue) and fails when any finding is not covered by the
+// allowlist. CI runs:
+//
+//   determinism_lint --allowlist tools/determinism_lint.allow src bench
+//
+// Exit status: 0 = clean (or every finding allowlisted), 1 = new hazards,
+// 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using softmow::tools::Allowlist;
+using softmow::tools::LintFinding;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (is_cpp_source(root)) files.push_back(root.string());
+    return;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end && !ec;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && is_cpp_source(it->path())) {
+      files.push_back(it->path().string());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string allowlist_path;
+  std::vector<std::string> roots;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --allowlist needs a file argument\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: determinism_lint [--allowlist FILE] [-v] [path...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots.push_back("src");
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) collect(root, files);
+  std::sort(files.begin(), files.end());
+
+  Allowlist allow;
+  if (!allowlist_path.empty()) allow = Allowlist::load(allowlist_path);
+
+  std::vector<LintFinding> findings;
+  for (const std::string& file : files) {
+    std::vector<LintFinding> f = softmow::tools::lint_file(file);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+  const std::size_t violations = softmow::tools::apply_allowlist(findings, allow);
+
+  for (const LintFinding& f : findings) {
+    if (f.allowlisted && !verbose) continue;
+    std::printf("%s\n", f.str().c_str());
+  }
+  std::printf("determinism-lint: %zu file(s), %zu finding(s), %zu allowlisted, %zu violation(s)\n",
+              files.size(), findings.size(), findings.size() - violations, violations);
+  return violations == 0 ? 0 : 1;
+}

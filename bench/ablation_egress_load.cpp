@@ -15,7 +15,7 @@ void run() {
   print_header("Ablation — egress/PGW load concentration (§1, problem 2)",
                "rigid LTE funnels all traffic through one gateway; SoftMoW spreads it");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/false));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/false));
   maybe_verify(*scenario);
   auto internal = compute_internal_costs(*scenario);
   const topo::LteTrace& trace = scenario->trace;

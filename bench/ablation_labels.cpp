@@ -28,7 +28,7 @@ ModeResult run_mode(reca::LabelMode mode) {
   params.regions = 4;
   params.with_mid_level = true;  // 3 levels: the depth where stacking hurts
   params.label_mode = mode;
-  auto scenario = topo::build_scenario(std::move(params));
+  auto scenario = build_scenario_timed(std::move(params));
   auto& mp = *scenario->mgmt;
 
   ModeResult result;

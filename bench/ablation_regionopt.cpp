@@ -69,7 +69,7 @@ void eastwest_load() {
   obs::Tracer& tracer = obs::default_tracer();
   const sim::Duration kServicePerMessage = sim::Duration::millis(1.0);
 
-  auto scenario = topo::build_scenario(topo::small_scenario_params(current_bench_options().seed * 3));
+  auto scenario = build_scenario_timed(topo::small_scenario_params(current_bench_options().seed * 3));
   auto& mp = *scenario->mgmt;
 
   // Phase 1 — drive real handovers so the root accumulates a handover graph.

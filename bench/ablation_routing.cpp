@@ -14,7 +14,7 @@ void run() {
   print_header("Ablation — local vs global routing optimality (§4.2, Fig. 4)",
                "a higher-level controller never computes a worse path");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/true));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/true));
   maybe_verify(*scenario);
   auto& mp = *scenario->mgmt;
   auto prefixes = scenario->iplane->prefixes();

@@ -23,7 +23,7 @@ void run() {
   std::size_t sustained_shards = 0;
 
   for (std::size_t regions : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
-    auto scenario = topo::build_scenario(paper_scale_params(0, regions, /*originate=*/false));
+    auto scenario = build_scenario_timed(paper_scale_params(0, regions, /*originate=*/false));
     auto& mp = *scenario->mgmt;
     for (reca::Controller* c : mp.all_controllers())
       c->discovery().stats_mutable() = nos::DiscoveryStats{};

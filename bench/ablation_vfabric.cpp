@@ -23,7 +23,7 @@ struct Sweep {
 
 Sweep run_threshold(double threshold) {
   topo::ScenarioParams params = topo::small_scenario_params(current_bench_options().seed * 21);
-  auto scenario = topo::build_scenario(std::move(params));
+  auto scenario = build_scenario_timed(std::move(params));
   auto& mp = *scenario->mgmt;
   for (reca::Controller* leaf : mp.leaves())
     leaf->reca().set_vfabric_threshold(threshold);

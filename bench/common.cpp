@@ -6,9 +6,11 @@
 #include <optional>
 
 #include "analysis/shard_check.h"
+#include "bench/report.h"
 #include "obs/chrome_trace.h"
 #include "obs/critical_path.h"
 #include "obs/export.h"
+#include "obs/timeseries.h"
 
 namespace softmow::bench {
 
@@ -50,6 +52,18 @@ const std::vector<OptionSpec>& bench_option_registry() {
        "write a Chrome Trace Event file\n(load at ui.perfetto.dev or chrome://tracing)",
        [](BenchOptions& o, const std::string& v) {
          o.trace_chrome = v;
+         return true;
+       }},
+      {"--bench-json", "<path>",
+       "write a structured BENCH_<name>.json run\nreport (headlines, wall phases, profile\nsummary; implies --profile)",
+       [](BenchOptions& o, const std::string& v) {
+         o.bench_json = v;
+         return true;
+       }},
+      {"--profile", nullptr,
+       "per-shard engine profiling: busy/idle/stall\nwall time, mailbox traffic, critical-shard\nattribution (profile_* series + counter tracks)",
+       [](BenchOptions& o, const std::string&) {
+         o.profile = true;
          return true;
        }},
       {"--latency-budget", nullptr,
@@ -191,7 +205,11 @@ BenchOptions parse_bench_args(int argc, char** argv) {
 bool export_metrics(const BenchOptions& opts) {
   bool ok = true;
   if (!opts.trace_chrome.empty()) {
-    auto written = obs::write_chrome_trace(obs::default_tracer(), opts.trace_chrome);
+    // Profiler counter samples (per-window busy-ms/events per shard) render
+    // as Perfetto counter tracks next to the span tracks.
+    auto counters = sim::ShardedSimulator::drain_profile_samples();
+    auto written =
+        obs::write_chrome_trace(obs::default_tracer(), opts.trace_chrome, counters);
     if (written.ok()) {
       std::fprintf(stderr, "trace: wrote %s (load at ui.perfetto.dev)\n",
                    opts.trace_chrome.c_str());
@@ -201,7 +219,8 @@ bool export_metrics(const BenchOptions& opts) {
     }
   }
   if (!opts.metrics_json.empty()) {
-    std::string doc = obs::to_json(obs::default_registry(), &obs::default_tracer());
+    std::string doc = obs::to_json(obs::default_registry(), &obs::default_tracer(),
+                                   &obs::default_timeseries());
     auto written = obs::write_file(opts.metrics_json, doc);
     if (written.ok()) {
       std::fprintf(stderr, "metrics: wrote %s\n", opts.metrics_json.c_str());
@@ -211,7 +230,8 @@ bool export_metrics(const BenchOptions& opts) {
     }
   }
   if (!opts.metrics_csv.empty()) {
-    auto written = obs::write_file(opts.metrics_csv, obs::to_csv(obs::default_registry()));
+    auto written = obs::write_file(
+        opts.metrics_csv, obs::to_csv(obs::default_registry(), &obs::default_timeseries()));
     if (written.ok()) {
       std::fprintf(stderr, "metrics: wrote %s\n", opts.metrics_csv.c_str());
     } else {
@@ -219,13 +239,41 @@ bool export_metrics(const BenchOptions& opts) {
       ok = false;
     }
   }
+  // Ring overflow is silent data loss for anyone reading the export: name
+  // the count and the remedy once, on stderr (stdout stays byte-identical
+  // across thread counts for the determinism diff).
+  const obs::MetricsRegistry& reg = obs::default_registry();
+  std::uint64_t trace_dropped = 0;
+  for (const char* buffer : {"spans", "events"}) {
+    const obs::Counter* c =
+        reg.find_counter("trace_dropped_total", {{"buffer", buffer}});
+    if (c != nullptr) trace_dropped += c->value();
+  }
+  if (trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "trace: ring buffer dropped %llu spans/events (trace_dropped_total); "
+                 "raise --trace-capacity to keep them\n",
+                 static_cast<unsigned long long>(trace_dropped));
+  }
   return ok;
 }
 
 namespace {
 BenchOptions g_options;
 std::function<void(verify::ControlState&)> g_verify_annotator;
+double g_setup_wall_ms = 0;
 }  // namespace
+
+void add_setup_wall_ms(double ms) { g_setup_wall_ms += ms; }
+
+std::unique_ptr<topo::Scenario> build_scenario_timed(topo::ScenarioParams params) {
+  auto started = std::chrono::steady_clock::now();
+  auto scenario = topo::build_scenario(std::move(params));
+  add_setup_wall_ms(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                              started)
+                        .count());
+  return scenario;
+}
 
 const BenchOptions& current_bench_options() { return g_options; }
 
@@ -254,14 +302,21 @@ bool maybe_verify(topo::Scenario& scenario, const char* tag) {
 ShardedRun::ShardedRun(topo::Scenario& scenario, sim::Duration parent_link_delay,
                        sim::Duration lookahead)
     : scenario_(&scenario) {
+  auto started = std::chrono::steady_clock::now();
   const BenchOptions& opts = current_bench_options();
   std::size_t shards =
       opts.shards > 0 ? opts.shards : scenario.mgmt->natural_shard_count();
   sim::ShardedSimulator::Options engine_opts;
   engine_opts.threads = opts.threads;
   engine_opts.lookahead = lookahead;
+  // A bench report without profile data answers none of the "which shard is
+  // slow" questions it exists for, so --bench-json implies profiling.
+  engine_opts.profile = opts.profile || !opts.bench_json.empty();
   engine_ = std::make_unique<sim::ShardedSimulator>(shards, engine_opts);
   scenario.mgmt->bind_shards(*engine_, parent_link_delay);
+  add_setup_wall_ms(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                              started)
+                        .count());
 }
 
 ShardedRun::~ShardedRun() { scenario_->mgmt->unbind_shards(); }
@@ -299,6 +354,7 @@ int bench_main(int argc, char** argv, void (*run)()) {
   reg.gauge("bench_wall_ms", {{"phase", "total"}})->set(total_ms);
   reg.gauge("bench_wall_ms", {{"phase", "sim"}})
       ->set(sim::ShardedSimulator::process_wall_ms());
+  reg.gauge("bench_wall_ms", {{"phase", "setup"}})->set(g_setup_wall_ms);
   if (g_options.latency_budget) {
     std::printf("\n%s",
                 obs::latency_budget_table(
@@ -315,6 +371,13 @@ int bench_main(int argc, char** argv, void (*run)()) {
     checker.reset();
   }
   bool exported = export_metrics(g_options);
+  if (!g_options.bench_json.empty()) {
+    // Bench name = binary basename (the BENCH_<name>.json convention).
+    std::string name = argv[0];
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    if (!write_bench_report(name, g_options.bench_json, g_options)) exported = false;
+  }
   if (shard_check_failed) return 3;
   return exported ? 0 : 1;
 }

@@ -18,6 +18,8 @@ struct BenchOptions {
   std::string metrics_json;  ///< --metrics-json <path>: dump registry+trace
   std::string metrics_csv;   ///< --metrics-csv <path>: dump registry as CSV
   std::string trace_chrome;  ///< --trace-chrome <path>: Perfetto-loadable trace
+  std::string bench_json;    ///< --bench-json <path>: structured BENCH_<name>.json report
+  bool profile = false;      ///< --profile: per-shard engine profiling (implied by --bench-json)
   bool latency_budget = false;  ///< --latency-budget: print critical-path table
   bool verify = false;          ///< --verify: static-verify each scenario built
   std::size_t trace_capacity = 0;  ///< --trace-capacity <n>: ring size (0 = default)
@@ -79,11 +81,29 @@ bool export_metrics(const BenchOptions& opts);
 
 /// parse + run + export: the standard bench main body. Also applies
 /// `--trace-capacity`, prints the `--latency-budget` table after run(),
-/// honours `--help` / unknown-flag exits, and exports wall-clock gauges:
-/// bench_wall_ms{phase=total} (the whole run() body) and
-/// bench_wall_ms{phase=sim} (time inside sharded-engine runs — the part
-/// `--threads` accelerates). Determinism diffs strip bench_wall_ms.
+/// honours `--help` / unknown-flag exits, writes the `--bench-json` report,
+/// warns on stderr when the trace ring dropped spans/events, and exports the
+/// wall-clock phase gauges (see below). Determinism diffs strip
+/// bench_wall_ms.
+///
+/// Wall-phase taxonomy (`bench_wall_ms{phase=...}`):
+///   * total — the whole run() body, wall start to wall end;
+///   * sim   — time inside sim::ShardedSimulator::run() across every engine
+///             the bench built (the part `--threads` accelerates);
+///   * setup — scenario synthesis (build_scenario_timed) plus engine
+///             construction/binding (ShardedRun's constructor).
+/// Phases overlap nothing; total − sim − setup is the bench's own
+/// synchronous work (replay loops, pump-driven phases, report printing).
 int bench_main(int argc, char** argv, void (*run)());
+
+/// topo::build_scenario with the build wall-clock charged to
+/// bench_wall_ms{phase=setup}. Benches use this instead of calling
+/// build_scenario directly so setup cost is attributable.
+std::unique_ptr<topo::Scenario> build_scenario_timed(topo::ScenarioParams params);
+
+/// Adds to the setup-phase wall accumulator (exported by bench_main as
+/// bench_wall_ms{phase=setup}); for setup work outside build_scenario_timed.
+void add_setup_wall_ms(double ms);
 
 /// RAII harness for engine-driven bench phases: builds a
 /// sim::ShardedSimulator sized from the scenario's hierarchy (or the

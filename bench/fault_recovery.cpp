@@ -73,7 +73,7 @@ void run() {
                "§6: reconfiguration keeps failures local — a recursive hierarchy "
                "repairs each fault at the lowest capable level");
 
-  auto scenario = topo::build_scenario(paper_scale_params());
+  auto scenario = build_scenario_timed(paper_scale_params());
   auto& mp = *scenario->mgmt;
 
   faults::FaultScenario plan =

@@ -14,7 +14,7 @@ void run() {
   print_header("Figure 8 — end-to-end hop count vs egress points",
                "mean 20.83 (2-egrs) -> 16 (8-egrs); 8-egrs ~36% below LTE");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/false));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/false));
   maybe_verify(*scenario);
   auto internal = compute_internal_costs(*scenario);
   auto prefixes = scenario->iplane->prefixes();

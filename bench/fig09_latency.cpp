@@ -63,7 +63,7 @@ void run() {
   print_header("Figure 9 — end-to-end RTT latency CDF",
                "75th/85th pct RTT down 43%/60% from LTE to 8-egress SoftMoW");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/false));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/false));
   maybe_verify(*scenario);
   auto internal = compute_internal_costs(*scenario);
   auto prefixes = scenario->iplane->prefixes();

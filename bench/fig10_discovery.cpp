@@ -57,7 +57,7 @@ void run() {
   print_header("Figure 10 — discovery convergence time per controller",
                "SoftMoW controllers converge 44-58% faster than a flat controller");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/false));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/false));
   auto& mp = *scenario->mgmt;
 
   // Re-run one steady-state discovery round everywhere so counts reflect a

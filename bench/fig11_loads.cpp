@@ -28,7 +28,7 @@ void run() {
                "per leaf: bearers up to ~1e5/min, UE arrivals 1000-3000/min, "
                "handovers 1000-4000/min");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/false));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/false));
   auto& mp = *scenario->mgmt;
   const topo::LteTrace& trace = scenario->trace;
   maybe_verify(*scenario);

@@ -97,7 +97,7 @@ void run() {
 
   std::vector<SeriesResult> series;
   for (std::size_t regions : {std::size_t{4}, std::size_t{8}}) {
-    auto scenario = topo::build_scenario(paper_scale_params(0, regions, /*originate=*/false));
+    auto scenario = build_scenario_timed(paper_scale_params(0, regions, /*originate=*/false));
     const topo::LteTrace& trace = scenario->trace;
     std::vector<std::size_t> region_of(trace.groups.size());
     for (std::size_t g = 0; g < trace.groups.size(); ++g)

@@ -1,8 +1,18 @@
 // Micro-benchmarks (google-benchmark): the hot paths of the controller —
 // flow-table lookup, port-graph Dijkstra, route computation, path setup —
 // and the RecA abstraction recompute.
+//
+// `--bench-json <path>` (stripped before google-benchmark sees the argv)
+// additionally writes a BENCH_micro_core.json report with one
+// `micro.<name>.real_ns` headline per benchmark, the series the CI perf
+// gate diffs via tools/bench_compare.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
 #include "softmow/softmow.h"
 
 namespace softmow {
@@ -114,7 +124,55 @@ void BM_AbstractionRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_AbstractionRecompute);
 
+/// ConsoleReporter that also records one headline per primary run. Wall-time
+/// headlines gate with the coarse cross-machine tolerance; aggregate and
+/// errored runs are skipped (repetitions report means separately).
+class HeadlineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      double real_ns = run.GetAdjustedRealTime();  // per-iteration, in run.time_unit
+      // GetAdjustedRealTime converts to the run's display unit; normalize
+      // back to nanoseconds for a unit-stable series name.
+      switch (run.time_unit) {
+        case benchmark::kNanosecond: break;
+        case benchmark::kMicrosecond: real_ns *= 1e3; break;
+        case benchmark::kMillisecond: real_ns *= 1e6; break;
+        case benchmark::kSecond: real_ns *= 1e9; break;
+      }
+      bench::add_headline({"micro." + run.benchmark_name() + ".real_ns", real_ns, "ns",
+                           /*higher_is_better=*/false, bench::kWallTolerance, /*gate=*/true});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 }  // namespace softmow
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --bench-json before google-benchmark validates the argv (it
+  // rejects flags it does not know).
+  std::string bench_json;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  softmow::HeadlineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!bench_json.empty()) {
+    softmow::bench::BenchOptions opts;  // defaults: micro benches take no shared flags
+    if (!softmow::bench::write_bench_report("micro_core", bench_json, opts)) return 1;
+  }
+  return 0;
+}

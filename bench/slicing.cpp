@@ -128,7 +128,7 @@ void run_compression_sweep(std::size_t subs_per_slice, std::size_t bearers_per_s
     std::uint64_t bearers = 0;
     RuleCount by_mode[2];
     for (EncapMode mode : {EncapMode::kLabels, EncapMode::kTags}) {
-      auto scenario = topo::build_scenario(paper_scale_params());
+      auto scenario = build_scenario_timed(paper_scale_params());
       baseline = count_rules(scenario->net).total;
       auto mgr = build_tenants(*scenario, mode, n, subs_per_slice,
                                bearers_per_slice, /*skew_first=*/false);
@@ -353,7 +353,7 @@ void run() {
   // Sections 2+3 share one scenario at the requested --encap/--slices, with
   // slice 0 under 4x load.
   EncapMode mode = opts.encap == "labels" ? EncapMode::kLabels : EncapMode::kTags;
-  auto scenario = topo::build_scenario(paper_scale_params());
+  auto scenario = build_scenario_timed(paper_scale_params());
   auto mgr = build_tenants(*scenario, mode, opts.slices, subs_per_slice,
                            bearers_per_slice, /*skew_first=*/true);
   std::printf("\nactive scenario: %zu slices, encap=%s\n", opts.slices,

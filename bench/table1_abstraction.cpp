@@ -13,7 +13,7 @@ void run() {
   print_header("Table 1 — controller abstractions",
                "leaves expose ~20.75% of ports on average; 73% of links hidden at root");
 
-  auto scenario = topo::build_scenario(paper_scale_params(0, 4, /*originate=*/false));
+  auto scenario = build_scenario_timed(paper_scale_params(0, 4, /*originate=*/false));
   maybe_verify(*scenario);
   auto& mp = *scenario->mgmt;
 

@@ -70,7 +70,7 @@ JsonValue span_args(const TraceSpan& s) {
 
 }  // namespace
 
-JsonValue chrome_trace_json(const Tracer& tracer) {
+JsonValue chrome_trace_json(const Tracer& tracer, const std::vector<CounterSample>& counters) {
   TrackTable tracks;
   std::unordered_map<std::uint64_t, const TraceSpan*> by_id;
   for (const TraceSpan& s : tracer.spans()) by_id.emplace(s.span_id, &s);
@@ -114,6 +114,17 @@ JsonValue chrome_trace_json(const Tracer& tracer) {
     events.push_back(std::move(ev));
   }
 
+  // Counter tracks: Perfetto groups "C" events by (pid, name) into one
+  // graphed track each, so no tid bookkeeping is needed.
+  for (const CounterSample& c : counters) {
+    JsonValue ev = base_event("C", c.track, "counter",
+                              static_cast<double>(c.at_ns) / 1000.0, 0);
+    JsonValue args = JsonValue::object();
+    args.set("value", JsonValue::number(c.value));
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+
   // Track names: emitted last but Perfetto applies metadata regardless of
   // position in the array.
   JsonValue proc_args = JsonValue::object();
@@ -138,12 +149,13 @@ JsonValue chrome_trace_json(const Tracer& tracer) {
   return doc;
 }
 
-std::string chrome_trace_string(const Tracer& tracer) {
-  return chrome_trace_json(tracer).dump(-1) + "\n";
+std::string chrome_trace_string(const Tracer& tracer, const std::vector<CounterSample>& counters) {
+  return chrome_trace_json(tracer, counters).dump(-1) + "\n";
 }
 
-Result<void> write_chrome_trace(const Tracer& tracer, const std::string& path) {
-  return write_file(path, chrome_trace_string(tracer));
+Result<void> write_chrome_trace(const Tracer& tracer, const std::string& path,
+                                const std::vector<CounterSample>& counters) {
+  return write_file(path, chrome_trace_string(tracer, counters));
 }
 
 }  // namespace softmow::obs

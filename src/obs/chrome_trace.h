@@ -5,9 +5,14 @@
 // become "i" instants; cross-track parent→child edges become "s"/"f" flow
 // arrows so one bearer setup or discovery round reads as a single connected
 // tree across controller levels.
+// Counter tracks: CounterSample values (e.g. the shard profiler's per-window
+// busy-ms and events-executed series) render as "C" counter events, one
+// Perfetto counter track per sample name, alongside the span tracks.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/result.h"
 #include "obs/json.h"
@@ -15,14 +20,25 @@
 
 namespace softmow::obs {
 
+/// One point of a Perfetto counter track ("C" event). `track` names the
+/// counter (e.g. "shard3/busy_ms"); points on the same track graph together.
+struct CounterSample {
+  std::int64_t at_ns = 0;  ///< sim time since start
+  std::string track;
+  double value = 0;
+};
+
 /// Builds the `{"traceEvents": [...]}` document (sim-clock timestamps in
 /// microseconds, so 1 sim-second reads as 1 s in the Perfetto timeline).
-JsonValue chrome_trace_json(const Tracer& tracer);
+/// `counters` (may be empty) adds one counter track per distinct name.
+JsonValue chrome_trace_json(const Tracer& tracer, const std::vector<CounterSample>& counters = {});
 
 /// Serializes chrome_trace_json() compactly.
-std::string chrome_trace_string(const Tracer& tracer);
+std::string chrome_trace_string(const Tracer& tracer,
+                                const std::vector<CounterSample>& counters = {});
 
 /// Writes chrome_trace_string() to `path`.
-Result<void> write_chrome_trace(const Tracer& tracer, const std::string& path);
+Result<void> write_chrome_trace(const Tracer& tracer, const std::string& path,
+                                const std::vector<CounterSample>& counters = {});
 
 }  // namespace softmow::obs

@@ -29,6 +29,9 @@ JsonValue sample_json(const MetricSample& s) {
       out.set("kind", JsonValue::string("histogram"));
       out.set("count", JsonValue::number(s.hist_count));
       out.set("sum", JsonValue::number(s.hist_sum));
+      out.set("p50", JsonValue::number(sample_quantile(s, 0.50)));
+      out.set("p95", JsonValue::number(sample_quantile(s, 0.95)));
+      out.set("p99", JsonValue::number(sample_quantile(s, 0.99)));
       JsonValue bounds = JsonValue::array();
       for (double b : s.bounds) bounds.push_back(JsonValue::number(b));
       out.set("bounds", std::move(bounds));
@@ -87,15 +90,40 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+JsonValue series_json(const TimeSeriesRecorder::SeriesView& v) {
+  JsonValue out = JsonValue::object();
+  out.set("name", JsonValue::string(v.name));
+  out.set("labels", labels_object(v.labels));
+  out.set("field", JsonValue::string(v.field));
+  out.set("dropped", JsonValue::number(v.dropped));
+  JsonValue points = JsonValue::array();
+  for (const TimeSeriesRecorder::Point& p : v.points) {
+    JsonValue point = JsonValue::array();
+    point.push_back(JsonValue::number(static_cast<double>(p.at_ns)));
+    point.push_back(JsonValue::number(p.value));
+    points.push_back(std::move(point));
+  }
+  out.set("points", std::move(points));
+  return out;
+}
+
 }  // namespace
 
-JsonValue export_json(const MetricsRegistry& registry, const Tracer* tracer) {
+JsonValue export_json(const MetricsRegistry& registry, const Tracer* tracer,
+                      const TimeSeriesRecorder* recorder) {
   JsonValue doc = JsonValue::object();
-  doc.set("schema", JsonValue::string("softmow.obs.v2"));
+  doc.set("schema", JsonValue::string("softmow.obs.v3"));
 
   JsonValue metrics = JsonValue::array();
   for (const MetricSample& s : registry.snapshot()) metrics.push_back(sample_json(s));
   doc.set("metrics", std::move(metrics));
+
+  JsonValue timeseries = JsonValue::array();
+  if (recorder != nullptr) {
+    for (const TimeSeriesRecorder::SeriesView& v : recorder->snapshot())
+      timeseries.push_back(series_json(v));
+  }
+  doc.set("timeseries", std::move(timeseries));
 
   JsonValue trace = JsonValue::object();
   JsonValue events = JsonValue::array();
@@ -110,11 +138,12 @@ JsonValue export_json(const MetricsRegistry& registry, const Tracer* tracer) {
   return doc;
 }
 
-std::string to_json(const MetricsRegistry& registry, const Tracer* tracer) {
-  return export_json(registry, tracer).dump() + "\n";
+std::string to_json(const MetricsRegistry& registry, const Tracer* tracer,
+                    const TimeSeriesRecorder* recorder) {
+  return export_json(registry, tracer, recorder).dump() + "\n";
 }
 
-std::string to_csv(const MetricsRegistry& registry) {
+std::string to_csv(const MetricsRegistry& registry, const TimeSeriesRecorder* recorder) {
   std::string out = "name,labels,kind,field,value\n";
   for (const MetricSample& s : registry.snapshot()) {
     std::string prefix = s.name + "," + labels_csv(s.labels) + ",";
@@ -128,6 +157,9 @@ std::string to_csv(const MetricsRegistry& registry) {
       case MetricKind::kHistogram: {
         out += prefix + "histogram,count," + std::to_string(s.hist_count) + "\n";
         out += prefix + "histogram,sum," + fmt_double(s.hist_sum) + "\n";
+        out += prefix + "histogram,p50," + fmt_double(sample_quantile(s, 0.50)) + "\n";
+        out += prefix + "histogram,p95," + fmt_double(sample_quantile(s, 0.95)) + "\n";
+        out += prefix + "histogram,p99," + fmt_double(sample_quantile(s, 0.99)) + "\n";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
           cumulative += s.bucket_counts[i];
@@ -136,6 +168,13 @@ std::string to_csv(const MetricsRegistry& registry) {
         }
         break;
       }
+    }
+  }
+  if (recorder != nullptr) {
+    for (const TimeSeriesRecorder::SeriesView& v : recorder->snapshot()) {
+      std::string prefix = v.name + "," + labels_csv(v.labels) + ",timeseries," + v.field + "@";
+      for (const TimeSeriesRecorder::Point& p : v.points)
+        out += prefix + std::to_string(p.at_ns) + "," + fmt_double(p.value) + "\n";
     }
   }
   return out;

@@ -35,6 +35,40 @@ std::uint64_t Histogram::cumulative(std::size_t i) const {
   return total;
 }
 
+namespace {
+
+// Shared estimator over (bounds, per-bucket counts, total): find the bucket
+// holding rank q*total, interpolate linearly between its lower and upper
+// bound. Integer inputs only — bit-stable for any execution schedule.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, std::uint64_t total, double q) {
+  if (total == 0 || counts.empty()) return 0.0;
+  double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket is unbounded above; the last finite bound is the
+      // best (under-)estimate available.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    double lower = i == 0 ? 0.0 : bounds[i - 1];
+    double upper = bounds[i];
+    std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) return upper;
+    double below = static_cast<double>(cumulative - in_bucket);
+    return lower + (upper - lower) * ((rank - below) / static_cast<double>(in_bucket));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  return bucket_quantile(upper_bounds_, bucket_counts(), count(), q);
+}
+
 void Histogram::reset() {
   for (std::atomic<std::uint64_t>& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -158,6 +192,11 @@ std::size_t MetricsRegistry::series_count() const {
 MetricsRegistry& default_registry() {
   static MetricsRegistry registry;
   return registry;
+}
+
+double sample_quantile(const MetricSample& s, double q) {
+  if (s.kind != MetricKind::kHistogram) return 0.0;
+  return bucket_quantile(s.bounds, s.bucket_counts, s.hist_count, q);
 }
 
 std::vector<double> wait_us_bounds() {

@@ -86,6 +86,12 @@ class Histogram {
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
   /// Cumulative count of samples <= upper_bounds()[i].
   [[nodiscard]] std::uint64_t cumulative(std::size_t i) const;
+  /// Estimated q-quantile (q in (0,1)) by linear interpolation within the
+  /// bucket holding rank q*count (Prometheus histogram_quantile). Derived
+  /// purely from the integer bucket counts, so it is deterministic across
+  /// thread counts even when the float `sum` is not. Overflow-bucket ranks
+  /// clamp to the last finite bound; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
   void reset();
 
   /// Exponential bounds: `first, first*factor, ...` (`count` bounds).
@@ -172,5 +178,9 @@ MetricsRegistry& default_registry();
 
 /// Default wait-time buckets (microseconds): 1us .. ~17min, x4 steps.
 std::vector<double> wait_us_bounds();
+
+/// Histogram::quantile over an exported snapshot (same estimator, applied
+/// to MetricSample::bounds/bucket_counts). 0 for non-histogram samples.
+double sample_quantile(const MetricSample& s, double q);
 
 }  // namespace softmow::obs

@@ -1,0 +1,150 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace softmow::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder() : TimeSeriesRecorder(Options{}) {}
+
+TimeSeriesRecorder::TimeSeriesRecorder(Options opts, MetricsRegistry* registry)
+    : opts_(opts), registry_(registry != nullptr ? registry : &default_registry()) {
+  assert(opts_.interval > sim::Duration{} && "sampling interval must be positive");
+  assert(opts_.capacity > 0 && "ring capacity must be positive");
+}
+
+void TimeSeriesRecorder::track(Tracked tracked) {
+  for (const Tracked& t : series_) {
+    if (t.name == tracked.name && t.labels == tracked.labels && t.field == tracked.field) return;
+  }
+  tracked.ring.resize(opts_.capacity);
+  series_.push_back(std::move(tracked));
+}
+
+void TimeSeriesRecorder::track_counter(const std::string& name, Labels labels) {
+  Tracked t;
+  t.name = name;
+  t.labels = std::move(labels);
+  t.kind = Kind::kCounter;
+  t.field = "value";
+  track(std::move(t));
+}
+
+void TimeSeriesRecorder::track_gauge(const std::string& name, Labels labels) {
+  Tracked t;
+  t.name = name;
+  t.labels = std::move(labels);
+  t.kind = Kind::kGauge;
+  t.field = "value";
+  track(std::move(t));
+}
+
+void TimeSeriesRecorder::track_quantile(const std::string& name, double q, Labels labels) {
+  assert(q > 0 && q < 1 && "quantile must be in (0, 1)");
+  Tracked t;
+  t.name = name;
+  t.labels = std::move(labels);
+  t.kind = Kind::kQuantile;
+  t.quantile = q;
+  t.field = quantile_field(q);
+  track(std::move(t));
+}
+
+double TimeSeriesRecorder::read(Tracked& t) {
+  switch (t.kind) {
+    case Kind::kCounter:
+      if (t.counter == nullptr) t.counter = registry_->find_counter(t.name, t.labels);
+      return t.counter != nullptr ? static_cast<double>(t.counter->value()) : 0.0;
+    case Kind::kGauge:
+      if (t.gauge == nullptr) t.gauge = registry_->find_gauge(t.name, t.labels);
+      return t.gauge != nullptr ? t.gauge->value() : 0.0;
+    case Kind::kQuantile:
+      if (t.histogram == nullptr) t.histogram = registry_->find_histogram(t.name, t.labels);
+      return t.histogram != nullptr ? t.histogram->quantile(t.quantile) : 0.0;
+  }
+  return 0.0;
+}
+
+void TimeSeriesRecorder::record_all(std::int64_t at_ns) {
+  for (Tracked& t : series_) {
+    Point p{at_ns, read(t)};
+    if (t.size < t.ring.size()) {
+      t.ring[(t.start + t.size) % t.ring.size()] = p;
+      ++t.size;
+    } else {
+      t.ring[t.start] = p;
+      t.start = (t.start + 1) % t.ring.size();
+      ++t.dropped;
+    }
+  }
+}
+
+bool TimeSeriesRecorder::sample(sim::TimePoint now) {
+  const std::int64_t interval_ns = opts_.interval.to_nanos();
+  const std::int64_t now_ns = now.since_start().to_nanos();
+  if (now_ns < 0) return false;
+  const std::int64_t boundary = (now_ns / interval_ns) * interval_ns;
+  if (boundary <= last_boundary_ns_) return false;
+  last_boundary_ns_ = boundary;
+  record_all(boundary);
+  return true;
+}
+
+void TimeSeriesRecorder::force_sample(sim::TimePoint now) {
+  record_all(now.since_start().to_nanos());
+}
+
+std::uint64_t TimeSeriesRecorder::dropped_total() const {
+  std::uint64_t total = 0;
+  for (const Tracked& t : series_) total += t.dropped;
+  return total;
+}
+
+std::vector<TimeSeriesRecorder::SeriesView> TimeSeriesRecorder::snapshot() const {
+  std::vector<SeriesView> out;
+  out.reserve(series_.size());
+  for (const Tracked& t : series_) {
+    SeriesView v;
+    v.name = t.name;
+    v.labels = t.labels;
+    v.field = t.field;
+    v.dropped = t.dropped;
+    v.points.reserve(t.size);
+    for (std::size_t i = 0; i < t.size; ++i) v.points.push_back(t.ring[(t.start + i) % t.ring.size()]);
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(), [](const SeriesView& a, const SeriesView& b) {
+    if (a.name != b.name) return a.name < b.name;
+    if (a.labels != b.labels) return a.labels < b.labels;
+    return a.field < b.field;
+  });
+  return out;
+}
+
+void TimeSeriesRecorder::clear_points() {
+  for (Tracked& t : series_) {
+    t.start = 0;
+    t.size = 0;
+    t.dropped = 0;
+  }
+  last_boundary_ns_ = -1;
+}
+
+TimeSeriesRecorder& default_timeseries() {
+  static TimeSeriesRecorder recorder;
+  return recorder;
+}
+
+std::string quantile_field(double q) {
+  // 0.5 -> "p50": print the percentage with enough precision for three-nines
+  // quantiles, then trim trailing zeros/point for stable short tags.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", q * 100.0);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return "p" + s;
+}
+
+}  // namespace softmow::obs

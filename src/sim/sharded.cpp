@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/timeseries.h"
+
 namespace softmow::sim {
 
 namespace {
@@ -24,6 +26,30 @@ std::atomic<std::uint64_t> g_engine_wall_ns{0};
 // beyond the bounded ring.
 constexpr std::uint64_t kShardIdStride = std::uint64_t{1} << 40;
 
+// Process-wide ring of profiler counter samples (per window per shard) for
+// the Chrome-trace exporter. Pushed by the coordinator at window barriers,
+// drained once by the bench harness at export; bounded so multi-hour runs
+// with profiling left on cannot grow without limit.
+constexpr std::size_t kProfileSampleCap = std::size_t{1} << 15;
+std::mutex g_profile_samples_mu;
+std::vector<obs::CounterSample> g_profile_samples;
+std::uint64_t g_profile_samples_dropped = 0;
+
+void push_profile_sample(obs::CounterSample sample) {
+  std::lock_guard<std::mutex> lock(g_profile_samples_mu);
+  if (g_profile_samples.size() >= kProfileSampleCap) {
+    ++g_profile_samples_dropped;
+    return;
+  }
+  g_profile_samples.push_back(std::move(sample));
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
 }  // namespace
 
 ShardedSimulator::ShardedSimulator(std::size_t shards) : ShardedSimulator(shards, Options{}) {}
@@ -31,6 +57,7 @@ ShardedSimulator::ShardedSimulator(std::size_t shards) : ShardedSimulator(shards
 ShardedSimulator::ShardedSimulator(std::size_t shards, Options opts)
     : threads_(opts.threads == 0 ? 1 : opts.threads),
       lookahead_(opts.lookahead),
+      profile_(opts.profile),
       events_counter_(obs::default_registry().counter("sim_events_executed_total")) {
   assert(shards > 0 && "need at least one shard");
   assert(lookahead_ > Duration{} && "lookahead must be positive");
@@ -59,6 +86,15 @@ bool ShardedSimulator::in_shard_event() { return t_in_shard_event; }
 
 double ShardedSimulator::process_wall_ms() {
   return static_cast<double>(g_engine_wall_ns.load(std::memory_order_relaxed)) / 1e6;
+}
+
+std::vector<obs::CounterSample> ShardedSimulator::drain_profile_samples(std::uint64_t* dropped) {
+  std::lock_guard<std::mutex> lock(g_profile_samples_mu);
+  if (dropped != nullptr) *dropped = g_profile_samples_dropped;
+  std::vector<obs::CounterSample> out;
+  out.swap(g_profile_samples);
+  g_profile_samples_dropped = 0;
+  return out;
 }
 
 void ShardedSimulator::schedule(ShardId shard, Duration delay, Callback fn) {
@@ -127,6 +163,7 @@ void ShardedSimulator::deliver_mail() {
       mail.swap(s.mailbox);
     }
     if (mail.empty()) continue;
+    if (profile_) s.recv_count += mail.size();
     // (delivery time, sender shard, sender sequence) is a total order that
     // does not depend on which worker executed the sender — the key to
     // thread-count-invariant schedules.
@@ -148,6 +185,9 @@ void ShardedSimulator::deliver_mail() {
 
 void ShardedSimulator::execute_shard(std::size_t index, TimePoint horizon) {
   Shard& s = *shards_[index];
+  // Two clock reads per shard-window when profiling, zero when not — the
+  // event loop itself is never instrumented per event.
+  const std::uint64_t busy_start = profile_ ? steady_now_ns() : 0;
   obs::ThreadTracerScope tracer_scope(s.tracer.get());
   ShardId prev_shard = t_current_shard;
   bool prev_in_event = t_in_shard_event;
@@ -169,6 +209,7 @@ void ShardedSimulator::execute_shard(std::size_t index, TimePoint horizon) {
   analysis::clear_event_context();
   t_current_shard = prev_shard;
   t_in_shard_event = prev_in_event;
+  if (profile_) s.window_busy_ns = steady_now_ns() - busy_start;
 }
 
 void ShardedSimulator::start_workers() {
@@ -232,6 +273,41 @@ void ShardedSimulator::run_window_parallel() {
   done_cv_.wait(lock, [this] { return finished_ == threads_; });
 }
 
+void ShardedSimulator::flush_profile() {
+  // Exported at the end of each run(), as deltas since the previous flush:
+  // benches reuse one engine across phases, and counters must only ever
+  // increase. Count-based series (events, mail, windows) are pure functions
+  // of the event timeline — byte-identical across `--threads` — while every
+  // wall-derived series carries the `profile_wall_` prefix so determinism
+  // diffs can strip it like bench_wall_ms.
+  auto& reg = obs::default_registry();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    reg.counter("profile_events_total", labels)->inc(s.executed - s.exec_flushed);
+    s.exec_flushed = s.executed;
+    reg.counter("profile_mail_sent_total", labels)->inc(s.send_seq - s.sent_flushed);
+    s.sent_flushed = s.send_seq;
+    reg.counter("profile_mail_recv_total", labels)->inc(s.recv_count);
+    s.recv_count = 0;
+    reg.counter("profile_windows_total", labels)->inc(s.windows_participated);
+    s.windows_participated = 0;
+    reg.counter("profile_bounded_windows_total", labels)->inc(s.windows_bounded);
+    s.windows_bounded = 0;
+    reg.gauge("profile_wall_busy_ms", labels)->add(static_cast<double>(s.busy_ns) / 1e6);
+    s.busy_ns = 0;
+    reg.gauge("profile_wall_stall_ms", labels)->add(static_cast<double>(s.stall_ns) / 1e6);
+    s.stall_ns = 0;
+    reg.gauge("profile_wall_idle_ms", labels)->add(static_cast<double>(s.idle_ns) / 1e6);
+    s.idle_ns = 0;
+    reg.gauge("profile_wall_critical_windows", labels)
+        ->add(static_cast<double>(s.critical_windows));
+    s.critical_windows = 0;
+  }
+  reg.counter("profile_engine_windows_total")->inc(windows_ - windows_flushed_);
+  windows_flushed_ = windows_;
+}
+
 std::uint64_t ShardedSimulator::run() {
   auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t before = executed_total_;
@@ -250,11 +326,14 @@ std::uint64_t ShardedSimulator::run() {
     deliver_mail();
     bool any = false;
     TimePoint window_start;
-    for (const auto& s : shards_) {
+    std::size_t bounding = 0;  // shard whose head event sets W (first argmin)
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto& s = shards_[i];
       if (s->queue.empty()) continue;
       TimePoint t = s->queue.top().when;
       if (!any || t < window_start) {
         window_start = t;
+        bounding = i;
         any = true;
       }
     }
@@ -269,13 +348,58 @@ std::uint64_t ShardedSimulator::run() {
     ++windows_;
     analysis::note_window(windows_, window_start.since_start().to_nanos(),
                           horizon.since_start().to_nanos());
+    std::uint64_t window_wall_start = 0;
+    if (profile_) {
+      ++shards_[bounding]->windows_bounded;
+      for (std::size_t i : window_work_) {
+        Shard& s = *shards_[i];
+        ++s.windows_participated;
+        s.exec_before = s.executed;
+        s.window_busy_ns = 0;
+      }
+      window_wall_start = steady_now_ns();
+    }
     if (parallel) {
       run_window_parallel();
     } else {
       for (std::size_t i : window_work_) execute_shard(i, horizon);
     }
+    if (profile_) {
+      // Post-barrier accounting: worker writes to window_busy_ns/executed
+      // happen-before these reads via the pool_mu_ rendezvous (or ran inline).
+      const std::uint64_t window_wall = steady_now_ns() - window_wall_start;
+      const std::int64_t at_ns = window_start.since_start().to_nanos();
+      std::size_t critical = shards_.size();
+      std::uint64_t critical_busy = 0;
+      std::size_t participant = 0;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& s = *shards_[i];
+        if (participant < window_work_.size() && window_work_[participant] == i) {
+          ++participant;
+          const std::uint64_t busy = std::min(s.window_busy_ns, window_wall);
+          s.busy_ns += busy;
+          s.stall_ns += window_wall - busy;
+          if (critical == shards_.size() || busy > critical_busy) {
+            critical = i;
+            critical_busy = busy;
+          }
+          push_profile_sample({at_ns, "shard" + std::to_string(i) + "/busy_ms",
+                               static_cast<double>(s.window_busy_ns) / 1e6});
+          push_profile_sample({at_ns, "shard" + std::to_string(i) + "/events",
+                               static_cast<double>(s.executed - s.exec_before)});
+        } else {
+          s.idle_ns += window_wall;
+        }
+      }
+      if (critical < shards_.size()) ++shards_[critical]->critical_windows;
+    }
+    // Sim-time sampling at the barrier: counters observed here reflect the
+    // deterministic set of events with `when < horizon`, so recorded series
+    // match for any thread count.
+    if (sampler_ != nullptr) sampler_->sample(window_start);
   }
   if (parallel) stop_workers();
+  if (profile_) flush_profile();
   running_ = false;
   std::uint64_t total = 0;
   for (const auto& s : shards_) total += s->executed;

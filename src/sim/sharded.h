@@ -43,9 +43,14 @@
 #include <vector>
 
 #include "analysis/shard_guard.h"
+#include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/time.h"
+
+namespace softmow::obs {
+class TimeSeriesRecorder;
+}
 
 namespace softmow::sim {
 
@@ -63,6 +68,10 @@ class ShardedSimulator {
     /// Conservative synchronization horizon: the minimum cross-shard
     /// propagation delay. Must be > 0.
     Duration lookahead = Duration::millis(1.0);
+    /// Per-shard per-window profiling (busy/idle/stall wall time, event and
+    /// mailbox counts, critical-shard attribution). Off = zero overhead: no
+    /// clock reads, no bookkeeping, no profile_* series exported.
+    bool profile = false;
   };
 
   explicit ShardedSimulator(std::size_t shards);
@@ -115,6 +124,20 @@ class ShardedSimulator {
   /// harness (a bench may build several engines across scenarios).
   [[nodiscard]] static double process_wall_ms();
 
+  [[nodiscard]] bool profiling() const { return profile_; }
+
+  /// Installs a sim-time sampler polled once per window barrier with the
+  /// window's start time (a deterministic instant: the recorded series are
+  /// byte-identical across thread counts when the tracked metrics are).
+  /// Independent of Options::profile; nullptr detaches.
+  void set_sampler(obs::TimeSeriesRecorder* sampler) { sampler_ = sampler; }
+
+  /// Drains the process-wide profiler counter-sample ring (per-window
+  /// per-shard busy-ms and events tracks for the Chrome-trace exporter),
+  /// in (window, shard) order across every profiled engine run so far.
+  /// Returns the drained samples and the count evicted by the ring cap.
+  static std::vector<obs::CounterSample> drain_profile_samples(std::uint64_t* dropped = nullptr);
+
   [[nodiscard]] obs::Tracer& shard_tracer(ShardId shard) { return *shards_[shard]->tracer; }
 
   /// TEST ONLY: disables the cross-shard lookahead clamp so a message can be
@@ -158,6 +181,21 @@ class ShardedSimulator {
     /// a finished phase already executed. Maintained only when the checker
     /// is compiled in.
     std::int64_t audit_now_ns = -1;
+    // --- Profiler state (touched only when Options::profile is set, except
+    // where noted). Worker-written fields (window_busy_ns, executed) are read
+    // by the coordinator only after the window barrier's pool_mu_
+    // synchronization, so plain integers suffice.
+    std::uint64_t window_busy_ns = 0;   ///< wall ns inside execute_shard this window
+    std::uint64_t exec_before = 0;      ///< `executed` snapshot at window start
+    std::uint64_t exec_flushed = 0;     ///< `executed` already exported to profile_*
+    std::uint64_t sent_flushed = 0;     ///< `send_seq` already exported
+    std::uint64_t recv_count = 0;       ///< mailbox messages delivered (coordinator-only)
+    std::uint64_t windows_participated = 0;
+    std::uint64_t windows_bounded = 0;  ///< windows whose W this shard's head event set
+    std::uint64_t critical_windows = 0; ///< windows this shard finished last (max busy)
+    std::uint64_t busy_ns = 0;
+    std::uint64_t stall_ns = 0;  ///< barrier wait: window wall minus own busy
+    std::uint64_t idle_ns = 0;   ///< windows this shard sat out entirely
     std::unique_ptr<obs::Tracer> tracer;
     std::mutex mail_mu;
     std::vector<Mail> mailbox;
@@ -168,6 +206,7 @@ class ShardedSimulator {
   };
 
   void deliver_mail();
+  void flush_profile();
   void execute_shard(std::size_t index, TimePoint horizon);
   void worker_loop(std::uint64_t seen_epoch);
   void run_window_parallel();
@@ -177,10 +216,13 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t threads_;
   Duration lookahead_;
+  bool profile_ = false;
   bool clamp_disabled_for_test_ = false;
   bool running_ = false;
+  obs::TimeSeriesRecorder* sampler_ = nullptr;
   std::uint64_t executed_total_ = 0;
   std::uint64_t windows_ = 0;
+  std::uint64_t windows_flushed_ = 0;
   std::atomic<std::uint64_t> cross_posts_{0};
   std::atomic<std::uint64_t> clamps_{0};
   double wall_ms_ = 0;

@@ -5,7 +5,15 @@
 namespace softmow::topo {
 
 TraceDriver::TraceDriver(Scenario& scenario, TraceDriverParams params)
-    : scenario_(scenario), params_(params), rng_(params.seed) {
+    : scenario_(scenario),
+      params_(params),
+      rng_(params.seed),
+      bearers_requested_(obs::default_registry().counter("replay_bearers_requested_total")),
+      bearers_failed_(obs::default_registry().counter("replay_bearers_failed_total")),
+      handovers_requested_(obs::default_registry().counter("replay_handovers_requested_total")),
+      handovers_failed_(obs::default_registry().counter("replay_handovers_failed_total")),
+      idle_cycles_(obs::default_registry().counter("replay_idle_cycles_total")),
+      rules_installed_(obs::default_registry().gauge("replay_rules_installed")) {
   groups_.resize(scenario_.trace.groups.size());
 }
 
@@ -67,9 +75,11 @@ TraceDriverReport TraceDriver::replay(std::size_t first_minute, std::size_t coun
         request.bs = scenario_.net.bs_group(trace.groups[g])->members.front();
         request.dst_prefix = PrefixId{(minute + k) % 50};
         ++report.bearers_requested;
+        bearers_requested_->inc();
         auto bearer = mobility.request_bearer(request);
         if (!bearer.ok()) {
           ++report.bearers_failed;
+          bearers_failed_->inc();
           continue;
         }
         // Radio bearers time out within seconds (§7.1): cycle idle/active
@@ -78,6 +88,7 @@ TraceDriverReport TraceDriver::replay(std::size_t first_minute, std::size_t coun
           (void)mobility.ue_idle(ue);
           (void)mobility.ue_active(ue);
           ++report.idle_cycles;
+          idle_cycles_->inc();
         } else {
           (void)mobility.deactivate_bearer(ue, *bearer);
         }
@@ -96,10 +107,12 @@ TraceDriverReport TraceDriver::replay(std::size_t first_minute, std::size_t coun
         UeId ue = ue_for(from, state.next++ % params_.ues_per_group);
         if (mobility.ue(ue) == nullptr) continue;  // moved away earlier
         ++report.handovers_requested;
+        handovers_requested_->inc();
         auto moved = mobility.handover(
             ue, scenario_.net.bs_group(trace.groups[to])->members.front());
         if (!moved.ok()) {
           ++report.handovers_failed;
+          handovers_failed_->inc();
           continue;
         }
         // Park a replacement UE at the source so later events still fire.
@@ -107,6 +120,14 @@ TraceDriverReport TraceDriver::replay(std::size_t first_minute, std::size_t coun
         (void)mobility.ue_attach(state.ues[(state.next - 1) % params_.ues_per_group],
                                  scenario_.net.bs_group(trace.groups[from])->members.front());
       }
+    }
+
+    // One sample per replayed minute at the minute's *end* boundary: the
+    // recorded curves show the state after this bin's events, in sim time.
+    if (params_.recorder != nullptr) {
+      rules_installed_->set(static_cast<double>(scenario_.net.total_rules()));
+      params_.recorder->sample(sim::TimePoint::zero() +
+                               sim::Duration::minutes(static_cast<double>(minute + 1)));
     }
   }
 

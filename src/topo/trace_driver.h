@@ -15,6 +15,8 @@
 
 #include "apps/suite.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "topo/lte_trace.h"
 #include "topo/scenario.h"
 
@@ -28,6 +30,9 @@ struct TraceDriverParams {
   /// Probability that a bearer goes idle (and later re-activates).
   double idle_probability = 0.2;
   std::uint64_t seed = 31;
+  /// Sampled once per replayed trace minute (sim time = minute boundaries),
+  /// turning the replay_* counters below into diurnal-load curves. Optional.
+  obs::TimeSeriesRecorder* recorder = nullptr;
 };
 
 struct TraceDriverReport {
@@ -49,6 +54,9 @@ class TraceDriver {
   TraceDriver(Scenario& scenario, TraceDriverParams params = {});
 
   /// Replays trace minutes [first, first+count) through the applications.
+  /// Progress is mirrored into the default registry (replay_*_total
+  /// counters, replay_rules_installed gauge) so a TimeSeriesRecorder can
+  /// plot the diurnal curves; totals also land in the returned report.
   TraceDriverReport replay(std::size_t first_minute, std::size_t count);
 
  private:
@@ -58,6 +66,12 @@ class TraceDriver {
   Scenario& scenario_;
   TraceDriverParams params_;
   Rng rng_;
+  obs::Counter* bearers_requested_;   ///< replay_bearers_requested_total
+  obs::Counter* bearers_failed_;      ///< replay_bearers_failed_total
+  obs::Counter* handovers_requested_; ///< replay_handovers_requested_total
+  obs::Counter* handovers_failed_;    ///< replay_handovers_failed_total
+  obs::Counter* idle_cycles_;         ///< replay_idle_cycles_total
+  obs::Gauge* rules_installed_;       ///< replay_rules_installed
   /// Per group: the UEs parked there and their next bearer slot.
   struct GroupState {
     bool attached = false;

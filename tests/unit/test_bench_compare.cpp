@@ -1,0 +1,130 @@
+// bench_compare: gating semantics of the BENCH_*.json perf-regression
+// comparator — per-headline tolerance and direction, missing-series
+// handling, --strict, and the PASS/REGRESSION verdict.
+#include "tools/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace softmow::tools {
+namespace {
+
+struct TestHeadline {
+  std::string name;
+  double value = 0;
+  double tolerance = 0.10;
+  bool higher_is_better = false;
+  bool gate = true;
+};
+
+obs::JsonValue make_report(const std::vector<TestHeadline>& headlines) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", obs::JsonValue::string("softmow.bench.v1"));
+  obs::JsonValue arr = obs::JsonValue::array();
+  for (const TestHeadline& h : headlines) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("name", obs::JsonValue::string(h.name));
+    entry.set("value", obs::JsonValue::number(h.value));
+    entry.set("tolerance", obs::JsonValue::number(h.tolerance));
+    entry.set("higher_is_better", obs::JsonValue::boolean(h.higher_is_better));
+    entry.set("gate", obs::JsonValue::boolean(h.gate));
+    arr.push_back(std::move(entry));
+  }
+  doc.set("headline", std::move(arr));
+  return doc;
+}
+
+const CompareRow* find_row(const CompareReport& report, const std::string& name) {
+  for (const CompareRow& r : report.rows)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+TEST(BenchCompare, IdenticalReportsPass) {
+  auto report = make_report({{"wall_total_ms", 120.0}, {"events", 5000.0}});
+  CompareReport cmp = compare_reports(report, report, {});
+  EXPECT_FALSE(cmp.has_regression());
+  ASSERT_EQ(cmp.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(cmp.rows[0].rel_change, 0.0);
+}
+
+TEST(BenchCompare, RegressionBeyondTolerance) {
+  auto base = make_report({{"events", 1000.0}});
+  auto slow = make_report({{"events", 1200.0}});  // +20% of a lower-is-better count
+  CompareReport cmp = compare_reports(base, slow, {});
+  EXPECT_TRUE(cmp.has_regression());
+  ASSERT_NE(find_row(cmp, "events"), nullptr);
+  EXPECT_TRUE(find_row(cmp, "events")->regressed);
+  EXPECT_DOUBLE_EQ(find_row(cmp, "events")->rel_change, 0.2);
+
+  auto ok = make_report({{"events", 1050.0}});  // +5% stays inside 10%
+  EXPECT_FALSE(compare_reports(base, ok, {}).has_regression());
+}
+
+TEST(BenchCompare, HigherIsBetterFlipsTheLosingDirection) {
+  auto base = make_report(
+      {{"speedup_over_realtime", 100.0, 0.10, /*higher_is_better=*/true}});
+  // A 20% *gain* never regresses; a 20% *drop* does.
+  auto faster = make_report({{"speedup_over_realtime", 120.0, 0.10, true}});
+  auto slower = make_report({{"speedup_over_realtime", 80.0, 0.10, true}});
+  EXPECT_FALSE(compare_reports(base, faster, {}).has_regression());
+  EXPECT_TRUE(compare_reports(base, slower, {}).has_regression());
+}
+
+TEST(BenchCompare, DeclaredToleranceWinsUnlessStrict) {
+  // Wall headlines declare a wide tolerance (cross-machine noise): a 50%
+  // change passes normally but fails under --strict's uniform threshold.
+  auto base = make_report({{"wall_total_ms", 100.0, 0.80}});
+  auto cand = make_report({{"wall_total_ms", 150.0, 0.80}});
+  EXPECT_FALSE(compare_reports(base, cand, {}).has_regression());
+
+  CompareOptions strict;
+  strict.ignore_declared = true;
+  EXPECT_TRUE(compare_reports(base, cand, strict).has_regression());
+}
+
+TEST(BenchCompare, MissingGatedHeadlineRegresses) {
+  auto base = make_report({{"events", 1000.0}});
+  auto cand = make_report({});
+  CompareReport cmp = compare_reports(base, cand, {});
+  EXPECT_TRUE(cmp.has_regression());
+  ASSERT_EQ(cmp.rows.size(), 1u);
+  EXPECT_TRUE(cmp.rows[0].missing);
+}
+
+TEST(BenchCompare, UngatedAndNewHeadlinesNeverFail) {
+  auto base = make_report({{"info_metric", 10.0, 0.10, false, /*gate=*/false}});
+  auto cand = make_report({{"info_metric", 99.0, 0.10, false, false},
+                           {"brand_new", 7.0}});
+  CompareReport cmp = compare_reports(base, cand, {});
+  EXPECT_FALSE(cmp.has_regression());
+  const CompareRow* fresh = find_row(cmp, "brand_new (new)");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_FALSE(fresh->gated);
+}
+
+TEST(BenchCompare, ZeroBaselineNeverGates) {
+  auto base = make_report({{"failures", 0.0}});
+  auto cand = make_report({{"failures", 3.0}});
+  EXPECT_FALSE(compare_reports(base, cand, {}).has_regression());
+}
+
+TEST(BenchCompare, FormatReportCarriesVerdict) {
+  auto base = make_report({{"events", 1000.0}});
+  CompareReport pass = compare_reports(base, base, {});
+  EXPECT_NE(format_report(pass, {}).find("-> PASS"), std::string::npos);
+
+  CompareReport fail = compare_reports(base, make_report({{"events", 2000.0}}), {});
+  std::string text = format_report(fail, {});
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("-> REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompare, MissingFileIsAnError) {
+  CompareReport cmp = compare_paths("/nonexistent/a.json", "/nonexistent/b.json", {});
+  EXPECT_FALSE(cmp.errors.empty());
+}
+
+}  // namespace
+}  // namespace softmow::tools

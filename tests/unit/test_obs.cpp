@@ -170,7 +170,7 @@ TEST(Export, RegistryJsonRoundTrip) {
 
   auto doc = JsonValue::parse(to_json(reg, &tracer));
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->find("schema")->as_string(), "softmow.obs.v2");
+  EXPECT_EQ(doc->find("schema")->as_string(), "softmow.obs.v3");
 
   const JsonValue* metrics = doc->find("metrics");
   ASSERT_NE(metrics, nullptr);

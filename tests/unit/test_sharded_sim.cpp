@@ -6,8 +6,10 @@
 
 #include <atomic>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "sim/simulator.h"
 
 namespace softmow::sim {
@@ -189,6 +191,127 @@ TEST(ShardedSim, ShardClocksNeverRegress) {
   EXPECT_EQ(times[0], TimePoint::zero() + Duration::millis(1));
   EXPECT_EQ(times[1], TimePoint::zero() + Duration::millis(3));
   EXPECT_EQ(times[2], TimePoint::zero() + Duration::millis(4));
+}
+
+}  // namespace
+
+// --- Shard profiler ---------------------------------------------------------
+
+namespace {
+
+/// Per-shard profile_* count deltas from one profiled run (wall-derived
+/// profile_wall_* gauges excluded: those legitimately vary with threads).
+using ProfileCounts = std::vector<std::vector<std::uint64_t>>;
+
+constexpr const char* kProfileCounters[] = {
+    "profile_events_total",         "profile_mail_sent_total",
+    "profile_mail_recv_total",      "profile_windows_total",
+    "profile_bounded_windows_total"};
+
+ProfileCounts profile_counter_values(std::size_t shards) {
+  const obs::MetricsRegistry& reg = obs::default_registry();
+  ProfileCounts out(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const obs::Labels labels{{"shard", std::to_string(s)}};
+    for (const char* name : kProfileCounters) {
+      const obs::Counter* c = reg.find_counter(name, labels);
+      out[s].push_back(c != nullptr ? c->value() : 0);
+    }
+  }
+  return out;
+}
+
+/// Cross-shard ping-pong workload: every shard fans mail out to its
+/// neighbour across several windows, and the deliveries schedule follow-ups.
+void profiled_workload(ShardedSimulator& engine, std::size_t shards) {
+  for (std::size_t s = 0; s < shards; ++s) {
+    engine.schedule(s, Duration::millis(1.0 + static_cast<double>(s)), [&engine, s, shards] {
+      for (int k = 0; k < 3; ++k) {
+        engine.post((s + 1) % shards, Duration::millis(1.0 + k), [&engine] {
+          engine.schedule(ShardedSimulator::current_shard(), Duration::millis(2), [] {});
+        });
+      }
+    });
+  }
+}
+
+}  // namespace
+
+namespace {
+
+TEST(ShardedSimProfile, CountSeriesIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kShards = 3;
+  auto run_once = [](std::size_t threads) {
+    ProfileCounts before = profile_counter_values(kShards);
+    ShardedSimulator::Options opts;
+    opts.threads = threads;
+    opts.lookahead = Duration::millis(1);
+    opts.profile = true;
+    ShardedSimulator engine(kShards, opts);
+    profiled_workload(engine, kShards);
+    engine.run();
+
+    // Keep only the deterministic per-window event tracks from the global
+    // sample ring (busy-ms tracks are wall time and vary freely).
+    std::vector<std::pair<std::string, double>> event_samples;
+    for (const obs::CounterSample& c : ShardedSimulator::drain_profile_samples()) {
+      if (c.track.find("/events") != std::string::npos)
+        event_samples.emplace_back(c.track + "@" + std::to_string(c.at_ns), c.value);
+    }
+
+    ProfileCounts delta = profile_counter_values(kShards);
+    for (std::size_t s = 0; s < kShards; ++s)
+      for (std::size_t i = 0; i < delta[s].size(); ++i) delta[s][i] -= before[s][i];
+    return std::pair{delta, event_samples};
+  };
+
+  auto baseline = run_once(1);
+  EXPECT_GT(baseline.first[0][0], 0u);  // shard 0 executed events
+  EXPECT_GT(baseline.second.size(), 0u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    auto got = run_once(threads);
+    EXPECT_EQ(got.first, baseline.first) << "threads=" << threads;
+    EXPECT_EQ(got.second, baseline.second) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedSimProfile, OffMeansNoSamplesAndNoFlush) {
+  (void)ShardedSimulator::drain_profile_samples();  // clear residue
+  ShardedSimulator engine(2);
+  EXPECT_FALSE(engine.profiling());
+  engine.schedule(0, Duration::millis(1), [] {});
+  engine.schedule(1, Duration::millis(2), [] {});
+  engine.run();
+  std::uint64_t dropped = 0;
+  EXPECT_TRUE(ShardedSimulator::drain_profile_samples(&dropped).empty());
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(ShardedSimProfile, SamplerPolledAtWindowBarriers) {
+  obs::TimeSeriesRecorder::Options ropts;
+  ropts.interval = Duration::millis(1.0);
+  ropts.capacity = 64;
+  obs::TimeSeriesRecorder recorder(ropts);  // reads the default registry
+  recorder.track_counter("sim_events_executed_total");
+
+  ShardedSimulator::Options opts;
+  opts.lookahead = Duration::millis(1);
+  ShardedSimulator engine(2, opts);
+  engine.set_sampler(&recorder);
+  for (int i = 1; i <= 5; ++i) {
+    engine.schedule(0, Duration::millis(i), [] {});
+    engine.schedule(1, Duration::millis(i), [] {});
+  }
+  engine.run();
+  engine.set_sampler(nullptr);
+
+  auto series = recorder.snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_GT(series[0].points.size(), 0u);
+  for (std::size_t i = 1; i < series[0].points.size(); ++i) {
+    EXPECT_GT(series[0].points[i].at_ns, series[0].points[i - 1].at_ns);
+    EXPECT_GE(series[0].points[i].value, series[0].points[i - 1].value);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// TimeSeriesRecorder: boundary-grid sampling, ring wraparound, lazy series
+// resolution, histogram-quantile tracking, and exporter integration.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace softmow::obs {
+namespace {
+
+constexpr std::int64_t kMinuteNs = 60'000'000'000;
+
+TimeSeriesRecorder::Options minute_grid(std::size_t capacity) {
+  TimeSeriesRecorder::Options opts;
+  opts.interval = sim::Duration::minutes(1.0);
+  opts.capacity = capacity;
+  return opts;
+}
+
+TEST(TimeSeries, SamplesOncePerBoundary) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("replay_bearers_requested_total");
+  TimeSeriesRecorder rec(minute_grid(16), &reg);
+  rec.track_counter("replay_bearers_requested_total");
+
+  c->inc(5);
+  // Two samples inside the same minute: only the first records a point.
+  EXPECT_TRUE(rec.sample(sim::TimePoint::at(sim::Duration::minutes(1.0))));
+  c->inc(100);
+  EXPECT_FALSE(rec.sample(sim::TimePoint::at(sim::Duration::seconds(90.0))));
+  EXPECT_TRUE(rec.sample(sim::TimePoint::at(sim::Duration::minutes(2.0))));
+
+  auto series = rec.snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_EQ(series[0].points[0].at_ns, kMinuteNs);
+  EXPECT_DOUBLE_EQ(series[0].points[0].value, 5.0);
+  EXPECT_EQ(series[0].points[1].at_ns, 2 * kMinuteNs);
+  EXPECT_DOUBLE_EQ(series[0].points[1].value, 105.0);
+}
+
+TEST(TimeSeries, JumpRecordsOnlyLatestBoundary) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc(1);
+  TimeSeriesRecorder rec(minute_grid(16), &reg);
+  rec.track_counter("c");
+
+  // The clock jumps straight to minute 7: no back-fill of minutes 1..6.
+  EXPECT_TRUE(rec.sample(sim::TimePoint::at(sim::Duration::minutes(7.5))));
+  auto series = rec.snapshot();
+  ASSERT_EQ(series[0].points.size(), 1u);
+  EXPECT_EQ(series[0].points[0].at_ns, 7 * kMinuteNs);
+}
+
+TEST(TimeSeries, RingWrapsEvictingOldest) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  TimeSeriesRecorder rec(minute_grid(4), &reg);
+  rec.track_counter("c");
+
+  for (int minute = 1; minute <= 6; ++minute) {
+    c->inc();
+    rec.sample(sim::TimePoint::at(sim::Duration::minutes(minute)));
+  }
+
+  // Capacity 4, 6 boundaries sampled: minutes 1 and 2 evicted.
+  EXPECT_EQ(rec.dropped_total(), 2u);
+  auto series = rec.snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].dropped, 2u);
+  ASSERT_EQ(series[0].points.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(series[0].points[i].at_ns, (i + 3) * kMinuteNs);
+    EXPECT_DOUBLE_EQ(series[0].points[i].value, static_cast<double>(i + 3));
+  }
+}
+
+TEST(TimeSeries, LazyResolutionRecordsZeroUntilSeriesAppears) {
+  MetricsRegistry reg;
+  TimeSeriesRecorder rec(minute_grid(8), &reg);
+  rec.track_gauge("late_gauge");
+
+  rec.sample(sim::TimePoint::at(sim::Duration::minutes(1.0)));
+  reg.gauge("late_gauge")->set(42.0);
+  rec.sample(sim::TimePoint::at(sim::Duration::minutes(2.0)));
+
+  auto series = rec.snapshot();
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].points[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series[0].points[1].value, 42.0);
+}
+
+TEST(TimeSeries, TracksHistogramQuantiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat_us", {10.0, 100.0, 1000.0});
+  TimeSeriesRecorder rec(minute_grid(8), &reg);
+  rec.track_quantile("lat_us", 0.5);
+  rec.track_quantile("lat_us", 0.95);
+
+  for (int i = 0; i < 90; ++i) h->observe(5.0);    // bucket <= 10
+  for (int i = 0; i < 10; ++i) h->observe(500.0);  // bucket <= 1000
+  rec.sample(sim::TimePoint::at(sim::Duration::minutes(1.0)));
+
+  auto series = rec.snapshot();
+  ASSERT_EQ(series.size(), 2u);  // sorted by field: p50 before p95
+  EXPECT_EQ(series[0].field, "p50");
+  EXPECT_EQ(series[1].field, "p95");
+  EXPECT_DOUBLE_EQ(series[0].points[0].value, h->quantile(0.5));
+  EXPECT_DOUBLE_EQ(series[1].points[0].value, h->quantile(0.95));
+  // p50 falls in the first bucket, p95 in the third.
+  EXPECT_LE(series[0].points[0].value, 10.0);
+  EXPECT_GT(series[1].points[0].value, 100.0);
+}
+
+TEST(TimeSeries, RetrackingIsANoOpAndClearKeepsSeries) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc(3);
+  TimeSeriesRecorder rec(minute_grid(4), &reg);
+  rec.track_counter("c");
+  rec.track_counter("c");  // duplicate (name, labels, field)
+  EXPECT_EQ(rec.tracked_count(), 1u);
+
+  rec.sample(sim::TimePoint::at(sim::Duration::minutes(1.0)));
+  rec.clear_points();
+  EXPECT_EQ(rec.tracked_count(), 1u);
+  EXPECT_EQ(rec.snapshot()[0].points.size(), 0u);
+  // The boundary cursor resets too: minute 1 records again.
+  EXPECT_TRUE(rec.sample(sim::TimePoint::at(sim::Duration::minutes(1.0))));
+}
+
+TEST(TimeSeries, QuantileFieldTags) {
+  EXPECT_EQ(quantile_field(0.5), "p50");
+  EXPECT_EQ(quantile_field(0.95), "p95");
+  EXPECT_EQ(quantile_field(0.99), "p99");
+  EXPECT_EQ(quantile_field(0.999), "p99.9");
+}
+
+TEST(HistogramQuantile, InterpolatesFromBucketCounts) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h", {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(h->quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) h->observe(5.0);
+  for (int i = 0; i < 10; ++i) h->observe(15.0);
+  // Median sits at the first bucket's upper bound; p75 mid-second-bucket.
+  EXPECT_DOUBLE_EQ(h->quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.75), 15.0);
+  // Overflow observations clamp to the last finite bound.
+  h->observe(1e9);
+  EXPECT_DOUBLE_EQ(h->quantile(0.999), 20.0);
+}
+
+TEST(TimeSeries, ExportsIntoJsonAndCsv) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("replay_bearers_requested_total");
+  TimeSeriesRecorder rec(minute_grid(8), &reg);
+  rec.track_counter("replay_bearers_requested_total");
+  c->inc(7);
+  rec.sample(sim::TimePoint::at(sim::Duration::minutes(1.0)));
+
+  auto doc = JsonValue::parse(to_json(reg, nullptr, &rec));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->find("schema")->as_string(), "softmow.obs.v3");
+  const JsonValue* ts = doc->find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_EQ(ts->size(), 1u);
+  EXPECT_EQ(ts->at(0).find("name")->as_string(), "replay_bearers_requested_total");
+  EXPECT_EQ(ts->at(0).find("field")->as_string(), "value");
+  ASSERT_EQ(ts->at(0).find("points")->size(), 1u);
+  EXPECT_EQ(ts->at(0).find("points")->at(0).at(0).as_uint(),
+            static_cast<std::uint64_t>(kMinuteNs));
+  EXPECT_DOUBLE_EQ(ts->at(0).find("points")->at(0).at(1).as_number(), 7.0);
+
+  const std::string csv = to_csv(reg, &rec);
+  EXPECT_NE(csv.find("replay_bearers_requested_total,,timeseries,value@60000000000,7"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace softmow::obs

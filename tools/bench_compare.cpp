@@ -1,0 +1,224 @@
+#include "tools/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace softmow::tools {
+
+namespace {
+
+struct HeadlineEntry {
+  double value = 0;
+  double tolerance = 0.10;
+  bool higher_is_better = false;
+  bool gate = true;
+};
+
+/// Headline array of a report, keyed by name (insertion order preserved
+/// separately for stable output).
+std::map<std::string, HeadlineEntry> headline_index(const obs::JsonValue& report,
+                                                    std::vector<std::string>* order) {
+  std::map<std::string, HeadlineEntry> out;
+  const obs::JsonValue* headline = report.find("headline");
+  if (headline == nullptr || headline->type() != obs::JsonValue::Type::kArray) return out;
+  for (const obs::JsonValue& h : headline->items()) {
+    const obs::JsonValue* name = h.find("name");
+    if (name == nullptr) continue;
+    HeadlineEntry e;
+    if (const obs::JsonValue* v = h.find("value")) e.value = v->as_number();
+    if (const obs::JsonValue* v = h.find("tolerance")) e.tolerance = v->as_number();
+    if (const obs::JsonValue* v = h.find("higher_is_better")) e.higher_is_better = v->as_bool();
+    if (const obs::JsonValue* v = h.find("gate")) e.gate = v->as_bool();
+    if (out.emplace(name->as_string(), e).second && order != nullptr)
+      order->push_back(name->as_string());
+  }
+  return out;
+}
+
+bool read_json_file(const std::string& path, obs::JsonValue* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = obs::JsonValue::parse(buffer.str());
+  if (!parsed.ok()) {
+    *error = path + ": " + parsed.error().message;
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+CompareReport compare_reports(const obs::JsonValue& baseline, const obs::JsonValue& candidate,
+                              const CompareOptions& opts, const std::string& file_tag) {
+  CompareReport report;
+  std::vector<std::string> order;
+  auto base = headline_index(baseline, &order);
+  auto cand = headline_index(candidate, nullptr);
+
+  for (const std::string& name : order) {
+    const HeadlineEntry& b = base[name];
+    CompareRow row;
+    row.file = file_tag;
+    row.name = name;
+    row.baseline = b.value;
+    row.higher_is_better = b.higher_is_better;
+    row.gated = b.gate;
+    row.tolerance = opts.ignore_declared ? opts.default_threshold : b.tolerance;
+    auto it = cand.find(name);
+    if (it == cand.end()) {
+      row.missing = true;
+      row.regressed = b.gate;  // a vanished gated series must not pass silently
+      report.rows.push_back(row);
+      continue;
+    }
+    row.candidate = it->second.value;
+    if (b.value != 0) {
+      row.rel_change = (row.candidate - row.baseline) / std::fabs(row.baseline);
+      if (row.gated) {
+        const double losing = row.higher_is_better ? -row.rel_change : row.rel_change;
+        row.regressed = losing > row.tolerance;
+      }
+    }
+    // baseline == 0: relative change is undefined; record but never gate.
+    report.rows.push_back(row);
+  }
+
+  // Candidate-only headlines: informational (new series never fail).
+  for (const auto& [name, entry] : cand) {
+    if (base.count(name) != 0) continue;
+    CompareRow row;
+    row.file = file_tag;
+    row.name = name + " (new)";
+    row.candidate = entry.value;
+    row.gated = false;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+CompareReport compare_paths(const std::string& baseline_path, const std::string& candidate_path,
+                            const CompareOptions& opts) {
+  namespace fs = std::filesystem;
+  CompareReport report;
+
+  auto compare_files = [&](const std::string& base_file, const std::string& cand_file,
+                           const std::string& tag) {
+    obs::JsonValue base, cand;
+    std::string error;
+    if (!read_json_file(base_file, &base, &error)) {
+      report.errors.push_back(error);
+      return;
+    }
+    if (!read_json_file(cand_file, &cand, &error)) {
+      report.errors.push_back(error);
+      return;
+    }
+    CompareReport one = compare_reports(base, cand, opts, tag);
+    report.rows.insert(report.rows.end(), one.rows.begin(), one.rows.end());
+  };
+
+  std::error_code ec;
+  const bool base_is_dir = fs::is_directory(baseline_path, ec);
+  const bool cand_is_dir = fs::is_directory(candidate_path, ec);
+  if (base_is_dir != cand_is_dir) {
+    report.errors.push_back("cannot compare a directory with a file: " + baseline_path + " vs " +
+                            candidate_path);
+    return report;
+  }
+  if (!base_is_dir) {
+    compare_files(baseline_path, candidate_path, "");
+    return report;
+  }
+
+  // Directory mode: pair BENCH_*.json by basename, sorted for stable output.
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(baseline_path, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json")
+      names.push_back(name);
+  }
+  if (ec) report.errors.push_back("cannot list " + baseline_path + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  if (names.empty()) report.errors.push_back("no BENCH_*.json files in " + baseline_path);
+
+  for (const std::string& name : names) {
+    const fs::path cand_file = fs::path(candidate_path) / name;
+    if (!fs::exists(cand_file, ec)) {
+      CompareRow row;
+      row.file = name;
+      row.name = "(report missing from candidate)";
+      row.missing = true;
+      row.regressed = true;
+      report.rows.push_back(row);
+      continue;
+    }
+    compare_files((fs::path(baseline_path) / name).string(), cand_file.string(), name);
+  }
+  return report;
+}
+
+std::string format_report(const CompareReport& report, const CompareOptions& opts) {
+  std::string out;
+  for (const std::string& error : report.errors) out += "error: " + error + "\n";
+
+  // Aligned columns: file (when present), headline, base, cand, change, verdict.
+  std::vector<std::vector<std::string>> rows;
+  bool any_file = false;
+  for (const CompareRow& r : report.rows) {
+    if (!r.gated && !opts.include_ungated && !r.regressed) continue;
+    any_file = any_file || !r.file.empty();
+    std::string change = r.missing ? "missing" : fmt(100 * r.rel_change) + "%";
+    std::string verdict = r.regressed             ? "REGRESSED"
+                          : !r.gated              ? "info"
+                          : r.missing             ? "missing"
+                                                  : "ok (tol " + fmt(100 * r.tolerance) + "%)";
+    rows.push_back({r.file, r.name, fmt(r.baseline), fmt(r.candidate), change, verdict});
+  }
+  std::vector<std::string> header = {"file", "headline", "baseline", "candidate", "change",
+                                     "verdict"};
+  std::size_t first_col = any_file ? 0 : 1;
+  std::vector<std::size_t> width(header.size(), 0);
+  for (std::size_t c = first_col; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = first_col; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = first_col; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out += std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out += "\n";
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+
+  std::size_t gated = 0, regressed = 0;
+  for (const CompareRow& r : report.rows) {
+    if (r.gated) ++gated;
+    if (r.regressed) ++regressed;
+  }
+  out += "\n" + std::to_string(gated) + " gated headline(s), " + std::to_string(regressed) +
+         " regression(s)";
+  out += report.has_regression() ? " -> REGRESSION\n" : " -> PASS\n";
+  return out;
+}
+
+}  // namespace softmow::tools

@@ -1,0 +1,71 @@
+// Perf-regression comparator over BENCH_<name>.json reports
+// (schema "softmow.bench.v1", written by the bench harness's --bench-json).
+//
+// Compares the *gated headline* series of a baseline report against a
+// candidate: a gated headline regresses when its relative change in the
+// losing direction exceeds the headline's own tolerance (the baseline's
+// declared tolerance wins over the command-line default). A gated headline
+// missing from the candidate is a regression (a silently vanished series
+// must not pass the gate); extra candidate headlines are reported as "new"
+// but never fail. Directory mode pairs files by name (BENCH_*.json) and
+// treats a baseline file with no candidate partner as a regression.
+//
+// Only links softmow_obs (for the JSON parser) — no simulator dependencies,
+// so the CI perf gate builds cheaply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace softmow::tools {
+
+struct CompareOptions {
+  /// Relative-change gate for headlines that carry no tolerance of their
+  /// own (or when `ignore_declared` is set).
+  double default_threshold = 0.10;
+  /// Gate every headline at default_threshold, ignoring per-headline
+  /// tolerances (--strict).
+  bool ignore_declared = false;
+  /// Also list ungated headlines in the output (--all).
+  bool include_ungated = false;
+};
+
+/// One compared headline series.
+struct CompareRow {
+  std::string file;    ///< report filename (empty when comparing two files)
+  std::string name;    ///< headline name
+  double baseline = 0;
+  double candidate = 0;
+  double rel_change = 0;   ///< (candidate - baseline) / |baseline|
+  double tolerance = 0;    ///< gate applied
+  bool higher_is_better = false;
+  bool gated = true;
+  bool missing = false;    ///< gated headline absent from the candidate
+  bool regressed = false;
+};
+
+struct CompareReport {
+  std::vector<CompareRow> rows;
+  std::vector<std::string> errors;  ///< unreadable/unparseable inputs
+  [[nodiscard]] bool has_regression() const {
+    for (const CompareRow& r : rows)
+      if (r.regressed) return true;
+    return false;
+  }
+};
+
+/// Compares the headline arrays of two parsed reports.
+CompareReport compare_reports(const obs::JsonValue& baseline, const obs::JsonValue& candidate,
+                              const CompareOptions& opts, const std::string& file_tag = "");
+
+/// Compares two paths: file vs file, or directory vs directory (pairing
+/// BENCH_*.json files by basename). Parse/IO failures land in `errors`.
+CompareReport compare_paths(const std::string& baseline_path, const std::string& candidate_path,
+                            const CompareOptions& opts);
+
+/// Renders the report as an aligned table plus a PASS/REGRESSION summary.
+std::string format_report(const CompareReport& report, const CompareOptions& opts);
+
+}  // namespace softmow::tools

@@ -1,0 +1,63 @@
+// CLI for the BENCH_*.json perf-regression gate.
+//
+//   bench_compare <baseline> <candidate> [--threshold <frac>] [--strict] [--all]
+//
+// Paths are either two report files or two directories of BENCH_*.json
+// reports. Exit status: 0 = all gated headlines within tolerance,
+// 1 = at least one regression, 2 = unreadable input or bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/bench_compare.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline> <candidate> [--threshold <frac>] [--strict] [--all]\n"
+               "  <baseline>/<candidate>  BENCH_*.json report files, or directories of them\n"
+               "  --threshold <frac>      gate for headlines without a declared tolerance\n"
+               "                          (default 0.10 = 10%%)\n"
+               "  --strict                gate every headline at --threshold, ignoring the\n"
+               "                          tolerances declared in the baseline\n"
+               "  --all                   also list ungated (informational) headlines\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  softmow::tools::CompareOptions opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      char* end = nullptr;
+      opts.default_threshold = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || opts.default_threshold < 0) {
+        std::fprintf(stderr, "bench_compare: bad --threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      opts.ignore_declared = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      opts.include_ungated = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+
+  softmow::tools::CompareReport report =
+      softmow::tools::compare_paths(paths[0], paths[1], opts);
+  std::fputs(softmow::tools::format_report(report, opts).c_str(), stdout);
+  if (!report.errors.empty()) return 2;
+  return report.has_regression() ? 1 : 0;
+}

@@ -393,7 +393,7 @@ InternalCostTable compute_internal_costs(topo::Scenario& scenario) {
 
   // Root-graph trees from every egress node (metrics are symmetric, so the
   // tree from the egress equals the cost *to* the egress from every node).
-  std::vector<std::unordered_map<NodeKey, EdgeMetrics>> to_egress;
+  std::vector<core::FlatMap<NodeKey, EdgeMetrics>> to_egress;
   std::vector<NodeKey> egress_nodes;
   for (EgressId egress : table.egresses) {
     Endpoint attach = scenario.net.egress(egress)->attach;
@@ -409,7 +409,7 @@ InternalCostTable compute_internal_costs(topo::Scenario& scenario) {
     }
     egress_nodes.push_back(node);
     to_egress.push_back(node != 0 ? root_graph.shortest_tree(node, Metric::kHops)
-                                  : std::unordered_map<NodeKey, EdgeMetrics>{});
+                                  : core::FlatMap<NodeKey, EdgeMetrics>{});
   }
 
   table.cost.assign(table.groups.size(),

@@ -338,8 +338,8 @@ Result<void> MobilityApp::ue_active(UeId ue) {
       if (replaced.ok()) bearer.active = false;  // superseded by the new record
     }
   }
-  std::erase_if(it->second.bearers,
-                [](const auto& kv) { return !kv.second.active && !kv.second.handled_locally; });
+  it->second.bearers.erase_if(
+      [](const auto& kv) { return !kv.second.active && !kv.second.handled_locally; });
   return Ok();
 }
 
@@ -563,7 +563,7 @@ Result<void> MobilityApp::handover(UeId ue, BsId target_bs) {
       bearer.request.bs = target_bs;
       to_restore.push_back(bearer.request);
     }
-    std::erase_if(rec.bearers, [](const auto& kv) { return !kv.second.active; });
+    rec.bearers.erase_if([](const auto& kv) { return !kv.second.active; });
     for (const BearerRequest& request : to_restore) {
       auto replaced = request_bearer(request);
       if (!replaced.ok()) {
@@ -784,7 +784,7 @@ void MobilityApp::rehome_transferred_bearers(BsGroupId group) {
     for (auto& [bid, bearer] : rec.bearers) {
       if (bearer.pending_rehome) to_restore.push_back(bearer.request);
     }
-    std::erase_if(rec.bearers, [](const auto& kv) { return kv.second.pending_rehome; });
+    rec.bearers.erase_if([](const auto& kv) { return kv.second.pending_rehome; });
   }
   for (const BearerRequest& request : to_restore) {
     auto restored = request_bearer(request);

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/ids.h"
 #include "core/result.h"
 #include "core/weighted_adjacency.h"
@@ -72,7 +72,10 @@ struct UeRecord {
   BsId bs;
   BsGroupId group;
   bool idle = false;
-  std::map<BearerId, BearerRecord> bearers;
+  /// Dense flat store (DESIGN §12): bearer ids are allocated monotonically,
+  /// so iteration order is allocation order (perturbed deterministically by
+  /// teardown swap-pops).
+  core::FlatMap<BearerId, BearerRecord> bearers;
 };
 
 // Delegation bodies (std::any payloads of AppMessages).
@@ -173,7 +176,8 @@ class MobilityApp {
   Result<void> handover(UeId ue, BsId target_bs);
 
   [[nodiscard]] const UeRecord* ue(UeId id) const;
-  [[nodiscard]] const std::map<UeId, UeRecord>& ues() const { return ues_; }
+  /// UE records in attach order (dense flat store; deterministic).
+  [[nodiscard]] const core::FlatMap<UeId, UeRecord>& ues() const { return ues_; }
   [[nodiscard]] std::size_t ue_count() const { return ues_.size(); }
   [[nodiscard]] const MobilityStats& stats() const { return stats_; }
 
@@ -231,7 +235,7 @@ class MobilityApp {
 
   reca::Controller* controller_;
   const dataplane::PhysicalNetwork* net_;
-  std::map<UeId, UeRecord> ues_;
+  core::FlatMap<UeId, UeRecord> ues_;
   std::uint64_t next_bearer_ = 1;
   bool reactive_ = false;  ///< reactive bearers enabled (survives rebind)
   std::uint64_t reactive_bearers_ = 0;
@@ -239,7 +243,7 @@ class MobilityApp {
   WeightedAdjacency<GBsId> handover_log_;
   /// Paths this (ancestor) controller installed for delegated bearers,
   /// addressable from below by globally unique key.
-  std::map<std::uint64_t, PathId> ancestor_paths_;
+  core::FlatMap<std::uint64_t, PathId> ancestor_paths_;
   std::uint64_t next_ancestor_key_ = 1;
 };
 

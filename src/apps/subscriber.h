@@ -15,11 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "apps/mobility.h"
+#include "core/flat_map.h"
 #include "core/ids.h"
 #include "core/result.h"
 
@@ -57,7 +58,7 @@ class HssApp {
   void count_rejection() const { ++rejected_; }
 
  private:
-  std::map<UeId, SubscriberProfile> profiles_;
+  core::FlatMap<UeId, SubscriberProfile> profiles_;  ///< dense flat registry
   mutable std::uint64_t rejected_ = 0;
 };
 
@@ -101,9 +102,9 @@ class PcrfApp {
   [[nodiscard]] const std::vector<ChargingRecord>& records() const { return records_; }
 
  private:
-  std::map<std::pair<SubscriberClass, ApplicationClass>, Policy> rules_;
+  core::FlatMap<std::pair<SubscriberClass, ApplicationClass>, Policy> rules_;
   std::vector<ChargingRecord> records_;
-  std::map<UeId, std::uint64_t> usage_;
+  core::FlatMap<UeId, std::uint64_t> usage_;  ///< per-UE running byte totals
 };
 
 /// Convenience front desk tying HSS + PCRF + mobility together: the

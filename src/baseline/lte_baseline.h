@@ -5,9 +5,8 @@
 // inter-region transit and no egress diversity.
 #pragma once
 
-#include <unordered_map>
-
 #include "apps/interdomain.h"
+#include "core/flat_map.h"
 #include "core/ids.h"
 #include "core/result.h"
 #include "dataplane/network.h"
@@ -37,7 +36,7 @@ class LteBaseline {
   const dataplane::PhysicalNetwork* net_;
   EgressId pgw_egress_;
   /// Core-graph best metrics from the PGW switch (hops primary).
-  std::unordered_map<NodeKey, EdgeMetrics> from_pgw_;
+  core::FlatMap<NodeKey, EdgeMetrics> from_pgw_;
 };
 
 /// Control-plane messages a flat single controller processes to discover the

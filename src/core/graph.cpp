@@ -1,7 +1,7 @@
 #include "core/graph.h"
 
 #include <algorithm>
-#include <queue>
+#include <cassert>
 
 namespace softmow {
 
@@ -20,9 +20,10 @@ std::vector<NodeKey> Graph::nodes() const {
 EdgeKey Graph::add_edge(NodeKey from, NodeKey to, EdgeMetrics metrics) {
   add_node(from);
   add_node(to);
-  EdgeKey id = next_edge_++;
-  edges_.emplace(id, GraphEdge{id, from, to, metrics, /*up=*/true});
-  adjacency_[from].push_back(id);
+  EdgeKey id = static_cast<EdgeKey>(edges_.size()) + 1;
+  edges_.push_back(GraphEdge{id, from, to, metrics, /*up=*/true});
+  ++live_edges_;
+  adjacency_.at(from).push_back(id);
   return id;
 }
 
@@ -32,75 +33,64 @@ std::pair<EdgeKey, EdgeKey> Graph::add_bidirectional(NodeKey a, NodeKey b,
 }
 
 void Graph::remove_edge(EdgeKey edge) {
-  auto it = edges_.find(edge);
-  if (it == edges_.end()) return;
-  auto& list = adjacency_[it->second.from];
-  list.erase(std::remove(list.begin(), list.end(), edge), list.end());
-  edges_.erase(it);
+  if (edge == 0 || edge > edges_.size()) return;
+  GraphEdge& e = edges_[edge - 1];
+  if (e.id == 0) return;
+  auto* list = adjacency_.find_value(e.from);
+  if (list != nullptr) list->erase(std::remove(list->begin(), list->end(), edge), list->end());
+  e = GraphEdge{};  // id 0 marks the hole; keys are never reissued
+  --live_edges_;
 }
 
 void Graph::remove_node(NodeKey node) {
-  auto it = adjacency_.find(node);
-  if (it == adjacency_.end()) return;
+  auto* list = adjacency_.find_value(node);
+  if (list == nullptr) return;
   // Collect every edge that touches `node` (out-edges are in its adjacency
   // list; in-edges require a scan).
-  std::vector<EdgeKey> doomed = it->second;
-  for (const auto& [id, e] : edges_) {
-    if (e.to == node) doomed.push_back(id);
+  std::vector<EdgeKey> doomed = *list;
+  for (const GraphEdge& e : edges_) {
+    if (e.id != 0 && e.to == node) doomed.push_back(e.id);
   }
   for (EdgeKey e : doomed) remove_edge(e);
   adjacency_.erase(node);
 }
 
 Result<void> Graph::set_edge_up(EdgeKey edge, bool up) {
-  auto it = edges_.find(edge);
-  if (it == edges_.end()) return {ErrorCode::kNotFound, "no such edge"};
-  it->second.up = up;
+  if (edge == 0 || edge > edges_.size() || edges_[edge - 1].id == 0)
+    return {ErrorCode::kNotFound, "no such edge"};
+  edges_[edge - 1].up = up;
   return Ok();
 }
 
 Result<void> Graph::set_edge_metrics(EdgeKey edge, EdgeMetrics metrics) {
-  auto it = edges_.find(edge);
-  if (it == edges_.end()) return {ErrorCode::kNotFound, "no such edge"};
-  it->second.metrics = metrics;
+  if (edge == 0 || edge > edges_.size() || edges_[edge - 1].id == 0)
+    return {ErrorCode::kNotFound, "no such edge"};
+  edges_[edge - 1].metrics = metrics;
   return Ok();
 }
 
 const GraphEdge* Graph::edge(EdgeKey edge) const {
-  auto it = edges_.find(edge);
-  return it == edges_.end() ? nullptr : &it->second;
+  if (edge == 0 || edge > edges_.size()) return nullptr;
+  const GraphEdge& e = edges_[edge - 1];
+  return e.id == 0 ? nullptr : &e;
 }
 
-std::vector<const GraphEdge*> Graph::out_edges(NodeKey node) const {
-  std::vector<const GraphEdge*> out;
-  auto it = adjacency_.find(node);
-  if (it == adjacency_.end()) return out;
-  out.reserve(it->second.size());
-  for (EdgeKey e : it->second) out.push_back(&edges_.at(e));
-  return out;
+std::span<const EdgeKey> Graph::out_edges(NodeKey node) const {
+  const auto* list = adjacency_.find_value(node);
+  if (list == nullptr) return {};
+  return {list->data(), list->size()};
 }
 
 std::vector<const GraphEdge*> Graph::all_edges() const {
   std::vector<const GraphEdge*> out;
-  out.reserve(edges_.size());
-  for (const auto& [id, e] : edges_) out.push_back(&e);
-  std::sort(out.begin(), out.end(),
-            [](const GraphEdge* a, const GraphEdge* b) { return a->id < b->id; });
+  out.reserve(live_edges_);
+  for (const GraphEdge& e : edges_) {
+    if (e.id != 0) out.push_back(&e);  // dense store is already in id order
+  }
   return out;
 }
 
 namespace {
-
-struct QueueItem {
-  double primary;
-  double secondary;
-  NodeKey node;
-
-  bool operator>(const QueueItem& o) const {
-    if (primary != o.primary) return primary > o.primary;
-    return secondary > o.secondary;
-  }
-};
 
 double primary_of(const EdgeMetrics& m, Metric metric) {
   return metric == Metric::kLatency ? m.latency_us : m.hop_count;
@@ -109,67 +99,128 @@ double secondary_of(const EdgeMetrics& m, Metric metric) {
   return metric == Metric::kLatency ? m.hop_count : m.latency_us;
 }
 
+/// Min-heap order over (primary, secondary) for std::push_heap/pop_heap
+/// (std::push_heap builds a max-heap, so inverting the order puts the
+/// minimum at the front). Templated so it deduces Graph's private HeapItem.
+struct HeapGreater {
+  template <class Item>
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.primary != b.primary) return a.primary > b.primary;
+    return a.secondary > b.secondary;
+  }
+};
+
 }  // namespace
 
-Result<GraphPath> Graph::dijkstra(
-    NodeKey src, NodeKey dst, Metric metric, const PathConstraints& constraints,
-    const std::unordered_set<NodeKey>& banned_nodes,
-    const std::unordered_set<EdgeKey>& banned_edges) const {
-  if (!has_node(src) || !has_node(dst))
+std::uint32_t Graph::node_index(NodeKey node) const {
+  auto it = adjacency_.find(node);
+  if (it == adjacency_.end()) return kNoNode;
+  return static_cast<std::uint32_t>(it - adjacency_.begin());
+}
+
+void Graph::begin_query() const {
+  Scratch& s = scratch_;
+  const std::size_t n = adjacency_.size();
+  if (s.node_epoch.size() < n) {
+    s.node_epoch.resize(n, 0);
+    s.primary.resize(n);
+    s.secondary.resize(n);
+    s.via_edge.resize(n);
+    s.settled.resize(n);
+    s.metrics.resize(n);
+  }
+  ++s.epoch;
+  s.heap.clear();
+}
+
+void Graph::clear_bans() const {
+  Scratch& s = scratch_;
+  if (s.ban_node_epoch.size() < adjacency_.size()) s.ban_node_epoch.resize(adjacency_.size(), 0);
+  if (s.ban_edge_epoch.size() < edges_.size()) s.ban_edge_epoch.resize(edges_.size(), 0);
+  ++s.ban_epoch;
+}
+
+void Graph::ban_node(NodeKey node) const {
+  std::uint32_t index = node_index(node);
+  if (index != kNoNode) scratch_.ban_node_epoch[index] = scratch_.ban_epoch;
+}
+
+void Graph::ban_edge(EdgeKey edge) const {
+  if (edge != 0 && edge <= edges_.size()) scratch_.ban_edge_epoch[edge - 1] = scratch_.ban_epoch;
+}
+
+bool Graph::node_banned(std::uint32_t index) const {
+  return scratch_.ban_node_epoch[index] == scratch_.ban_epoch;
+}
+
+bool Graph::edge_banned(EdgeKey edge) const {
+  return scratch_.ban_edge_epoch[edge - 1] == scratch_.ban_epoch;
+}
+
+void Graph::touch(std::uint32_t index) const {
+  Scratch& s = scratch_;
+  if (s.node_epoch[index] == s.epoch) return;
+  s.node_epoch[index] = s.epoch;
+  s.primary[index] = std::numeric_limits<double>::infinity();
+  s.secondary[index] = std::numeric_limits<double>::infinity();
+  s.via_edge[index] = 0;
+  s.settled[index] = 0;
+}
+
+Result<GraphPath> Graph::dijkstra(NodeKey src, NodeKey dst, Metric metric,
+                                  const PathConstraints& constraints) const {
+  const std::uint32_t src_index = node_index(src);
+  const std::uint32_t dst_index = node_index(dst);
+  if (src_index == kNoNode || dst_index == kNoNode)
     return Error{ErrorCode::kNotFound, "src or dst not in graph"};
-  if (banned_nodes.contains(src) || banned_nodes.contains(dst))
+  if (node_banned(src_index) || node_banned(dst_index))
     return Error{ErrorCode::kNotFound, "endpoint banned"};
 
-  struct NodeState {
-    double primary = std::numeric_limits<double>::infinity();
-    double secondary = std::numeric_limits<double>::infinity();
-    EdgeKey via_edge = 0;
-    bool settled = false;
-  };
-  std::unordered_map<NodeKey, NodeState> state;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  begin_query();
+  Scratch& s = scratch_;
+  touch(src_index);
+  s.primary[src_index] = 0.0;
+  s.secondary[src_index] = 0.0;
+  s.heap.push_back({0.0, 0.0, src_index});
 
-  state[src] = NodeState{0.0, 0.0, 0, false};
-  queue.push({0.0, 0.0, src});
-
-  while (!queue.empty()) {
-    auto [primary, secondary, node] = queue.top();
-    queue.pop();
-    auto& ns = state[node];
-    if (ns.settled) continue;
-    ns.settled = true;
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), HeapGreater{});
+    HeapItem item = s.heap.back();
+    s.heap.pop_back();
+    if (s.settled[item.node] != 0) continue;
+    s.settled[item.node] = 1;
+    const NodeKey node = (adjacency_.begin() + item.node)->first;
     if (node == dst) break;
 
-    auto adj = adjacency_.find(node);
-    if (adj == adjacency_.end()) continue;
-    for (EdgeKey ek : adj->second) {
-      if (banned_edges.contains(ek)) continue;
-      const GraphEdge& e = edges_.at(ek);
+    for (EdgeKey ek : (adjacency_.begin() + item.node)->second) {
+      if (edge_banned(ek)) continue;
+      const GraphEdge& e = edges_[ek - 1];
       if (!e.up) continue;
       if (e.metrics.bandwidth_kbps + 1e-9 < constraints.min_bandwidth_kbps) continue;
-      if (banned_nodes.contains(e.to)) continue;
-      double np = primary + primary_of(e.metrics, metric);
-      double nsnd = secondary + secondary_of(e.metrics, metric);
-      auto& ts = state[e.to];
-      if (ts.settled) continue;
-      if (np < ts.primary || (np == ts.primary && nsnd < ts.secondary)) {
-        ts.primary = np;
-        ts.secondary = nsnd;
-        ts.via_edge = ek;
-        queue.push({np, nsnd, e.to});
+      const std::uint32_t to = node_index(e.to);
+      if (node_banned(to)) continue;
+      double np = item.primary + primary_of(e.metrics, metric);
+      double nsnd = item.secondary + secondary_of(e.metrics, metric);
+      touch(to);
+      if (s.settled[to] != 0) continue;
+      if (np < s.primary[to] || (np == s.primary[to] && nsnd < s.secondary[to])) {
+        s.primary[to] = np;
+        s.secondary[to] = nsnd;
+        s.via_edge[to] = ek;
+        s.heap.push_back({np, nsnd, to});
+        std::push_heap(s.heap.begin(), s.heap.end(), HeapGreater{});
       }
     }
   }
 
-  auto dit = state.find(dst);
-  if (dit == state.end() || !dit->second.settled)
+  if (s.node_epoch[dst_index] != s.epoch || s.settled[dst_index] == 0)
     return Error{ErrorCode::kNotFound, "no path"};
 
   GraphPath path;
   NodeKey cur = dst;
   while (cur != src) {
-    EdgeKey via = state.at(cur).via_edge;
-    const GraphEdge& e = edges_.at(via);
+    EdgeKey via = s.via_edge[node_index(cur)];
+    const GraphEdge& e = edges_[via - 1];
     path.edges.push_back(via);
     path.nodes.push_back(cur);
     cur = e.from;
@@ -178,7 +229,7 @@ Result<GraphPath> Graph::dijkstra(
   std::reverse(path.nodes.begin(), path.nodes.end());
   std::reverse(path.edges.begin(), path.edges.end());
   path.metrics = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
-  for (EdgeKey ek : path.edges) path.metrics = path.metrics.then(edges_.at(ek).metrics);
+  for (EdgeKey ek : path.edges) path.metrics = path.metrics.then(edges_[ek - 1].metrics);
   return path;
 }
 
@@ -190,7 +241,8 @@ Result<GraphPath> Graph::shortest_path(NodeKey src, NodeKey dst, Metric metric,
     trivial.metrics = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
     return trivial;
   }
-  auto best = dijkstra(src, dst, metric, constraints, {}, {});
+  clear_bans();
+  auto best = dijkstra(src, dst, metric, constraints);
   if (!best.ok()) return best;
   if (constraints.satisfied_by(best->metrics)) return best;
 
@@ -198,7 +250,8 @@ Result<GraphPath> Graph::shortest_path(NodeKey src, NodeKey dst, Metric metric,
   // retry optimizing the other metric (exact when only one bound is active),
   // then a small sweep of weighted combinations as a heuristic fallback.
   Metric other = metric == Metric::kLatency ? Metric::kHops : Metric::kLatency;
-  auto alt = dijkstra(src, dst, other, constraints, {}, {});
+  clear_bans();
+  auto alt = dijkstra(src, dst, other, constraints);
   if (alt.ok() && constraints.satisfied_by(alt->metrics)) return alt;
 
   for (const GraphPath& candidate :
@@ -209,51 +262,52 @@ Result<GraphPath> Graph::shortest_path(NodeKey src, NodeKey dst, Metric metric,
   return Error{ErrorCode::kUnsatisfiable, "no path within constraints"};
 }
 
-std::unordered_map<NodeKey, EdgeMetrics> Graph::shortest_tree(
-    NodeKey src, Metric metric, double min_bandwidth_kbps) const {
-  std::unordered_map<NodeKey, EdgeMetrics> best;
-  if (!has_node(src)) return best;
+core::FlatMap<NodeKey, EdgeMetrics> Graph::shortest_tree(NodeKey src, Metric metric,
+                                                         double min_bandwidth_kbps) const {
+  core::FlatMap<NodeKey, EdgeMetrics> best;
+  const std::uint32_t src_index = node_index(src);
+  if (src_index == kNoNode) return best;
 
   // Dijkstra keyed on the primary metric; bandwidth is the bottleneck along
   // the chosen (primary-optimal) path, matching vFabric semantics.
-  struct NodeState {
-    double primary = std::numeric_limits<double>::infinity();
-    EdgeMetrics metrics;
-    bool settled = false;
-  };
-  std::unordered_map<NodeKey, NodeState> state;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
-  state[src] =
-      NodeState{0.0, EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()}, false};
-  queue.push({0.0, 0.0, src});
+  begin_query();
+  Scratch& s = scratch_;
+  touch(src_index);
+  s.primary[src_index] = 0.0;
+  s.metrics[src_index] = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
+  s.heap.push_back({0.0, 0.0, src_index});
 
-  while (!queue.empty()) {
-    auto [primary, secondary, node] = queue.top();
-    queue.pop();
-    auto& ns = state[node];
-    if (ns.settled) continue;
-    ns.settled = true;
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), HeapGreater{});
+    HeapItem item = s.heap.back();
+    s.heap.pop_back();
+    if (s.settled[item.node] != 0) continue;
+    s.settled[item.node] = 1;
 
-    auto adj = adjacency_.find(node);
-    if (adj == adjacency_.end()) continue;
-    for (EdgeKey ek : adj->second) {
-      const GraphEdge& e = edges_.at(ek);
+    for (EdgeKey ek : (adjacency_.begin() + item.node)->second) {
+      const GraphEdge& e = edges_[ek - 1];
       if (!e.up) continue;
       if (e.metrics.bandwidth_kbps + 1e-9 < min_bandwidth_kbps) continue;
-      EdgeMetrics nm = ns.metrics.then(e.metrics);
+      EdgeMetrics nm = s.metrics[item.node].then(e.metrics);
       double np = primary_of(nm, metric);
-      auto& ts = state[e.to];
-      if (ts.settled) continue;
-      if (np < ts.primary) {
-        ts.primary = np;
-        ts.metrics = nm;
-        queue.push({np, secondary_of(nm, metric), e.to});
+      const std::uint32_t to = node_index(e.to);
+      touch(to);
+      if (s.settled[to] != 0) continue;
+      if (np < s.primary[to]) {
+        s.primary[to] = np;
+        s.metrics[to] = nm;
+        s.heap.push_back({np, secondary_of(nm, metric), to});
+        std::push_heap(s.heap.begin(), s.heap.end(), HeapGreater{});
       }
     }
   }
 
-  for (const auto& [node, ns] : state) {
-    if (ns.settled) best.emplace(node, ns.metrics);
+  // Emit in node-insertion order: deterministic, unlike the old
+  // unordered_map drain.
+  best.reserve(adjacency_.size());
+  for (std::uint32_t i = 0; i < adjacency_.size(); ++i) {
+    if (s.node_epoch[i] == s.epoch && s.settled[i] != 0)
+      best.try_emplace((adjacency_.begin() + i)->first, s.metrics[i]);
   }
   return best;
 }
@@ -264,7 +318,8 @@ std::vector<GraphPath> Graph::k_shortest_paths(NodeKey src, NodeKey dst, std::si
   std::vector<GraphPath> result;
   if (k == 0) return result;
   PathConstraints bw_only{.min_bandwidth_kbps = constraints.min_bandwidth_kbps};
-  auto first = dijkstra(src, dst, metric, bw_only, {}, {});
+  clear_bans();
+  auto first = dijkstra(src, dst, metric, bw_only);
   if (!first.ok()) return result;
   result.push_back(std::move(first).value());
 
@@ -279,20 +334,19 @@ std::vector<GraphPath> Graph::k_shortest_paths(NodeKey src, NodeKey dst, std::si
     // Spur from every node of the previous path (Yen).
     for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
       NodeKey spur_node = prev.nodes[i];
-      std::unordered_set<EdgeKey> banned_edges;
-      std::unordered_set<NodeKey> banned_nodes;
+      clear_bans();
       // Ban edges that would recreate an already-found path sharing this root.
       for (const GraphPath& p : result) {
         if (p.nodes.size() > i &&
             std::equal(p.nodes.begin(), p.nodes.begin() + static_cast<long>(i) + 1,
                        prev.nodes.begin())) {
-          if (p.edges.size() > i) banned_edges.insert(p.edges[i]);
+          if (p.edges.size() > i) ban_edge(p.edges[i]);
         }
       }
       // Ban root-path nodes (loop-free paths).
-      for (std::size_t j = 0; j < i; ++j) banned_nodes.insert(prev.nodes[j]);
+      for (std::size_t j = 0; j < i; ++j) ban_node(prev.nodes[j]);
 
-      auto spur = dijkstra(spur_node, dst, metric, bw_only, banned_nodes, banned_edges);
+      auto spur = dijkstra(spur_node, dst, metric, bw_only);
       if (!spur.ok()) continue;
 
       GraphPath total;
@@ -301,7 +355,7 @@ std::vector<GraphPath> Graph::k_shortest_paths(NodeKey src, NodeKey dst, std::si
       total.nodes.insert(total.nodes.end(), spur->nodes.begin(), spur->nodes.end());
       total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
       total.metrics = EdgeMetrics{0.0, 0.0, std::numeric_limits<double>::infinity()};
-      for (EdgeKey ek : total.edges) total.metrics = total.metrics.then(edges_.at(ek).metrics);
+      for (EdgeKey ek : total.edges) total.metrics = total.metrics.then(edges_[ek - 1].metrics);
 
       bool duplicate =
           std::any_of(result.begin(), result.end(),
@@ -327,20 +381,30 @@ std::vector<GraphPath> Graph::k_shortest_paths(NodeKey src, NodeKey dst, std::si
 }
 
 bool Graph::connected_from(NodeKey src) const {
-  if (!has_node(src)) return adjacency_.empty();
-  std::unordered_set<NodeKey> seen{src};
-  std::vector<NodeKey> stack{src};
+  const std::uint32_t src_index = node_index(src);
+  if (src_index == kNoNode) return adjacency_.empty();
+  // Reuse the epoch-stamped scratch as the DFS visited set + stack.
+  begin_query();
+  Scratch& s = scratch_;
+  touch(src_index);
+  s.settled[src_index] = 1;
+  std::size_t seen = 1;
+  std::vector<std::uint32_t> stack{src_index};
   while (!stack.empty()) {
-    NodeKey node = stack.back();
+    std::uint32_t node = stack.back();
     stack.pop_back();
-    auto adj = adjacency_.find(node);
-    if (adj == adjacency_.end()) continue;
-    for (EdgeKey ek : adj->second) {
-      const GraphEdge& e = edges_.at(ek);
-      if (e.up && seen.insert(e.to).second) stack.push_back(e.to);
+    for (EdgeKey ek : (adjacency_.begin() + node)->second) {
+      const GraphEdge& e = edges_[ek - 1];
+      if (!e.up) continue;
+      const std::uint32_t to = node_index(e.to);
+      touch(to);
+      if (s.settled[to] != 0) continue;
+      s.settled[to] = 1;
+      ++seen;
+      stack.push_back(to);
     }
   }
-  return seen.size() == adjacency_.size();
+  return seen == adjacency_.size();
 }
 
 }  // namespace softmow

@@ -5,15 +5,22 @@
 // Edges carry the three vFabric metrics of paper §3.2 — latency, hop count,
 // and available bandwidth. Hop count is a double because a single logical
 // edge (a vFabric port pair) may summarize a multi-hop physical segment.
+//
+// Memory model (DESIGN §12): edges live in a dense vector indexed by their
+// sequential key, adjacency lists hang off a flat open-addressing node
+// table, and every shortest-path query runs on preallocated epoch-stamped
+// scratch — after warmup a query allocates nothing. The scratch makes const
+// path queries non-reentrant; each controller's graph is shard-confined, so
+// this costs nothing under the engine's ownership discipline.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/result.h"
 
 namespace softmow {
@@ -52,7 +59,7 @@ struct PathConstraints {
 };
 
 struct GraphEdge {
-  EdgeKey id = 0;
+  EdgeKey id = 0;  ///< 0 = removed slot in the dense edge store
   NodeKey from = 0;
   NodeKey to = 0;
   EdgeMetrics metrics;
@@ -93,8 +100,9 @@ class Graph {
   Result<void> set_edge_metrics(EdgeKey edge, EdgeMetrics metrics);
 
   [[nodiscard]] const GraphEdge* edge(EdgeKey edge) const;
-  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
-  [[nodiscard]] std::vector<const GraphEdge*> out_edges(NodeKey node) const;
+  [[nodiscard]] std::size_t edge_count() const { return live_edges_; }
+  /// View of `node`'s out-edge keys — valid until the next graph mutation.
+  [[nodiscard]] std::span<const EdgeKey> out_edges(NodeKey node) const;
   [[nodiscard]] std::vector<const GraphEdge*> all_edges() const;
 
   /// Single-metric Dijkstra restricted to up-edges meeting the bandwidth floor.
@@ -104,9 +112,10 @@ class Graph {
       NodeKey src, NodeKey dst, Metric metric,
       const PathConstraints& constraints = {}) const;
 
-  /// Shortest-path tree from `src`: returns per-node best metrics (for
+  /// Shortest-path tree from `src`: best metrics per reachable node (for
   /// vFabric computation, which needs all border-port pairs at once).
-  [[nodiscard]] std::unordered_map<NodeKey, EdgeMetrics> shortest_tree(
+  /// Iteration order is node-insertion order — deterministic.
+  [[nodiscard]] core::FlatMap<NodeKey, EdgeMetrics> shortest_tree(
       NodeKey src, Metric metric, double min_bandwidth_kbps = 0.0) const;
 
   /// Yen's algorithm: up to k loop-free shortest paths, best first (§3.2
@@ -119,14 +128,53 @@ class Graph {
   [[nodiscard]] bool connected_from(NodeKey src) const;
 
  private:
-  [[nodiscard]] Result<GraphPath> dijkstra(
-      NodeKey src, NodeKey dst, Metric metric, const PathConstraints& constraints,
-      const std::unordered_set<NodeKey>& banned_nodes,
-      const std::unordered_set<EdgeKey>& banned_edges) const;
+  /// Min-heap element for the scratch Dijkstra heap.
+  struct HeapItem {
+    double primary;
+    double secondary;
+    std::uint32_t node;  ///< dense node index
+  };
+  /// Epoch-stamped per-query state: arrays are sized once per query to the
+  /// current node/edge population and invalidated by bumping `epoch` — no
+  /// clearing, no per-query maps. `ban_epoch` works the same way for Yen's
+  /// per-spur node/edge bans.
+  struct Scratch {
+    std::vector<std::uint64_t> node_epoch;  ///< state validity, per node index
+    std::vector<double> primary;
+    std::vector<double> secondary;
+    std::vector<EdgeKey> via_edge;
+    std::vector<std::uint8_t> settled;
+    std::vector<EdgeMetrics> metrics;       ///< tree queries only
+    std::vector<std::uint64_t> ban_node_epoch;
+    std::vector<std::uint64_t> ban_edge_epoch;  ///< per edge index (key - 1)
+    std::vector<HeapItem> heap;
+    std::uint64_t epoch = 0;
+    std::uint64_t ban_epoch = 0;
+  };
 
-  std::unordered_map<NodeKey, std::vector<EdgeKey>> adjacency_;
-  std::unordered_map<EdgeKey, GraphEdge> edges_;
-  EdgeKey next_edge_ = 1;
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  /// Dense index of `node`, or kNoNode. Stable between mutations only.
+  [[nodiscard]] std::uint32_t node_index(NodeKey node) const;
+  /// Sizes scratch arrays to the current population and opens a new epoch.
+  void begin_query() const;
+  void clear_bans() const;
+  void ban_node(NodeKey node) const;
+  void ban_edge(EdgeKey edge) const;
+  [[nodiscard]] bool node_banned(std::uint32_t index) const;
+  [[nodiscard]] bool edge_banned(EdgeKey edge) const;
+  /// Lazily initializes scratch state for node `index` in this epoch.
+  void touch(std::uint32_t index) const;
+
+  /// Runs under the bans currently marked in scratch (clear_bans() first for
+  /// an unrestricted query).
+  [[nodiscard]] Result<GraphPath> dijkstra(NodeKey src, NodeKey dst, Metric metric,
+                                           const PathConstraints& constraints) const;
+
+  core::FlatMap<NodeKey, std::vector<EdgeKey>> adjacency_;
+  std::vector<GraphEdge> edges_;  ///< dense, indexed by key - 1; id 0 = hole
+  std::size_t live_edges_ = 0;
+  mutable Scratch scratch_;
 };
 
 }  // namespace softmow

@@ -1,13 +1,21 @@
 // Undirected weighted adjacency — the "handover graph" structure used at
 // every granularity in SoftMoW: base-station level (trace), BS-group level
 // (leaf controllers), and G-BS level (ancestor controllers, §5.3.1).
+//
+// Memory model (DESIGN §12): the edge store is a flat open-addressing table
+// (core::FlatMap) keyed by the ordered node pair, so the per-handover
+// accumulate (`add`) is O(1) amortized with no per-edge node allocation.
+// Accessors that callers iterate for *results* (edges(), neighbors())
+// return ID-sorted copies, so partitioning and optimization output does not
+// depend on handover arrival order.
 #pragma once
 
 #include <algorithm>
-#include <map>
 #include <set>
 #include <utility>
 #include <vector>
+
+#include "core/flat_map.h"
 
 namespace softmow {
 
@@ -37,29 +45,38 @@ class WeightedAdjacency {
 
   void remove_node(IdT node) {
     nodes_.erase(node);
-    std::erase_if(edges_, [&](const auto& kv) {
-      return kv.first.first == node || kv.first.second == node;
-    });
+    std::vector<std::pair<IdT, IdT>> doomed;
+    for (const auto& [key, w] : edges_) {
+      if (key.first == node || key.second == node) doomed.push_back(key);
+    }
+    for (const auto& key : doomed) edges_.erase(key);
   }
 
   [[nodiscard]] double weight(IdT a, IdT b) const {
-    auto it = edges_.find(ordered(a, b));
-    return it == edges_.end() ? 0.0 : it->second;
+    const double* w = edges_.find_value(ordered(a, b));
+    return w == nullptr ? 0.0 : *w;
   }
 
   [[nodiscard]] const std::set<IdT>& nodes() const { return nodes_; }
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
 
+  /// Edges sorted by node pair (the order the old std::map store produced).
   [[nodiscard]] std::vector<Edge> edges() const {
-    return std::vector<Edge>(edges_.begin(), edges_.end());
+    std::vector<Edge> out(edges_.begin(), edges_.end());
+    std::sort(out.begin(), out.end(),
+              [](const Edge& x, const Edge& y) { return x.first < y.first; });
+    return out;
   }
 
+  /// Neighbors of `node` sorted by ID.
   [[nodiscard]] std::vector<std::pair<IdT, double>> neighbors(IdT node) const {
     std::vector<std::pair<IdT, double>> out;
     for (const auto& [key, w] : edges_) {
       if (key.first == node) out.emplace_back(key.second, w);
       else if (key.second == node) out.emplace_back(key.first, w);
     }
+    std::sort(out.begin(), out.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
     return out;
   }
 
@@ -82,10 +99,12 @@ class WeightedAdjacency {
   }
 
   /// Merges another graph into this one (weight accumulation) — used when an
-  /// ancestor aggregates child handover histories (§5.3.1).
+  /// ancestor aggregates child handover histories (§5.3.1). Accumulation
+  /// runs in the other graph's sorted edge order so the floating-point sums
+  /// are independent of its insertion history.
   void merge(const WeightedAdjacency& other) {
     for (IdT n : other.nodes_) nodes_.insert(n);
-    for (const auto& [key, w] : other.edges_) edges_[key] += w;
+    for (const auto& [key, w] : other.edges()) edges_[key] += w;
   }
 
  private:
@@ -93,8 +112,8 @@ class WeightedAdjacency {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
-  std::set<IdT> nodes_;
-  std::map<std::pair<IdT, IdT>, double> edges_;
+  std::set<IdT> nodes_;  ///< sorted: result-order contract for callers
+  core::FlatMap<std::pair<IdT, IdT>, double> edges_;
 };
 
 }  // namespace softmow

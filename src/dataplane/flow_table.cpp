@@ -75,57 +75,139 @@ std::string FlowRule::str() const {
   return os.str();
 }
 
+std::uint64_t FlowTable::RuleKeyHash::operator()(const RuleKey& k) const {
+  using core::detail::mix64;
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.priority) ^
+                          ((std::uint64_t{k.mask} << 32) | k.version));
+  h = mix64(h ^ k.in_port);
+  h = mix64(h ^ k.label);
+  h = mix64(h ^ k.ue);
+  h = mix64(h ^ k.bs_group);
+  return mix64(h ^ k.dst_prefix);
+}
+
+FlowTable::RuleKey FlowTable::rule_key(int priority, const Match& m) {
+  RuleKey k;
+  k.priority = priority;
+  if (m.in_port) {
+    k.mask |= 1u << 0;
+    k.in_port = m.in_port->value;
+  }
+  if (m.label) {
+    k.mask |= 1u << 1;
+    k.label = *m.label;
+  }
+  if (m.ue) {
+    k.mask |= 1u << 2;
+    k.ue = m.ue->value;
+  }
+  if (m.bs_group) {
+    k.mask |= 1u << 3;
+    k.bs_group = m.bs_group->value;
+  }
+  if (m.dst_prefix) {
+    k.mask |= 1u << 4;
+    k.dst_prefix = m.dst_prefix->value;
+  }
+  if (m.version) {
+    k.mask |= 1u << 5;
+    k.version = *m.version;
+  }
+  return k;
+}
+
 Result<void> FlowTable::install(FlowRule rule) {
   SHARD_CHECKED(guard_, kWrite);
-  for (const FlowRule& r : rules_) {
-    if (r.cookie != rule.cookie && r.priority == rule.priority && r.match == rule.match) {
-      return {ErrorCode::kConflict,
-              "install of " + rule.str() + " would ambiguously shadow cookie " +
-                  std::to_string(r.cookie) + " (same priority and match)"};
-    }
+  const RuleKey key = rule_key(rule.priority, rule.match);
+  if (const std::uint32_t* shadow = by_key_.find_value(key);
+      shadow != nullptr && rules_[*shadow].cookie != rule.cookie) {
+    return {ErrorCode::kConflict,
+            "install of " + rule.str() + " would ambiguously shadow cookie " +
+                std::to_string(rules_[*shadow].cookie) + " (same priority and match)"};
   }
-  (void)remove_by_cookie(rule.cookie);  // replace-by-cookie: absence is fine
+  if (const std::uint32_t* old = by_cookie_.find_value(rule.cookie); old != nullptr)
+    remove_slot(*old);  // replace-by-cookie
+  const std::uint32_t slot = static_cast<std::uint32_t>(rules_.size());
   rules_.push_back(std::move(rule));
-  sort_rules();
+  by_cookie_.try_emplace(rules_.back().cookie, slot);
+  by_key_.try_emplace(key, slot);
+  order_.push_back(slot);
+  order_dirty_ = true;
   return Ok();
+}
+
+void FlowTable::remove_slot(std::uint32_t slot) {
+  const FlowRule& doomed = rules_[slot];
+  by_cookie_.erase(doomed.cookie);
+  by_key_.erase(rule_key(doomed.priority, doomed.match));
+  const std::uint32_t last = static_cast<std::uint32_t>(rules_.size() - 1);
+  if (slot != last) {
+    rules_[slot] = std::move(rules_[last]);
+    const FlowRule& moved = rules_[slot];
+    by_cookie_.at(moved.cookie) = slot;
+    by_key_.at(rule_key(moved.priority, moved.match)) = slot;
+  }
+  rules_.pop_back();
+  // Rebuild the order lazily: slot identities just changed under it.
+  order_.resize(rules_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  order_dirty_ = true;
 }
 
 Result<std::size_t> FlowTable::remove_by_cookie(std::uint64_t cookie) {
   SHARD_CHECKED(guard_, kWrite);
-  std::size_t before = rules_.size();
-  std::erase_if(rules_, [cookie](const FlowRule& r) { return r.cookie == cookie; });
-  std::size_t removed = before - rules_.size();
-  if (removed == 0)
+  const std::uint32_t* slot = by_cookie_.find_value(cookie);
+  if (slot == nullptr)
     return {ErrorCode::kNotFound, "no rule with cookie " + std::to_string(cookie)};
-  return removed;
+  remove_slot(*slot);
+  return std::size_t{1};
 }
 
 Result<std::size_t> FlowTable::remove_by_match(const Match& match) {
   SHARD_CHECKED(guard_, kWrite);
-  std::size_t before = rules_.size();
-  std::erase_if(rules_, [&match](const FlowRule& r) { return r.match == match; });
-  std::size_t removed = before - rules_.size();
-  if (removed == 0) return {ErrorCode::kNotFound, "no rule matching " + match.str()};
-  return removed;
+  // Exact-match removal spans priorities, so it scans — acceptable: this is
+  // an operator/recovery path, not the per-bearer churn path.
+  std::vector<std::uint64_t> cookies;
+  for (const FlowRule& r : rules_) {
+    if (r.match == match) cookies.push_back(r.cookie);
+  }
+  if (cookies.empty()) return {ErrorCode::kNotFound, "no rule matching " + match.str()};
+  for (std::uint64_t c : cookies) remove_slot(by_cookie_.at(c));
+  return cookies.size();
 }
 
 void FlowTable::clear() {
   SHARD_CHECKED(guard_, kWrite);
   rules_.clear();
+  by_cookie_.clear();
+  by_key_.clear();
+  order_.clear();
+  order_dirty_ = false;
 }
 
-void FlowTable::sort_rules() {
-  std::stable_sort(rules_.begin(), rules_.end(), [](const FlowRule& a, const FlowRule& b) {
-    if (a.priority != b.priority) return a.priority > b.priority;
-    int sa = a.match.specificity(), sb = b.match.specificity();
+void FlowTable::ensure_sorted() const {
+  if (!order_dirty_) return;
+  std::stable_sort(order_.begin(), order_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    const FlowRule& ra = rules_[a];
+    const FlowRule& rb = rules_[b];
+    if (ra.priority != rb.priority) return ra.priority > rb.priority;
+    int sa = ra.match.specificity(), sb = rb.match.specificity();
     if (sa != sb) return sa > sb;
-    return a.cookie < b.cookie;
+    return ra.cookie < rb.cookie;
   });
+  order_dirty_ = false;
+}
+
+const FlowRule* FlowTable::find_by_cookie(std::uint64_t cookie) const {
+  const std::uint32_t* slot = by_cookie_.find_value(cookie);
+  return slot == nullptr ? nullptr : &rules_[*slot];
 }
 
 FlowRule* FlowTable::lookup(const Packet& pkt, PortId arrival_port, BsGroupId origin_group) {
   SHARD_CHECKED(guard_, kWrite);  // lookups advance rule counters
-  for (FlowRule& r : rules_) {
+  ensure_sorted();
+  for (std::uint32_t slot : order_) {
+    FlowRule& r = rules_[slot];
     if (r.match.matches(pkt, arrival_port, origin_group)) {
       ++r.packet_count;
       r.byte_count += pkt.wire_bytes();

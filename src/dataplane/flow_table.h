@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "analysis/shard_guard.h"
+#include "core/flat_map.h"
 #include "core/ids.h"
 #include "core/packet.h"
 #include "core/result.h"
@@ -80,15 +82,77 @@ struct FlowRule {
 };
 
 /// Priority-ordered rule table with exact-duplicate rejection.
+///
+/// Memory model (DESIGN §12): rules live in a dense slot vector (swap-pop
+/// erase), indexed by cookie and by (priority, match) fingerprint through
+/// flat open-addressing tables, so install / remove-by-cookie are O(1)
+/// amortized instead of the old sort-per-install O(n log n). The
+/// priority order is a lazily rebuilt index of u32 slots: installs during a
+/// bearer-setup burst never sort; the first lookup (or rules() view) after
+/// a mutation sorts once.
 class FlowTable {
  public:
+  /// Priority-ordered, read-only view over the table (no copy). Invalidated
+  /// by any table mutation — iterate-then-mutate must collect keys first.
+  class RuleView {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = FlowRule;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const FlowRule*;
+      using reference = const FlowRule&;
+
+      iterator() = default;
+      reference operator*() const { return (*rules_)[(*order_)[i_]]; }
+      pointer operator->() const { return &**this; }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        ++i_;
+        return copy;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) { return a.i_ == b.i_; }
+
+     private:
+      friend class RuleView;
+      iterator(const std::vector<FlowRule>* rules, const std::vector<std::uint32_t>* order,
+               std::size_t i)
+          : rules_(rules), order_(order), i_(i) {}
+      const std::vector<FlowRule>* rules_ = nullptr;
+      const std::vector<std::uint32_t>* order_ = nullptr;
+      std::size_t i_ = 0;
+    };
+
+    [[nodiscard]] std::size_t size() const { return order_->size(); }
+    [[nodiscard]] bool empty() const { return order_->empty(); }
+    [[nodiscard]] const FlowRule& operator[](std::size_t i) const {
+      return (*rules_)[(*order_)[i]];
+    }
+    [[nodiscard]] const FlowRule& front() const { return (*this)[0]; }
+    [[nodiscard]] iterator begin() const { return {rules_, order_, 0}; }
+    [[nodiscard]] iterator end() const { return {rules_, order_, order_->size()}; }
+
+   private:
+    friend class FlowTable;
+    RuleView(const std::vector<FlowRule>* rules, const std::vector<std::uint32_t>* order)
+        : rules_(rules), order_(order) {}
+    const std::vector<FlowRule>* rules_;
+    const std::vector<std::uint32_t>* order_;
+  };
+
   /// Installs a rule. Replaces an existing rule with the same cookie.
   /// Rejects (kConflict) a rule whose (priority, match) is identical to a
   /// rule installed under a *different* cookie: the tie would otherwise be
   /// broken by cookie order, leaving one of the two silently shadowed.
   Result<void> install(FlowRule rule);
-  /// Removes all rules with this cookie; returns how many were removed.
-  /// Fails (kNotFound) when no rule carries the cookie.
+  /// Removes the rule with this cookie (cookies are unique: install
+  /// replaces); returns how many were removed. Fails (kNotFound) when no
+  /// rule carries the cookie.
   Result<std::size_t> remove_by_cookie(std::uint64_t cookie);
   /// Removes rules whose match equals `match` exactly; returns how many.
   /// Fails (kNotFound) when nothing matched.
@@ -101,7 +165,14 @@ class FlowTable {
                    BsGroupId origin_group = BsGroupId{});
 
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
-  [[nodiscard]] const std::vector<FlowRule>& rules() const { return rules_; }
+  /// Rules in (priority desc, specificity desc, cookie asc) order, as a
+  /// zero-copy view. Valid until the next mutation.
+  [[nodiscard]] RuleView rules() const {
+    ensure_sorted();
+    return RuleView{&rules_, &order_};
+  }
+  /// The rule installed under `cookie`, or nullptr (O(1)).
+  [[nodiscard]] const FlowRule* find_by_cookie(std::uint64_t cookie) const;
 
   /// Shard-ownership tag; identity is set by the owning Switch, the owner
   /// by mgmt::bind_shards when the hierarchy is pinned to an engine. A rule
@@ -109,8 +180,35 @@ class FlowTable {
   [[nodiscard]] analysis::ShardGuard& guard() { return guard_; }
 
  private:
-  void sort_rules();
-  std::vector<FlowRule> rules_;  ///< kept sorted by (priority desc, specificity desc, cookie)
+  /// Exact fingerprint of (priority, match) for O(1) shadow-conflict
+  /// detection: presence mask + every field value, compared field-for-field
+  /// (no lossy hashing — the hash only seeds the probe).
+  struct RuleKey {
+    std::int64_t priority = 0;
+    std::uint32_t mask = 0;
+    std::uint32_t version = 0;
+    std::uint64_t in_port = 0;
+    std::uint64_t label = 0;
+    std::uint64_t ue = 0;
+    std::uint64_t bs_group = 0;
+    std::uint64_t dst_prefix = 0;
+    friend bool operator==(const RuleKey&, const RuleKey&) = default;
+  };
+  struct RuleKeyHash {
+    std::uint64_t operator()(const RuleKey& k) const;
+  };
+
+  [[nodiscard]] static RuleKey rule_key(int priority, const Match& m);
+  /// Swap-pop removal of dense slot, fixing both indexes for the moved rule.
+  void remove_slot(std::uint32_t slot);
+  void ensure_sorted() const;
+
+  std::vector<FlowRule> rules_;  ///< dense slots, mutation order (unsorted)
+  core::FlatMap<std::uint64_t, std::uint32_t> by_cookie_;    ///< cookie -> slot
+  core::FlatMap<RuleKey, std::uint32_t, RuleKeyHash> by_key_;  ///< (prio, match) -> slot
+  /// Lazily maintained priority order over slots (see class comment).
+  mutable std::vector<std::uint32_t> order_;
+  mutable bool order_dirty_ = false;
   analysis::ShardGuard guard_{"flowtable", 0};
 };
 

@@ -14,9 +14,9 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/graph.h"
 #include "core/ids.h"
 #include "core/packet.h"
@@ -142,10 +142,10 @@ class PhysicalNetwork {
   Endpoint attach_port(SwitchId sw_id, PeerKind kind);
 
   std::map<SwitchId, std::unique_ptr<Switch>> switches_;
-  std::map<SwitchId, GeoPoint> locations_;
-  std::map<SwitchId, bool> access_flag_;
+  core::FlatMap<SwitchId, GeoPoint> locations_;   ///< lookup-only
+  core::FlatMap<SwitchId, bool> access_flag_;     ///< lookup-only
   std::map<LinkId, Link> links_;
-  std::unordered_map<Endpoint, LinkId> link_by_endpoint_;
+  core::FlatMap<Endpoint, LinkId> link_by_endpoint_;  ///< lookup-only
   std::map<BsGroupId, BsGroup> groups_;
   std::map<BsId, BaseStation> stations_;
   std::map<MiddleboxId, Middlebox> middleboxes_;

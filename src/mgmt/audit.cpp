@@ -102,7 +102,7 @@ std::uint64_t cookie_applying_tag(const dataplane::Switch* sw, std::uint32_t tag
 }  // namespace
 
 SliceAuditReport audit_slice_isolation(dataplane::PhysicalNetwork& net,
-                                       const std::map<UeId, SliceId>& ue_slices) {
+                                       const core::FlatMap<UeId, SliceId>& ue_slices) {
   SliceAuditReport report;
   std::set<std::pair<std::uint64_t, std::uint64_t>> seen;  // (sw, cookie) dedup
   auto add_finding = [&](SwitchId sw, std::uint64_t cookie, SliceId expected, SliceId found) {

@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "dataplane/network.h"
 
 namespace softmow::mgmt {
@@ -72,6 +73,6 @@ struct SliceAuditReport {
 /// classifier whose UE is in `ue_slices` (catches misrouting the static
 /// scan cannot see). Duplicate (switch, cookie) findings are reported once.
 [[nodiscard]] SliceAuditReport audit_slice_isolation(
-    dataplane::PhysicalNetwork& net, const std::map<UeId, SliceId>& ue_slices);
+    dataplane::PhysicalNetwork& net, const core::FlatMap<UeId, SliceId>& ue_slices);
 
 }  // namespace softmow::mgmt

@@ -18,8 +18,22 @@ void Nib::bump() {
   notifying_ = false;
 }
 
+template <class IdT, class MapT>
+std::span<const IdT> Nib::cached_ids(IdCache<IdT>& cache, const MapT& map,
+                                     std::uint64_t version) {
+  if (cache.version != version) {
+    cache.ids.clear();
+    cache.ids.reserve(map.size());
+    for (const auto& [id, rec] : map) cache.ids.push_back(id);
+    std::sort(cache.ids.begin(), cache.ids.end());
+    cache.version = version;
+  }
+  return cache.ids;
+}
+
 void Nib::upsert_switch(SwitchRecord rec) {
-  switches_[rec.id] = std::move(rec);
+  const SwitchId id = rec.id;
+  switches_.insert_or_assign(id, std::move(rec));
   bump();
 }
 
@@ -31,29 +45,22 @@ Result<void> Nib::remove_switch(SwitchId id) {
 }
 
 Result<void> Nib::set_vfabric(SwitchId id, std::vector<southbound::VFabricEntry> entries) {
-  auto it = switches_.find(id);
-  if (it == switches_.end()) return {ErrorCode::kNotFound, "no such switch"};
-  it->second.vfabric = std::move(entries);
+  SwitchRecord* rec = switches_.find_value(id);
+  if (rec == nullptr) return {ErrorCode::kNotFound, "no such switch"};
+  rec->vfabric = std::move(entries);
   bump();
   return Ok();
 }
 
-const SwitchRecord* Nib::sw(SwitchId id) const {
-  auto it = switches_.find(id);
-  return it == switches_.end() ? nullptr : &it->second;
-}
+const SwitchRecord* Nib::sw(SwitchId id) const { return switches_.find_value(id); }
 
 SwitchRecord* Nib::sw_mutable(SwitchId id) {
   SHARD_CHECKED(guard_, kWrite);  // mutable escape hatch: callers intend to write
-  auto it = switches_.find(id);
-  return it == switches_.end() ? nullptr : &it->second;
+  return switches_.find_value(id);
 }
 
-std::vector<SwitchId> Nib::switches() const {
-  std::vector<SwitchId> out;
-  out.reserve(switches_.size());
-  for (const auto& [id, rec] : switches_) out.push_back(id);
-  return out;
+std::span<const SwitchId> Nib::switches() const {
+  return cached_ids(switch_ids_, switches_, version_);
 }
 
 std::size_t Nib::total_ports() const {
@@ -69,28 +76,45 @@ void normalize(Endpoint& a, Endpoint& b) {
 }
 }  // namespace
 
+void Nib::index_link(std::uint32_t slot) {
+  const LinkRecord& l = links_[slot];
+  // try_emplace keeps the *first* link at each endpoint, matching the old
+  // first-match linear scan.
+  link_at_.try_emplace(l.a, slot);
+  link_at_.try_emplace(l.b, slot);
+  link_by_pair_.try_emplace(std::pair{l.a, l.b}, slot);
+}
+
+void Nib::rebuild_link_indexes() {
+  link_at_.clear();
+  link_by_pair_.clear();
+  for (std::uint32_t i = 0; i < links_.size(); ++i) index_link(i);
+}
+
 void Nib::upsert_link(Endpoint a, Endpoint b, EdgeMetrics metrics) {
   normalize(a, b);
-  for (LinkRecord& l : links_) {
-    if (l.a == a && l.b == b) {
-      l.metrics = metrics;
-      l.up = true;
-      bump();
-      return;
-    }
+  if (const std::uint32_t* slot = link_by_pair_.find_value(std::pair{a, b})) {
+    LinkRecord& l = links_[*slot];
+    l.metrics = metrics;
+    l.up = true;
+    bump();
+    return;
   }
   links_.push_back(LinkRecord{a, b, metrics, true});
+  index_link(static_cast<std::uint32_t>(links_.size() - 1));
   bump();
 }
 
 Result<void> Nib::remove_link(Endpoint a, Endpoint b) {
   normalize(a, b);
-  auto before = links_.size();
-  std::erase_if(links_, [&](const LinkRecord& l) { return l.a == a && l.b == b; });
-  if (links_.size() == before)
+  const std::uint32_t* slot = link_by_pair_.find_value(std::pair{a, b});
+  if (slot == nullptr)
     return {ErrorCode::kNotFound,
             "no link " + a.sw.str() + ":" + a.port.str() + " <-> " + b.sw.str() + ":" +
                 b.port.str()};
+  // Ordered erase (not swap-pop): links() iteration order is discovery order.
+  links_.erase(links_.begin() + *slot);
+  rebuild_link_indexes();
   bump();
   return Ok();
 }
@@ -98,30 +122,37 @@ Result<void> Nib::remove_link(Endpoint a, Endpoint b) {
 void Nib::remove_links_of(SwitchId sw) {
   auto before = links_.size();
   std::erase_if(links_, [&](const LinkRecord& l) { return l.a.sw == sw || l.b.sw == sw; });
-  if (links_.size() != before) bump();
+  if (links_.size() != before) {
+    rebuild_link_indexes();
+    bump();
+  }
 }
 
 void Nib::remove_links_at(Endpoint e) {
   auto before = links_.size();
   std::erase_if(links_, [&](const LinkRecord& l) { return l.a == e || l.b == e; });
-  if (links_.size() != before) bump();
+  if (links_.size() != before) {
+    rebuild_link_indexes();
+    bump();
+  }
 }
 
 Result<void> Nib::set_link_up(Endpoint a, Endpoint b, bool up) {
   normalize(a, b);
-  for (LinkRecord& l : links_) {
-    if (l.a == a && l.b == b) {
-      if (l.up != up) {
-        l.up = up;
-        bump();
-      }
-      return Ok();
+  if (const std::uint32_t* slot = link_by_pair_.find_value(std::pair{a, b})) {
+    LinkRecord& l = links_[*slot];
+    if (l.up != up) {
+      l.up = up;
+      bump();
     }
+    return Ok();
   }
   return {ErrorCode::kNotFound, "no such link in NIB"};
 }
 
 void Nib::set_links_at_up(Endpoint e, bool up) {
+  // Multi-match (every link touching e): stays a scan; port-status storms
+  // are rare relative to the admission path.
   bool changed = false;
   for (LinkRecord& l : links_) {
     if ((l.a == e || l.b == e) && l.up != up) {
@@ -133,43 +164,36 @@ void Nib::set_links_at_up(Endpoint e, bool up) {
 }
 
 Result<void> Nib::reserve_link_bandwidth(Endpoint at, double kbps) {
-  for (LinkRecord& l : links_) {
-    if (l.a == at || l.b == at) {
-      if (l.metrics.bandwidth_kbps + 1e-9 < kbps)
-        return {ErrorCode::kExhausted, "insufficient bandwidth on the link"};
-      l.metrics.bandwidth_kbps -= kbps;
-      bump();
-      return Ok();
-    }
-  }
-  return {ErrorCode::kNotFound, "no link at endpoint"};
+  const std::uint32_t* slot = link_at_.find_value(at);
+  if (slot == nullptr) return {ErrorCode::kNotFound, "no link at endpoint"};
+  LinkRecord& l = links_[*slot];
+  if (l.metrics.bandwidth_kbps + 1e-9 < kbps)
+    return {ErrorCode::kExhausted, "insufficient bandwidth on the link"};
+  l.metrics.bandwidth_kbps -= kbps;
+  bump();
+  return Ok();
 }
 
 Result<void> Nib::release_link_bandwidth(Endpoint at, double kbps) {
-  for (LinkRecord& l : links_) {
-    if (l.a == at || l.b == at) {
-      l.metrics.bandwidth_kbps += kbps;
-      bump();
-      return Ok();
-    }
-  }
-  return {ErrorCode::kNotFound, "no link at " + at.sw.str() + ":" + at.port.str()};
+  const std::uint32_t* slot = link_at_.find_value(at);
+  if (slot == nullptr)
+    return {ErrorCode::kNotFound, "no link at " + at.sw.str() + ":" + at.port.str()};
+  links_[*slot].metrics.bandwidth_kbps += kbps;
+  bump();
+  return Ok();
 }
 
 Result<void> Nib::adjust_middlebox_utilization(MiddleboxId id, double capacity_fraction) {
-  auto it = middleboxes_.find(id);
-  if (it == middleboxes_.end()) return {ErrorCode::kNotFound, "no such middlebox"};
-  it->second.utilization =
-      std::clamp(it->second.utilization + capacity_fraction, 0.0, 1.0);
+  southbound::GMiddleboxAnnounce* mb = middleboxes_.find_value(id);
+  if (mb == nullptr) return {ErrorCode::kNotFound, "no such middlebox"};
+  mb->utilization = std::clamp(mb->utilization + capacity_fraction, 0.0, 1.0);
   bump();
   return Ok();
 }
 
 const LinkRecord* Nib::link_at(Endpoint e) const {
-  for (const LinkRecord& l : links_) {
-    if (l.a == e || l.b == e) return &l;
-  }
-  return nullptr;
+  const std::uint32_t* slot = link_at_.find_value(e);
+  return slot == nullptr ? nullptr : &links_[*slot];
 }
 
 void Nib::upsert_gbs(southbound::GBsAnnounce info) {
@@ -177,15 +201,16 @@ void Nib::upsert_gbs(southbound::GBsAnnounce info) {
     // A withdrawal only applies if the withdrawer still owns the record —
     // after a region reconfiguration the new region may have (re-)announced
     // the same G-BS before the old region's withdrawal arrives.
-    auto it = gbs_.find(info.gbs);
-    if (it == gbs_.end()) return;
-    if (info.attached_switch.valid() && !(it->second.attached_switch == info.attached_switch))
+    const southbound::GBsAnnounce* cur = gbs_.find_value(info.gbs);
+    if (cur == nullptr) return;
+    if (info.attached_switch.valid() && !(cur->attached_switch == info.attached_switch))
       return;
-    gbs_.erase(it);
+    gbs_.erase(info.gbs);
     bump();
     return;
   }
-  gbs_[info.gbs] = std::move(info);
+  const GBsId id = info.gbs;
+  gbs_.insert_or_assign(id, std::move(info));
   bump();
 }
 
@@ -195,24 +220,17 @@ Result<void> Nib::remove_gbs(GBsId id) {
   return Ok();
 }
 
-const southbound::GBsAnnounce* Nib::gbs(GBsId id) const {
-  auto it = gbs_.find(id);
-  return it == gbs_.end() ? nullptr : &it->second;
-}
+const southbound::GBsAnnounce* Nib::gbs(GBsId id) const { return gbs_.find_value(id); }
 
-std::vector<GBsId> Nib::gbs_list() const {
-  std::vector<GBsId> out;
-  out.reserve(gbs_.size());
-  for (const auto& [id, g] : gbs_) out.push_back(id);
-  return out;
-}
+std::span<const GBsId> Nib::gbs_list() const { return cached_ids(gbs_ids_, gbs_, version_); }
 
 void Nib::upsert_middlebox(southbound::GMiddleboxAnnounce info) {
   if (info.withdrawn) {
     (void)remove_middlebox(info.gmb);
     return;
   }
-  middleboxes_[info.gmb] = std::move(info);
+  const MiddleboxId id = info.gmb;
+  middleboxes_.insert_or_assign(id, std::move(info));
   bump();
 }
 
@@ -224,15 +242,11 @@ Result<void> Nib::remove_middlebox(MiddleboxId id) {
 }
 
 const southbound::GMiddleboxAnnounce* Nib::middlebox(MiddleboxId id) const {
-  auto it = middleboxes_.find(id);
-  return it == middleboxes_.end() ? nullptr : &it->second;
+  return middleboxes_.find_value(id);
 }
 
-std::vector<MiddleboxId> Nib::middleboxes() const {
-  std::vector<MiddleboxId> out;
-  out.reserve(middleboxes_.size());
-  for (const auto& [id, m] : middleboxes_) out.push_back(id);
-  return out;
+std::span<const MiddleboxId> Nib::middleboxes() const {
+  return cached_ids(middlebox_ids_, middleboxes_, version_);
 }
 
 std::vector<MiddleboxId> Nib::middleboxes_of_type(dataplane::MiddleboxType t) const {
@@ -240,6 +254,9 @@ std::vector<MiddleboxId> Nib::middleboxes_of_type(dataplane::MiddleboxType t) co
   for (const auto& [id, m] : middleboxes_) {
     if (m.type == t) out.push_back(id);
   }
+  // Ascending-ID order, as the old sorted store produced: instance choice on
+  // routing ties must not depend on announcement order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -255,9 +272,9 @@ void Nib::upsert_external_route(ExternalRoute r) {
   routes.push_back(r);
 }
 
-std::vector<ExternalRoute> Nib::external_routes(PrefixId prefix) const {
-  auto it = external_routes_.find(prefix);
-  return it == external_routes_.end() ? std::vector<ExternalRoute>{} : it->second;
+std::span<const ExternalRoute> Nib::external_routes(PrefixId prefix) const {
+  const std::vector<ExternalRoute>* routes = external_routes_.find_value(prefix);
+  return routes == nullptr ? std::span<const ExternalRoute>{} : std::span(*routes);
 }
 
 std::vector<ExternalRoute> Nib::all_external_routes() const {

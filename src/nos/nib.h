@@ -3,15 +3,26 @@
 // G-middleboxes) for non-leaf controllers. The NOS "has visibility of its
 // own local network topology, does not maintain UE state, is not aware of
 // any ancestor or descendant controllers."
+//
+// Memory model (DESIGN §12): entity stores are flat open-addressing tables
+// (core::FlatMap) with dense, deterministically-ordered entry vectors; the
+// link store is a dense vector with endpoint / pair indexes so the
+// per-bearer admission path (reserve/release_link_bandwidth) is O(1)
+// instead of a scan. List accessors return std::span views over mutable
+// sorted caches keyed on the NIB version — a view is valid until the next
+// mutation and must be copied if it has to survive one.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "analysis/shard_guard.h"
+#include "core/flat_map.h"
 #include "core/graph.h"
 #include "core/ids.h"
 #include "core/result.h"
@@ -23,7 +34,7 @@ struct SwitchRecord {
   SwitchId id;
   bool is_gswitch = false;
   bool is_access = false;  ///< leaf-only: per-BS-group classification switch
-  std::map<PortId, southbound::PortDesc> ports;
+  std::map<PortId, southbound::PortDesc> ports;  ///< sorted: discovery iterates
   /// For G-switches: best-path metrics per border-port pair (§3.2).
   std::vector<southbound::VFabricEntry> vfabric;
 
@@ -60,7 +71,9 @@ class Nib {
   [[nodiscard]] SwitchRecord* sw_mutable(SwitchId id);
   /// Replaces a G-switch's vFabric (on a VFabricUpdate from the child).
   Result<void> set_vfabric(SwitchId id, std::vector<southbound::VFabricEntry> entries);
-  [[nodiscard]] std::vector<SwitchId> switches() const;
+  /// Switch IDs in ascending order. View into a version-keyed cache: valid
+  /// until the next NIB mutation.
+  [[nodiscard]] std::span<const SwitchId> switches() const;
   [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
   [[nodiscard]] std::size_t total_ports() const;
 
@@ -78,7 +91,8 @@ class Nib {
   void set_links_at_up(Endpoint e, bool up);
   /// Bandwidth admission bookkeeping: link metrics carry *available*
   /// bandwidth; reservations reduce it, releases restore it. Fails without
-  /// side effects when the link is unknown or too thin (§3.2).
+  /// side effects when the link is unknown or too thin (§3.2). O(1) via the
+  /// endpoint index — this is the per-bearer hot path.
   Result<void> reserve_link_bandwidth(Endpoint at, double kbps);
   Result<void> release_link_bandwidth(Endpoint at, double kbps);
 
@@ -86,7 +100,7 @@ class Nib {
   /// (positive = busier). Clamped to [0, 1].
   Result<void> adjust_middlebox_utilization(MiddleboxId id, double capacity_fraction);
   [[nodiscard]] const std::vector<LinkRecord>& links() const { return links_; }
-  /// The link record touching endpoint `e`, if any.
+  /// The link record touching endpoint `e`, if any (first in discovery order).
   [[nodiscard]] const LinkRecord* link_at(Endpoint e) const;
   /// True if some discovered link uses this endpoint (=> internal port).
   [[nodiscard]] bool endpoint_linked(Endpoint e) const { return link_at(e) != nullptr; }
@@ -95,13 +109,15 @@ class Nib {
   void upsert_gbs(southbound::GBsAnnounce info);
   Result<void> remove_gbs(GBsId id);
   [[nodiscard]] const southbound::GBsAnnounce* gbs(GBsId id) const;
-  [[nodiscard]] std::vector<GBsId> gbs_list() const;
+  /// G-BS IDs in ascending order; view valid until the next mutation.
+  [[nodiscard]] std::span<const GBsId> gbs_list() const;
 
   // --- middleboxes -----------------------------------------------------------
   void upsert_middlebox(southbound::GMiddleboxAnnounce info);
   Result<void> remove_middlebox(MiddleboxId id);
   [[nodiscard]] const southbound::GMiddleboxAnnounce* middlebox(MiddleboxId id) const;
-  [[nodiscard]] std::vector<MiddleboxId> middleboxes() const;
+  /// Middlebox IDs in ascending order; view valid until the next mutation.
+  [[nodiscard]] std::span<const MiddleboxId> middleboxes() const;
   [[nodiscard]] std::vector<MiddleboxId> middleboxes_of_type(dataplane::MiddleboxType t) const;
 
   // --- interdomain routes (§4.2) ----------------------------------------------
@@ -109,7 +125,9 @@ class Nib {
   // abstraction are independent of them, and a nation-wide deployment
   // carries ~1e4 prefixes x egress points.
   void upsert_external_route(ExternalRoute r);
-  [[nodiscard]] std::vector<ExternalRoute> external_routes(PrefixId prefix) const;
+  /// Routes for `prefix` in announcement order, as a view over the stored
+  /// vector (no copy). Invalidated by the next route upsert for the prefix.
+  [[nodiscard]] std::span<const ExternalRoute> external_routes(PrefixId prefix) const;
   [[nodiscard]] std::size_t external_route_count() const;
   /// Flattened copy of every route (checkpointing, §6).
   [[nodiscard]] std::vector<ExternalRoute> all_external_routes() const;
@@ -127,15 +145,37 @@ class Nib {
 
  private:
   void bump();
+  /// Reindexes links after a structural erase (replays discovery order, so
+  /// "first link at endpoint" semantics survive removals).
+  void rebuild_link_indexes();
+  void index_link(std::uint32_t slot);
 
-  std::map<SwitchId, SwitchRecord> switches_;
-  std::vector<LinkRecord> links_;
-  std::map<GBsId, southbound::GBsAnnounce> gbs_;
-  std::map<MiddleboxId, southbound::GMiddleboxAnnounce> middleboxes_;
-  std::map<PrefixId, std::vector<ExternalRoute>> external_routes_;
+  /// Sorted-ID cache behind the span accessors: rebuilt lazily when the NIB
+  /// version moved past the cached one.
+  template <class IdT>
+  struct IdCache {
+    std::vector<IdT> ids;
+    std::uint64_t version = std::uint64_t(-1);
+  };
+  template <class IdT, class MapT>
+  static std::span<const IdT> cached_ids(IdCache<IdT>& cache, const MapT& map,
+                                         std::uint64_t version);
+
+  core::FlatMap<SwitchId, SwitchRecord> switches_;
+  std::vector<LinkRecord> links_;  ///< dense, discovery order (erase keeps order)
+  /// First link slot per endpoint (reserve/release/link_at hot path).
+  core::FlatMap<Endpoint, std::uint32_t> link_at_;
+  /// Exact normalized (a, b) pair -> link slot (upsert/remove/set_up).
+  core::FlatMap<std::pair<Endpoint, Endpoint>, std::uint32_t> link_by_pair_;
+  core::FlatMap<GBsId, southbound::GBsAnnounce> gbs_;
+  core::FlatMap<MiddleboxId, southbound::GMiddleboxAnnounce> middleboxes_;
+  core::FlatMap<PrefixId, std::vector<ExternalRoute>> external_routes_;
   std::uint64_t version_ = 0;
   std::vector<std::function<void()>> subscribers_;
   bool notifying_ = false;
+  mutable IdCache<SwitchId> switch_ids_;
+  mutable IdCache<GBsId> gbs_ids_;
+  mutable IdCache<MiddleboxId> middlebox_ids_;
   analysis::ShardGuard guard_{"nib", 0};
 };
 

@@ -34,8 +34,8 @@ const Graph& RoutingService::port_graph() const {
   return graph_cache_;
 }
 
-std::unordered_map<NodeKey, EdgeMetrics> RoutingService::reachability(Endpoint source,
-                                                                      Metric metric) const {
+core::FlatMap<NodeKey, EdgeMetrics> RoutingService::reachability(Endpoint source,
+                                                                 Metric metric) const {
   return port_graph().shortest_tree(port_key(source.sw, source.port), metric);
 }
 
@@ -44,7 +44,8 @@ Result<ComputedRoute> RoutingService::route(const RoutingRequest& req) const {
   if (req.dst) {
     candidates.push_back(ExternalRoute{*req.dst, PrefixId{}, 0.0, 0.0});
   } else if (req.dst_prefix) {
-    candidates = nib_->external_routes(*req.dst_prefix);
+    auto routes = nib_->external_routes(*req.dst_prefix);
+    candidates.assign(routes.begin(), routes.end());
     if (candidates.empty())
       return Error{ErrorCode::kNotFound,
                    "no interdomain route for prefix " + req.dst_prefix->str()};

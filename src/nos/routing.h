@@ -78,8 +78,9 @@ class RoutingService {
   [[nodiscard]] Result<ComputedRoute> route(const RoutingRequest& req) const;
 
   /// Best-path metrics from `source` to every reachable port node —
-  /// the building block of vFabric computation.
-  [[nodiscard]] std::unordered_map<NodeKey, EdgeMetrics> reachability(
+  /// the building block of vFabric computation. Deterministic iteration
+  /// (node-insertion order of the port graph).
+  [[nodiscard]] core::FlatMap<NodeKey, EdgeMetrics> reachability(
       Endpoint source, Metric metric) const;
 
   /// The (possibly cached) port graph for the current NIB version.

@@ -131,7 +131,20 @@ void ShardedSimulator::schedule_at(ShardId shard, TimePoint when, Callback fn) {
   }
   assert(when >= dest.now && "cannot schedule into a shard's past");
   SHARD_CHECKED(dest.guard, kWrite);
-  dest.queue.push(Event{when, dest.seq++, std::move(fn), obs::default_tracer().current()});
+  dest.queue.push(EventRef{when, dest.seq++,
+                           dest.pool.acquire(std::move(fn), obs::default_tracer().current())});
+}
+
+std::uint64_t ShardedSimulator::alloc_fresh_total() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->pool.fresh_count();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::alloc_recycled_total() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->pool.recycled_count();
+  return total;
 }
 
 void ShardedSimulator::post(ShardId to, Duration delay, Callback fn) {
@@ -178,7 +191,7 @@ void ShardedSimulator::deliver_mail() {
       // still pending — the conservative-window invariant broke.
       analysis::note_delivery(index, m.when.since_start().to_nanos(), m.src, m.src_seq,
                               s.audit_now_ns);
-      s.queue.push(Event{m.when, s.seq++, std::move(m.fn), m.ctx});
+      s.queue.push(EventRef{m.when, s.seq++, s.pool.acquire(std::move(m.fn), m.ctx)});
     }
   }
 }
@@ -194,17 +207,23 @@ void ShardedSimulator::execute_shard(std::size_t index, TimePoint horizon) {
   t_current_shard = index;
   t_in_shard_event = true;
   while (!s.queue.empty() && s.queue.top().when < horizon) {
-    Event ev = s.queue.top();
+    EventRef ev = s.queue.top();
     s.queue.pop();
     s.now = ev.when;
     if constexpr (analysis::kShardCheckCompiled)
       s.audit_now_ns = ev.when.since_start().to_nanos();
     ++s.executed;
     events_counter_->inc();
-    obs::Tracer::ScopedContext scoped(*s.tracer, ev.ctx);
+    // Recycle the slot before invoking: schedules inside the callback land
+    // in the slot this event just vacated (steady state allocates nothing).
+    EventSlot& slot = s.pool.at(ev.slot);
+    SmallFn fn = std::move(slot.fn);
+    const obs::TraceContext ctx = slot.ctx;
+    s.pool.release(ev.slot);
+    obs::Tracer::ScopedContext scoped(*s.tracer, ctx);
     // Stamp the event identity the checker blames foreign accesses on.
     analysis::set_event_context(index, ev.when.since_start().to_nanos(), ev.seq);
-    ev.fn();
+    fn();
   }
   analysis::clear_event_context();
   t_current_shard = prev_shard;

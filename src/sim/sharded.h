@@ -35,7 +35,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -46,6 +45,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_slot.h"
 #include "sim/time.h"
 
 namespace softmow::obs {
@@ -59,7 +59,7 @@ using ShardId = std::size_t;
 
 class ShardedSimulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   struct Options {
     /// Worker threads executing shards within a window. 1 = run shards
@@ -108,6 +108,12 @@ class ShardedSimulator {
 
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_total_; }
+  /// Event-arena totals summed across shards: `fresh` counts slots ever
+  /// constructed (the live-event high-water mark), `recycled` counts
+  /// acquires served from free lists. A flat fresh count over a
+  /// steady-state window means the engine allocates nothing per event.
+  [[nodiscard]] std::uint64_t alloc_fresh_total() const;
+  [[nodiscard]] std::uint64_t alloc_recycled_total() const;
   [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
   [[nodiscard]] std::uint64_t cross_shard_posts() const { return cross_posts_; }
   [[nodiscard]] std::uint64_t lookahead_clamps() const { return clamps_; }
@@ -146,21 +152,11 @@ class ShardedSimulator {
   void set_clamp_disabled_for_test(bool disabled) { clamp_disabled_for_test_ = disabled; }
 
  private:
-  struct Event {
-    TimePoint when;
-    std::uint64_t seq;
-    Callback fn;
-    obs::TraceContext ctx;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
   /// A cross-shard message awaiting delivery at a window barrier. Sorted by
   /// (when, src, src_seq) before delivery so the destination's execution
-  /// order never depends on which worker ran the sender.
+  /// order never depends on which worker ran the sender. The callable rides
+  /// in the mail itself (not a pool slot): it crosses shards, and slot
+  /// handles are only meaningful against their owning shard's pool.
   struct Mail {
     TimePoint when;
     ShardId src;
@@ -169,7 +165,10 @@ class ShardedSimulator {
     obs::TraceContext ctx;
   };
   struct Shard {
-    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::priority_queue<EventRef, std::vector<EventRef>, EventLater> queue;
+    /// Event arena: slots referenced by `queue`, recycled at pop. Touched
+    /// only under the same ownership discipline as `queue` itself.
+    EventPool pool;
     TimePoint now;
     std::uint64_t seq = 0;       ///< local schedule order (FIFO ties)
     std::uint64_t send_seq = 0;  ///< cross-shard send order

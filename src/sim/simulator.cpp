@@ -14,23 +14,27 @@ void Simulator::schedule(Duration delay, Callback fn) {
 
 void Simulator::schedule_at(TimePoint when, Callback fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, seq_++, std::move(fn), obs::default_tracer().current()});
+  queue_.push(
+      EventRef{when, seq_++, pool_.acquire(std::move(fn), obs::default_tracer().current())});
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the callback must be moved out, so copy
-  // the event and pop. Callbacks are cheap to move but top() forbids it —
-  // use const_cast-free approach: take a copy of the shared_ptr-free functor.
-  Event ev = queue_.top();
+  EventRef ev = queue_.top();  // trivially copyable — the callable stays pooled
   queue_.pop();
   now_ = ev.when;
   ++executed_;
   events_counter_->inc();
+  // Move the callable out and recycle the slot *before* invoking it, so any
+  // schedule() the callback performs reuses the slot it arrived in.
+  EventSlot& slot = pool_.at(ev.slot);
+  SmallFn fn = std::move(slot.fn);
+  const obs::TraceContext ctx = slot.ctx;
+  pool_.release(ev.slot);
   // Restore the scheduler's context (possibly invalid — that masks any
   // ambient context so one event's trace never bleeds into the next).
-  obs::Tracer::ScopedContext scoped(obs::default_tracer(), ev.ctx);
-  ev.fn();
+  obs::Tracer::ScopedContext scoped(obs::default_tracer(), ctx);
+  fn();
   return true;
 }
 

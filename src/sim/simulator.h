@@ -4,20 +4,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_slot.h"
 #include "sim/time.h"
 
 namespace softmow::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   Simulator();
 
@@ -41,21 +41,13 @@ class Simulator {
   /// Executes exactly one event if any.
   bool step();
 
- private:
-  struct Event {
-    TimePoint when;
-    std::uint64_t seq;
-    Callback fn;
-    obs::TraceContext ctx;  ///< ambient context captured at schedule time
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  /// The event arena: slot recycling stats back the steady-state
+  /// allocation-flatness assertions (sim_alloc_total).
+  [[nodiscard]] const EventPool& pool() const { return pool_; }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+ private:
+  std::priority_queue<EventRef, std::vector<EventRef>, EventLater> queue_;
+  EventPool pool_;
   TimePoint now_;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;

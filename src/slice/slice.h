@@ -20,6 +20,7 @@
 
 #include "analysis/shard_guard.h"
 #include "apps/subscriber.h"
+#include "core/flat_map.h"
 #include "core/ids.h"
 #include "core/result.h"
 #include "dataplane/policy_tag.h"
@@ -104,7 +105,7 @@ class SliceManager {
   Result<void> close_bearer(SliceId id, UeId ue, BearerId bearer);
 
   // --- cross-slice views ------------------------------------------------------
-  [[nodiscard]] const std::map<UeId, SliceId>& ue_slices() const { return ue_slices_; }
+  [[nodiscard]] const core::FlatMap<UeId, SliceId>& ue_slices() const { return ue_slices_; }
   [[nodiscard]] std::vector<SliceId> slices() const;
   [[nodiscard]] const SliceSpec& spec(SliceId id) const;
   [[nodiscard]] SliceStats stats(SliceId id) const;
@@ -139,10 +140,10 @@ class SliceManager {
     apps::HssApp hss;
     apps::PcrfApp pcrf;
     std::vector<UeId> subscribers;
-    std::map<UeId, BsId> attach_bs;   ///< where each subscriber attached
-    std::map<UeId, BsGroupId> attach_group;
+    core::FlatMap<UeId, BsId> attach_bs;  ///< where each subscriber attached
+    core::FlatMap<UeId, BsGroupId> attach_group;
     /// Open bearers and the demand charged for each.
-    std::map<std::pair<UeId, BearerId>, double> open_kbps;
+    core::FlatMap<std::pair<UeId, BearerId>, double> open_kbps;
     double reserved_kbps = 0;
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;
@@ -164,7 +165,7 @@ class SliceManager {
   Options opts_;
   dataplane::TagAllocator tags_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
-  std::map<UeId, SliceId> ue_slices_;
+  core::FlatMap<UeId, SliceId> ue_slices_;
   analysis::ShardGuard guard_{"slice_budgets", 0};
 };
 

@@ -341,7 +341,7 @@ std::vector<Finding> StaticVerifier::per_switch_findings(SwitchId sw,
   std::vector<Finding> out;
   const dataplane::Switch* s = net_->sw(sw);
   if (s == nullptr) return out;
-  const std::vector<FlowRule>& rules = s->table().rules();
+  const dataplane::FlowTable::RuleView rules = s->table().rules();
 
   if (options_.check_shadowing) {
     // rules() is kept in lookup order (priority desc, specificity desc,

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/ids.h"
 #include "dataplane/network.h"
 
@@ -117,7 +118,7 @@ struct ControlState {
   /// When `have_slices`, every policy tag a UE's traffic carries must decode
   /// to that UE's slice; UEs absent from the map are unsliced and exempt.
   bool have_slices = false;
-  std::map<UeId, SliceId> ue_slices;
+  core::FlatMap<UeId, SliceId> ue_slices;
 };
 
 /// Collects live path rules from leaf controllers (non-leaf controllers

@@ -263,7 +263,8 @@ TEST_F(FailureTest, StandbyPromotionRestoresControlPlane) {
   std::size_t switches = west.nib().switch_count();
   std::size_t links = west.nib().links().size();
   std::size_t routes = west.nib().external_route_count();
-  auto gbs_list = west.nib().gbs_list();
+  auto gbs_view = west.nib().gbs_list();
+  std::vector<GBsId> gbs_list(gbs_view.begin(), gbs_view.end());
 
   // Master "fails"; the standby takes over (§6: detects via heartbeat,
   // seizes the master role, redoes unfinished events).
@@ -272,7 +273,8 @@ TEST_F(FailureTest, StandbyPromotionRestoresControlPlane) {
   EXPECT_EQ(promoted->nib().switch_count(), switches);
   EXPECT_EQ(promoted->nib().links().size(), links);
   EXPECT_EQ(promoted->nib().external_route_count(), routes);
-  EXPECT_EQ(promoted->nib().gbs_list(), gbs_list);
+  auto promoted_gbs = promoted->nib().gbs_list();
+  EXPECT_EQ(std::vector<GBsId>(promoted_gbs.begin(), promoted_gbs.end()), gbs_list);
 
   // The standby is master now: it can program the data plane end to end.
   apps::MobilityApp mobility(promoted.get(), &net);

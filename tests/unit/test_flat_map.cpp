@@ -1,0 +1,215 @@
+// Property suite for core::FlatMap / core::FlatSet against the standard
+// reference containers: the flat tables must agree with
+// std::unordered_map under arbitrary insert/erase/rehash churn, and their
+// iteration order must be a pure function of the operation sequence (the
+// determinism contract of DESIGN §12).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flat_map.h"
+#include "core/ids.h"
+#include "core/rng.h"
+
+namespace softmow {
+namespace {
+
+using core::FlatMap;
+using core::FlatSet;
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.try_emplace(7, 70).second);
+  EXPECT_FALSE(m.try_emplace(7, 71).second);
+  EXPECT_EQ(m.at(7), 70);
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(9));
+  EXPECT_FALSE(m.contains(8));
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(9)->second, 90);
+  EXPECT_EQ(m.find(7), m.end());
+}
+
+TEST(FlatMap, InsertOrAssignReplaces) {
+  FlatMap<int, std::string> m;
+  m.insert_or_assign(1, "a");
+  m.insert_or_assign(1, "b");
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(1), "b");
+}
+
+TEST(FlatMap, IterationIsInsertionOrder) {
+  FlatMap<std::uint64_t, int> m;
+  // Keys chosen to collide under masking at small capacities.
+  const std::uint64_t keys[] = {1024, 64, 3, 1 << 20, 7, 4096, 11};
+  int v = 0;
+  for (std::uint64_t k : keys) m[k] = v++;
+  std::vector<std::uint64_t> seen;
+  for (const auto& [k, val] : m) seen.push_back(k);
+  EXPECT_EQ(seen, std::vector<std::uint64_t>(std::begin(keys), std::end(keys)));
+}
+
+TEST(FlatMap, EraseSwapsLastIntoHole) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 5; ++i) m[i] = i;
+  m.erase(1);  // documented perturbation: 4 moves into position 1
+  std::vector<int> seen;
+  for (const auto& [k, val] : m) seen.push_back(k);
+  EXPECT_EQ(seen, (std::vector<int>{0, 4, 2, 3}));
+}
+
+TEST(FlatMap, IdAndEndpointAndPairKeys) {
+  FlatMap<SwitchId, int> by_switch;
+  by_switch[SwitchId{3}] = 30;
+  EXPECT_EQ(by_switch.at(SwitchId{3}), 30);
+
+  FlatMap<Endpoint, int> by_endpoint;
+  by_endpoint[Endpoint{SwitchId{1}, PortId{2}}] = 12;
+  EXPECT_TRUE(by_endpoint.contains(Endpoint{SwitchId{1}, PortId{2}}));
+  EXPECT_FALSE(by_endpoint.contains(Endpoint{SwitchId{2}, PortId{1}}));
+
+  FlatMap<std::pair<UeId, BearerId>, double> by_pair;
+  by_pair[{UeId{5}, BearerId{6}}] = 1.5;
+  EXPECT_EQ(by_pair.at({UeId{5}, BearerId{6}}), 1.5);
+}
+
+// The core property: a FlatMap driven by a random operation sequence holds
+// exactly the same mapping as std::unordered_map driven by the same
+// sequence, through enough churn to force many rehashes and erase shifts.
+TEST(FlatMapProperty, AgreesWithUnorderedMapUnderChurn) {
+  Rng rng(20260809);
+  FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    // Small key space => plenty of insert/erase/reinsert collisions; strided
+    // keys stress the power-of-two index.
+    std::uint64_t key = rng.uniform_u64(0, 512) * 257;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+      case 1: {  // insert-or-assign (biased: tables should mostly grow)
+        std::uint64_t value = rng.uniform_u64(0, 1u << 30);
+        flat.insert_or_assign(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+        break;
+      }
+      case 3: {  // lookup
+        auto fit = flat.find(key);
+        auto rit = ref.find(key);
+        ASSERT_EQ(fit == flat.end(), rit == ref.end());
+        if (rit != ref.end()) {
+          EXPECT_EQ(fit->second, rit->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full-content agreement after the churn.
+  for (const auto& [k, v] : flat) {
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, v);
+  }
+}
+
+// Determinism: two instances fed the identical operation sequence iterate
+// identically — order is a function of the operations, not of hash seeds,
+// rehash history headroom (reserve), or address-space layout.
+TEST(FlatMapProperty, IterationOrderIsReproducible) {
+  auto drive = [](FlatMap<std::uint64_t, int>& m) {
+    Rng rng(777);
+    for (int op = 0; op < 5000; ++op) {
+      std::uint64_t key = rng.uniform_u64(0, 300);
+      if (rng.uniform(0.0, 1.0) < 0.7) {
+        m.insert_or_assign(key, static_cast<int>(op));
+      } else {
+        m.erase(key);
+      }
+    }
+  };
+  FlatMap<std::uint64_t, int> a, b, c;
+  c.reserve(4096);  // different rehash history must not change the order
+  drive(a);
+  drive(b);
+  drive(c);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  auto ia = a.begin(), ib = b.begin(), ic = c.begin();
+  for (; ia != a.end(); ++ia, ++ib, ++ic) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second, ib->second);
+    EXPECT_EQ(ia->first, ic->first);
+    EXPECT_EQ(ia->second, ic->second);
+  }
+}
+
+TEST(FlatMapProperty, StringKeysSurviveEraseRelocation) {
+  // Non-trivially-movable keys exercise the swap-with-last path: the moved
+  // entry's index slot must be rebound before the key is moved from.
+  FlatMap<std::string, int> flat;
+  std::unordered_map<std::string, int> ref;
+  Rng rng(99);
+  for (int op = 0; op < 4000; ++op) {
+    std::string key = "key-" + std::to_string(rng.uniform_u64(0, 200));
+    if (rng.uniform(0.0, 1.0) < 0.6) {
+      flat.insert_or_assign(key, op);
+      ref[key] = op;
+    } else {
+      EXPECT_EQ(flat.erase(key), ref.erase(key));
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : flat) {
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, v);
+  }
+}
+
+TEST(FlatSet, InsertEraseContains) {
+  FlatSet<GBsId> s;
+  EXPECT_TRUE(s.insert(GBsId{1}).second);
+  EXPECT_FALSE(s.insert(GBsId{1}).second);
+  s.insert(GBsId{2});
+  s.insert(GBsId{3});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(GBsId{2}));
+  EXPECT_EQ(s.erase(GBsId{2}), 1u);
+  EXPECT_EQ(s.erase(GBsId{2}), 0u);
+  EXPECT_FALSE(s.contains(GBsId{2}));
+  // Erase swapped the last key (3) into position 1.
+  std::vector<GBsId> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<GBsId>{GBsId{1}, GBsId{3}}));
+}
+
+TEST(FlatSetProperty, AgreesWithReferenceUnderChurn) {
+  FlatSet<std::uint64_t> flat;
+  std::map<std::uint64_t, bool> ref;  // ordered, for a stable final sweep
+  Rng rng(4242);
+  for (int op = 0; op < 10000; ++op) {
+    std::uint64_t key = rng.uniform_u64(0, 400);
+    if (rng.uniform(0.0, 1.0) < 0.65) {
+      flat.insert(key);
+      ref[key] = true;
+    } else {
+      std::size_t eref = ref.erase(key);
+      EXPECT_EQ(flat.erase(key), eref);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  for (const auto& [k, present] : ref) EXPECT_TRUE(flat.contains(k));
+}
+
+}  // namespace
+}  // namespace softmow

@@ -84,7 +84,9 @@ TEST_F(InterdomainFixture, ReoriginationRefreshesCosts) {
   TwoPrefixProvider provider;
   provider.egress_id = egress;
   suite->originate_interdomain(provider);
-  auto before = mp->root().nib().external_routes(PrefixId{2});
+  // Copy: the view is invalidated (values replaced in place) by the churn.
+  auto before_view = mp->root().nib().external_routes(PrefixId{2});
+  std::vector<nos::ExternalRoute> before(before_view.begin(), before_view.end());
   ASSERT_EQ(before.size(), 1u);
 
   // Route churn (new snapshot): costs change, entries are replaced, not

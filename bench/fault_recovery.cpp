@@ -15,8 +15,10 @@
 //
 //   $ ./fault_recovery --faults mixed --fault-seed 1 --threads 4
 #include <cstdlib>
+#include <set>
 
 #include "bench/common.h"
+#include "obs/timeseries.h"
 
 namespace softmow::bench {
 namespace {
@@ -87,8 +89,21 @@ void run() {
     std::exit(2);
   }
 
+  // Each recovery force-samples the recorder at its modeled completion, so
+  // `recovery_ms{kind}` p95 curves land in the exported `timeseries` array
+  // as (sim-time, value) points instead of end-of-run totals.
+  obs::TimeSeriesRecorder& recorder = obs::default_timeseries();
+  std::set<std::string> kinds;
+  for (const faults::FaultEvent& ev : plan.events)
+    kinds.insert(faults::fault_kind_name(ev.kind));
+  for (const std::string& kind : kinds)
+    recorder.track_quantile("recovery_ms", 0.95, {{"kind", kind}});
+  recorder.track_quantile("bearer_disruption_ms", 0.95);
+
   ShardedRun sharded(*scenario);
-  faults::RecoveryCoordinator coord(*scenario, &sharded.engine());
+  faults::RecoveryOptions ropts;
+  ropts.recorder = &recorder;
+  faults::RecoveryCoordinator coord(*scenario, &sharded.engine(), ropts);
   coord.harden();
   attach_probes(*scenario, coord);
   std::printf("plan '%s' (fault seed %llu): %zu events over %zu leaf regions; "

@@ -50,7 +50,20 @@ std::size_t RecoveryCoordinator::probe_failures() {
   return fails;
 }
 
+void RecoveryCoordinator::refresh_standbys(sim::TimePoint at) {
+  // A live migration (migrate::MigrationManager) retires a leaf's old
+  // instance and installs a fresh one under the same index; a standby still
+  // watching the retired instance must be rebuilt before its next sync.
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  for (std::size_t i = 0; i < standbys_.size() && i < mp.leaf_count(); ++i) {
+    if (standbys_[i]->watches(mp.leaf(i))) continue;
+    standbys_[i] = std::make_unique<mgmt::HotStandby>(mp.leaf(i), mp.hub());
+    standbys_[i]->sync(at);
+  }
+}
+
 void RecoveryCoordinator::checkpoint(sim::TimePoint at) {
+  refresh_standbys(at);
   for (auto& standby : standbys_) standby->sync(at);
 }
 
@@ -332,6 +345,7 @@ void RecoveryCoordinator::finish_record(const FaultEvent& ev, FaultRecord& rec,
       {{"kind", kind_name}});
   recovery_hist->observe(rec.mttr_ms);
   for (std::size_t i = 0; i < rec.bearers_disrupted; ++i) disruption_ms_->observe(rec.mttr_ms);
+  if (opts_.recorder != nullptr) opts_.recorder->force_sample(ev.at + mttr);
 
   obs::Tracer& tracer = obs::default_tracer();
   tracer.span_under(span, ev.at, ev.at + detect, "fault.detect", 0, "faults",
@@ -347,6 +361,7 @@ void RecoveryCoordinator::finish_record(const FaultEvent& ev, FaultRecord& rec,
 
 std::optional<FaultRecord> RecoveryCoordinator::execute(const FaultEvent& ev) {
   mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  refresh_standbys(ev.at);
   obs::Tracer& tracer = obs::default_tracer();
   FaultRecord rec;
   rec.event = ev;

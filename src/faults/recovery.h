@@ -19,6 +19,7 @@
 #include "faults/fault.h"
 #include "mgmt/failover.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "reca/controller.h"
 #include "sim/sharded.h"
 #include "topo/scenario.h"
@@ -43,6 +44,11 @@ struct RecoveryOptions {
   /// post-failover rebind reproduces the original shard wiring.
   sim::Duration parent_link_delay = sim::Duration::millis(1.0);
   reca::Controller::RetryPolicy retry;  ///< used when hardening impaired leaves
+  /// When set, finish_record() force-samples this recorder at each
+  /// recovery's modeled completion instant, so `recovery_ms{kind}` quantile
+  /// series land in the exported v3 `timeseries` array as (sim-time, value)
+  /// points rather than end-of-run totals.
+  obs::TimeSeriesRecorder* recorder = nullptr;
 };
 
 /// A data-plane liveness probe: one active bearer's uplink flow.
@@ -123,6 +129,9 @@ class RecoveryCoordinator {
   [[nodiscard]] std::uint64_t resync_counter_total() const;
   [[nodiscard]] sim::Duration detection_for(FaultKind kind) const;
   void drain_engine();
+  /// Rebuilds any standby whose watched master was retired by a live
+  /// migration (the leaf index now holds a fresh instance).
+  void refresh_standbys(sim::TimePoint at);
 
   topo::Scenario* scenario_;
   sim::ShardedSimulator* engine_;

@@ -1,0 +1,111 @@
+// Shared controller checkpoint format (paper §6): the "reliable storage
+// system ... shared between the master and standby" holds everything a
+// replacement instance cannot re-derive from the data plane — the
+// management-configured G-BS/middlebox inventory, learned interdomain
+// routes, border sets, and the installed-path book (labels, cookies,
+// reservations).
+//
+// Both consumers speak this one format:
+//  - crash failover (`HotStandby`, mgmt/failover.h) keeps a warm checkpoint
+//    and promotes from it after a detected failure;
+//  - planned migration (`migrate::MigrationManager`, src/migrate) streams a
+//    base checkpoint to the target instance and then replays *deltas* on
+//    top while the source keeps serving (the dual-control catch-up window).
+//
+// The delta is content-addressed per section: unchanged sections cost
+// nothing on the wire, changed G-BS/path entries are shipped individually.
+// `estimated_bytes()` is the modeled wire cost (deterministic arithmetic
+// over entry counts, never wall clock), which is what the
+// `migration_bytes_transferred` metric and the failover checkpoint
+// accounting report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/ids.h"
+#include "nos/nib.h"
+#include "nos/path_impl.h"
+#include "reca/controller.h"
+#include "southbound/messages.h"
+
+namespace softmow::mgmt {
+
+/// A full copy of one controller's non-derivable state.
+struct Checkpoint {
+  /// NIB version at capture time — the delta log's base pointer.
+  std::uint64_t nib_version = 0;
+  /// Devices the controller had adopted (the replacement re-adopts these).
+  std::vector<SwitchId> devices;
+  std::vector<southbound::GBsAnnounce> gbs;
+  std::vector<southbound::GMiddleboxAnnounce> middleboxes;
+  std::vector<nos::ExternalRoute> routes;
+  std::set<GBsId> border_gbs;
+  /// Installed paths + label/cookie allocators: without this the restored
+  /// controller could not tear down, repair, or resync the rules its
+  /// predecessor left in the data plane (and would re-mint colliding labels).
+  nos::PathImplementer::Snapshot paths;
+
+  /// Modeled serialized size (bytes) of the whole checkpoint.
+  [[nodiscard]] std::uint64_t estimated_bytes() const;
+};
+
+/// Captures `master`'s checkpointable state. Non-const because the NIB's
+/// list accessors refresh version-keyed caches.
+[[nodiscard]] Checkpoint capture_checkpoint(reca::Controller& master);
+
+/// Restores the non-discoverable state of `c` from `ckpt`: NIB inventory,
+/// border set and the path book. Device adoption is deliberately left to
+/// the caller — failover seizes kMaster immediately, migration pre-warms
+/// sessions as kEqual during the dual-control window.
+void restore_checkpoint(reca::Controller& c, const Checkpoint& ckpt);
+
+/// What changed between a base checkpoint and the live master: per-entry
+/// upserts/removals for the keyed sections, replace-whole for the small
+/// unkeyed ones. Applying a delta to its base reproduces a fresh capture.
+struct CheckpointDelta {
+  std::uint64_t base_nib_version = 0;
+  std::uint64_t nib_version = 0;
+
+  bool devices_changed = false;
+  std::vector<SwitchId> devices;  ///< full list when changed
+
+  std::vector<southbound::GBsAnnounce> gbs_upserts;
+  std::vector<GBsId> gbs_removals;
+
+  std::vector<southbound::GMiddleboxAnnounce> middlebox_upserts;
+  std::vector<MiddleboxId> middlebox_removals;
+
+  bool routes_changed = false;
+  std::vector<nos::ExternalRoute> routes;  ///< full list when changed
+
+  bool borders_changed = false;
+  std::set<GBsId> border_gbs;  ///< full set when changed
+
+  /// Paths whose content fingerprint moved (new, re-routed, re-labelled,
+  /// de/re-activated) and paths that disappeared. Allocator cursors ride
+  /// along unconditionally — they are three integers.
+  std::vector<nos::InstalledPath> path_upserts;
+  std::vector<PathId> path_removals;
+  std::map<std::uint32_t, nos::TagAggregate> aggregate_upserts;
+  std::vector<std::uint32_t> aggregate_removals;
+  std::uint64_t next_label = 1;
+  std::uint64_t next_cookie = 1;
+  std::uint64_t next_path = 1;
+
+  [[nodiscard]] bool empty() const;
+  /// Modeled wire cost of shipping just the changes (plus a fixed header).
+  [[nodiscard]] std::uint64_t estimated_bytes() const;
+};
+
+/// Computes the delta that moves `base` to `master`'s current state.
+[[nodiscard]] CheckpointDelta delta_since(const Checkpoint& base, reca::Controller& master);
+
+/// Rolls `base` forward by `delta` in place. After this,
+/// `base == capture_checkpoint(master)` for the master `delta` was computed
+/// against (section by section; path entries compare by fingerprint).
+void apply_delta(Checkpoint& base, const CheckpointDelta& delta);
+
+}  // namespace softmow::mgmt

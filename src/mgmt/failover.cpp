@@ -29,6 +29,7 @@ HotStandby::HotStandby(reca::Controller& master, southbound::Hub& hub)
       master_(&master) {
   obs::MetricsRegistry& reg = obs::default_registry();
   checkpoints_metric_ = reg.counter("failover_checkpoints_total");
+  bytes_metric_ = reg.counter("failover_checkpoint_bytes_total");
   promotions_metric_ = reg.counter("failover_promotions_total");
   sync_us_metric_ = reg.histogram("failover_sync_us", obs::wait_us_bounds());
   promote_us_metric_ = reg.histogram("failover_promote_us", obs::wait_us_bounds());
@@ -37,18 +38,21 @@ HotStandby::HotStandby(reca::Controller& master, southbound::Hub& hub)
 
 void HotStandby::sync(sim::TimePoint at) {
   double us = timed_us([&] {
+    if (checkpoints_ == 0) {
+      // First sync: ship the whole state.
+      ckpt_ = capture_checkpoint(*master_);
+      last_sync_bytes_ = ckpt_.estimated_bytes();
+    } else {
+      // Later syncs ride the delta log: only what changed crosses the wire,
+      // and the stored base rolls forward to match a fresh capture.
+      CheckpointDelta delta = delta_since(ckpt_, *master_);
+      last_sync_bytes_ = delta.estimated_bytes();
+      apply_delta(ckpt_, delta);
+    }
     ++checkpoints_;
-    devices_ = master_->devices();
-    gbs_.clear();
-    for (GBsId id : master_->nib().gbs_list()) gbs_.push_back(*master_->nib().gbs(id));
-    middleboxes_.clear();
-    for (MiddleboxId id : master_->nib().middleboxes())
-      middleboxes_.push_back(*master_->nib().middlebox(id));
-    routes_ = master_->nib().all_external_routes();
-    border_gbs_ = master_->abstraction().border_gbs();
-    paths_ = master_->paths().snapshot();
   });
   checkpoints_metric_->inc();
+  bytes_metric_->inc(last_sync_bytes_);
   sync_us_metric_->observe(us);
   obs::default_tracer().event(at, "failover.checkpoint", level_, name_);
 }
@@ -67,16 +71,11 @@ std::unique_ptr<reca::Controller> HotStandby::promote(
     standby = std::make_unique<reca::Controller>(id_, level_, name_ + "+standby", label_mode_);
 
     // Restore the non-discoverable state from the checkpoint.
-    for (const southbound::GBsAnnounce& g : gbs_) standby->nib().upsert_gbs(g);
-    for (const southbound::GMiddleboxAnnounce& m : middleboxes_)
-      standby->nib().upsert_middlebox(m);
-    for (const nos::ExternalRoute& r : routes_) standby->nib().upsert_external_route(r);
-    standby->abstraction().set_border_gbs(border_gbs_);
-    standby->paths().restore(paths_);
+    restore_checkpoint(*standby, ckpt_);
 
     // Seize the master role on every device (the old master, if alive, is
     // demoted to slave by the role machinery) and redo discovery.
-    for (SwitchId sw : devices_) {
+    for (SwitchId sw : ckpt_.devices) {
       standby->adopt_physical_switch(*hub_, sw, dataplane::ControllerRole::kMaster);
     }
     standby->run_link_discovery();
@@ -85,7 +84,7 @@ std::unique_ptr<reca::Controller> HotStandby::promote(
   promotions_metric_->inc();
   promote_us_metric_->observe(us);
   tracer.close_span(root, at + modeled_duration.value_or(sim::Duration::micros(us)),
-                    std::to_string(devices_.size()) + " devices");
+                    std::to_string(ckpt_.devices.size()) + " devices");
   return standby;
 }
 

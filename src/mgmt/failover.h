@@ -3,13 +3,13 @@
 // is decoupled from the controller logic and stored in a reliable storage
 // system ... shared between the master and standby."
 //
-// This harness models the reliable storage as periodic NIB checkpoints:
-// sync() captures the master's NIB (including the management-configured
-// G-BS/middlebox inventory and learned interdomain routes, which cannot be
-// re-derived from the data plane); promote() builds a standby controller
-// seeded from the checkpoint, takes the master role on every device, and
-// re-runs one discovery round — the paper's "checks the event logs and
-// redoes unfinished events".
+// This harness models the reliable storage as periodic NIB checkpoints in
+// the shared `mgmt::Checkpoint` format (mgmt/checkpoint.h — the same
+// delta-capable format planned migration streams): the first sync() captures
+// the master's full state, later syncs ship only the delta; promote() builds
+// a standby controller seeded from the checkpoint, takes the master role on
+// every device, and re-runs one discovery round — the paper's "checks the
+// event logs and redoes unfinished events".
 #pragma once
 
 #include <memory>
@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "mgmt/checkpoint.h"
 #include "obs/metrics.h"
 #include "reca/controller.h"
 #include "sim/time.h"
@@ -29,10 +30,25 @@ class HotStandby {
   /// Watches `master`, a leaf controller whose devices live in `hub`.
   HotStandby(reca::Controller& master, southbound::Hub& hub);
 
-  /// Checkpoints the master's NIB into the "reliable storage". `at` stamps
-  /// the trace event when the caller runs under a simulated clock.
+  /// Checkpoints the master's NIB into the "reliable storage". The first
+  /// call captures the full state; later calls compute a `CheckpointDelta`
+  /// against the stored base and roll it forward, so the modeled bytes
+  /// shipped (`failover_checkpoint_bytes_total`) shrink to the change rate.
+  /// `at` stamps the trace event when the caller runs under a simulated
+  /// clock.
   void sync(sim::TimePoint at = sim::TimePoint::zero());
   [[nodiscard]] std::uint64_t checkpoints() const { return checkpoints_; }
+  /// Modeled bytes the last sync shipped (full size for the first).
+  [[nodiscard]] std::uint64_t last_sync_bytes() const { return last_sync_bytes_; }
+  /// The stored checkpoint (migration reuses it as a stream base).
+  [[nodiscard]] const Checkpoint& checkpoint() const { return ckpt_; }
+
+  /// True while `master` is the instance this standby watches. A live
+  /// migration retires the watched instance; the owner must then rebuild
+  /// the standby against the leaf's fresh instance before the next sync.
+  [[nodiscard]] bool watches(const reca::Controller& master) const {
+    return master_ == &master;
+  }
 
   /// Master failed: builds the standby controller from the latest
   /// checkpoint, seizes the master role on all devices and re-discovers.
@@ -51,21 +67,16 @@ class HotStandby {
   int level_;
   std::string name_;
   reca::LabelMode label_mode_;
-  std::vector<SwitchId> devices_;
 
-  // Checkpointed state (everything not re-derivable from the data plane).
-  std::vector<southbound::GBsAnnounce> gbs_;
-  std::vector<southbound::GMiddleboxAnnounce> middleboxes_;
-  std::vector<nos::ExternalRoute> routes_;
-  std::set<GBsId> border_gbs_;
-  /// Installed paths + label/cookie allocators: without this the promoted
-  /// controller could not tear down, repair, or resync the rules the dead
-  /// master left in the data plane (and would re-mint colliding labels).
-  nos::PathImplementer::Snapshot paths_;
+  /// Checkpointed state (everything not re-derivable from the data plane),
+  /// in the shared format. Kept rolled-forward by delta syncs.
+  Checkpoint ckpt_;
   std::uint64_t checkpoints_ = 0;
+  std::uint64_t last_sync_bytes_ = 0;
   std::uint64_t promotions_ = 0;
   reca::Controller* master_;
   obs::Counter* checkpoints_metric_;   ///< failover_checkpoints_total
+  obs::Counter* bytes_metric_;         ///< failover_checkpoint_bytes_total
   obs::Counter* promotions_metric_;    ///< failover_promotions_total
   obs::Histogram* sync_us_metric_;     ///< failover_sync_us (wall clock)
   obs::Histogram* promote_us_metric_;  ///< failover_promote_us (wall clock)

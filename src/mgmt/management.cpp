@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "analysis/shard_guard.h"
 #include "core/log.h"
 #include "obs/trace.h"
+#include "southbound/switch_agent.h"
 
 namespace softmow::mgmt {
 
@@ -64,6 +66,8 @@ void ManagementPlane::bootstrap(const HierarchySpec& spec) {
       tracer.open_span_under({}, sim::TimePoint::zero(), "bootstrap", 0, "mgmt");
   obs::Tracer::ScopedContext scoped(tracer, root_span);
   spec_ = spec;
+
+  placements_.assign(spec_.leaves.size(), LeafPlacement{});
 
   // --- leaf controllers ------------------------------------------------------
   for (std::size_t i = 0; i < spec_.leaves.size(); ++i) {
@@ -211,11 +215,8 @@ void ManagementPlane::bind_shards(sim::ShardedSimulator& engine,
   // finding.
   std::unordered_map<SwitchId, sim::ShardId> owners;
   for (std::size_t i = 0; i < leaves_.size(); ++i) {
-    for (SwitchId sw : leaves_[i]->devices()) {
-      owners[sw] = leaf_shard(i);
-      if (dataplane::Switch* dev = net_->sw(sw); dev != nullptr)
-        dev->table().guard().set_owner(leaf_shard(i));
-    }
+    for (SwitchId sw : leaves_[i]->devices()) owners[sw] = leaf_shard(i);
+    handoff_leaf_tables(i, leaf_shard(i));
   }
   hub_->bind_shards(&engine, std::move(owners));
 }
@@ -243,12 +244,28 @@ void ManagementPlane::refresh_topology() {
   tracer.close_span(root_span, sim::TimePoint::zero());
 }
 
+void ManagementPlane::handoff_leaf_tables(std::size_t i, sim::ShardId to) {
+  // HandoffScope marks the ownership transfer as sanctioned: with
+  // -DSOFTMOW_SHARD_CHECK=ON an active checker blames any table re-pin
+  // performed outside this scope from a foreign shard's event.
+  analysis::HandoffScope handoff(to);
+  for (SwitchId sw : leaves_.at(i)->devices()) {
+    if (dataplane::Switch* dev = net_->sw(sw); dev != nullptr)
+      dev->table().guard().set_owner(to);
+  }
+}
+
+const LeafPlacement& ManagementPlane::leaf_placement(std::size_t i) const {
+  return placements_.at(i);
+}
+
 Controller& ManagementPlane::fail_over_leaf(std::size_t i, HotStandby& standby,
                                             sim::TimePoint at,
                                             std::optional<sim::Duration> modeled_duration) {
   Controller& dead = *leaves_.at(i);
   Controller* parent = mids_.empty() ? root_.get() : mids_.at(leaf_to_mid_.at(i)).get();
   SwitchId gswitch = dead.abstraction().gswitch_id();
+  const sim::ShardId home = dead.shard();
 
   // Sever the parent's channel into the dead instance before it is
   // destroyed: handlers bound on that channel capture the dead controller,
@@ -269,12 +286,69 @@ Controller& ManagementPlane::fail_over_leaf(std::size_t i, HotStandby& standby,
   leaves_[i] = std::move(promoted);
   Controller& fresh = *leaves_[i];
   if (parent != nullptr) parent->adopt_child(fresh);
+  // Keep the table pins consistent with the replaced instance until the
+  // caller rebinds shards — through the one sanctioned handoff path.
+  handoff_leaf_tables(i, home);
   recompute_borders();
   refresh_topology();
   SOFTMOW_LOG(LogLevel::kInfo, "mgmt")
       << "failed over leaf " << fresh.name() << " (" << fresh.devices().size()
       << " devices readopted)";
   return fresh;
+}
+
+std::unique_ptr<Controller> ManagementPlane::migrate_leaf(
+    std::size_t i, std::unique_ptr<Controller> target, const LeafPlacement& placement,
+    sim::TimePoint at) {
+  Controller& source = *leaves_.at(i);
+  Controller* parent = mids_.empty() ? root_.get() : mids_.at(leaf_to_mid_.at(i)).get();
+  SwitchId gswitch = source.abstraction().gswitch_id();
+  const sim::ShardId home = source.shard();
+
+  // Sever the parent's channel into the source before the swap: handlers
+  // bound on it capture the retiring instance, so late deliveries there
+  // must count as dropped, not touch soon-freed state.
+  if (parent != nullptr) {
+    if (southbound::Channel* stale = parent->device_channel(gswitch)) stale->disconnect();
+  }
+
+  // Hardening toggles carry over to the new instance.
+  target->set_self_healing(source.self_healing());
+  target->set_reliable_delivery(source.reliable_delivery());
+
+  // §5.3.2 master switchover, per device: the source steps aside and the
+  // target's pre-warmed standby session is swapped in as master. Rule
+  // tables are untouched — this is a control-session flip only. Devices
+  // without a parked standby (caller skipped pre-warming) are adopted
+  // cold, which still converges but pays the handshake inside the window.
+  std::vector<SwitchId> devices = source.devices();
+  for (SwitchId sw : devices) source.release_physical_switch(*hub_, sw);
+  for (SwitchId sw : devices) {
+    southbound::SwitchAgent* agent = hub_->agent(sw);
+    if (agent == nullptr) continue;
+    if (!agent->promote_standby(target->id(), dataplane::ControllerRole::kMaster))
+      target->adopt_physical_switch(*hub_, sw);
+  }
+  // Discovery PacketIns only reach *active* sessions, so the target could
+  // not learn links while parked; one sweep now rebuilds them (the
+  // HotStandby::promote idiom).
+  target->run_link_discovery();
+
+  // Same ControllerId => same G-switch id: re-adoption overwrites the
+  // parent's child maps in place and the hierarchy keeps its shape.
+  std::unique_ptr<Controller> retired = std::move(leaves_[i]);
+  leaves_[i] = std::move(target);
+  Controller& fresh = *leaves_[i];
+  if (parent != nullptr) parent->adopt_child(fresh);
+  handoff_leaf_tables(i, home);
+  recompute_borders();
+  refresh_topology();
+  placements_.at(i) = placement;
+  (void)at;
+  SOFTMOW_LOG(LogLevel::kInfo, "mgmt")
+      << "migrated leaf " << fresh.name() << " to site " << placement.site << " ("
+      << fresh.devices().size() << " devices flipped)";
+  return retired;
 }
 
 bool ManagementPlane::controller_in_subtree(Controller& scope, Controller& c) const {

@@ -46,6 +46,18 @@ struct HierarchySpec {
 [[nodiscard]] constexpr GBsId gbs_id_for_group(BsGroupId g) { return GBsId{g.value}; }
 [[nodiscard]] constexpr BsGroupId group_for_gbs_id(GBsId g) { return BsGroupId{g.value}; }
 
+/// Where a leaf controller instance is homed. Placement is a *modeling*
+/// input to planned migration (§5.3 re-homing): the site label names the
+/// hosting location and `control_rtt` is the modeled round-trip between
+/// that site and the leaf's region — shard layout and hierarchy shape are
+/// functions of the topology and never of placement.
+struct LeafPlacement {
+  std::string site = "core";
+  sim::Duration control_rtt = sim::Duration::millis(30);
+
+  friend bool operator==(const LeafPlacement&, const LeafPlacement&) = default;
+};
+
 class ManagementPlane {
  public:
   explicit ManagementPlane(dataplane::PhysicalNetwork* net);
@@ -80,6 +92,31 @@ class ManagementPlane {
   reca::Controller& fail_over_leaf(
       std::size_t i, HotStandby& standby, sim::TimePoint at = sim::TimePoint::zero(),
       std::optional<sim::Duration> modeled_duration = std::nullopt);
+
+  /// Planned migration flip (the §5.3.2 master-switchover step applied to a
+  /// whole leaf): replaces leaf `i` with `target`, a pre-warmed instance
+  /// answering to the same ControllerId that already holds equal-role
+  /// sessions on the leaf's devices (built by `migrate::MigrationManager`).
+  /// The source releases every device, the target seizes kMaster on each,
+  /// the parent's channel into the source is severed and re-adopts the
+  /// target's G-switch, borders/abstractions refresh bottom-up, and flow
+  /// tables re-pin through the sanctioned handoff path. Returns the retired
+  /// source so the caller can drain it; the data plane is untouched (zero
+  /// rule churn). Placement bookkeeping records where the leaf now lives.
+  std::unique_ptr<reca::Controller> migrate_leaf(std::size_t i,
+                                                 std::unique_ptr<reca::Controller> target,
+                                                 const LeafPlacement& placement,
+                                                 sim::TimePoint at = sim::TimePoint::zero());
+
+  /// Current placement of leaf `i` ("core" until a migration moves it).
+  [[nodiscard]] const LeafPlacement& leaf_placement(std::size_t i) const;
+
+  /// The single sanctioned shard-ownership transfer for leaf `i`'s flow
+  /// tables: re-pins every device table to `to` under an
+  /// `analysis::HandoffScope`, so `-DSOFTMOW_SHARD_CHECK=ON` blames any
+  /// ownership flip that bypasses it. Both `bind_shards` and the
+  /// failover/migration replacement paths funnel through here.
+  void handoff_leaf_tables(std::size_t i, sim::ShardId to);
 
   // --- sharded execution -------------------------------------------------------
   /// Event shards the bootstrapped hierarchy naturally wants: one per leaf
@@ -168,6 +205,7 @@ class ManagementPlane {
   std::unique_ptr<reca::Controller> root_;
   std::map<BsGroupId, std::size_t> group_to_leaf_;
   std::map<std::size_t, std::size_t> leaf_to_mid_;
+  std::vector<LeafPlacement> placements_;  ///< per-leaf, sized at bootstrap
   UeTransferHook ue_transfer_hook_;
   UeTransferHook ue_rehome_hook_;
   std::uint64_t next_controller_ = 1;

@@ -1,0 +1,260 @@
+#include "migrate/migration.h"
+
+#include <algorithm>
+
+#include "core/log.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace softmow::migrate {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kIdle: return "idle";
+    case Phase::kSnapshot: return "snapshot";
+    case Phase::kCatchUp: return "catchup";
+    case Phase::kReady: return "ready";
+    case Phase::kFlip: return "flip";
+    case Phase::kDrain: return "drain";
+    case Phase::kDone: return "done";
+    case Phase::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+MigrationManager::MigrationManager(topo::Scenario& scenario, sim::ShardedSimulator* engine,
+                                   MigrationOptions opts)
+    : scenario_(&scenario), engine_(engine), opts_(opts) {
+  obs::MetricsRegistry& reg = obs::default_registry();
+  disruption_ms_ = reg.histogram("migration_disruption_ms",
+                                 obs::Histogram::exponential_bounds(1.0, 2.0, 24));
+  bytes_metric_ = reg.counter("migration_bytes_transferred");
+}
+
+void MigrationManager::drain_engine() {
+  if (engine_ != nullptr) (void)engine_->run();
+}
+
+void MigrationManager::finish_phase(Active& a, Phase p, double ms) {
+  sim::TimePoint begin = a.clock;
+  a.clock = a.clock + sim::Duration::millis(ms);
+  obs::default_tracer().span_under(a.span, begin, a.clock,
+                                   std::string("migrate.") + phase_name(p), 1,
+                                   a.rec.leaf_name);
+  obs::default_registry()
+      .histogram("migration_ms", obs::Histogram::exponential_bounds(1.0, 2.0, 24),
+                 {{"phase", phase_name(p)}})
+      ->observe(ms);
+  if (opts_.recorder != nullptr) opts_.recorder->force_sample(a.clock);
+}
+
+void MigrationManager::close_cycle(Active& a, Phase final_phase, const std::string& detail) {
+  a.rec.final_phase = final_phase;
+  obs::default_tracer().close_span(a.span, a.clock, detail);
+  SOFTMOW_LOG(LogLevel::kInfo, "migrate")
+      << "cycle for leaf " << a.rec.leaf_name << " closed: " << phase_name(final_phase)
+      << " (" << detail << ")";
+  records_.push_back(a.rec);
+  active_.reset();
+}
+
+Result<void> MigrationManager::begin(std::size_t leaf, mgmt::LeafPlacement placement,
+                                     sim::TimePoint at) {
+  if (active_ != nullptr)
+    return {ErrorCode::kConflict, "a migration cycle is already in flight"};
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  if (leaf >= mp.leaf_count()) return {ErrorCode::kNotFound, "no such leaf"};
+  auto a = std::make_unique<Active>();
+  a->leaf = leaf;
+  a->placement = placement;
+  a->clock = at;
+  a->rec.leaf = leaf;
+  a->rec.leaf_name = mp.leaf(leaf).name();
+  a->rec.placement = placement;
+  a->span = obs::default_tracer().open_span_under({}, at, "migrate.cycle", 1,
+                                                  a->rec.leaf_name);
+  active_ = std::move(a);
+  return Ok();
+}
+
+Result<void> MigrationManager::stream_snapshot() {
+  if (active_ == nullptr || active_->phase != Phase::kIdle)
+    return {ErrorCode::kConflict, "no cycle awaiting its snapshot"};
+  Active& a = *active_;
+  drain_engine();
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  reca::Controller& source = mp.leaf(a.leaf);
+  a.phase = Phase::kSnapshot;
+  // Same ControllerId and name: the target steps into the source's identity
+  // so the parent's child maps, the G-switch id, and app registrations all
+  // carry over at the flip.
+  a.base = mgmt::capture_checkpoint(source);
+  a.target = std::make_unique<reca::Controller>(source.id(), 1, source.name(),
+                                                mp.label_mode());
+  a.target->set_tag_allocator(source.tag_allocator());
+  mgmt::restore_checkpoint(*a.target, a.base);
+  a.rec.devices = a.base.devices.size();
+  a.rec.bytes_snapshot = a.base.estimated_bytes();
+  double stream_ms =
+      static_cast<double>(a.rec.bytes_snapshot) / (1024.0 * opts_.stream_kb_per_ms);
+  a.rec.snapshot_ms = a.placement.control_rtt.to_millis() + stream_ms;
+  finish_phase(a, Phase::kSnapshot, a.rec.snapshot_ms);
+  a.phase = Phase::kCatchUp;
+  return Ok();
+}
+
+Result<void> MigrationManager::catch_up() {
+  if (active_ == nullptr || active_->phase != Phase::kCatchUp)
+    return {ErrorCode::kConflict, "no dual-control window open"};
+  Active& a = *active_;
+  drain_engine();
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  reca::Controller& source = mp.leaf(a.leaf);
+
+  double prewarm_ms = 0;
+  if (a.prewarmed.empty()) {
+    // First round: park a pre-warmed standby session on every device the
+    // source serves. The source's live sessions are untouched — the parked
+    // ones handshake (Hello / FeaturesReply) but see no data-plane events.
+    for (SwitchId sw : source.devices()) {
+      a.target->adopt_physical_switch_standby(mp.hub(), sw);
+      a.prewarmed.push_back(sw);
+    }
+    prewarm_ms =
+        static_cast<double>(a.prewarmed.size()) * opts_.session_prewarm.to_millis();
+  }
+
+  mgmt::CheckpointDelta delta = mgmt::delta_since(a.base, source);
+  double stream_ms = 0;
+  if (!delta.empty()) {
+    a.rec.bytes_delta += delta.estimated_bytes();
+    stream_ms =
+        static_cast<double>(delta.estimated_bytes()) / (1024.0 * opts_.stream_kb_per_ms);
+    mgmt::apply_delta(a.base, delta);
+    mgmt::restore_checkpoint(*a.target, a.base);
+  }
+  // Session pre-warming overlaps the delta stream: the round costs one RTT
+  // plus whichever of the two took longer.
+  double round_ms = a.placement.control_rtt.to_millis() + std::max(stream_ms, prewarm_ms);
+  a.rec.catchup_rounds += 1;
+  a.rec.catchup_ms += round_ms;
+  finish_phase(a, Phase::kCatchUp, round_ms);
+  if (delta.empty() || a.rec.catchup_rounds >= opts_.max_catchup_rounds)
+    a.phase = Phase::kReady;
+  return Ok();
+}
+
+bool MigrationManager::ready_to_flip() const {
+  return active_ != nullptr && active_->phase == Phase::kReady;
+}
+
+Result<void> MigrationManager::flip() {
+  if (active_ == nullptr) return {ErrorCode::kConflict, "no cycle in flight"};
+  Active& a = *active_;
+  if (a.phase != Phase::kReady) return {ErrorCode::kConflict, "target not caught up"};
+  drain_engine();
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  reca::Controller& source = mp.leaf(a.leaf);
+  a.phase = Phase::kFlip;
+
+  // Whatever trickled in since the last catch-up round ships inside the
+  // window — it is the only state transfer that counts as disruption.
+  mgmt::CheckpointDelta delta = mgmt::delta_since(a.base, source);
+  double window_ms = opts_.flip_barrier.to_millis();
+  if (!delta.empty()) {
+    a.rec.bytes_delta += delta.estimated_bytes();
+    window_ms +=
+        static_cast<double>(delta.estimated_bytes()) / (1024.0 * opts_.stream_kb_per_ms);
+    mgmt::apply_delta(a.base, delta);
+    mgmt::restore_checkpoint(*a.target, a.base);
+  }
+
+  // The atomic flip: standby sessions promote to master, the parent
+  // re-adopts the G-switch, apps re-attach, shards rebind.
+  a.retired = mp.migrate_leaf(a.leaf, std::move(a.target), a.placement, a.clock);
+  reca::Controller& fresh = mp.leaf(a.leaf);
+  scenario_->apps->rebind(fresh);
+  if (engine_ != nullptr) mp.bind_shards(*engine_, opts_.parent_link_delay);
+
+  // Per-device role promotions drain through one station inside the window
+  // (the Fig. 10 queueing idiom), then the parent's re-adoption costs one
+  // control RTT to the new site.
+  sim::QueueingStation station(opts_.service_per_message, "migrate-flip", 1);
+  sim::TimePoint window_start = a.clock;
+  sim::TimePoint done = window_start;
+  for (std::size_t d = 0; d < a.rec.devices; ++d)
+    done = std::max(done, station.submit(window_start));
+  window_ms += (done - window_start).to_millis();
+  window_ms += a.placement.control_rtt.to_millis();
+
+  a.rec.flip_ms = window_ms;
+  a.rec.disruption_ms = window_ms;
+  disruption_ms_->observe(window_ms);
+  bytes_metric_->inc(a.rec.bytes_total());
+  finish_phase(a, Phase::kFlip, window_ms);
+  a.phase = Phase::kDrain;
+  return Ok();
+}
+
+Result<void> MigrationManager::drain() {
+  if (active_ == nullptr || active_->phase != Phase::kDrain)
+    return {ErrorCode::kConflict, "nothing to drain"};
+  Active& a = *active_;
+  drain_engine();
+  a.retired.reset();  // the source served until the flip; retire it now
+  a.rec.drain_ms = a.placement.control_rtt.to_millis();
+  finish_phase(a, Phase::kDrain, a.rec.drain_ms);
+  close_cycle(a, Phase::kDone, "migrated to " + a.placement.site);
+  return Ok();
+}
+
+Result<void> MigrationManager::abort(const std::string& reason) {
+  if (active_ == nullptr) return {ErrorCode::kConflict, "no cycle in flight"};
+  Active& a = *active_;
+  if (a.phase == Phase::kFlip || a.phase == Phase::kDrain)
+    return {ErrorCode::kConflict, "past the point of no return"};
+  drain_engine();
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  // Roll back: parked sessions drop, the half-built target is discarded,
+  // the source never stopped serving.
+  for (SwitchId sw : a.prewarmed) {
+    if (southbound::SwitchAgent* agent = mp.hub().agent(sw))
+      agent->drop_standby(mp.leaf(a.leaf).id());
+  }
+  a.target.reset();
+  close_cycle(a, Phase::kAborted, "abort: " + reason);
+  return Ok();
+}
+
+Result<MigrationRecord> MigrationManager::migrate_leaf(std::size_t leaf,
+                                                       mgmt::LeafPlacement placement,
+                                                       sim::TimePoint at) {
+  if (auto r = begin(leaf, placement, at); !r.ok()) return r.error();
+  if (auto r = stream_snapshot(); !r.ok()) return r.error();
+  while (active_ != nullptr && active_->phase == Phase::kCatchUp) {
+    if (auto r = catch_up(); !r.ok()) return r.error();
+  }
+  if (auto r = flip(); !r.ok()) return r.error();
+  if (auto r = drain(); !r.ok()) return r.error();
+  return records_.back();
+}
+
+Phase MigrationManager::phase() const {
+  return active_ == nullptr ? Phase::kIdle : active_->phase;
+}
+
+std::size_t MigrationManager::completed() const {
+  std::size_t n = 0;
+  for (const MigrationRecord& r : records_)
+    if (r.final_phase == Phase::kDone) ++n;
+  return n;
+}
+
+std::size_t MigrationManager::aborted() const {
+  std::size_t n = 0;
+  for (const MigrationRecord& r : records_)
+    if (r.final_phase == Phase::kAborted) ++n;
+  return n;
+}
+
+}  // namespace softmow::migrate

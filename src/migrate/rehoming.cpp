@@ -1,0 +1,70 @@
+#include "migrate/rehoming.h"
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/log.h"
+
+namespace softmow::migrate {
+
+ContinuousRehoming::ContinuousRehoming(topo::Scenario& scenario, MigrationManager& manager,
+                                       RehomingPolicy policy)
+    : scenario_(&scenario), manager_(&manager), policy_(policy) {}
+
+Result<std::size_t> ContinuousRehoming::step(const std::vector<double>& leaf_load,
+                                             sim::TimePoint at) {
+  mgmt::ManagementPlane& mp = *scenario_->mgmt;
+  if (leaf_load.size() != mp.leaf_count())
+    return {ErrorCode::kInvalidArgument, "one load sample per leaf required"};
+  if (manager_->in_flight())
+    return {ErrorCode::kConflict, "a migration cycle is already in flight"};
+  ++steps_;
+
+  double total = 0;
+  for (double l : leaf_load) total += l;
+  if (total <= 0) return std::size_t{0};  // idle window: nothing to rebalance
+
+  // Spread each leaf's observed load over its G-BSes and run the §5.3 gain
+  // function at the root. The round is advisory here (execute=false): its
+  // gain ranking is the trigger signal, while the actual G-BS reassignments
+  // remain the application's own periodic job.
+  std::map<GBsId, double> gbs_load;
+  for (std::size_t i = 0; i < mp.leaf_count(); ++i) {
+    std::span<const GBsId> groups = mp.leaf(i).nib().gbs_list();
+    if (groups.empty()) continue;
+    double share = leaf_load[i] / static_cast<double>(groups.size());
+    for (GBsId g : groups) gbs_load[g] = share;
+  }
+  if (apps::RegionOptApp* opt = scenario_->apps->region_opt(mp.root())) {
+    (void)opt->optimize_round(policy_.constraints, gbs_load, /*execute=*/false);
+  }
+
+  // Placement pass: hot leaves move out to a region-local site, cold leaves
+  // consolidate back to the core. Leaves scan in index order so a tie
+  // resolves deterministically.
+  const double mean = total / static_cast<double>(mp.leaf_count());
+  std::size_t moves = 0;
+  for (std::size_t i = 0; i < mp.leaf_count() && moves < policy_.max_moves_per_step; ++i) {
+    const mgmt::LeafPlacement& current = mp.leaf_placement(i);
+    const std::string local_site = "site-" + mp.leaf(i).name();
+    if (leaf_load[i] >= policy_.hot_factor * mean && current.site != local_site) {
+      auto rec = manager_->migrate_leaf(i, {local_site, policy_.local_rtt}, at);
+      if (!rec.ok()) return rec.error();
+      ++moves;
+      ++rehomings_;
+      SOFTMOW_LOG(LogLevel::kInfo, "migrate")
+          << "re-homed hot leaf " << rec->leaf_name << " to " << local_site;
+    } else if (leaf_load[i] <= policy_.cold_factor * mean && current.site != "core") {
+      auto rec = manager_->migrate_leaf(i, {"core", policy_.central_rtt}, at);
+      if (!rec.ok()) return rec.error();
+      ++moves;
+      ++rehomings_;
+      SOFTMOW_LOG(LogLevel::kInfo, "migrate")
+          << "re-homed cold leaf " << rec->leaf_name << " back to core";
+    }
+  }
+  return moves;
+}
+
+}  // namespace softmow::migrate

@@ -46,6 +46,15 @@ void Controller::adopt_physical_switch(southbound::Hub& hub, SwitchId sw,
   agent->connect(id_, ch, role);  // triggers Hello -> FeaturesRequest
 }
 
+void Controller::adopt_physical_switch_standby(southbound::Hub& hub, SwitchId sw) {
+  auto channel = std::make_unique<Channel>(&hub.counter());
+  Channel* ch = channel.get();
+  owned_channels_.push_back(std::move(channel));
+  ch->bind_controller([this, ch](const Message& m) { handle_device_message(ch, m); });
+  southbound::SwitchAgent* agent = hub.agent(sw);
+  agent->connect_standby(id_, ch);  // triggers Hello -> FeaturesRequest
+}
+
 void Controller::release_physical_switch(southbound::Hub& hub, SwitchId sw) {
   if (southbound::SwitchAgent* agent = hub.agent(sw)) agent->disconnect(id_);
   device_channels_.erase(sw);

@@ -57,6 +57,13 @@ class Controller : public nos::DeviceBus {
                              dataplane::ControllerRole role = dataplane::ControllerRole::kMaster);
   /// Releases a physical switch (used during region reconfiguration).
   void release_physical_switch(southbound::Hub& hub, SwitchId sw);
+  /// Leaf only: pre-warms a parked standby session on `sw` without touching
+  /// the incumbent's active one (planned migration §5.3.2 — this instance
+  /// answers to the same ControllerId as the source it will replace). The
+  /// handshake resolves — Hello/FeaturesReply populate this controller's NIB
+  /// switch records — but no data-plane events arrive until the hub promotes
+  /// the standby at the flip barrier.
+  void adopt_physical_switch_standby(southbound::Hub& hub, SwitchId sw);
   /// Non-leaf: adopts `child` as a logical device (its G-switch).
   void adopt_child(Controller& child);
   [[nodiscard]] std::vector<SwitchId> devices() const;

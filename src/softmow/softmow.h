@@ -64,8 +64,12 @@
 #include "verify/verifier.h"    // IWYU pragma: export
 
 #include "mgmt/audit.h"        // IWYU pragma: export
+#include "mgmt/checkpoint.h"   // IWYU pragma: export
 #include "mgmt/failover.h"     // IWYU pragma: export
 #include "mgmt/management.h"   // IWYU pragma: export
+
+#include "migrate/migration.h"  // IWYU pragma: export
+#include "migrate/rehoming.h"   // IWYU pragma: export
 
 #include "faults/fault.h"     // IWYU pragma: export
 #include "faults/injector.h"  // IWYU pragma: export

@@ -91,6 +91,23 @@ void SwitchAgent::disconnect(ControllerId controller) {
   if (dataplane::Switch* s = sw_ptr()) s->remove_controller(controller);
 }
 
+void SwitchAgent::connect_standby(ControllerId controller, Channel* channel) {
+  standby_channels_[controller] = channel;
+  channel->bind_device([this](const Message& m) { handle(m); });
+  channel->send_to_controller(Hello{sw_});
+}
+
+bool SwitchAgent::promote_standby(ControllerId controller, dataplane::ControllerRole role) {
+  auto it = standby_channels_.find(controller);
+  if (it == standby_channels_.end()) return false;
+  channels_[controller] = it->second;
+  standby_channels_.erase(it);
+  sw_ptr()->set_controller_role(controller, role);
+  return true;
+}
+
+void SwitchAgent::drop_standby(ControllerId controller) { standby_channels_.erase(controller); }
+
 std::vector<PortDesc> SwitchAgent::port_descs() const {
   std::vector<PortDesc> out;
   const dataplane::Switch* s = hub_->net()->sw(sw_);
@@ -168,8 +185,11 @@ void SwitchAgent::handle(const Message& msg) {
     reply.ports = port_descs();
     // Reply goes only to the requester; with a single channel per controller
     // we cannot tell which controller asked, so reply on all bound channels —
-    // controllers match replies by xid.
+    // controllers match replies by xid. Parked standby sessions are included:
+    // their handshake must resolve so the migration target learns the
+    // switch's ports before the flip.
     for (auto& [c, ch] : channels_) ch->send_to_controller(reply);
+    for (auto& [c, ch] : standby_channels_) ch->send_to_controller(reply);
     return;
   }
 

@@ -80,6 +80,24 @@ class SwitchAgent {
                dataplane::ControllerRole role = dataplane::ControllerRole::kMaster);
   void disconnect(ControllerId controller);
 
+  /// Parks a pre-warmed session for `controller` without disturbing its
+  /// active one (planned migration, §5.3: the target instance answers to
+  /// the *same* ControllerId as the source it replaces). The channel is
+  /// bound and handshaken — Hello flows, FeaturesRequest/Reply resolve on
+  /// it — but the parked session receives no data-plane events until
+  /// promote_standby() swaps it in.
+  void connect_standby(ControllerId controller, Channel* channel);
+  /// Atomically swaps the parked session in as the active one and grants
+  /// `role` — the per-device half of the migration flip. Returns false
+  /// (and changes nothing) when no standby is parked.
+  bool promote_standby(ControllerId controller, dataplane::ControllerRole role);
+  /// Drops a parked session without touching the active one (migration
+  /// abort/rollback).
+  void drop_standby(ControllerId controller);
+  [[nodiscard]] bool has_standby(ControllerId controller) const {
+    return standby_channels_.contains(controller);
+  }
+
   /// Entry point for controller -> device messages.
   void handle(const Message& msg);
 
@@ -114,6 +132,8 @@ class SwitchAgent {
   SwitchId sw_;
   bool alive_ = true;
   std::map<ControllerId, Channel*> channels_;
+  /// Pre-warmed migration-target sessions, keyed like channels_.
+  std::map<ControllerId, Channel*> standby_channels_;
 };
 
 }  // namespace softmow::southbound

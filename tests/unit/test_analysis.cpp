@@ -290,5 +290,77 @@ TEST(ShardCheckEngine, UnbindReleasesOwnership) {
   EXPECT_TRUE(checker.clean()) << checker.report().summary();
 }
 
+// Seeded negative for the migration/failover flip path: an ownership flip
+// that bypasses mgmt::handoff_leaf_tables — here, a "buggy migration"
+// mutating a leaf's device table from the root's shard with no handoff —
+// must be blamed with the exact (structure, owner, accessor) triple.
+TEST(ShardCheckEngine, UnsanctionedLeafTableFlipIsBlamed) {
+  SKIP_UNLESS_INSTRUMENTED();
+  auto scenario = topo::build_scenario(topo::small_scenario_params(1));
+  auto& mp = *scenario->mgmt;
+  sim::ShardedSimulator engine(mp.natural_shard_count());
+  mp.bind_shards(engine, sim::Duration::millis(5));
+
+  reca::Controller* leaf = mp.leaves().front();
+  ASSERT_FALSE(leaf->devices().empty());
+  dataplane::FlowTable& table = mp.net().sw(leaf->devices().front())->table();
+  const std::size_t owner = table.guard().owner();
+  const std::size_t foreign = mp.root().shard();
+  ASSERT_NE(owner, kNoShard);
+  ASSERT_NE(owner, foreign);
+
+  ShardChecker checker;
+  engine.schedule(foreign, sim::Duration::millis(1), [&] {
+    dataplane::FlowRule rule;
+    rule.cookie = 77;
+    ASSERT_TRUE(table.install(rule).ok());
+  });
+  engine.run();
+
+  AnalysisReport report = checker.report();
+  ASSERT_GE(report.count(FindingKind::kForeignWrite), 1u) << report.summary();
+  const Finding& f = report.findings.front();
+  EXPECT_EQ(f.structure, "flowtable");
+  EXPECT_EQ(f.owner, owner);
+  EXPECT_EQ(f.accessor, foreign);
+  mp.unbind_shards();
+}
+
+// The same flip routed through the sanctioned path — handoff_leaf_tables
+// re-pins the tables, after which the new owner mutates freely — is clean.
+TEST(ShardCheckEngine, SanctionedHandoffLeafTablesFlipIsClean) {
+  SKIP_UNLESS_INSTRUMENTED();
+  auto scenario = topo::build_scenario(topo::small_scenario_params(1));
+  auto& mp = *scenario->mgmt;
+  sim::ShardedSimulator engine(mp.natural_shard_count());
+  mp.bind_shards(engine, sim::Duration::millis(5));
+
+  reca::Controller* leaf = mp.leaves().front();
+  ASSERT_FALSE(leaf->devices().empty());
+  dataplane::FlowTable& table = mp.net().sw(leaf->devices().front())->table();
+  const std::size_t owner = table.guard().owner();
+  const std::size_t foreign = mp.root().shard();
+  ASSERT_NE(owner, foreign);
+
+  ShardChecker checker;
+  engine.schedule(foreign, sim::Duration::millis(1), [&] {
+    mp.handoff_leaf_tables(0, foreign);  // the one sanctioned transfer
+  });
+  engine.schedule(foreign, sim::Duration::millis(2), [&] {
+    dataplane::FlowRule rule;
+    rule.cookie = 78;
+    ASSERT_TRUE(table.install(rule).ok());  // now the owner: legal
+  });
+  engine.run();
+
+  EXPECT_EQ(table.guard().owner(), foreign);
+  AnalysisReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GE(report.handoffs, 1u);
+  // Hygiene: pin the tables back where bind_shards put them.
+  mp.handoff_leaf_tables(0, owner);
+  mp.unbind_shards();
+}
+
 }  // namespace
 }  // namespace softmow::analysis

@@ -1,0 +1,159 @@
+// Shared checkpoint format (mgmt/checkpoint.h): full capture/restore, the
+// content-addressed delta log, and the HotStandby consumer. The same format
+// feeds crash failover and planned migration, so these tests pin down the
+// convergence contract both rely on: applying a delta to its base reproduces
+// a fresh capture, and an unchanged controller produces an empty (cheap)
+// delta.
+#include "mgmt/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "mgmt/failover.h"
+#include "softmow/softmow.h"
+
+namespace softmow {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario = topo::build_scenario(topo::small_scenario_params());
+    mp = scenario->mgmt.get();
+    prefix = scenario->iplane->prefixes().front();
+    // A BS homed in leaf 0, for mutating the leaf's path book mid-test.
+    for (const auto& region : scenario->partition.group_regions) {
+      for (BsGroupId group : region) {
+        if (mp->leaf_of_group(group) != &mp->leaf(0)) continue;
+        const auto* bs_group = scenario->net.bs_group(group);
+        if (bs_group == nullptr || bs_group->members.empty()) continue;
+        bs = bs_group->members.front();
+        return;
+      }
+    }
+    FAIL() << "no base station homed in leaf 0";
+  }
+
+  /// Installs one fresh bearer through leaf 0 — new paths, new labels, new
+  /// cookies: every allocator and the path book move.
+  void add_bearer(std::uint64_t ue_value) {
+    auto& mobility = scenario->apps->mobility(mp->leaf(0));
+    UeId ue{ue_value};
+    ASSERT_TRUE(mobility.ue_attach(ue, bs).ok());
+    apps::BearerRequest request;
+    request.ue = ue;
+    request.bs = bs;
+    request.dst_prefix = prefix;
+    ASSERT_TRUE(mobility.request_bearer(request).ok());
+  }
+
+  std::unique_ptr<topo::Scenario> scenario;
+  mgmt::ManagementPlane* mp = nullptr;
+  BsId bs{};
+  PrefixId prefix{};
+};
+
+TEST_F(CheckpointTest, RestoreReproducesNonDerivableState) {
+  reca::Controller& source = mp->leaf(0);
+  add_bearer(70001);
+  mgmt::Checkpoint ckpt = mgmt::capture_checkpoint(source);
+  EXPECT_GT(ckpt.estimated_bytes(), 0u);
+  EXPECT_FALSE(ckpt.devices.empty());
+
+  reca::Controller restored(source.id(), 1, source.name(), mp->label_mode());
+  mgmt::restore_checkpoint(restored, ckpt);
+
+  auto src_gbs = source.nib().gbs_list();
+  auto dst_gbs = restored.nib().gbs_list();
+  EXPECT_EQ(std::vector<GBsId>(src_gbs.begin(), src_gbs.end()),
+            std::vector<GBsId>(dst_gbs.begin(), dst_gbs.end()));
+  EXPECT_EQ(restored.nib().external_route_count(), source.nib().external_route_count());
+  // Devices are deliberately NOT adopted by restore — failover seizes them
+  // as master, migration pre-warms them as parked standbys.
+  EXPECT_TRUE(restored.devices().empty());
+}
+
+TEST_F(CheckpointTest, DeltaIsEmptyAndCheapWhenNothingChanged) {
+  reca::Controller& source = mp->leaf(0);
+  mgmt::Checkpoint base = mgmt::capture_checkpoint(source);
+  mgmt::CheckpointDelta delta = mgmt::delta_since(base, source);
+  EXPECT_TRUE(delta.empty());
+  // An empty delta still carries the fixed header, but costs far less than
+  // re-shipping the full checkpoint.
+  EXPECT_LT(delta.estimated_bytes(), base.estimated_bytes());
+}
+
+TEST_F(CheckpointTest, ApplyingDeltaConvergesOnFreshCapture) {
+  reca::Controller& source = mp->leaf(0);
+  mgmt::Checkpoint base = mgmt::capture_checkpoint(source);
+
+  add_bearer(70002);
+  mgmt::CheckpointDelta delta = mgmt::delta_since(base, source);
+  ASSERT_FALSE(delta.empty());
+  // New bearer => new installed paths shipped individually, not a full dump.
+  EXPECT_FALSE(delta.path_upserts.empty());
+  EXPECT_LT(delta.estimated_bytes(), mgmt::capture_checkpoint(source).estimated_bytes());
+
+  mgmt::apply_delta(base, delta);
+  mgmt::Checkpoint fresh = mgmt::capture_checkpoint(source);
+  EXPECT_EQ(base.nib_version, fresh.nib_version);
+  EXPECT_EQ(base.devices, fresh.devices);
+  EXPECT_EQ(base.border_gbs, fresh.border_gbs);
+  EXPECT_EQ(base.estimated_bytes(), fresh.estimated_bytes());
+  // The strongest form of convergence: after the roll-forward the next delta
+  // finds nothing left to ship.
+  EXPECT_TRUE(mgmt::delta_since(base, source).empty());
+}
+
+TEST_F(CheckpointTest, DeltaRoundsAccumulateAcrossRepeatedChanges) {
+  reca::Controller& source = mp->leaf(0);
+  mgmt::Checkpoint base = mgmt::capture_checkpoint(source);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    add_bearer(70010 + i);
+    mgmt::CheckpointDelta delta = mgmt::delta_since(base, source);
+    ASSERT_FALSE(delta.empty()) << "round " << i;
+    mgmt::apply_delta(base, delta);
+  }
+  EXPECT_TRUE(mgmt::delta_since(base, source).empty());
+  EXPECT_EQ(base.estimated_bytes(), mgmt::capture_checkpoint(source).estimated_bytes());
+}
+
+TEST_F(CheckpointTest, HotStandbySyncsShrinkToTheChangeRate) {
+  reca::Controller& source = mp->leaf(0);
+  // Construction performs the first sync: the whole state crosses the wire.
+  mgmt::HotStandby standby(source, mp->hub());
+  EXPECT_EQ(standby.checkpoints(), 1u);
+  std::uint64_t full_bytes = standby.last_sync_bytes();
+  EXPECT_EQ(full_bytes, standby.checkpoint().estimated_bytes());
+
+  add_bearer(70020);
+  standby.sync();
+  EXPECT_EQ(standby.checkpoints(), 2u);
+  // The second sync ships only the delta log, not the full state.
+  EXPECT_GT(standby.last_sync_bytes(), 0u);
+  EXPECT_LT(standby.last_sync_bytes(), full_bytes);
+  // The stored checkpoint is rolled forward to the master's current state —
+  // exactly what a migration would stream as its base.
+  EXPECT_TRUE(mgmt::delta_since(standby.checkpoint(), source).empty());
+}
+
+TEST_F(CheckpointTest, StandbyPromotedFromDeltaSyncedCheckpointMatchesMaster) {
+  reca::Controller& source = mp->leaf(0);
+  mgmt::HotStandby standby(source, mp->hub());
+  standby.sync();
+  add_bearer(70030);
+  standby.sync();  // delta path — promotion must see the post-change state
+
+  std::size_t routes = source.nib().external_route_count();
+  auto gbs_view = source.nib().gbs_list();
+  std::vector<GBsId> gbs(gbs_view.begin(), gbs_view.end());
+
+  auto promoted = standby.promote();
+  ASSERT_NE(promoted, nullptr);
+  EXPECT_EQ(promoted->id(), source.id());
+  EXPECT_EQ(promoted->nib().external_route_count(), routes);
+  auto promoted_gbs = promoted->nib().gbs_list();
+  EXPECT_EQ(std::vector<GBsId>(promoted_gbs.begin(), promoted_gbs.end()), gbs);
+}
+
+}  // namespace
+}  // namespace softmow
